@@ -1,0 +1,60 @@
+"""E7 — §3.2's in-text search-space census.
+
+Paper claims (on DBpedia):
+
+* a *second* additional variable increases the number of subgraph
+  expressions REMI must handle by more than 270 %;
+* increasing the atom budget from 2 to 3 while keeping one variable
+  increases it by about 40 %.
+
+We run the same census over prominent entities of the DBpedia-like KB and
+report the two growth factors.
+"""
+
+from benchmarks.conftest import report, sample_entity_sets
+from repro.core.enumerate import language_census
+from repro.core.remi import REMI
+
+CLASSES = ("Person", "Settlement", "Album", "Film", "Organization")
+
+
+def test_sec32_census(benchmark, dbpedia_bench, results_dir):
+    kb = dbpedia_bench.kb
+    miner = REMI(kb)  # supplies the §3.5.2 prominent-entity cutoff
+    prominent = miner.prominent_entities
+    entities = [s[0] for s in sample_entity_sets(dbpedia_bench, CLASSES, count=12, seed=31)]
+
+    def run():
+        totals = {"standard": 0, "one_var_2atom": 0, "one_var_3atom": 0, "two_var_3atom": 0}
+        for entity in entities:
+            census = language_census(kb, entity, miner.config, prominent)
+            for key, value in census.items():
+                totals[key] += value
+        return totals
+
+    totals = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    growth_second_var = (
+        100.0 * (totals["two_var_3atom"] - totals["one_var_3atom"]) / totals["one_var_3atom"]
+    )
+    growth_third_atom = (
+        100.0 * (totals["one_var_3atom"] - totals["one_var_2atom"]) / totals["one_var_2atom"]
+    )
+    lines = [
+        f"§3.2 — language-bias census over {len(entities)} DBpedia-like entities",
+        "",
+        f"{'language variant':18s} {'#subgraph expressions':>22s}",
+        f"{'standard':18s} {totals['standard']:>22d}",
+        f"{'≤2 atoms, ≤1 var':18s} {totals['one_var_2atom']:>22d}",
+        f"{'≤3 atoms, ≤1 var':18s} {totals['one_var_3atom']:>22d}",
+        f"{'≤3 atoms, ≤2 vars':18s} {totals['two_var_3atom']:>22d}",
+        "",
+        f"growth from a 2nd variable : paper > +270 %   measured {growth_second_var:+.0f} %",
+        f"growth from a 3rd atom     : paper ≈ +40 %    measured {growth_third_atom:+.0f} %",
+    ]
+    report(results_dir, "sec32_language_census", lines)
+
+    # Shape: the 2nd variable blows the space up far more than the 3rd atom.
+    assert growth_second_var > growth_third_atom
+    assert growth_second_var > 100.0  # the blow-up is dramatic
+    assert growth_third_atom > 0.0

@@ -1,0 +1,51 @@
+"""E3 — §4.1.3: perceived interestingness of Wikidata descriptions.
+
+Paper protocol: 35 REs for entities from the top 7 of the frequency
+ranking of Company, City, Film, Human (and Movie); users grade 1–5.
+
+Paper numbers: 2.65±0.71 over 86 answers; 11 descriptions scored ≥ 3.
+"""
+
+from benchmarks.conftest import report
+from repro.core.remi import REMI
+from repro.userstudy.studies import study_interestingness
+from repro.userstudy.users import UserPanel
+
+CLASSES = ("Company", "City", "Film", "Human")
+
+
+def test_sec413_interestingness(benchmark, wikidata_bench, results_dir):
+    kb = wikidata_bench.kb
+    miner = REMI(kb)
+    panel = UserPanel(kb, miner.prominence, size=40, seed=2022)
+    frequencies = kb.entity_frequencies()
+    entities = [
+        entity
+        for cls in CLASSES
+        for entity in sorted(
+            wikidata_bench.instances_of(cls), key=lambda e: -frequencies[e]
+        )[:7]
+    ]
+
+    result = benchmark.pedantic(
+        study_interestingness,
+        args=(miner, entities, panel),
+        kwargs=dict(responses_per_description=3),
+        rounds=1,
+        iterations=1,
+    )
+
+    lines = [
+        "§4.1.3 — perceived interestingness of Wikidata-like REs (1–5)",
+        "",
+        f"{'metric':24s} {'paper':>12s} {'measured':>12s}",
+        f"{'mean score':24s} {'2.65±0.71':>12s} {result.mean_score:>7.2f}±{result.std_score:<4.2f}",
+        f"{'responses':24s} {'86':>12s} {result.responses:>12d}",
+        f"{'descriptions ≥ 3':24s} {'11/35':>12s} "
+        f"{result.scoring_at_least_3:>8d}/{result.descriptions}",
+    ]
+    report(results_dir, "sec413_interest", lines)
+
+    # Shape: middling scores (neither rejected nor universally loved).
+    assert 1.5 <= result.mean_score <= 4.0
+    assert 0 < result.scoring_at_least_3 < result.descriptions

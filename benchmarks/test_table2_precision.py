@@ -1,0 +1,60 @@
+"""E1 — Table 2: precision@k of Ĉfr and Ĉpr against (simulated) users.
+
+Paper protocol (§4.1.1): 24 DBpedia entity sets (sizes 1–3) from Person,
+Settlement, Album∪Film, Organization, sampled among the 5 % most frequent
+instances; participants rank five subgraph expressions (Ĉ's top 3, the
+worst ranked, one random) by simplicity.
+
+Paper numbers:  Ĉfr  p@1 0.38±0.42  p@2 0.66±0.18  p@3 0.88±0.09  (44 resp.)
+                Ĉpr  p@1 0.43±0.42  p@2 0.53±0.25  p@3 0.72±0.16  (48 resp.)
+
+The reproduction must show the same *pattern*: low-ish p@1 (the
+rdf:type preference), p@1 < p@2 < p@3, and high p@3 (≥ ~0.7).
+"""
+
+import pytest
+
+from benchmarks.conftest import report, sample_entity_sets
+from repro.core.remi import REMI
+from repro.userstudy.studies import study_rank_subgraphs
+from repro.userstudy.users import UserPanel
+
+CLASSES = ("Person", "Settlement", "Album", "Film", "Organization")
+PAPER = {
+    "fr": {1: (0.38, 0.42), 2: (0.66, 0.18), 3: (0.88, 0.09)},
+    "pr": {1: (0.43, 0.42), 2: (0.53, 0.25), 3: (0.72, 0.16)},
+}
+
+
+@pytest.mark.parametrize("prominence", ["fr", "pr"])
+def test_table2(benchmark, dbpedia_bench, results_dir, prominence):
+    kb = dbpedia_bench.kb
+    miner = REMI(kb, prominence=prominence)
+    panel = UserPanel(kb, REMI(kb).prominence, size=48, seed=2020)
+    entity_sets = sample_entity_sets(dbpedia_bench, CLASSES, count=24, seed=13)
+
+    result = benchmark.pedantic(
+        study_rank_subgraphs,
+        args=(miner, entity_sets, panel),
+        kwargs=dict(responses_per_set=2),
+        rounds=1,
+        iterations=1,
+    )
+
+    lines = [
+        f"Table 2 — precision@k of Ĉ{prominence} vs simulated users "
+        f"({result.responses} responses, {result.sets_evaluated} sets)",
+        "",
+        f"{'metric':8s} {'paper':>14s} {'measured':>14s}",
+    ]
+    for k in (1, 2, 3):
+        mean, std = result.precision[k]
+        p_mean, p_std = PAPER[prominence][k]
+        lines.append(
+            f"p@{k:<6d} {p_mean:>7.2f}±{p_std:<5.2f} {mean:>7.2f}±{std:<5.2f}"
+        )
+    report(results_dir, f"table2_{prominence}", lines)
+
+    # Shape assertions (not absolute values):
+    assert result.precision[1][0] <= result.precision[3][0]
+    assert result.precision[3][0] >= 0.55

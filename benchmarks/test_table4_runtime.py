@@ -1,0 +1,120 @@
+"""E5 — Table 4: runtime of AMIE+ vs REMI vs P-REMI, both language biases.
+
+Paper protocol (§4.2): 100 entity sets per KB (sizes 1/2/3 in 50/30/20 %
+proportions, same classes as the qualitative evaluation), 2-hour timeout
+per set, 48-core server.  Reported: total runtime, #solutions, #timeouts
+(red superscripts), and the P-REMI speed-up over AMIE+ and REMI.
+
+Paper numbers (total seconds; superscript = timeouts):
+    DBpedia  standard: amie 97.4k⁸  remi 10.3k¹  p-remi 576    (13.5kx, 2.44x)
+    DBpedia  REMI's  : amie 508.2k⁶⁸ remi 66.5k⁸ p-remi 28.9k  (5218x, 21.4x)
+    Wikidata standard: amie 115.5k¹⁵ remi 1.06k  p-remi 76.2   (142kx, 4.7x)
+    Wikidata REMI's  : amie 608.3k⁶⁰ remi 21.7k  p-remi 33.8k  (6476x, 7.1x)
+
+Scale model: REMI_BENCH_SETS sets (default 10), REMI_BENCH_TIMEOUT seconds
+per set (default 6).  The shape that must hold: AMIE is orders of
+magnitude slower than REMI (timeouts dominate its column), and the
+extended language increases both the search space and the solution count.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import BENCH_SETS, BENCH_TIMEOUT, report, sample_entity_sets
+from repro.core.config import LanguageBias, MinerConfig
+from repro.core.parallel import PREMI
+from repro.core.remi import REMI
+from repro.ilp.amie import AmieMiner
+
+DBPEDIA_CLASSES = ("Person", "Settlement", "Album", "Film", "Organization")
+WIKIDATA_CLASSES = ("Company", "City", "Film", "Human")
+
+
+def _run_remi(miner_class, generated, entity_sets, language):
+    kb = generated.kb
+    config = MinerConfig(
+        language=language, timeout_seconds=BENCH_TIMEOUT, num_threads=4
+    )
+    miner = miner_class(kb, config=config)
+    total = 0.0
+    solutions = 0
+    timeouts = 0
+    for targets in entity_sets:
+        result = miner.mine(targets)
+        total += result.stats.total_seconds
+        solutions += int(result.found)
+        timeouts += int(result.stats.timed_out)
+    return total, solutions, timeouts
+
+
+def _run_amie(generated, entity_sets, language):
+    kb = generated.kb
+    amie_language = "standard" if language is LanguageBias.STANDARD else "full"
+    miner = AmieMiner(kb, language=amie_language, timeout_seconds=BENCH_TIMEOUT)
+    total = 0.0
+    solutions = 0
+    timeouts = 0
+    for targets in entity_sets:
+        result = miner.mine(targets)
+        total += result.seconds
+        solutions += int(result.found)
+        timeouts += int(result.timed_out)
+    return total, solutions, timeouts
+
+
+@pytest.mark.parametrize(
+    "kb_fixture, classes, seed",
+    [("dbpedia_bench", DBPEDIA_CLASSES, 23), ("wikidata_bench", WIKIDATA_CLASSES, 29)],
+)
+def test_table4(benchmark, request, results_dir, kb_fixture, classes, seed):
+    generated = request.getfixturevalue(kb_fixture)
+    entity_sets = sample_entity_sets(generated, classes, count=BENCH_SETS, seed=seed)
+
+    def run():
+        rows = {}
+        for language in (LanguageBias.STANDARD, LanguageBias.REMI):
+            rows[(language, "amie+")] = _run_amie(generated, entity_sets, language)
+            rows[(language, "remi")] = _run_remi(REMI, generated, entity_sets, language)
+            rows[(language, "p-remi")] = _run_remi(PREMI, generated, entity_sets, language)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [
+        f"Table 4 — runtime on {generated.kb.name} "
+        f"({len(generated.kb)} facts, {BENCH_SETS} sets, timeout {BENCH_TIMEOUT:.0f}s)",
+        "",
+        f"{'language':10s} {'system':8s} {'total s':>9s} {'#sol':>5s} {'#TO':>4s} {'speed-up':>20s}",
+    ]
+    for language in (LanguageBias.STANDARD, LanguageBias.REMI):
+        amie_t, amie_s, amie_to = rows[(language, "amie+")]
+        remi_t, remi_s, remi_to = rows[(language, "remi")]
+        premi_t, premi_s, premi_to = rows[(language, "p-remi")]
+        speedup_amie = amie_t / premi_t if premi_t > 0 else float("inf")
+        speedup_remi = remi_t / premi_t if premi_t > 0 else float("inf")
+        for system, (total, sols, tos) in (
+            ("amie+", (amie_t, amie_s, amie_to)),
+            ("remi", (remi_t, remi_s, remi_to)),
+            ("p-remi", (premi_t, premi_s, premi_to)),
+        ):
+            suffix = ""
+            if system == "p-remi":
+                suffix = f"{speedup_amie:,.0f}x amie, {speedup_remi:.2f}x remi"
+            lines.append(
+                f"{language.value:10s} {system:8s} {total:>9.2f} {sols:>5d} {tos:>4d} {suffix:>20s}"
+            )
+        # Paper shape: AMIE slower by orders of magnitude.
+        assert amie_t > 10 * remi_t, (
+            f"AMIE should be ≫ REMI ({language}): {amie_t:.1f}s vs {remi_t:.1f}s"
+        )
+        # In the extended language AMIE hits its timeout budget on most
+        # sets (the red superscripts; 60-68/100 in the paper).  At model
+        # scale the standard language stays under the budget — the paper's
+        # 23/100 standard-language timeouts need the 42M-fact KB.
+        if language is LanguageBias.REMI:
+            assert amie_to >= max(1, BENCH_SETS // 2)
+
+    # Extended language never finds fewer solutions than the standard one.
+    assert rows[(LanguageBias.REMI, "remi")][1] >= rows[(LanguageBias.STANDARD, "remi")][1]
+    report(results_dir, f"table4_{generated.kb.name}", lines)

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Entity summarization: REMI against FACES and LinkSUM (§4.1.4, Table 3).
+
+Builds the DBpedia-like KB, constructs a simulated expert gold standard
+for a handful of prominent entities, and prints the three systems' top-5
+summaries side by side with their quality scores (average overlap with
+the expert summaries at the predicate-object and object levels).
+
+Run:  python examples/entity_summarization.py
+"""
+
+from repro import MinerConfig, REMI, Verbalizer
+from repro.datasets import dbpedia_like
+from repro.summarization import (
+    ExpertPanel,
+    FacesSummarizer,
+    LinkSumSummarizer,
+    summary_quality,
+)
+from repro.summarization.features import Feature
+
+
+def remi_summary(miner, entity, k):
+    """REMI's top-k subgraph expressions, restricted as in §4.1.4."""
+    features = []
+    for se, _ in miner.candidates([entity]):
+        atom = se.atoms[0]
+        features.append(Feature(atom.predicate, atom.object))
+        if len(features) == k:
+            break
+    return features
+
+
+def main():
+    print("generating DBpedia-like KB ...")
+    generated = dbpedia_like(scale=0.5)
+    kb = generated.kb
+    verbalizer = Verbalizer(kb)
+
+    frequencies = kb.entity_frequencies()
+    entities = sorted(
+        generated.instances_of("Person"), key=lambda e: -frequencies[e]
+    )[:12]
+
+    print("building the simulated 7-expert gold standard ...")
+    gold = ExpertPanel(kb, num_experts=7).build(entities)
+
+    faces = FacesSummarizer(kb)
+    linksum = LinkSumSummarizer(kb)
+    config = MinerConfig.standard(include_type_atoms=False, include_inverse_atoms=False)
+    miner = REMI(kb, config=config)
+
+    systems = {
+        "FACES": lambda e: faces.summarize(e, 5),
+        "LinkSUM": lambda e: linksum.summarize(e, 5),
+        "REMI": lambda e: remi_summary(miner, e, 5),
+    }
+
+    entity = entities[0]
+    print(f"\ntop-5 summaries for {verbalizer.label(entity)}:")
+    for name, summarize in systems.items():
+        print(f"\n  [{name}]")
+        for feature in summarize(entity):
+            predicate = verbalizer.predicate_phrase(feature.predicate)[0]
+            print(f"    {predicate:24s} {verbalizer.label(feature.object)}")
+
+    print("\nquality over all entities (top-5; higher = closer to experts):")
+    for name, summarize in systems.items():
+        summaries = {e: summarize(e) for e in entities}
+        po, po_std, o, o_std = summary_quality(summaries, gold, 5)
+        print(f"  {name:8s} PO {po:.2f}±{po_std:.2f}   O {o:.2f}±{o_std:.2f}")
+    print(
+        "\nAs in Table 3: the dedicated summarizers score higher on their own\n"
+        "diversity-oriented metric, while REMI optimizes unambiguity instead."
+    )
+
+
+if __name__ == "__main__":
+    main()

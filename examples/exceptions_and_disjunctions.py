@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Future-work features in action: tolerant and disjunctive REs (§6).
+
+Three situations where strict REMI is stuck or awkward, and the §6
+extensions help:
+
+1. twin entities — no strict RE exists; allowing one exception gives a
+   usable "…(and also X)" description;
+2. cheap almost-REs — tolerating Brest buys a much simpler description
+   of Rennes and Nantes;
+3. heterogeneous target sets — no conjunctive description covers both a
+   Spanish-speaking and a Portuguese-speaking country; a disjunction does.
+
+Run:  python examples/exceptions_and_disjunctions.py
+"""
+
+from repro import REMI, Verbalizer
+from repro.datasets import rennes_nantes_scene, south_america_scene
+from repro.extensions import DisjunctiveREMI, mine_with_exceptions
+from repro.kb.namespaces import EX
+
+
+def main():
+    kb = rennes_nantes_scene()
+    verbalizer = Verbalizer(kb)
+    targets = [EX.Rennes, EX.Nantes]
+
+    print("=== strict vs tolerant (Rennes + Nantes) ===")
+    strict = REMI(kb).mine(targets)
+    print(f"strict   : {verbalizer.expression(strict.expression)}"
+          f"  [{strict.complexity:.2f} bits]")
+    tolerant = mine_with_exceptions(kb, targets, exceptions=1)
+    extras = ", ".join(verbalizer.label(e) for e in tolerant.exceptions)
+    print(f"tolerant : {verbalizer.expression(tolerant.expression)}"
+          f"  [{tolerant.result.complexity:.2f} bits]"
+          f"  (also matches: {extras or 'nothing'})")
+
+    print("\n=== twins: strict mining fails, k=1 succeeds ===")
+    from repro import KnowledgeBase, Triple
+
+    twins = KnowledgeBase()
+    for name in ("Castor", "Pollux"):
+        twins.add(Triple(EX[name], EX.sonOf, EX.Leda))
+    strict = REMI(twins).mine([EX.Castor])
+    print(f"strict RE for Castor: {strict.expression}")
+    tolerant = mine_with_exceptions(twins, [EX.Castor], exceptions=1)
+    print(f"tolerant RE         : {tolerant.expression} "
+          f"(exception: {tolerant.exceptions[0].local_name})")
+
+    print("\n=== disjunctions for heterogeneous sets ===")
+    sa = south_america_scene()
+    sa_verbalizer = Verbalizer(sa)
+    targets = [EX.Brazil, EX.Argentina, EX.Peru]
+    conjunctive = REMI(sa).mine(targets)
+    print(f"conjunctive RE for Brazil+Argentina+Peru: "
+          f"{conjunctive.expression if conjunctive.found else 'none — or expensive'}")
+    disjunctive = DisjunctiveREMI(sa).mine(targets)
+    print(f"disjunctive RE [{disjunctive.complexity:.2f} bits]:")
+    for disjunct, covered in zip(disjunctive.disjuncts, disjunctive.covers):
+        names = ", ".join(sa_verbalizer.label(t) for t in sorted(covered, key=str))
+        print(f"  ∨ {sa_verbalizer.expression(disjunct)}   → covers {names}")
+
+
+if __name__ == "__main__":
+    main()

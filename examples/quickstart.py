@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: build a small KB, mine a referring expression, verbalize it.
+
+This reproduces the paper's §2.2.2 example — Guyana and Suriname are
+unambiguously "the South American countries with a Germanic official
+language" — and shows the Müller example from §3.2, where the most
+intuitive description goes through Albert Einstein.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import REMI, Verbalizer
+from repro.datasets import einstein_scene, south_america_scene
+from repro.expressions.sparql import to_sparql
+from repro.kb.namespaces import EX
+
+
+def describe(kb, targets, label):
+    miner = REMI(kb)
+    result = miner.mine(targets)
+    print(f"\n=== {label} ===")
+    if not result.found:
+        print("no referring expression exists")
+        return
+    verbalizer = Verbalizer(kb)
+    print(f"expression : {result.expression!r}")
+    print(f"complexity : {result.complexity:.2f} bits")
+    print(f"verbalized : {verbalizer.expression(result.expression)}")
+    print(f"as SPARQL  :\n{to_sparql(result.expression)}")
+    stats = result.stats
+    print(
+        f"search     : {stats.candidates} candidates, "
+        f"{stats.re_tests} RE tests, {stats.total_seconds * 1000:.1f} ms"
+    )
+
+
+def main():
+    # §2.2.2: two countries, one intuitive shared description.
+    kb = south_america_scene()
+    describe(kb, [EX.Guyana, EX.Suriname], "Guyana + Suriname (§2.2.2)")
+
+    # §3.2: Müller is best described through his famous academic grandson.
+    kb = einstein_scene()
+    describe(kb, [EX.Mueller, EX.Weber], "Kleiner's supervisors (§3.2)")
+
+    # A single entity: Guyana alone is simply the English-speaking one.
+    kb = south_america_scene()
+    describe(kb, [EX.Guyana], "Guyana alone")
+
+
+if __name__ == "__main__":
+    main()

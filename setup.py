@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in ``pyproject.toml``.  This file exists so
+that fully-offline environments without the ``wheel`` package can still do
+an editable install via ``python setup.py develop`` (pip's PEP 517 editable
+path requires ``bdist_wheel``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,100 @@
+"""REMI — mining intuitive referring expressions on RDF knowledge bases.
+
+A from-scratch Python reproduction of *"REMI: Mining Intuitive Referring
+Expressions on Knowledge Bases"* (Galárraga, Delaunay, Dessalles — EDBT
+2020), including every substrate the paper depends on: an RDF triple store
+with an HDT-like binary format, the estimated-Kolmogorov-complexity
+machinery, the REMI / P-REMI search algorithms, an AMIE+-style ILP
+opponent, FACES / LinkSUM-style entity summarizers, synthetic
+DBpedia-/Wikidata-like KB generators and a simulated user-study harness.
+
+Quickstart::
+
+    from repro import KnowledgeBase, REMI, Triple, EX
+
+    kb = KnowledgeBase()
+    kb.add(Triple(EX.Paris, EX.capitalOf, EX.France))
+    ...
+    result = REMI(kb).mine([EX.Paris])
+    print(result.expression, result.complexity)
+"""
+
+from repro.complexity import (
+    ComplexityEstimator,
+    FrequencyProminence,
+    PageRankProminence,
+    pagerank,
+)
+from repro.core import (
+    LanguageBias,
+    MinerConfig,
+    MiningResult,
+    PREMI,
+    REMI,
+    SearchStats,
+)
+from repro.expressions import (
+    Atom,
+    Expression,
+    Matcher,
+    Shape,
+    SubgraphExpression,
+    Variable,
+    Verbalizer,
+)
+from repro.kb import (
+    EX,
+    IRI,
+    BlankNode,
+    KnowledgeBase,
+    Literal,
+    Namespace,
+    RDF,
+    RDFS,
+    Triple,
+    XSD,
+    load_hdt,
+    materialize_inverses,
+    parse_ntriples,
+    parse_ntriples_file,
+    save_hdt,
+    serialize_ntriples,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "BlankNode",
+    "ComplexityEstimator",
+    "EX",
+    "Expression",
+    "FrequencyProminence",
+    "IRI",
+    "KnowledgeBase",
+    "LanguageBias",
+    "Literal",
+    "Matcher",
+    "MinerConfig",
+    "MiningResult",
+    "PREMI",
+    "PageRankProminence",
+    "RDF",
+    "RDFS",
+    "REMI",
+    "SearchStats",
+    "Shape",
+    "SubgraphExpression",
+    "Triple",
+    "Variable",
+    "Verbalizer",
+    "XSD",
+    "load_hdt",
+    "materialize_inverses",
+    "pagerank",
+    "parse_ntriples",
+    "parse_ntriples_file",
+    "save_hdt",
+    "serialize_ntriples",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Classic NLG referring-expression baselines (paper §5).
+
+The related-work algorithms REMI is positioned against:
+
+* :mod:`repro.baselines.full_brevity` — Dale's Full Brevity algorithm
+  [3]: breadth-first search for the *shortest* RE (fewest atoms) in the
+  standard language, ignoring intuitiveness;
+* :mod:`repro.baselines.incremental` — Reiter & Dale's Incremental
+  Algorithm [13]: greedy attribute selection along a fixed preference
+  order of predicates, the classic fast-but-overspecifying NLG method.
+
+Both operate in the standard language bias (bound atoms on the root
+variable only), exactly as §5 describes the prior art.
+"""
+
+from repro.baselines.full_brevity import FullBrevityMiner
+from repro.baselines.incremental import IncrementalMiner
+
+__all__ = ["FullBrevityMiner", "IncrementalMiner"]

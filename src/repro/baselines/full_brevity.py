@@ -1,0 +1,97 @@
+"""Dale's Full Brevity algorithm [3] (paper §5).
+
+"The full brevity algorithm, based on breadth-first search, is among the
+first approaches to mine REs on semantic data.  This method mines short
+REs consisting of conjunctions of bound atoms."
+
+Given targets ``T``, the algorithm searches conjunctions of the targets'
+shared (predicate, object) attributes by increasing *atom count* and
+returns the first (i.e. shortest) conjunction whose extension is exactly
+``T``.  Intuitiveness plays no role — which is precisely the paper's
+criticism: ``capitalOf(x, France)`` and ``restingPlaceOf(x, V. Hugo)``
+are equally good to Full Brevity.
+
+Ties at the same length are broken deterministically (lexicographic atom
+order), and an optional ``ranker`` callback lets callers re-rank
+solutions of the winning length — handy for comparing against Ĉ.
+"""
+
+from __future__ import annotations
+
+import time
+from itertools import combinations
+from typing import Callable, List, Optional, Sequence, Set, Tuple
+
+from repro.expressions.expression import Expression
+from repro.expressions.matching import Matcher
+from repro.expressions.subgraph import SubgraphExpression
+from repro.kb.namespaces import RDFS_LABEL
+from repro.kb.store import KnowledgeBase
+from repro.kb.terms import Term
+
+
+class FullBrevityMiner:
+    """Shortest-RE search in the standard language bias."""
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        max_atoms: int = 4,
+        timeout_seconds: Optional[float] = None,
+        matcher: Optional[Matcher] = None,
+    ):
+        if max_atoms < 1:
+            raise ValueError(f"max_atoms must be ≥ 1, got {max_atoms}")
+        self.kb = kb
+        self.max_atoms = max_atoms
+        self.timeout_seconds = timeout_seconds
+        self.matcher = matcher or Matcher(kb)
+
+    def shared_attributes(self, targets: Sequence[Term]) -> List[SubgraphExpression]:
+        """The bound atoms common to all targets, deterministically ordered."""
+        shared: Optional[Set[Tuple]] = None
+        for t in targets:
+            pairs = {
+                (p, o)
+                for p, o in self.kb.predicate_object_pairs(t)
+                if p != RDFS_LABEL
+            }
+            shared = pairs if shared is None else shared & pairs
+        atoms = [
+            SubgraphExpression.single_atom(p, o) for p, o in (shared or set())
+        ]
+        atoms.sort(key=SubgraphExpression.sort_key)
+        return atoms
+
+    def mine(
+        self,
+        targets: Sequence[Term],
+        ranker: Optional[Callable[[Expression], float]] = None,
+    ) -> Optional[Expression]:
+        """The shortest RE for *targets*, or None when none exists.
+
+        With *ranker*, all REs of the winning length are collected and the
+        one minimizing the callback is returned.
+        """
+        target_set = frozenset(targets)
+        if not target_set:
+            raise ValueError("need at least one target entity")
+        deadline = (
+            time.perf_counter() + self.timeout_seconds
+            if self.timeout_seconds is not None
+            else None
+        )
+        attributes = self.shared_attributes(targets)
+        for length in range(1, min(self.max_atoms, len(attributes)) + 1):
+            winners: List[Expression] = []
+            for combo in combinations(attributes, length):
+                if deadline is not None and time.perf_counter() > deadline:
+                    return winners[0] if winners else None
+                expression = Expression(tuple(combo))
+                if self.matcher.identifies(expression, target_set):
+                    if ranker is None:
+                        return expression  # BFS: first hit is shortest
+                    winners.append(expression)
+            if winners:
+                return min(winners, key=ranker)  # type: ignore[arg-type]
+        return None

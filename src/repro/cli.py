@@ -1,0 +1,131 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    remi generate --kind dbpedia --scale 1.0 --out kb.hdt     # build a KB
+    remi mine kb.hdt <entity-iri> [<entity-iri> ...]          # mine an RE
+    remi stats kb.hdt                                         # KB statistics
+
+``mine`` prints the winning referring expression, its Ĉ in bits, the NL
+verbalization and the search statistics.  Input KBs may be RHDT binaries
+(``.hdt``) or N-Triples text (anything else).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core.config import LanguageBias, MinerConfig
+from repro.core.parallel import PREMI
+from repro.core.remi import REMI
+from repro.expressions.verbalize import Verbalizer
+from repro.kb.hdt import load_hdt, save_hdt
+from repro.kb.ntriples import parse_ntriples_file, write_ntriples_file
+from repro.kb.store import KnowledgeBase
+from repro.kb.terms import IRI
+
+
+def _load_kb(path: str) -> KnowledgeBase:
+    if path.endswith(".hdt"):
+        return load_hdt(path)
+    return KnowledgeBase(parse_ntriples_file(path), name=Path(path).stem)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.datasets import dbpedia_like, wikidata_like
+
+    if args.kind == "dbpedia":
+        generated = dbpedia_like(scale=args.scale, seed=args.seed)
+    elif args.kind == "wikidata":
+        generated = wikidata_like(scale=args.scale, seed=args.seed)
+    else:
+        print(f"unknown KB kind {args.kind!r}", file=sys.stderr)
+        return 2
+    kb = generated.kb
+    if args.out.endswith(".hdt"):
+        size = save_hdt(kb, args.out)
+        print(f"wrote {args.out}: {len(kb)} facts, {size} bytes (RHDT)")
+    else:
+        count = write_ntriples_file(kb.triples(), args.out)
+        print(f"wrote {args.out}: {count} statements (N-Triples)")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    kb = _load_kb(args.kb)
+    for key, value in kb.stats().items():
+        print(f"{key:12s} {value}")
+    return 0
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    kb = _load_kb(args.kb)
+    targets = [IRI(value) for value in args.entities]
+    known = kb.entities()
+    unknown = [t for t in targets if t not in known]
+    if unknown:
+        print(f"unknown entities: {', '.join(str(u) for u in unknown)}", file=sys.stderr)
+        return 2
+    config = MinerConfig(
+        language=LanguageBias.STANDARD if args.standard else LanguageBias.REMI,
+        timeout_seconds=args.timeout,
+    )
+    miner_class = PREMI if args.parallel else REMI
+    miner = miner_class(kb, prominence=args.prominence, config=config)
+    result = miner.mine(targets)
+    if not result.found:
+        print("no referring expression exists for these entities")
+        return 1
+    verbalizer = Verbalizer(kb)
+    print(f"expression : {result.expression!r}")
+    print(f"complexity : {result.complexity:.2f} bits")
+    print(f"verbalized : {verbalizer.expression(result.expression)}")
+    stats = result.stats
+    print(
+        f"search     : {stats.candidates} candidates, {stats.nodes_visited} nodes, "
+        f"{stats.re_tests} RE tests, {stats.total_seconds * 1000:.1f} ms"
+        + (" (timed out)" if stats.timed_out else "")
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="remi",
+        description="Mine intuitive referring expressions on RDF knowledge bases.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="generate a synthetic KB")
+    generate.add_argument("--kind", choices=("dbpedia", "wikidata"), default="dbpedia")
+    generate.add_argument("--scale", type=float, default=1.0)
+    generate.add_argument("--seed", type=int, default=42)
+    generate.add_argument("--out", required=True, help=".hdt or .nt output path")
+    generate.set_defaults(func=_cmd_generate)
+
+    stats = subparsers.add_parser("stats", help="print KB statistics")
+    stats.add_argument("kb", help="KB file (.hdt or N-Triples)")
+    stats.set_defaults(func=_cmd_stats)
+
+    mine = subparsers.add_parser("mine", help="mine a referring expression")
+    mine.add_argument("kb", help="KB file (.hdt or N-Triples)")
+    mine.add_argument("entities", nargs="+", help="target entity IRIs")
+    mine.add_argument("--prominence", choices=("fr", "pr"), default="fr")
+    mine.add_argument("--standard", action="store_true", help="standard language bias")
+    mine.add_argument("--parallel", action="store_true", help="use P-REMI")
+    mine.add_argument("--timeout", type=float, default=None, help="seconds")
+    mine.set_defaults(func=_cmd_mine)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

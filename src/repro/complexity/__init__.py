@@ -1,0 +1,34 @@
+"""Estimated Kolmogorov complexity Ĉ (paper §3.1 and §3.5.3).
+
+The intuitiveness of a (subgraph) expression is quantified as its encoded
+length in bits, where codes derive from *prominence rankings*:
+
+* :mod:`repro.complexity.ranking` — prominence models: KB frequency
+  (``fr``) and PageRank (``pr``);
+* :mod:`repro.complexity.pagerank` — power-iteration PageRank over the
+  KB's entity link graph (our stand-in for the Wikipedia page rank);
+* :mod:`repro.complexity.powerlaw` — Eq. 1: per-predicate power-law fits
+  that compress conditional rankings into (α, β) coefficient pairs;
+* :mod:`repro.complexity.codes` — the :class:`ComplexityEstimator`
+  computing Ĉ(ρ) and Ĉ(e) with the chain rule for joins.
+"""
+
+from repro.complexity.codes import ComplexityEstimator
+from repro.complexity.pagerank import pagerank
+from repro.complexity.powerlaw import PowerLawFit, PowerLawModel, fit_power_law
+from repro.complexity.ranking import (
+    FrequencyProminence,
+    PageRankProminence,
+    Prominence,
+)
+
+__all__ = [
+    "ComplexityEstimator",
+    "FrequencyProminence",
+    "PageRankProminence",
+    "PowerLawFit",
+    "PowerLawModel",
+    "Prominence",
+    "fit_power_law",
+    "pagerank",
+]

@@ -1,0 +1,255 @@
+"""The Ĉ estimator: expression complexity in bits (paper §3.1).
+
+For a single-atom expression ``p(x, I)``::
+
+    Ĉ(p(x, I)) = log2 k(p)  +  log2 k(I | p)
+
+where ``k(p)`` is the predicate's position in the global prominence
+ranking and ``k(I | p)`` the object's position among the objects of ``p``
+(the chain rule: once *mayor* is conveyed, the decoder discriminates only
+among mayors).
+
+For a path ``p0(x, y) ∧ p1(y, I1)`` the chain continues::
+
+    Ĉ(ρ) = log2 k(p0)
+         + log2 k(p1 | p0)        # rank among predicates joinable 1→2 with p0
+         + log2 k(I1 | p0 ⋈ p1)   # rank among the bindings of the tail
+
+A path+star pays the star atom's conditional predicate and object codes
+too; closed shapes pay the root predicate plus each closing predicate's
+rank among the predicates that *co-occur subject-and-object* with it.
+
+Ĉ(e) for a referring expression is the sum over its conjuncts, and
+Ĉ(⊤) = ∞ (footnote 6).  This additive form deliberately double-counts
+shared sub-paths (§3.1's "simplification") — fine for comparisons, which
+is all REMI needs.
+
+Two evaluation modes:
+
+* ``exact`` — conditional rankings are materialized (and cached) per
+  context;
+* ``powerlaw`` — conditional object ranks come from the per-predicate
+  (α, β) fits of Eq. 1 (:mod:`repro.complexity.powerlaw`), trading a
+  little fidelity for O(1) storage per predicate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.complexity.powerlaw import PowerLawModel
+from repro.complexity.ranking import Prominence
+from repro.expressions.expression import Expression
+from repro.expressions.subgraph import Shape, SubgraphExpression
+from repro.kb.namespaces import RDF_TYPE
+from repro.kb.store import KnowledgeBase
+from repro.kb.terms import IRI, Term
+
+
+def _log2_rank(rank: int) -> float:
+    """Code length of the *rank*-th concept: log2(k), with k ≥ 1."""
+    return math.log2(max(rank, 1))
+
+
+def _tie_aware_ranks(items, score) -> dict:
+    """Descending-score ranks where a tie group shares its *last* position.
+
+    A decoder must distinguish a concept from every concept at least as
+    prominent, so equally-prominent items all pay the full group position
+    — this keeps the code honest for the long tail of frequency-1 objects
+    (otherwise a lexicographic tie-break would hand some of them rank 1).
+    """
+    ordered = sorted(items, key=lambda t: -score(t))
+    ranks: dict = {}
+    index = 0
+    while index < len(ordered):
+        group_end = index
+        group_score = score(ordered[index])
+        while group_end + 1 < len(ordered) and score(ordered[group_end + 1]) == group_score:
+            group_end += 1
+        shared_rank = group_end + 1  # 1-based position of the group's tail
+        for position in range(index, group_end + 1):
+            ranks[ordered[position]] = shared_rank
+        index = group_end + 1
+    return ranks
+
+
+class ComplexityEstimator:
+    """Computes Ĉ over subgraph expressions and referring expressions.
+
+    Parameters
+    ----------
+    kb:
+        The knowledge base the rankings are computed on.
+    prominence:
+        A :class:`~repro.complexity.ranking.Prominence` model — frequency
+        gives the paper's Ĉfr, PageRank gives Ĉpr.
+    mode:
+        ``"exact"`` or ``"powerlaw"`` (Eq. 1 compression for conditional
+        object ranks; predicate ranks are always exact, as in the paper).
+    """
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        prominence: Prominence,
+        mode: str = "exact",
+        type_discount_bits: float = 0.0,
+    ):
+        if mode not in ("exact", "powerlaw"):
+            raise ValueError(f"mode must be 'exact' or 'powerlaw', got {mode!r}")
+        if type_discount_bits < 0:
+            raise ValueError(f"type_discount_bits must be ≥ 0, got {type_discount_bits}")
+        self.kb = kb
+        self.prominence = prominence
+        self.mode = mode
+        #: §4.1.1 finds users systematically rank ``rdf:type`` atoms as the
+        #: simplest, while Ĉ often ranks them 2nd–3rd — "the need of
+        #: special treatment for the type predicate as suggested by [13]".
+        #: A positive discount subtracts that many bits from the type
+        #: predicate's code (floored at 0), pulling type atoms forward.
+        self.type_discount_bits = type_discount_bits
+        self._powerlaw: Optional[PowerLawModel] = None
+        if mode == "powerlaw":
+            self._powerlaw = PowerLawModel(kb)
+        self._se_cache: Dict[SubgraphExpression, float] = {}
+        self._object_ranks: Dict[IRI, Dict[Term, int]] = {}
+        self._join_predicate_ranks: Dict[IRI, Dict[IRI, int]] = {}
+        self._closed_predicate_ranks: Dict[IRI, Dict[IRI, int]] = {}
+        self._tail_ranks: Dict[Tuple[IRI, IRI], Dict[Term, int]] = {}
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def complexity(self, se: SubgraphExpression) -> float:
+        """Ĉ(ρ) in bits."""
+        cached = self._se_cache.get(se)
+        if cached is not None:
+            return cached
+        bits = self._compute(se)
+        self._se_cache[se] = bits
+        return bits
+
+    def expression_complexity(self, expression: Expression) -> float:
+        """Ĉ(e) = Σ Ĉ(ρᵢ); Ĉ(⊤) = ∞."""
+        if expression.is_top:
+            return math.inf
+        return sum(self.complexity(se) for se in expression.conjuncts)
+
+    def predicate_bits(self, predicate: IRI) -> float:
+        """l(p_b) = log2 of the predicate's global prominence rank."""
+        bits = _log2_rank(self.prominence.predicate_rank(predicate))
+        if self.type_discount_bits and predicate == RDF_TYPE:
+            bits = max(0.0, bits - self.type_discount_bits)
+        return bits
+
+    # ------------------------------------------------------------------
+    # per-shape computation
+    # ------------------------------------------------------------------
+
+    def _compute(self, se: SubgraphExpression) -> float:
+        if se.shape is Shape.SINGLE_ATOM:
+            atom = se.atoms[0]
+            return self.predicate_bits(atom.predicate) + self._object_bits(
+                atom.predicate, atom.object  # type: ignore[arg-type]
+            )
+        if se.shape is Shape.PATH:
+            hop, tail = se.atoms
+            return (
+                self.predicate_bits(hop.predicate)
+                + self._join_predicate_bits(hop.predicate, tail.predicate)
+                + self._tail_object_bits(hop.predicate, tail.predicate, tail.object)  # type: ignore[arg-type]
+            )
+        if se.shape is Shape.PATH_STAR:
+            hop, star1, star2 = se.atoms
+            bits = self.predicate_bits(hop.predicate)
+            for star in (star1, star2):
+                bits += self._join_predicate_bits(hop.predicate, star.predicate)
+                bits += self._tail_object_bits(hop.predicate, star.predicate, star.object)  # type: ignore[arg-type]
+            return bits
+        if se.shape in (Shape.CLOSED_2, Shape.CLOSED_3):
+            # The cheapest predicate anchors the code; the rest pay their
+            # rank among predicates that co-occur (same s, same o) with it.
+            predicates = sorted(se.predicates(), key=self.prominence.predicate_rank)
+            anchor = predicates[0]
+            bits = self.predicate_bits(anchor)
+            for predicate in predicates[1:]:
+                bits += self._closed_predicate_bits(anchor, predicate)
+            return bits
+        raise AssertionError(f"unhandled shape {se.shape}")
+
+    # ------------------------------------------------------------------
+    # conditional codes
+    # ------------------------------------------------------------------
+
+    def _object_bits(self, predicate: IRI, obj: Term) -> float:
+        """log2 k(I | p): the object's rank among the objects of *p*."""
+        if self._powerlaw is not None:
+            estimated = self._powerlaw.estimated_rank_bits(predicate, obj)
+            if estimated is not None:
+                return estimated
+        ranks = self._object_ranks.get(predicate)
+        if ranks is None:
+            ranks = self._rank_map(self.kb.objects_of_predicate(predicate))
+            self._object_ranks[predicate] = ranks
+        return _log2_rank(ranks.get(obj, len(ranks) + 1))
+
+    def _join_predicate_bits(self, p0: IRI, p1: IRI) -> float:
+        """log2 k(p1 | p0): rank among predicates joinable 1→2 with p0."""
+        ranks = self._join_predicate_ranks.get(p0)
+        if ranks is None:
+            joinable: set = set()
+            for mid in self.kb.objects_of_predicate(p0):
+                joinable |= self.kb.predicates_of(mid)
+            ranks = self._rank_predicates(joinable)
+            self._join_predicate_ranks[p0] = ranks
+        return _log2_rank(ranks.get(p1, len(ranks) + 1))
+
+    def _closed_predicate_bits(self, anchor: IRI, predicate: IRI) -> float:
+        """log2 k(p | anchor) among predicates sharing an (s, o) pair."""
+        ranks = self._closed_predicate_ranks.get(anchor)
+        if ranks is None:
+            co_occurring: set = set()
+            for subject, obj in self.kb.subject_object_pairs(anchor):
+                for candidate in self.kb.predicates_of(subject):
+                    if candidate != anchor and obj in self.kb.objects(subject, candidate):
+                        co_occurring.add(candidate)
+            ranks = self._rank_predicates(co_occurring)
+            self._closed_predicate_ranks[anchor] = ranks
+        return _log2_rank(ranks.get(predicate, len(ranks) + 1))
+
+    def _tail_object_bits(self, p0: IRI, p1: IRI, obj: Term) -> float:
+        """log2 k(I | p0 ⋈ p1): rank among bindings of z in p0(x,y) ∧ p1(y,z)."""
+        key = (p0, p1)
+        ranks = self._tail_ranks.get(key)
+        if ranks is None:
+            candidates: set = set()
+            for mid in self.kb.objects_of_predicate(p0):
+                candidates |= self.kb.objects(mid, p1)
+            ranks = self._rank_map(candidates)
+            self._tail_ranks[key] = ranks
+        return _log2_rank(ranks.get(obj, len(ranks) + 1))
+
+    # ------------------------------------------------------------------
+    # ranking helpers
+    # ------------------------------------------------------------------
+
+    def _rank_map(self, terms: "set[Term] | FrozenSet[Term]") -> Dict[Term, int]:
+        return _tie_aware_ranks(terms, self.prominence.entity_score)
+
+    def _rank_predicates(self, predicates: "set[IRI]") -> Dict[IRI, int]:
+        return _tie_aware_ranks(predicates, self.prominence.predicate_score)
+
+    def clear_caches(self) -> None:
+        """Drop all memoized rankings (needed after mutating the KB)."""
+        self._se_cache.clear()
+        self._object_ranks.clear()
+        self._join_predicate_ranks.clear()
+        self._closed_predicate_ranks.clear()
+        self._tail_ranks.clear()
+
+    def __repr__(self) -> str:
+        name = getattr(self.prominence, "name", "?")
+        return f"ComplexityEstimator(prominence={name}, mode={self.mode})"

@@ -1,0 +1,136 @@
+"""Power-law compression of conditional rankings (paper Eq. 1, §3.5.3).
+
+Storing ``k(I | p)`` for every object of every predicate is quadratic in
+vocabulary size.  The paper instead fits, per predicate, the linear model
+
+    log2(k(I | p)) ≈ −α · log2(fr(I | p)) + β
+
+and stores only the two coefficients.  :func:`fit_power_law` performs the
+least-squares fit in log-log space and reports R²; :class:`PowerLawModel`
+manages the per-predicate coefficient table and answers rank estimates.
+
+The paper validates the fit quality empirically (average R² of 0.85 on
+DBpedia and 0.88 on Wikidata for fr; 0.91 for pr) — our E8 bench
+reproduces those numbers on the synthetic KBs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.kb.store import KnowledgeBase
+from repro.kb.terms import IRI, Term
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Coefficients of one per-predicate fit: log2(rank) = −α·log2(score) + β."""
+
+    alpha: float
+    beta: float
+    r_squared: float
+    points: int
+
+    def rank_bits(self, score: float) -> float:
+        """Estimated code length log2(k) for a concept with this *score*."""
+        if score <= 0:
+            # Unseen concept: costlier than anything observed.
+            return max(self.beta, 0.0) + 1.0
+        return max(0.0, -self.alpha * math.log2(score) + self.beta)
+
+
+def fit_power_law(points: Sequence[Tuple[float, float]]) -> PowerLawFit:
+    """Least squares of log2(rank) against log2(score).
+
+    *points* are ``(score, rank)`` pairs with positive values.  With fewer
+    than two distinct scores the fit degenerates to α=0, β=mean(log2 rank)
+    and R² is reported as 1.0 (a constant fits constant data exactly).
+    """
+    xs = []
+    ys = []
+    for score, rank in points:
+        if score <= 0 or rank <= 0:
+            raise ValueError(f"scores and ranks must be positive, got ({score}, {rank})")
+        xs.append(math.log2(score))
+        ys.append(math.log2(rank))
+    n = len(xs)
+    if n == 0:
+        raise ValueError("cannot fit a power law to zero points")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    if var_x == 0.0:
+        return PowerLawFit(alpha=0.0, beta=mean_y, r_squared=1.0, points=n)
+    cov_xy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = cov_xy / var_x
+    intercept = mean_y - slope * mean_x
+    ss_res = sum((y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys))
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    r_squared = 1.0 if ss_tot == 0.0 else max(0.0, 1.0 - ss_res / ss_tot)
+    # Eq. 1 writes the slope as −α, so α = −slope (positive when rank
+    # decreases with score, the expected regime).
+    return PowerLawFit(alpha=-slope, beta=intercept, r_squared=r_squared, points=n)
+
+
+class PowerLawModel:
+    """Per-predicate (α, β) table mapping conditional frequency to bits.
+
+    ``mode="fr"`` fits rank against the conditional object frequency
+    ``fr(I | p)``; passing an explicit ``score`` callable (e.g. PageRank)
+    reproduces the paper's remark that the correlation "extrapolates to
+    the Wikipedia page rank".
+    """
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        score=None,
+        min_points: int = 3,
+    ):
+        self.kb = kb
+        self._score = score
+        self.min_points = min_points
+        self._fits: Dict[IRI, Optional[PowerLawFit]] = {}
+
+    def fit_for(self, predicate: IRI) -> Optional[PowerLawFit]:
+        """The fit for one predicate, or None when too few data points."""
+        if predicate in self._fits:
+            return self._fits[predicate]
+        frequencies = self.kb.object_frequencies(predicate)
+        if self._score is None:
+            scored = [(float(freq), obj) for obj, freq in frequencies.items()]
+        else:
+            scored = [(float(self._score(obj)), obj) for obj in frequencies]
+        scored = [(s, o) for s, o in scored if s > 0]
+        if len(scored) < self.min_points:
+            self._fits[predicate] = None
+            return None
+        scored.sort(key=lambda pair: (-pair[0], pair[1].sort_key()))
+        points = [(score, rank) for rank, (score, _) in enumerate(scored, start=1)]
+        fit = fit_power_law(points)
+        self._fits[predicate] = fit
+        return fit
+
+    def estimated_rank_bits(self, predicate: IRI, obj: Term) -> Optional[float]:
+        """Estimated log2 k(obj | predicate), or None when no fit exists."""
+        fit = self.fit_for(predicate)
+        if fit is None:
+            return None
+        if self._score is None:
+            score = float(self.kb.object_frequencies(predicate).get(obj, 0))
+        else:
+            score = float(self._score(obj))
+        return fit.rank_bits(score)
+
+    def average_r_squared(self) -> float:
+        """Mean R² across all fittable predicates — the §3.5.3 statistic."""
+        values = []
+        for predicate in self.kb.predicates():
+            fit = self.fit_for(predicate)
+            if fit is not None and fit.points >= self.min_points:
+                values.append(fit.r_squared)
+        if not values:
+            return 0.0
+        return sum(values) / len(values)

@@ -1,0 +1,163 @@
+"""Prominence models for concepts (entities and predicates).
+
+§3.1 ranks concepts by prominence to build their codes.  Two measures are
+evaluated in the paper and implemented here:
+
+* :class:`FrequencyProminence` (``fr``) — "the number of facts where a
+  concept occurs in the KB";
+* :class:`PageRankProminence` (``pr``) — the page rank of the entity in
+  the hyperlink structure; the paper falls back to ``fr`` "whenever pr is
+  undefined", which for us means literals, blank nodes and predicates.
+
+Both expose the same small interface (:class:`Prominence`); the
+:class:`~repro.complexity.codes.ComplexityEstimator` is parametric in it,
+giving the paper's Ĉfr and Ĉpr variants.
+
+Ranks are 1-based; ties break on the term's deterministic sort key so that
+repeated runs (and parallel runs) agree bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Protocol, Sequence, Tuple
+
+from repro.complexity.pagerank import pagerank
+from repro.kb.store import KnowledgeBase
+from repro.kb.terms import IRI, Term
+
+
+class Prominence(Protocol):
+    """What the complexity estimator needs from a prominence model."""
+
+    kb: KnowledgeBase
+
+    def entity_score(self, term: Term) -> float:
+        """Higher = more prominent.  Must be defined for every term."""
+        ...
+
+    def predicate_score(self, predicate: IRI) -> float:
+        ...
+
+    def predicate_rank(self, predicate: IRI) -> int:
+        """1-based rank of *predicate* in the global predicate ranking."""
+        ...
+
+
+def rank_terms(terms: Iterable[Term], score) -> Dict[Term, int]:
+    """Rank *terms* by descending score with deterministic tie-breaks."""
+    ordered = sorted(terms, key=lambda t: (-score(t), t._sort_kind, t.sort_key()))
+    return {term: position for position, term in enumerate(ordered, start=1)}
+
+
+class _BaseProminence:
+    """Shared predicate-ranking machinery (predicates always rank by fr)."""
+
+    def __init__(self, kb: KnowledgeBase):
+        self.kb = kb
+        self._predicate_ranks: Optional[Dict[IRI, int]] = None
+
+    def predicate_score(self, predicate: IRI) -> float:
+        return float(self.kb.predicate_fact_count(predicate))
+
+    def predicate_rank(self, predicate: IRI) -> int:
+        if self._predicate_ranks is None:
+            self._predicate_ranks = rank_terms(self.kb.predicates(), self.predicate_score)  # type: ignore[assignment]
+        rank = self._predicate_ranks.get(predicate)
+        if rank is None:
+            # Unknown predicate: rank just past the known vocabulary.
+            return len(self._predicate_ranks) + 1
+        return rank
+
+    def top_entities(self, fraction: float) -> frozenset:
+        """The top *fraction* of entities by this prominence (for pruning §3.5.2)."""
+        entities = sorted(
+            self.kb.entities(),
+            key=lambda e: (-self.entity_score(e), e.sort_key()),
+        )
+        keep = max(1, int(len(entities) * fraction)) if entities and fraction > 0 else 0
+        return frozenset(entities[:keep])
+
+    def entity_score(self, term: Term) -> float:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class FrequencyProminence(_BaseProminence):
+    """Prominence = number of KB facts mentioning the concept (``fr``)."""
+
+    name = "fr"
+
+    def __init__(self, kb: KnowledgeBase):
+        super().__init__(kb)
+        self._frequencies = kb.entity_frequencies()
+
+    def entity_score(self, term: Term) -> float:
+        cached = self._frequencies.get(term)
+        if cached is not None:
+            return float(cached)
+        return float(self.kb.term_frequency(term))
+
+    def __repr__(self) -> str:
+        return f"FrequencyProminence(kb={self.kb.name!r})"
+
+
+class PageRankProminence(_BaseProminence):
+    """Prominence = PageRank in the entity link graph (``pr``), fr fallback.
+
+    Scores are scaled so that the *relative* order matches PageRank for
+    IRIs; terms without a PageRank (literals, blank nodes) fall back to a
+    frequency score mapped below the smallest PageRank, mirroring the
+    paper's "use fr whenever pr is undefined".
+    """
+
+    name = "pr"
+
+    def __init__(self, kb: KnowledgeBase, scores: Optional[Dict[IRI, float]] = None):
+        super().__init__(kb)
+        self._scores = scores if scores is not None else pagerank(kb)
+        self._fallback = FrequencyProminence(kb)
+        min_pr = min(self._scores.values()) if self._scores else 1.0
+        max_fr = max(
+            (self._fallback.entity_score(e) for e in kb.entities()), default=1.0
+        )
+        # Map fr scores into (0, min_pr): any pr-defined term outranks them.
+        self._fr_scale = (min_pr * 0.5) / max(max_fr, 1.0)
+
+    def entity_score(self, term: Term) -> float:
+        score = self._scores.get(term)  # type: ignore[arg-type]
+        if score is not None:
+            return score
+        return self._fallback.entity_score(term) * self._fr_scale
+
+    def __repr__(self) -> str:
+        return f"PageRankProminence(kb={self.kb.name!r}, nodes={len(self._scores)})"
+
+
+def conditional_rank(
+    term: Term, candidates: Sequence[Term], prominence: Prominence
+) -> int:
+    """1-based rank of *term* among *candidates* ordered by prominence.
+
+    This is the paper's ``k(I | context)``: once the context (e.g. the
+    predicate *mayor*) is conveyed, the decoder discriminates only among
+    the candidates that fit it.  Ties share the group's last position
+    (every at-least-as-prominent concept must be distinguished from).
+    """
+    own_score = prominence.entity_score(term)
+    rank = 0
+    seen_self = False
+    for candidate in candidates:
+        if candidate == term:
+            seen_self = True
+        if prominence.entity_score(candidate) >= own_score:
+            rank += 1
+    if not seen_self:
+        rank += 1  # term outside the candidate set ranks past all of it
+    return max(rank, 1)
+
+
+def ranking_of(candidates: Iterable[Term], prominence: Prominence) -> List[Term]:
+    """All candidates sorted most-prominent-first (deterministic)."""
+    return sorted(
+        candidates,
+        key=lambda t: (-prominence.entity_score(t), t._sort_kind, t.sort_key()),
+    )

@@ -1,0 +1,32 @@
+"""REMI's core: candidate enumeration and the mining algorithms.
+
+* :mod:`repro.core.config` — language bias and miner configuration;
+* :mod:`repro.core.enumerate` — the ``subgraphs-expressions`` routine
+  (§3.3) with the §3.5.2 pruning heuristics, plus the language census used
+  by the §3.2 growth experiment;
+* :mod:`repro.core.remi` — Algorithm 1 (REMI) and Algorithm 2 (DFS-REMI);
+* :mod:`repro.core.parallel` — Algorithm 3 (P-REMI / P-DFS-REMI);
+* :mod:`repro.core.results` — result and instrumentation records.
+"""
+
+from repro.core.config import LanguageBias, MinerConfig
+from repro.core.enumerate import (
+    common_subgraph_expressions,
+    language_census,
+    subgraph_expressions,
+)
+from repro.core.parallel import PREMI
+from repro.core.remi import REMI
+from repro.core.results import MiningResult, SearchStats
+
+__all__ = [
+    "LanguageBias",
+    "MinerConfig",
+    "MiningResult",
+    "PREMI",
+    "REMI",
+    "SearchStats",
+    "common_subgraph_expressions",
+    "language_census",
+    "subgraph_expressions",
+]

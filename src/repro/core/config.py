@@ -1,0 +1,128 @@
+"""Miner configuration: language bias and pruning switches.
+
+The paper compares two languages (§3.2, §4.2):
+
+* the **standard** language bias — conjunctions of bound atoms
+  ``p(x, I)`` only (prior RE-mining work);
+* **REMI's** language bias — subgraph expressions with at most one extra
+  existentially quantified variable and at most three atoms (Table 1).
+
+Every §3.5.2 pruning heuristic is an explicit switch here so the ablation
+bench can turn them off one at a time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional
+
+from repro.kb.namespaces import RDF_TYPE, RDFS_LABEL
+from repro.kb.terms import IRI
+
+
+class LanguageBias(enum.Enum):
+    """Which subgraph-expression shapes the enumerator may produce."""
+
+    STANDARD = "standard"  # single bound atoms only
+    REMI = "remi"  # Table 1: + paths, path+stars, closed 2/3
+
+    @property
+    def allows_variables(self) -> bool:
+        return self is LanguageBias.REMI
+
+
+class SearchStrategy(enum.Enum):
+    """How DFS-REMI traverses the conjunction tree.
+
+    ``COMPLETE`` is a recursive DFS with depth, side and complexity-bound
+    pruning; it is guaranteed to return the Ĉ-minimal RE.  ``PAPER`` is a
+    literal transcription of Algorithm 2's stack linearization, which can
+    skip a sibling branch after a deep success (see DESIGN.md §5) — kept
+    for fidelity experiments.
+    """
+
+    COMPLETE = "complete"
+    PAPER = "paper"
+
+
+@dataclass(frozen=True)
+class MinerConfig:
+    """All knobs of the REMI / P-REMI miners.
+
+    Attributes
+    ----------
+    language:
+        The language bias (standard vs REMI's, §3.2).
+    max_atoms:
+        Upper bound on atoms per subgraph expression (paper: 3).
+    prune_blank_single_atoms:
+        §3.5.2: skip ``p(x, B)`` with a blank-node object, but still derive
+        paths that "hide" blank nodes.
+    prominent_object_cutoff:
+        §3.5.2: do not derive multi-atom expressions from atoms whose
+        object is in this top fraction of the prominence ranking
+        (paper: 0.05).  ``None`` disables the heuristic.
+    max_star_pairs:
+        Safety valve on the quadratic path+star derivation per hub
+        (``None`` = unlimited, the paper's setting).
+    exclude_predicates:
+        Predicates never used in expressions (labels by default — they are
+        metadata, not structure).
+    include_type_atoms / include_inverse_atoms:
+        The Table 3 evaluation excludes ``rdf:type`` and inverse
+        predicates to stay compatible with the summarization gold
+        standard (§4.1.4).
+    search:
+        DFS variant, see :class:`SearchStrategy`.
+    side_pruning / depth_pruning / bound_pruning:
+        The Alg. 2 pruning rules, individually switchable for ablations.
+    timeout_seconds:
+        Wall-clock budget per :meth:`~repro.core.remi.REMI.mine` call
+        (``None`` = unlimited).  On expiry the best solution so far is
+        returned with ``stats.timed_out = True``.
+    """
+
+    language: LanguageBias = LanguageBias.REMI
+    max_atoms: int = 3
+    prune_blank_single_atoms: bool = True
+    prominent_object_cutoff: Optional[float] = 0.05
+    max_star_pairs: Optional[int] = None
+    exclude_predicates: FrozenSet[IRI] = field(
+        default_factory=lambda: frozenset({RDFS_LABEL})
+    )
+    include_type_atoms: bool = True
+    include_inverse_atoms: bool = True
+    search: SearchStrategy = SearchStrategy.COMPLETE
+    side_pruning: bool = True
+    depth_pruning: bool = True
+    bound_pruning: bool = True
+    timeout_seconds: Optional[float] = None
+    num_threads: int = 4
+
+    def __post_init__(self) -> None:
+        if self.max_atoms < 1:
+            raise ValueError(f"max_atoms must be ≥ 1, got {self.max_atoms}")
+        if self.prominent_object_cutoff is not None and not (
+            0.0 <= self.prominent_object_cutoff <= 1.0
+        ):
+            raise ValueError("prominent_object_cutoff must be in [0, 1] or None")
+        if self.num_threads < 1:
+            raise ValueError(f"num_threads must be ≥ 1, got {self.num_threads}")
+
+    @classmethod
+    def standard(cls, **overrides) -> "MinerConfig":
+        """The state-of-the-art language bias configuration."""
+        return cls(language=LanguageBias.STANDARD, **overrides)
+
+    @classmethod
+    def paper_default(cls, **overrides) -> "MinerConfig":
+        """REMI's published configuration (Table 1 bias, all heuristics on)."""
+        return cls(**overrides)
+
+    def is_excluded(self, predicate: IRI) -> bool:
+        if predicate in self.exclude_predicates:
+            return True
+        if not self.include_type_atoms and predicate == RDF_TYPE:
+            return True
+        return False

@@ -1,0 +1,323 @@
+"""REMI: Algorithm 1 (main loop) and Algorithm 2 (DFS-REMI).
+
+Given a KB and a target entity set ``T``, :meth:`REMI.mine`:
+
+1. enumerates the subgraph expressions common to all targets
+   (Alg. 1 line 1, :mod:`repro.core.enumerate`);
+2. scores each with Ĉ and sorts them ascending into the priority queue
+   (line 2);
+3. explores conjunctions depth-first, pruning
+
+   * **by depth** — descendants of an RE are REs with strictly larger Ĉ;
+   * **by side**  — siblings after an RE are at least as complex (the
+     queue is sorted);
+   * **by bound** — any node whose Ĉ already exceeds the best solution
+     (and, the queue being sorted, all its later siblings) is skipped.
+
+Two traversal strategies are available (``config.search``):
+``COMPLETE`` (default) is a recursive DFS that provably returns the
+Ĉ-minimal RE; ``PAPER`` transcribes Algorithm 2's stack linearization
+verbatim, which can skip one sibling family after a *deep* success —
+kept for fidelity studies (see DESIGN.md §5 and the comparison test).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import FrozenSet, List, Optional, Sequence, Tuple, Union
+
+from repro.complexity.codes import ComplexityEstimator
+from repro.complexity.ranking import (
+    FrequencyProminence,
+    PageRankProminence,
+    Prominence,
+)
+from repro.core.config import MinerConfig, SearchStrategy
+from repro.core.enumerate import common_subgraph_expressions
+from repro.core.results import MiningResult, SearchStats
+from repro.expressions.expression import Expression
+from repro.expressions.matching import Matcher
+from repro.expressions.subgraph import SubgraphExpression
+from repro.kb.store import KnowledgeBase
+from repro.kb.terms import Term
+
+#: A scored queue entry: (subgraph expression, Ĉ in bits).
+ScoredSE = Tuple[SubgraphExpression, float]
+
+
+def resolve_prominence(
+    kb: KnowledgeBase, prominence: Union[str, Prominence]
+) -> Prominence:
+    """Accepts ``"fr"``, ``"pr"`` or a prebuilt model."""
+    if isinstance(prominence, str):
+        if prominence == "fr":
+            return FrequencyProminence(kb)
+        if prominence == "pr":
+            return PageRankProminence(kb)
+        raise ValueError(f"unknown prominence {prominence!r}; use 'fr' or 'pr'")
+    return prominence
+
+
+class REMI:
+    """The sequential miner of Algorithms 1 and 2.
+
+    >>> miner = REMI(kb)                      # Ĉfr, REMI's language bias
+    >>> result = miner.mine([paris])
+    >>> result.expression, result.complexity
+
+    The instance caches rankings and query results across :meth:`mine`
+    calls, so reuse one miner for many target sets on the same KB.
+    """
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        prominence: Union[str, Prominence] = "fr",
+        mode: str = "exact",
+        config: Optional[MinerConfig] = None,
+        matcher: Optional[Matcher] = None,
+        estimator: Optional[ComplexityEstimator] = None,
+    ):
+        self.kb = kb
+        self.config = config or MinerConfig()
+        self.prominence = resolve_prominence(kb, prominence)
+        self.estimator = estimator or ComplexityEstimator(kb, self.prominence, mode=mode)
+        self.matcher = matcher or Matcher(kb)
+        self._prominent: Optional[FrozenSet[Term]] = None
+
+    # ------------------------------------------------------------------
+    # queue construction (Alg. 1 lines 1-2)
+    # ------------------------------------------------------------------
+
+    @property
+    def prominent_entities(self) -> FrozenSet[Term]:
+        """The top-5 % prominence cutoff set of §3.5.2 (lazily computed)."""
+        if self._prominent is None:
+            cutoff = self.config.prominent_object_cutoff
+            if cutoff is None:
+                self._prominent = frozenset()
+            else:
+                self._prominent = self.prominence.top_entities(cutoff)  # type: ignore[attr-defined]
+        return self._prominent
+
+    def candidates(
+        self, targets: Sequence[Term], stats: Optional[SearchStats] = None
+    ) -> List[ScoredSE]:
+        """The sorted priority queue of common subgraph expressions."""
+        stats = stats if stats is not None else SearchStats()
+        t0 = time.perf_counter()
+        common = common_subgraph_expressions(
+            self.kb, targets, self.config, self.matcher, self.prominent_entities
+        )
+        t1 = time.perf_counter()
+        scored = [(se, self.estimator.complexity(se)) for se in common]
+        t2 = time.perf_counter()
+        scored.sort(key=lambda pair: (pair[1], pair[0].sort_key()))
+        t3 = time.perf_counter()
+        stats.enumerate_seconds += t1 - t0
+        stats.complexity_seconds += t2 - t1
+        stats.sort_seconds += t3 - t2
+        stats.candidates = len(scored)
+        return scored
+
+    # ------------------------------------------------------------------
+    # mining (Alg. 1 lines 3-9)
+    # ------------------------------------------------------------------
+
+    def mine(
+        self,
+        targets: Sequence[Term],
+        collect_encountered: bool = False,
+    ) -> MiningResult:
+        """Return the Ĉ-minimal referring expression for *targets*.
+
+        With ``collect_encountered=True`` every RE met during traversal is
+        recorded in :attr:`MiningResult.encountered` (the §4.1.2 baseline
+        pool).
+        """
+        target_set = frozenset(targets)
+        if not target_set:
+            raise ValueError("need at least one target entity")
+        stats = SearchStats()
+        started = time.perf_counter()
+        deadline = (
+            started + self.config.timeout_seconds
+            if self.config.timeout_seconds is not None
+            else None
+        )
+        queue = self.candidates(targets, stats)
+        search_start = time.perf_counter()
+        search = _Search(
+            miner=self,
+            queue=queue,
+            targets=target_set,
+            stats=stats,
+            deadline=deadline,
+            collect=collect_encountered,
+        )
+        best, best_c = search.run()
+        stats.search_seconds = time.perf_counter() - search_start
+        stats.total_seconds = time.perf_counter() - started
+        return MiningResult(
+            targets=tuple(targets),
+            expression=best if best is not None and not best.is_top else None,
+            complexity=best_c,
+            stats=stats,
+            encountered=search.encountered,
+        )
+
+    def describe(self, targets: Sequence[Term]) -> Optional[str]:
+        """Convenience: mine and verbalize in one call (None when no RE)."""
+        from repro.expressions.verbalize import Verbalizer
+
+        result = self.mine(targets)
+        if not result.found:
+            return None
+        return Verbalizer(self.kb).expression(result.expression)
+
+
+class _Search:
+    """One DFS run over the conjunction tree (shared by both strategies)."""
+
+    def __init__(
+        self,
+        miner: REMI,
+        queue: List[ScoredSE],
+        targets: FrozenSet[Term],
+        stats: SearchStats,
+        deadline: Optional[float],
+        collect: bool,
+    ):
+        self.miner = miner
+        self.config = miner.config
+        self.matcher = miner.matcher
+        self.queue = queue
+        self.targets = targets
+        self.stats = stats
+        self.deadline = deadline
+        self.collect = collect
+        self.encountered: List[Tuple[Expression, float]] = []
+        self.best: Optional[Expression] = None
+        self.best_c: float = math.inf
+
+    # -- shared helpers -------------------------------------------------
+
+    def _expired(self) -> bool:
+        if self.deadline is not None and time.perf_counter() > self.deadline:
+            self.stats.timed_out = True
+            return True
+        return False
+
+    def _test(self, expression: Expression, complexity: float) -> bool:
+        """RE test with bookkeeping; updates best on success."""
+        self.stats.nodes_visited += 1
+        self.stats.re_tests += 1
+        if not self.matcher.identifies(expression, self.targets):
+            return False
+        self.stats.solutions_seen += 1
+        if self.collect:
+            self.encountered.append((expression, complexity))
+        if complexity < self.best_c:
+            self.best, self.best_c = expression, complexity
+        return True
+
+    # -- Alg. 1 main loop -----------------------------------------------
+
+    def run(self) -> Tuple[Optional[Expression], float]:
+        queue = self.queue
+        for root_index, (root, root_c) in enumerate(queue):
+            if self._expired():
+                break
+            if self.config.bound_pruning and root_c >= self.best_c:
+                # The queue is sorted: no later root can beat the best.
+                self.stats.roots_skipped += len(queue) - root_index
+                self.stats.bound_prunes += 1
+                break
+            self.stats.roots_explored += 1
+            rest = queue[root_index + 1 :]
+            if self.config.search is SearchStrategy.PAPER:
+                found_any = self._paper_scan(root, root_c, rest)
+            else:
+                found_any = self._dfs(
+                    prefix=(root,), prefix_c=root_c, rest=rest, depth=1,
+                    tested_prefix=False,
+                )
+            # Alg. 1 line 8: the first root's subtree covers, in the worst
+            # case, the conjunction of ALL candidates — if even that is not
+            # an RE, no solution exists for T.
+            if root_index == 0 and not found_any and self.best is None and not self.stats.timed_out:
+                return None, math.inf
+        return self.best, self.best_c
+
+    # -- complete recursive DFS (default strategy) -----------------------
+
+    def _dfs(
+        self,
+        prefix: Tuple[SubgraphExpression, ...],
+        prefix_c: float,
+        rest: List[ScoredSE],
+        depth: int,
+        tested_prefix: bool,
+    ) -> bool:
+        """Explore conjunctions extending *prefix*; returns True if any RE
+        exists in this subtree (used by Alg. 1 line 8)."""
+        self.stats.peak_stack_depth = max(self.stats.peak_stack_depth, depth)
+        found_any = False
+        if not tested_prefix:
+            expression = Expression(prefix)
+            if self._test(expression, prefix_c):
+                if self.config.depth_pruning:
+                    self.stats.depth_prunes += 1
+                    return True
+                found_any = True
+        if self._expired():
+            return found_any
+        for i, (se, se_c) in enumerate(rest):
+            child_c = prefix_c + se_c
+            if self.config.bound_pruning and child_c >= self.best_c:
+                self.stats.bound_prunes += 1
+                break  # sorted queue: later siblings only costlier
+            child = Expression(prefix + (se,))
+            if self._test(child, child_c):
+                found_any = True
+                if self.config.depth_pruning:
+                    self.stats.depth_prunes += 1
+                else:
+                    self._dfs(prefix + (se,), child_c, rest[i + 1 :], depth + 1, True)
+                if self.config.side_pruning:
+                    self.stats.side_prunes += 1
+                    break
+            else:
+                if self._dfs(prefix + (se,), child_c, rest[i + 1 :], depth + 1, True):
+                    found_any = True
+            if self._expired():
+                break
+        return found_any
+
+    # -- literal Algorithm 2 --------------------------------------------
+
+    def _paper_scan(
+        self, root: SubgraphExpression, root_c: float, rest: List[ScoredSE]
+    ) -> bool:
+        """DFS-REMI exactly as printed: one stack, one linear scan of G'."""
+        stack: List[ScoredSE] = []
+        found_any = False
+        sequence = [(root, root_c)] + rest
+        for scored in sequence:
+            if self._expired():
+                break
+            stack.append(scored)
+            self.stats.peak_stack_depth = max(self.stats.peak_stack_depth, len(stack))
+            expression = Expression(tuple(se for se, _ in stack))
+            complexity = sum(c for _, c in stack)
+            if self._test(expression, complexity):
+                found_any = True
+                stack.pop()  # line 7: pruning by depth
+                self.stats.depth_prunes += 1
+                if stack:
+                    stack.pop()  # line 8: side pruning (backtrack anew)
+                    self.stats.side_prunes += 1
+                if not stack:
+                    return found_any  # line 9
+        return found_any

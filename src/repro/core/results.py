@@ -1,0 +1,92 @@
+"""Result and instrumentation records for the miners.
+
+:class:`SearchStats` is the mutable per-run instrumentation the miners
+fill in; it backs the Figure-1 search-space bench (node/pruning accounting)
+and the §4.2.2 phase-split experiment (queue-build vs search time).
+
+:class:`MiningResult` is what :meth:`repro.core.remi.REMI.mine` returns.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.expressions.expression import Expression
+
+
+@dataclass
+class SearchStats:
+    """Counters and phase timings for one mining run."""
+
+    candidates: int = 0
+    nodes_visited: int = 0
+    re_tests: int = 0
+    solutions_seen: int = 0
+    depth_prunes: int = 0
+    side_prunes: int = 0
+    bound_prunes: int = 0
+    roots_explored: int = 0
+    roots_skipped: int = 0
+    timed_out: bool = False
+    enumerate_seconds: float = 0.0
+    complexity_seconds: float = 0.0
+    sort_seconds: float = 0.0
+    search_seconds: float = 0.0
+    total_seconds: float = 0.0
+    peak_stack_depth: int = 0
+
+    @property
+    def queue_build_seconds(self) -> float:
+        """Phase 1 of §3.5.2: enumerating, scoring and sorting the queue."""
+        return self.enumerate_seconds + self.complexity_seconds + self.sort_seconds
+
+    @property
+    def sort_share(self) -> float:
+        """Fraction of total time spent sorting the queue (§4.2.2 statistic)."""
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.sort_seconds / self.total_seconds
+
+    def merge(self, other: "SearchStats") -> None:
+        """Accumulate counters from a worker thread's local stats."""
+        self.nodes_visited += other.nodes_visited
+        self.re_tests += other.re_tests
+        self.solutions_seen += other.solutions_seen
+        self.depth_prunes += other.depth_prunes
+        self.side_prunes += other.side_prunes
+        self.bound_prunes += other.bound_prunes
+        self.roots_explored += other.roots_explored
+        self.roots_skipped += other.roots_skipped
+        self.timed_out = self.timed_out or other.timed_out
+        self.peak_stack_depth = max(self.peak_stack_depth, other.peak_stack_depth)
+
+
+@dataclass
+class MiningResult:
+    """The outcome of mining one target set.
+
+    ``expression is None`` means no referring expression exists for the
+    targets in the KB (Algorithm 1 line 8) — or the run timed out before
+    finding one (check ``stats.timed_out``).
+    """
+
+    targets: Tuple
+    expression: Optional[Expression]
+    complexity: float = math.inf
+    stats: SearchStats = field(default_factory=SearchStats)
+    #: All REs encountered during traversal (when collection was requested):
+    #: the §4.1.2 baseline pool.
+    encountered: List[Tuple[Expression, float]] = field(default_factory=list)
+
+    @property
+    def found(self) -> bool:
+        return self.expression is not None
+
+    def __repr__(self) -> str:
+        expr = repr(self.expression) if self.expression is not None else "∅"
+        return (
+            f"MiningResult(targets={len(self.targets)}, expression={expr}, "
+            f"complexity={self.complexity:.2f} bits)"
+        )

@@ -1,0 +1,43 @@
+"""Synthetic knowledge bases and curated scene KBs.
+
+The paper evaluates on DBpedia 2016-10 (42.07 M facts) and a Wikidata dump
+(15.9 M facts).  Neither is available offline, so this package generates
+*scale models*: KBs whose statistical shape — Zipfian entity and predicate
+frequencies, class structure, join structure, labels, hyperlink density —
+matches what REMI's behaviour actually depends on (the paper itself builds
+its Eq. 1 compression on exactly these power-law assumptions).
+
+* :mod:`repro.datasets.schema` — class / predicate specification model;
+* :mod:`repro.datasets.generator` — the Zipf-driven triple generator;
+* :mod:`repro.datasets.dbpedia` — the DBpedia-like scale model;
+* :mod:`repro.datasets.wikidata` — the Wikidata-like scale model
+  (fewer predicates, flatter class structure);
+* :mod:`repro.datasets.scenes` — small hand-built KBs, including the
+  paper's running examples (Rennes/Nantes, Guyana/Suriname, the
+  Müller–Kleiner–Einstein supervisor chain).
+"""
+
+from repro.datasets.dbpedia import dbpedia_like
+from repro.datasets.generator import GeneratedKB, generate
+from repro.datasets.scenes import (
+    einstein_scene,
+    france_scene,
+    rennes_nantes_scene,
+    south_america_scene,
+)
+from repro.datasets.schema import ClassSpec, KBSchema, PredicateSpec
+from repro.datasets.wikidata import wikidata_like
+
+__all__ = [
+    "ClassSpec",
+    "GeneratedKB",
+    "KBSchema",
+    "PredicateSpec",
+    "dbpedia_like",
+    "einstein_scene",
+    "france_scene",
+    "generate",
+    "rennes_nantes_scene",
+    "south_america_scene",
+    "wikidata_like",
+]

@@ -1,0 +1,155 @@
+"""Small hand-built KBs, including the paper's running examples.
+
+These serve three purposes: deterministic unit-test fixtures, runnable
+example inputs, and documentation of the paper's own anecdotes:
+
+* :func:`rennes_nantes_scene` — Figure 1's search space: Rennes and Nantes
+  share ``belongedTo(x, Brittany)``, ``mayor(x, y) ∧ party(y, Socialist)``
+  and ``placeOf(x, Epitech)``;
+* :func:`south_america_scene` — the §2.2.2 example: Guyana and Suriname
+  are the South American countries with a Germanic official language;
+* :func:`einstein_scene` — the §3.2 motivation: Johann J. Müller is "the
+  supervisor of the supervisor of Albert Einstein";
+* :func:`france_scene` — Paris/France/Voltaire, the §3.1 anecdotes,
+  including the DBpedia noise (Paris is also the capital of the former
+  Kingdom of France) that §4.1.3 discusses.
+"""
+
+from __future__ import annotations
+
+from repro.kb.namespaces import EX, RDF_TYPE, RDFS_LABEL
+from repro.kb.store import KnowledgeBase
+from repro.kb.terms import Literal
+from repro.kb.triples import Triple
+
+
+def _label(kb: KnowledgeBase, term, text: str) -> None:
+    kb.add(Triple(term, RDFS_LABEL, Literal(text, lang="en")))
+
+
+def rennes_nantes_scene() -> KnowledgeBase:
+    """The Figure 1 scene: French cities, mayors and parties."""
+    kb = KnowledgeBase(name="rennes-nantes")
+    cities = {
+        "Rennes": dict(region="Brittany", mayor="Appere", party="Socialist", school="Epitech"),
+        "Nantes": dict(region="Brittany", mayor="Rolland", party="Socialist", school="Epitech"),
+        "Brest": dict(region="Brittany", mayor="Cuillandre", party="Socialist", school=None),
+        "Lyon": dict(region="Rhone", mayor="Doucet", party="Green", school="Epitech"),
+        "Paris": dict(region="IleDeFrance", mayor="Hidalgo", party="Socialist", school="Epitech"),
+        "Marseille": dict(region="Provence", mayor="Payan", party="Socialist", school=None),
+    }
+    for name, facts in cities.items():
+        city = EX[name]
+        kb.add(Triple(city, RDF_TYPE, EX.City))
+        _label(kb, city, name)
+        kb.add(Triple(city, EX.inRegion, EX[facts["region"]]))
+        kb.add(Triple(city, EX.mayor, EX[facts["mayor"]]))
+        kb.add(Triple(EX[facts["mayor"]], EX.party, EX[facts["party"]]))
+        if facts["school"]:
+            kb.add(Triple(EX[facts["school"]], EX.campusIn, city))
+            kb.add(Triple(city, EX.placeOf, EX[facts["school"]]))
+    # Rennes and Nantes (and Brest) historically belonged to Brittany.
+    for name in ("Rennes", "Nantes", "Brest"):
+        kb.add(Triple(EX[name], EX.belongedTo, EX.Brittany))
+    _label(kb, EX.Brittany, "Brittany")
+    _label(kb, EX.Socialist, "Socialist Party")
+    _label(kb, EX.Epitech, "Epitech")
+    _label(kb, EX.mayor, "mayor")
+    _label(kb, EX.party, "party")
+    _label(kb, EX.belongedTo, "belonged to")
+    return kb
+
+
+def south_america_scene() -> KnowledgeBase:
+    """§2.2.2: Guyana and Suriname — Germanic official language in S. America."""
+    kb = KnowledgeBase(name="south-america")
+    countries = {
+        "Guyana": ("SouthAmerica", "English", "Germanic"),
+        "Suriname": ("SouthAmerica", "Dutch", "Germanic"),
+        "Brazil": ("SouthAmerica", "Portuguese", "Romance"),
+        "Argentina": ("SouthAmerica", "Spanish", "Romance"),
+        "Peru": ("SouthAmerica", "Spanish", "Romance"),
+        "Germany": ("Europe", "German", "Germanic"),
+        "Netherlands": ("Europe", "Dutch", "Germanic"),
+        "France": ("Europe", "French", "Romance"),
+    }
+    for name, (continent, language, family) in countries.items():
+        country = EX[name]
+        kb.add(Triple(country, RDF_TYPE, EX.Country))
+        _label(kb, country, name)
+        kb.add(Triple(country, EX["in"], EX[continent]))
+        kb.add(Triple(country, EX.officialLanguage, EX[language]))
+        kb.add(Triple(EX[language], EX.langFamily, EX[family]))
+    _label(kb, EX.SouthAmerica, "South America")
+    _label(kb, EX.Germanic, "Germanic")
+    return kb
+
+
+def einstein_scene() -> KnowledgeBase:
+    """§3.2: Müller supervised Kleiner, who supervised Einstein.
+
+    The scene is built so that the paper's argument holds quantitatively:
+    Kleiner is an *obscure* object of ``supervisorOf`` (many more famous
+    students rank above him), while Einstein is the KB's most prominent
+    entity — so the two-atom path through Einstein encodes in fewer bits
+    than the direct single atom through Kleiner.
+    """
+    kb = KnowledgeBase(name="einstein")
+    famous_students = ["Pauli", "Heisenberg", "Fermi", "Dirac", "Born", "Sommerfeld"]
+    chain = [
+        ("Mueller", "Kleiner"),
+        ("Kleiner", "Einstein"),
+        ("Weber", "Kleiner"),
+    ] + [(f"Prof{i}", student) for i, student in enumerate(famous_students)]
+    for supervisor, student in chain:
+        kb.add(Triple(EX[supervisor], EX.supervisorOf, EX[student]))
+    people = sorted({name for pair in chain for name in pair} | {"Bohr", "Curie"})
+    for person in people:
+        kb.add(Triple(EX[person], RDF_TYPE, EX.Physicist))
+        _label(kb, EX[person], person)
+    # Einstein is by far the most prominent entity: many facts mention him.
+    for award in ("Nobel", "CopleyMedal", "MatteucciMedal", "PlanckMedal"):
+        kb.add(Triple(EX.Einstein, EX.award, EX[award]))
+    for admirer in ("Bohr", "Curie", "Pauli", "Heisenberg", "Dirac", "Born"):
+        kb.add(Triple(EX[admirer], EX.influencedBy, EX.Einstein))
+    kb.add(Triple(EX.Einstein, EX.fieldOf, EX.Relativity))
+    kb.add(Triple(EX.Einstein, EX.bornIn, EX.Ulm))
+    # The famous students are clearly more prominent than Kleiner too.
+    for student in famous_students:
+        kb.add(Triple(EX[student], EX.award, EX.Nobel))
+        kb.add(Triple(EX[student], EX.fieldOf, EX.QuantumMechanics))
+    kb.add(Triple(EX.Kleiner, EX.bornIn, EX.Zurich))
+    kb.add(Triple(EX.Mueller, EX.bornIn, EX.Zurich))
+    _label(kb, EX.supervisorOf, "supervisor of")
+    _label(kb, EX.Einstein, "Albert Einstein")
+    return kb
+
+
+def france_scene() -> KnowledgeBase:
+    """§3.1 anecdotes: Paris, France, Voltaire — with the DBpedia noise."""
+    kb = KnowledgeBase(name="france")
+    kb.add(Triple(EX.Paris, RDF_TYPE, EX.City))
+    kb.add(Triple(EX.Paris, EX.capitalOf, EX.France))
+    # The noise §4.1.3 mentions: Paris is also the capital of the former
+    # Kingdom of France, so capitalOf⁻¹(France, x) is NOT an RE for Paris'
+    # inverse direction — and France cannot be described via its capital.
+    kb.add(Triple(EX.Paris, EX.capitalOf, EX.KingdomOfFrance))
+    kb.add(Triple(EX.Paris, EX.birthPlaceOf, EX.Voltaire))
+    kb.add(Triple(EX.Paris, EX.restingPlaceOf, EX.VictorHugo))
+    kb.add(Triple(EX.EiffelTower, EX.locatedIn, EX.Paris))
+    for city in ("Paris", "Lyon", "Marseille", "Toulouse", "Nice"):
+        kb.add(Triple(EX[city], RDF_TYPE, EX.City))
+        kb.add(Triple(EX[city], EX.cityIn, EX.France))
+        _label(kb, EX[city], city)
+    kb.add(Triple(EX.Versailles, EX.cityIn, EX.France))
+    kb.add(Triple(EX.Versailles, RDF_TYPE, EX.City))
+    for country in ("France", "Germany", "Spain", "Italy"):
+        kb.add(Triple(EX[country], RDF_TYPE, EX.Country))
+        _label(kb, EX[country], country)
+    kb.add(Triple(EX.Berlin, EX.capitalOf, EX.Germany))
+    kb.add(Triple(EX.Madrid, EX.capitalOf, EX.Spain))
+    kb.add(Triple(EX.Rome, EX.capitalOf, EX.Italy))
+    _label(kb, EX.capitalOf, "capital of")
+    _label(kb, EX.EiffelTower, "Eiffel Tower")
+    _label(kb, EX.Voltaire, "Voltaire")
+    return kb

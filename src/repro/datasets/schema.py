@@ -1,0 +1,112 @@
+"""Declarative schema model for the synthetic KB generators.
+
+A :class:`KBSchema` is a set of :class:`ClassSpec`\\ s; each class declares
+how many instances it has and which :class:`PredicateSpec`\\ s its
+instances emit.  The generator (:mod:`repro.datasets.generator`) turns a
+schema into triples.
+
+The knobs mirror the statistics that drive REMI's behaviour:
+
+* ``participation`` — share of instances carrying the predicate at all
+  (KB *incompleteness*, which §4.1.3 highlights as a major factor);
+* ``fanout`` — facts per participating subject (multi-valued predicates);
+* ``zipf`` — skew of object popularity: high values concentrate facts on
+  few prominent objects (the power-law regime Eq. 1 assumes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class PredicateSpec:
+    """One predicate emitted by instances of a class.
+
+    Attributes
+    ----------
+    name:
+        Local name of the predicate IRI (e.g. ``"birthPlace"``).
+    target:
+        Name of the object class, or ``"@literal"`` for literal-valued
+        predicates, or ``"@blank"`` for blank-node-valued ones (these
+        exercise the §3.5.2 blank-node pruning path: each blank node also
+        receives ``detail`` facts that paths can "hide" behind).
+    participation:
+        Probability that an instance carries the predicate at all.
+    fanout:
+        ``(min, max)`` facts per participating subject, sampled uniformly.
+    zipf:
+        Zipf exponent for object selection within the target class
+        (0 = uniform; 1–1.3 ≈ natural-language-like skew).
+    functional:
+        Functional predicates never repeat an object for one subject.
+    """
+
+    name: str
+    target: str
+    participation: float = 1.0
+    fanout: Tuple[int, int] = (1, 1)
+    zipf: float = 1.0
+    functional: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.participation <= 1.0:
+            raise ValueError(f"participation must be in [0,1], got {self.participation}")
+        low, high = self.fanout
+        if low < 1 or high < low:
+            raise ValueError(f"fanout must be 1 ≤ min ≤ max, got {self.fanout}")
+        if self.zipf < 0:
+            raise ValueError(f"zipf exponent must be ≥ 0, got {self.zipf}")
+
+
+@dataclass(frozen=True)
+class ClassSpec:
+    """A class of entities: instance count plus outgoing predicates."""
+
+    name: str
+    count: int
+    predicates: Tuple[PredicateSpec, ...] = ()
+    #: Classes whose names label instances "Name_<i>" get readable labels.
+    label_prefix: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError(f"class count must be ≥ 0, got {self.count}")
+        names = [p.name for p in self.predicates]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate predicate names in class {self.name}")
+
+
+@dataclass(frozen=True)
+class KBSchema:
+    """A complete generator specification."""
+
+    name: str
+    classes: Tuple[ClassSpec, ...]
+    #: Fraction of top entities to materialize inverse predicates for
+    #: (§4: top 1 % most frequent).
+    inverse_top_fraction: float = 0.01
+    #: IRI namespace bases for entities and predicates.
+    entity_base: str = "http://example.org/resource/"
+    predicate_base: str = "http://example.org/ontology/"
+
+    def class_named(self, name: str) -> ClassSpec:
+        for spec in self.classes:
+            if spec.name == name:
+                return spec
+        raise KeyError(f"no class {name!r} in schema {self.name!r}")
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.classes]
+        if len(names) != len(set(names)):
+            raise ValueError("duplicate class names in schema")
+        known = set(names) | {"@literal", "@blank"}
+        for spec in self.classes:
+            for predicate in spec.predicates:
+                if predicate.target not in known:
+                    raise ValueError(
+                        f"predicate {spec.name}.{predicate.name} targets unknown "
+                        f"class {predicate.target!r}"
+                    )

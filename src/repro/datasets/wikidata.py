@@ -1,0 +1,94 @@
+"""The Wikidata-like scale model.
+
+The paper's Wikidata dump ([6], 15.9 M facts) is smaller than DBpedia and
+has far fewer predicates (752 vs 1 951) with a flatter class structure.
+This schema mirrors those contrasts: fewer classes (the §4.1.3 evaluation
+classes Company, City, Film, Human), fewer predicates per class, slightly
+stronger Zipf skew (Wikidata's statements concentrate on head entities),
+and the same top-1 % inverse materialization.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.generator import GeneratedKB, generate
+from repro.datasets.schema import ClassSpec, KBSchema, PredicateSpec
+
+
+def wikidata_schema(scale: float = 1.0) -> KBSchema:
+    """The schema object (exposed separately for schema-level tests)."""
+
+    def n(base: int) -> int:
+        return max(2, int(base * scale))
+
+    classes = (
+        ClassSpec("Genre", n(18)),
+        ClassSpec("Occupation", n(22)),
+        ClassSpec("Award", n(20)),
+        ClassSpec(
+            "Country",
+            n(35),
+            (
+                PredicateSpec("officialLanguage", "Language", fanout=(1, 2), zipf=1.0),
+                PredicateSpec("capital", "City", zipf=0.4),
+            ),
+        ),
+        ClassSpec(
+            "Language",
+            n(25),
+            (),
+        ),
+        ClassSpec(
+            "City",
+            n(220),
+            (
+                PredicateSpec("inCountry", "Country", zipf=1.2),
+                PredicateSpec("headOfGovernment", "Human", participation=0.5, zipf=0.3),
+                PredicateSpec("population", "@literal"),
+            ),
+        ),
+        ClassSpec(
+            "Human",
+            n(450),
+            (
+                PredicateSpec("placeOfBirth", "City", zipf=1.2),
+                PredicateSpec("placeOfDeath", "City", participation=0.3, zipf=1.2),
+                PredicateSpec("citizenship", "Country", zipf=1.3),
+                PredicateSpec("fieldOfWork", "Occupation", fanout=(1, 2), zipf=1.1),
+                PredicateSpec("awardReceived", "Award", participation=0.2, zipf=1.3),
+                PredicateSpec("spouse", "Human", participation=0.2, zipf=0.2),
+                PredicateSpec("dateOfBirth", "@literal"),
+            ),
+        ),
+        ClassSpec(
+            "Film",
+            n(170),
+            (
+                PredicateSpec("filmDirector", "Human", zipf=0.9),
+                PredicateSpec("castMember", "Human", fanout=(1, 3), zipf=1.1),
+                PredicateSpec("countryOfOrigin", "Country", zipf=1.3),
+                PredicateSpec("genre", "Genre", zipf=1.1),
+            ),
+        ),
+        ClassSpec(
+            "Company",
+            n(130),
+            (
+                PredicateSpec("headquarters", "City", zipf=1.2),
+                PredicateSpec("companyCountry", "Country", zipf=1.3),
+                PredicateSpec("chiefExecutive", "Human", participation=0.6, zipf=0.3),
+                PredicateSpec("inception", "@literal"),
+            ),
+        ),
+    )
+    return KBSchema(
+        name="wikidata-like",
+        classes=classes,
+        inverse_top_fraction=0.01,
+        entity_base="http://wikidata.example.org/entity/",
+        predicate_base="http://wikidata.example.org/prop/",
+    )
+
+
+def wikidata_like(scale: float = 1.0, seed: int = 7) -> GeneratedKB:
+    """Generate the Wikidata-like KB (deterministic in *seed*)."""
+    return generate(wikidata_schema(scale), seed=seed)

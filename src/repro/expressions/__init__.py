@@ -1,0 +1,32 @@
+"""REMI's expression language (paper §2.2 and §3.2, Table 1).
+
+* :mod:`repro.expressions.atoms` — variables and atoms ``p(X, Y)``;
+* :mod:`repro.expressions.subgraph` — the five subgraph-expression shapes
+  of Table 1, rooted at the root variable ``x``;
+* :mod:`repro.expressions.expression` — conjunctions of subgraph
+  expressions sharing only the root variable (referring expressions);
+* :mod:`repro.expressions.matching` — evaluation against a
+  :class:`repro.kb.KnowledgeBase` (bindings, RE check), with shape-specific
+  fast paths and a generic conjunctive-query evaluator;
+* :mod:`repro.expressions.verbalize` — natural-language rendering via
+  ``rdfs:label`` (§4.1.1).
+"""
+
+from repro.expressions.atoms import ROOT, Atom, Variable, Y, Z
+from repro.expressions.expression import Expression
+from repro.expressions.matching import Matcher
+from repro.expressions.subgraph import Shape, SubgraphExpression
+from repro.expressions.verbalize import Verbalizer
+
+__all__ = [
+    "Atom",
+    "Expression",
+    "Matcher",
+    "ROOT",
+    "Shape",
+    "SubgraphExpression",
+    "Variable",
+    "Verbalizer",
+    "Y",
+    "Z",
+]

@@ -1,0 +1,161 @@
+"""Variables and atoms.
+
+An atom ``p(X, Y)`` (§2.2.1) has a predicate ``p`` and two arguments that
+are each either a :class:`Variable` or a constant :class:`~repro.kb.Term`.
+Atoms whose root argument would sit in object position are normalized by
+the enumerator to subject position using inverse predicates (footnote 4 of
+the paper), so within this codebase atom *subjects* are always variables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple, Union
+
+from repro.kb.terms import IRI, Term
+
+
+class Variable:
+    """A named, interned logical variable.
+
+    ``Variable("x")`` is the root variable in every expression; ``y`` and
+    ``z`` are the existentially quantified helpers of §3.2.
+    """
+
+    __slots__ = ("name",)
+
+    _intern: dict[str, "Variable"] = {}
+
+    def __new__(cls, name: str) -> "Variable":
+        cached = cls._intern.get(name)
+        if cached is not None:
+            return cached
+        self = super().__new__(cls)
+        object.__setattr__(self, "name", name)
+        cls._intern[name] = self
+        return self
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Variable instances are immutable")
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+    def __eq__(self, other: object) -> bool:
+        return self is other or (isinstance(other, Variable) and self.name == other.name)
+
+    def __hash__(self) -> int:
+        return hash((Variable, self.name))
+
+    def __lt__(self, other: "Variable") -> bool:
+        return self.name < other.name
+
+
+#: The root variable of all referring expressions.
+ROOT = Variable("x")
+#: The (at most one) existentially quantified variable of REMI's bias.
+Y = Variable("y")
+#: A second helper variable, used only by the §3.2 language census (E7).
+Z = Variable("z")
+
+Argument = Union[Variable, Term]
+
+
+class Atom:
+    """An atom ``predicate(subject, object)`` with variable or constant arguments."""
+
+    __slots__ = ("predicate", "subject", "object", "_hash")
+
+    def __init__(self, predicate: IRI, subject: Argument, obj: Argument):
+        if not isinstance(predicate, IRI):
+            raise TypeError(f"atom predicate must be an IRI, got {predicate!r}")
+        if not isinstance(subject, (Variable, Term)):
+            raise TypeError(f"atom subject must be a variable or term, got {subject!r}")
+        if not isinstance(obj, (Variable, Term)):
+            raise TypeError(f"atom object must be a variable or term, got {obj!r}")
+        object.__setattr__(self, "predicate", predicate)
+        object.__setattr__(self, "subject", subject)
+        object.__setattr__(self, "object", obj)
+        object.__setattr__(self, "_hash", hash((Atom, predicate, subject, obj)))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Atom instances are immutable")
+
+    # ------------------------------------------------------------------
+
+    def variables(self) -> Tuple[Variable, ...]:
+        """The variables of the atom, subject first."""
+        out = []
+        if isinstance(self.subject, Variable):
+            out.append(self.subject)
+        if isinstance(self.object, Variable):
+            out.append(self.object)
+        return tuple(out)
+
+    def constants(self) -> Tuple[Term, ...]:
+        """The constant arguments of the atom."""
+        out = []
+        if not isinstance(self.subject, Variable):
+            out.append(self.subject)
+        if not isinstance(self.object, Variable):
+            out.append(self.object)
+        return tuple(out)
+
+    def is_ground(self) -> bool:
+        return not self.variables()
+
+    def mentions(self, variable: Variable) -> bool:
+        return self.subject == variable or self.object == variable
+
+    def substitute(self, assignment: dict) -> "Atom":
+        """Apply a variable-to-term assignment (the paper's μ_σ operator)."""
+        subject = assignment.get(self.subject, self.subject)
+        obj = assignment.get(self.object, self.object)
+        return Atom(self.predicate, subject, obj)
+
+    def rename(self, mapping: "dict[Variable, Variable]") -> "Atom":
+        """Rename variables according to *mapping* (used by the ILP miner)."""
+        subject = mapping.get(self.subject, self.subject) if isinstance(self.subject, Variable) else self.subject
+        obj = mapping.get(self.object, self.object) if isinstance(self.object, Variable) else self.object
+        return Atom(self.predicate, subject, obj)
+
+    def sort_key(self) -> tuple:
+        """Deterministic ordering key, used to canonicalize conjunctions."""
+        return (
+            self.predicate.value,
+            _arg_key(self.subject),
+            _arg_key(self.object),
+        )
+
+    # ------------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Argument]:
+        yield self.subject
+        yield self.object
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Atom)
+            and self.predicate == other.predicate
+            and self.subject == other.subject
+            and self.object == other.object
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"{self.predicate.local_name}({_arg_str(self.subject)}, {_arg_str(self.object)})"
+
+
+def _arg_key(arg: Argument) -> tuple:
+    if isinstance(arg, Variable):
+        return (0, arg.name)
+    return (1 + arg._sort_kind,) + arg.sort_key()
+
+
+def _arg_str(arg: Argument) -> str:
+    if isinstance(arg, Variable):
+        return f"?{arg.name}"
+    if isinstance(arg, IRI):
+        return arg.local_name
+    return str(arg)

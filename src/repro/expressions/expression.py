@@ -1,0 +1,90 @@
+"""Referring expressions: conjunctions of subgraph expressions.
+
+An :class:`Expression` ``e = ρ1 ∧ … ∧ ρm`` (§2.2.2) conjoins subgraph
+expressions that share *only* the root variable ``x``.  The existential
+``y`` variables of different conjuncts are independent — they are renamed
+apart at evaluation time by the matcher.
+
+``Expression.TOP`` is the empty conjunction ``⊤`` with ``Ĉ(⊤) = ∞``
+(footnote 6), used as the initial "no solution yet" value in Algorithms
+1–3.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from repro.expressions.subgraph import SubgraphExpression
+
+
+class Expression:
+    """An immutable conjunction of subgraph expressions rooted at ``x``."""
+
+    __slots__ = ("conjuncts", "_hash")
+
+    TOP: "Expression"
+
+    def __init__(self, conjuncts: Tuple[SubgraphExpression, ...] = ()):
+        deduped = tuple(dict.fromkeys(conjuncts))  # preserve order, drop dupes
+        object.__setattr__(self, "conjuncts", deduped)
+        object.__setattr__(self, "_hash", hash((Expression, frozenset(deduped))))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Expression instances are immutable")
+
+    @classmethod
+    def of(cls, *conjuncts: SubgraphExpression) -> "Expression":
+        return cls(tuple(conjuncts))
+
+    # ------------------------------------------------------------------
+
+    @property
+    def is_top(self) -> bool:
+        """True for the empty expression ⊤ (matches everything, Ĉ = ∞)."""
+        return not self.conjuncts
+
+    @property
+    def size(self) -> int:
+        """Total number of atoms across all conjuncts."""
+        return sum(se.size for se in self.conjuncts)
+
+    def extend(self, conjunct: SubgraphExpression) -> "Expression":
+        """A new expression with *conjunct* appended."""
+        return Expression(self.conjuncts + (conjunct,))
+
+    def prefix(self, length: int) -> "Expression":
+        """The first *length* conjuncts (search-tree ancestor)."""
+        return Expression(self.conjuncts[:length])
+
+    def is_prefixed_with(self, other: "Expression") -> bool:
+        """True when this expression starts with *other*'s conjuncts."""
+        return self.conjuncts[: len(other.conjuncts)] == other.conjuncts
+
+    def atoms(self):
+        """All atoms across conjuncts (with their per-conjunct ``y``'s shared —
+        callers that evaluate must rename them apart; the matcher does)."""
+        for se in self.conjuncts:
+            yield from se.atoms
+
+    def __iter__(self) -> Iterator[SubgraphExpression]:
+        return iter(self.conjuncts)
+
+    def __len__(self) -> int:
+        return len(self.conjuncts)
+
+    def __eq__(self, other: object) -> bool:
+        # Conjunction is commutative: compare as sets.
+        return isinstance(other, Expression) and frozenset(self.conjuncts) == frozenset(
+            other.conjuncts
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        if self.is_top:
+            return "⊤"
+        return " ∧ ".join(f"[{se!r}]" for se in self.conjuncts)
+
+
+Expression.TOP = Expression(())

@@ -1,0 +1,268 @@
+"""Expression evaluation against a knowledge base.
+
+The :class:`Matcher` answers the two questions REMI's search loop asks
+(Alg. 1 line 1 and Alg. 2 line 5):
+
+* what are the bindings of the root variable ``x`` for a (subgraph)
+  expression — :meth:`Matcher.bindings` /
+  :meth:`Matcher.expression_bindings`;
+* is an expression a referring expression for a target set ``T`` —
+  :meth:`Matcher.identifies` (bindings == T, §2.2.2).
+
+Each Table 1 shape gets a dedicated evaluation plan built from the store's
+atom-binding API; results are memoized in an LRU cache keyed on the
+canonical expression (§3.5.2).  A generic backtracking conjunctive-query
+solver (:func:`solve`) handles arbitrary atom lists — it is what the AMIE+
+opponent uses, and doubles as a differential-testing oracle for the fast
+paths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set
+
+from repro.expressions.atoms import Atom, Variable
+from repro.expressions.expression import Expression
+from repro.expressions.subgraph import Shape, SubgraphExpression
+from repro.kb.cache import LRUCache
+from repro.kb.store import KnowledgeBase
+from repro.kb.terms import Term
+
+Assignment = Dict[Variable, Term]
+
+
+class Matcher:
+    """Evaluates subgraph expressions and referring expressions on a KB."""
+
+    def __init__(self, kb: KnowledgeBase, cache_size: int = 65536):
+        self.kb = kb
+        self._cache: LRUCache[SubgraphExpression, FrozenSet[Term]] = LRUCache(cache_size)
+        self.evaluations = 0  # SE evaluations that actually hit the KB
+
+    # ------------------------------------------------------------------
+    # subgraph expressions
+    # ------------------------------------------------------------------
+
+    def bindings(self, se: SubgraphExpression) -> FrozenSet[Term]:
+        """All bindings of the root variable for *se* (cached)."""
+        return self._cache.get_or_compute(se, lambda: self._evaluate(se))
+
+    def _evaluate(self, se: SubgraphExpression) -> FrozenSet[Term]:
+        self.evaluations += 1
+        kb = self.kb
+        atoms = se.atoms
+        if se.shape is Shape.SINGLE_ATOM:
+            atom = atoms[0]
+            return frozenset(kb.subjects(atom.predicate, atom.object))  # type: ignore[arg-type]
+        if se.shape is Shape.PATH:
+            hop, tail = atoms
+            mids = kb.subjects(tail.predicate, tail.object)  # type: ignore[arg-type]
+            return self._roots_via(hop.predicate, mids)
+        if se.shape is Shape.PATH_STAR:
+            hop, star1, star2 = atoms
+            mids = kb.subjects(star1.predicate, star1.object)  # type: ignore[arg-type]
+            if mids:
+                mids = mids & kb.subjects(star2.predicate, star2.object)  # type: ignore[arg-type]
+            return self._roots_via(hop.predicate, mids)
+        if se.shape in (Shape.CLOSED_2, Shape.CLOSED_3):
+            return self._closed_roots(se)
+        raise AssertionError(f"unhandled shape {se.shape}")
+
+    def _roots_via(self, predicate, mids: Iterable[Term]) -> FrozenSet[Term]:
+        roots: Set[Term] = set()
+        for mid in mids:
+            roots |= self.kb.subjects(predicate, mid)
+        return frozenset(roots)
+
+    def _closed_roots(self, se: SubgraphExpression) -> FrozenSet[Term]:
+        kb = self.kb
+        predicates = se.predicates()
+        # Drive the scan from the predicate with the fewest subjects.
+        driver = min(predicates, key=lambda p: len(kb._pso.get(p, {})))
+        rest = [p for p in predicates if p is not driver]
+        roots: Set[Term] = set()
+        for subject, objects in kb._pso.get(driver, {}).items():
+            shared = set(objects)
+            for p in rest:
+                shared &= kb.objects(subject, p)
+                if not shared:
+                    break
+            if shared:
+                roots.add(subject)
+        return frozenset(roots)
+
+    def holds_for(self, se: SubgraphExpression, entity: Term) -> bool:
+        """Does *entity* satisfy *se*?  Cheaper than computing all bindings."""
+        cached = self._cache.get(se)
+        if cached is not None:
+            return entity in cached
+        kb = self.kb
+        atoms = se.atoms
+        if se.shape is Shape.SINGLE_ATOM:
+            atom = atoms[0]
+            return atom.object in kb.objects(entity, atom.predicate)
+        if se.shape is Shape.PATH:
+            hop, tail = atoms
+            return any(
+                tail.object in kb.objects(mid, tail.predicate)
+                for mid in kb.objects(entity, hop.predicate)
+            )
+        if se.shape is Shape.PATH_STAR:
+            hop, star1, star2 = atoms
+            return any(
+                star1.object in kb.objects(mid, star1.predicate)
+                and star2.object in kb.objects(mid, star2.predicate)
+                for mid in kb.objects(entity, hop.predicate)
+            )
+        if se.shape in (Shape.CLOSED_2, Shape.CLOSED_3):
+            predicates = se.predicates()
+            shared = set(kb.objects(entity, predicates[0]))
+            for p in predicates[1:]:
+                shared &= kb.objects(entity, p)
+                if not shared:
+                    return False
+            return bool(shared)
+        raise AssertionError(f"unhandled shape {se.shape}")
+
+    # ------------------------------------------------------------------
+    # referring expressions
+    # ------------------------------------------------------------------
+
+    def expression_bindings(self, expression: Expression) -> FrozenSet[Term]:
+        """Root bindings of a conjunction — the intersection over conjuncts.
+
+        Conjuncts share only ``x`` (§2.2.2), so their ``y``'s are
+        independent and intersection of per-conjunct root bindings is the
+        exact semantics, no cross-conjunct join required.
+        """
+        if expression.is_top:
+            raise ValueError("⊤ has unbounded bindings; test conjuncts instead")
+        result: Optional[FrozenSet[Term]] = None
+        # Evaluate cached conjuncts first, then by ascending cost estimate.
+        for se in sorted(expression.conjuncts, key=lambda s: (s not in self._cache, s.size)):
+            found = self.bindings(se)
+            result = found if result is None else (result & found)
+            if not result:
+                return frozenset()
+        assert result is not None
+        return result
+
+    def identifies(self, expression: Expression, targets: FrozenSet[Term]) -> bool:
+        """The RE test of §2.2.2: bindings(expression) == targets exactly.
+
+        Short-circuits as soon as one target misses one conjunct.
+        """
+        if expression.is_top:
+            return False
+        for se in expression.conjuncts:
+            cached = self._cache.get(se)
+            candidates = cached if cached is not None else None
+            for t in targets:
+                if candidates is not None:
+                    if t not in candidates:
+                        return False
+                elif not self.holds_for(se, t):
+                    return False
+        return self.expression_bindings(expression) == targets
+
+    @property
+    def cache_stats(self) -> dict:
+        return {
+            "hits": self._cache.hits,
+            "misses": self._cache.misses,
+            "hit_rate": self._cache.hit_rate,
+            "evaluations": self.evaluations,
+        }
+
+
+# ----------------------------------------------------------------------
+# generic conjunctive-query solver (used by the ILP opponent and as an
+# oracle in tests)
+# ----------------------------------------------------------------------
+
+
+def _atom_cost(atom: Atom, kb: KnowledgeBase, bound: Set[Variable]) -> int:
+    """Estimated number of KB rows the atom yields given bound variables."""
+    subject_free = isinstance(atom.subject, Variable) and atom.subject not in bound
+    object_free = isinstance(atom.object, Variable) and atom.object not in bound
+    if not subject_free and not object_free:
+        return 1
+    if not subject_free or not object_free:
+        # one side fixed: fan-out bounded by predicate size but usually small
+        return max(1, kb.predicate_fact_count(atom.predicate) // 16)
+    return kb.predicate_fact_count(atom.predicate)
+
+
+def solve(
+    atoms: Sequence[Atom],
+    kb: KnowledgeBase,
+    initial: Optional[Assignment] = None,
+) -> Iterator[Assignment]:
+    """Enumerate all assignments satisfying the conjunction of *atoms*.
+
+    A straightforward backtracking join: at each step the cheapest
+    not-yet-satisfied atom (given the variables bound so far) is expanded
+    against the store.  Constants and already-bound variables restrict the
+    scan; free variables get bound by it.
+    """
+    assignment: Assignment = dict(initial or {})
+    remaining: List[Atom] = list(atoms)
+    yield from _solve_rec(remaining, kb, assignment)
+
+
+def _solve_rec(
+    remaining: List[Atom], kb: KnowledgeBase, assignment: Assignment
+) -> Iterator[Assignment]:
+    if not remaining:
+        yield dict(assignment)
+        return
+    bound = set(assignment)
+    index, atom = min(
+        enumerate(remaining), key=lambda pair: _atom_cost(pair[1], kb, bound)
+    )
+    rest = remaining[:index] + remaining[index + 1 :]
+    grounded = atom.substitute(assignment)
+    subject_var = grounded.subject if isinstance(grounded.subject, Variable) else None
+    object_var = grounded.object if isinstance(grounded.object, Variable) else None
+
+    if subject_var is None and object_var is None:
+        if grounded.object in kb.objects(grounded.subject, grounded.predicate):  # type: ignore[arg-type]
+            yield from _solve_rec(rest, kb, assignment)
+        return
+    if subject_var is None:
+        for o in kb.objects(grounded.subject, grounded.predicate):  # type: ignore[arg-type]
+            assignment[object_var] = o  # type: ignore[index]
+            yield from _solve_rec(rest, kb, assignment)
+        assignment.pop(object_var, None)  # type: ignore[arg-type]
+        return
+    if object_var is None:
+        for s in kb.subjects(grounded.predicate, grounded.object):  # type: ignore[arg-type]
+            assignment[subject_var] = s
+            yield from _solve_rec(rest, kb, assignment)
+        assignment.pop(subject_var, None)
+        return
+    if subject_var is object_var:
+        for s, o in kb.subject_object_pairs(grounded.predicate):
+            if s == o:
+                assignment[subject_var] = s
+                yield from _solve_rec(rest, kb, assignment)
+        assignment.pop(subject_var, None)
+        return
+    for s, o in kb.subject_object_pairs(grounded.predicate):
+        assignment[subject_var] = s
+        assignment[object_var] = o
+        yield from _solve_rec(rest, kb, assignment)
+    assignment.pop(subject_var, None)
+    assignment.pop(object_var, None)
+
+
+def exists(atoms: Sequence[Atom], kb: KnowledgeBase, initial: Optional[Assignment] = None) -> bool:
+    """True when the conjunction has at least one satisfying assignment."""
+    return next(solve(atoms, kb, initial), None) is not None
+
+
+def variable_bindings(
+    atoms: Sequence[Atom], kb: KnowledgeBase, variable: Variable
+) -> FrozenSet[Term]:
+    """All values *variable* takes across satisfying assignments."""
+    return frozenset(a[variable] for a in solve(atoms, kb) if variable in a)

@@ -1,0 +1,75 @@
+"""SPARQL rendering of referring expressions.
+
+The paper motivates RE mining for "query generation in KBs" (§1, §6): a
+mined RE is precisely a SPARQL basic graph pattern whose solution set is
+the target entities.  :func:`to_sparql` performs that translation:
+
+* each conjunct's existential ``y`` is renamed apart (``?y0``, ``?y1`` …)
+  — conjuncts share only the root variable (§2.2.2);
+* inverse predicates ``p⁻¹(x, o)`` render as the natural ``?o p ?x``
+  triple pattern instead of leaking the synthetic inverse IRI.
+
+>>> to_sparql(expression)
+'SELECT DISTINCT ?x WHERE { ?x <.../cityIn> <.../France> . ... }'
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.expressions.atoms import ROOT, Variable
+from repro.expressions.expression import Expression
+from repro.expressions.subgraph import SubgraphExpression
+from repro.kb.inverse import inverse_predicate, is_inverse
+from repro.kb.terms import IRI, Literal, Term
+
+
+def _term_sparql(term) -> str:
+    if isinstance(term, Variable):
+        return f"?{term.name}"
+    if isinstance(term, (IRI, Literal)):
+        return term.n3()
+    # blank nodes in query position act as fresh variables
+    return f"_:{term.label}"
+
+
+def _atom_pattern(predicate: IRI, subject, obj) -> str:
+    """One triple pattern, un-inverting synthetic inverse predicates."""
+    if is_inverse(predicate):
+        return (
+            f"{_term_sparql(obj)} {inverse_predicate(predicate).n3()} "
+            f"{_term_sparql(subject)} ."
+        )
+    return f"{_term_sparql(subject)} {predicate.n3()} {_term_sparql(obj)} ."
+
+
+def subgraph_patterns(se: SubgraphExpression, suffix: str) -> List[str]:
+    """The triple patterns of one conjunct, with its ``y`` renamed apart."""
+    fresh = Variable(f"y{suffix}")
+    patterns = []
+    for atom in se.atoms:
+        subject = fresh if isinstance(atom.subject, Variable) and atom.subject != ROOT else atom.subject
+        obj = fresh if isinstance(atom.object, Variable) and atom.object != ROOT else atom.object
+        patterns.append(_atom_pattern(atom.predicate, subject, obj))
+    return patterns
+
+
+def to_sparql(expression: Expression, indent: str = "  ") -> str:
+    """Render *expression* as a SELECT query over its root variable."""
+    if expression.is_top:
+        raise ValueError("⊤ has no SPARQL rendering (it matches everything)")
+    patterns: List[str] = []
+    for index, se in enumerate(expression.conjuncts):
+        patterns.extend(subgraph_patterns(se, str(index)))
+    body = "\n".join(indent + line for line in patterns)
+    return f"SELECT DISTINCT ?x WHERE {{\n{body}\n}}"
+
+
+def to_ask_sparql(expression: Expression, entity: Term, indent: str = "  ") -> str:
+    """An ASK query checking that *entity* satisfies *expression* —
+    useful for KB-maintenance monitors ("is this description still
+    unambiguous?")."""
+    select = to_sparql(expression, indent=indent)
+    body = select.split("WHERE", 1)[1]
+    bound = body.replace("?x", entity.n3())
+    return "ASK WHERE" + bound

@@ -1,0 +1,155 @@
+"""Subgraph expressions — the five shapes of Table 1.
+
+========================  =============================================
+Shape                     Form
+========================  =============================================
+``SINGLE_ATOM``           ``p0(x, I0)``
+``PATH``                  ``p0(x, y) ∧ p1(y, I1)``
+``PATH_STAR``             ``p0(x, y) ∧ p1(y, I1) ∧ p2(y, I2)``
+``CLOSED_2``              ``p0(x, y) ∧ p1(x, y)``
+``CLOSED_3``              ``p0(x, y) ∧ p1(x, y) ∧ p2(x, y)``
+========================  =============================================
+
+A subgraph expression is rooted at the root variable ``x`` and uses at most
+one extra existentially quantified variable ``y`` (REMI's language bias,
+§3.2).  Instances are immutable and canonicalized: the star atoms of
+``PATH_STAR`` and the closing atoms of ``CLOSED_2``/``CLOSED_3`` are sorted
+so that structurally equal expressions compare equal.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Tuple
+
+from repro.expressions.atoms import ROOT, Atom, Variable, Y
+from repro.kb.terms import IRI, Term
+
+
+class Shape(enum.Enum):
+    """The admissible subgraph-expression shapes (Table 1)."""
+
+    SINGLE_ATOM = "1 atom"
+    PATH = "path"
+    PATH_STAR = "path + star"
+    CLOSED_2 = "2 closed atoms"
+    CLOSED_3 = "3 closed atoms"
+
+
+class SubgraphExpression:
+    """An immutable, canonicalized conjunction of connected atoms rooted at ``x``.
+
+    Use the class-method constructors (:meth:`single_atom`, :meth:`path`,
+    :meth:`path_star`, :meth:`closed`) rather than ``__init__`` directly;
+    they enforce the Table 1 grammar.
+    """
+
+    __slots__ = ("shape", "atoms", "_hash")
+
+    def __init__(self, shape: Shape, atoms: Tuple[Atom, ...]):
+        object.__setattr__(self, "shape", shape)
+        object.__setattr__(self, "atoms", atoms)
+        object.__setattr__(self, "_hash", hash((SubgraphExpression, shape, atoms)))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("SubgraphExpression instances are immutable")
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def single_atom(cls, predicate: IRI, obj: Term) -> "SubgraphExpression":
+        """``p0(x, I0)``"""
+        if isinstance(obj, Variable):
+            raise TypeError("single-atom expressions need a constant object")
+        return cls(Shape.SINGLE_ATOM, (Atom(predicate, ROOT, obj),))
+
+    @classmethod
+    def path(cls, p0: IRI, p1: IRI, obj: Term) -> "SubgraphExpression":
+        """``p0(x, y) ∧ p1(y, I1)``"""
+        if isinstance(obj, Variable):
+            raise TypeError("path expressions need a constant tail object")
+        return cls(Shape.PATH, (Atom(p0, ROOT, Y), Atom(p1, Y, obj)))
+
+    @classmethod
+    def path_star(
+        cls, p0: IRI, p1: IRI, obj1: Term, p2: IRI, obj2: Term
+    ) -> "SubgraphExpression":
+        """``p0(x, y) ∧ p1(y, I1) ∧ p2(y, I2)`` — star atoms canonically sorted."""
+        star1, star2 = Atom(p1, Y, obj1), Atom(p2, Y, obj2)
+        if star1 == star2:
+            raise ValueError("path+star requires two distinct star atoms")
+        if star2.sort_key() < star1.sort_key():
+            star1, star2 = star2, star1
+        return cls(Shape.PATH_STAR, (Atom(p0, ROOT, Y), star1, star2))
+
+    @classmethod
+    def closed(cls, *predicates: IRI) -> "SubgraphExpression":
+        """``p0(x, y) ∧ p1(x, y) [∧ p2(x, y)]`` — two or three closed atoms."""
+        if len(predicates) not in (2, 3):
+            raise ValueError(f"closed expressions have 2 or 3 atoms, got {len(predicates)}")
+        if len(set(predicates)) != len(predicates):
+            raise ValueError("closed expressions need pairwise distinct predicates")
+        atoms = tuple(sorted((Atom(p, ROOT, Y) for p in predicates), key=Atom.sort_key))
+        shape = Shape.CLOSED_2 if len(atoms) == 2 else Shape.CLOSED_3
+        return cls(shape, atoms)
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+
+    @property
+    def root_atom(self) -> Atom:
+        """The atom that anchors the root variable ``x``."""
+        return self.atoms[0]
+
+    @property
+    def size(self) -> int:
+        """Number of atoms (1–3 in REMI's bias)."""
+        return len(self.atoms)
+
+    @property
+    def uses_variable(self) -> bool:
+        """True when the expression uses the existential variable ``y``."""
+        return self.shape is not Shape.SINGLE_ATOM
+
+    def predicates(self) -> Tuple[IRI, ...]:
+        return tuple(a.predicate for a in self.atoms)
+
+    def constants(self) -> Tuple[Term, ...]:
+        """All constant arguments, in atom order."""
+        out: list[Term] = []
+        for atom in self.atoms:
+            out.extend(atom.constants())
+        return tuple(out)
+
+    def tail_constant(self) -> Optional[Term]:
+        """The bound object of a single atom or path, if any."""
+        if self.shape is Shape.SINGLE_ATOM:
+            return self.atoms[0].object  # type: ignore[return-value]
+        if self.shape is Shape.PATH:
+            return self.atoms[1].object  # type: ignore[return-value]
+        return None
+
+    def is_generalization_of(self, other: "SubgraphExpression") -> bool:
+        """True when *other* contains all of this expression's atoms."""
+        return set(self.atoms) <= set(other.atoms)
+
+    # ------------------------------------------------------------------
+
+    def sort_key(self) -> tuple:
+        return tuple(a.sort_key() for a in self.atoms)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, SubgraphExpression)
+            and self.shape == other.shape
+            and self.atoms == other.atoms
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return " ∧ ".join(repr(a) for a in self.atoms)

@@ -1,0 +1,121 @@
+"""Natural-language verbalization of expressions.
+
+§4.1.1: "We manually translated the subgraph expressions to natural
+language statements in the shortest possible way by using the textual
+descriptions (predicate ``rdfs:label``) of the concepts when available."
+
+The :class:`Verbalizer` automates that recipe: every concept is rendered by
+its ``rdfs:label`` when present, falling back to a prettified IRI local
+name.  Inverse predicates render with an "is … of" frame, paths with a
+possessive chain, closed shapes with a shared-object frame ("she was born,
+lived and died in the same place").
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.expressions.expression import Expression
+from repro.expressions.subgraph import Shape, SubgraphExpression
+from repro.kb.inverse import inverse_predicate, is_inverse
+from repro.kb.namespaces import RDFS_LABEL
+from repro.kb.store import KnowledgeBase
+from repro.kb.terms import IRI, Literal, Term
+
+_CAMEL = re.compile(r"(?<=[a-z0-9])(?=[A-Z])")
+
+
+def _of_frame(phrase: str, obj: str) -> str:
+    """'capital of' + 'France' → 'capital of France' (no doubled 'of')."""
+    if phrase.endswith(" of"):
+        return f"{phrase} {obj}"
+    return f"{phrase} of {obj}"
+
+
+def prettify_local_name(name: str) -> str:
+    """``officialLanguage`` → ``official language``; ``birth_place`` → ``birth place``."""
+    name = name.replace("_", " ").replace("-", " ")
+    return _CAMEL.sub(" ", name).lower().strip()
+
+
+class Verbalizer:
+    """Renders expressions as short English descriptions of ``x``."""
+
+    def __init__(self, kb: KnowledgeBase, label_predicate: IRI = RDFS_LABEL):
+        self.kb = kb
+        self.label_predicate = label_predicate
+
+    # ------------------------------------------------------------------
+
+    def label(self, term: Term) -> str:
+        """The display string of a term: rdfs:label first, local name second."""
+        if isinstance(term, Literal):
+            return f'"{term.lexical}"'
+        if isinstance(term, IRI):
+            for obj in self.kb.objects(term, self.label_predicate):
+                if isinstance(obj, Literal):
+                    return obj.lexical
+            return prettify_local_name(term.local_name)
+        return str(term)
+
+    def predicate_phrase(self, predicate: IRI) -> tuple[str, bool]:
+        """(phrase, inverted) — the readable predicate name and direction."""
+        if is_inverse(predicate):
+            return prettify_local_name(inverse_predicate(predicate).local_name), True
+        return prettify_local_name(predicate.local_name), False
+
+    # ------------------------------------------------------------------
+
+    def subgraph(self, se: SubgraphExpression) -> str:
+        """Verbalize one subgraph expression as a clause about ``x``."""
+        if se.shape is Shape.SINGLE_ATOM:
+            atom = se.atoms[0]
+            phrase, inverted = self.predicate_phrase(atom.predicate)
+            obj = self.label(atom.object)
+            if inverted:
+                return f"x is the {_of_frame(phrase, obj)}"
+            return f"x's {phrase} is {obj}"
+        if se.shape is Shape.PATH:
+            hop, tail = se.atoms
+            hop_phrase, hop_inv = self.predicate_phrase(hop.predicate)
+            tail_phrase, tail_inv = self.predicate_phrase(tail.predicate)
+            obj = self.label(tail.object)
+            head = f"something x is the {hop_phrase} of".replace(" of of", " of") if hop_inv else f"x's {hop_phrase}"
+            if tail_inv:
+                return f"{head} is the {_of_frame(tail_phrase, obj)}"
+            return f"{head} has {tail_phrase} {obj}"
+        if se.shape is Shape.PATH_STAR:
+            hop, star1, star2 = se.atoms
+            hop_phrase, hop_inv = self.predicate_phrase(hop.predicate)
+            head = f"something x is the {hop_phrase} of".replace(" of of", " of") if hop_inv else f"x's {hop_phrase}"
+            parts = []
+            for star in (star1, star2):
+                phrase, inv = self.predicate_phrase(star.predicate)
+                obj = self.label(star.object)
+                if inv:
+                    parts.append(f"is the {_of_frame(phrase, obj)}")
+                else:
+                    parts.append(f"has {phrase} {obj}")
+            return f"{head} {' and '.join(parts)}"
+        # closed shapes: shared object across predicates
+        phrases = []
+        for atom in se.atoms:
+            phrase, inv = self.predicate_phrase(atom.predicate)
+            phrases.append(f"{phrase} of" if inv else phrase)
+        joined = ", ".join(phrases[:-1]) + f" and {phrases[-1]}"
+        return f"x's {joined} are the same"
+
+    def expression(self, expression: Expression) -> str:
+        """Verbalize a full referring expression."""
+        if expression.is_top:
+            return "anything (⊤)"
+        clauses = [self.subgraph(se) for se in expression.conjuncts]
+        return "; and ".join(clauses)
+
+    def describe(self, expression: Expression, subject_label: Optional[str] = None) -> str:
+        """A sentence: 'Paris: x is the capital of France.'"""
+        body = self.expression(expression)
+        if subject_label:
+            return f"{subject_label}: {body}."
+        return f"{body}."

@@ -1,0 +1,29 @@
+"""Future-work extensions (paper §6).
+
+The conclusion sketches three directions, all implemented here:
+
+* :mod:`repro.extensions.exceptions` — "relax the unambiguity constraint
+  to mine REs with exceptions": Ĉ-minimal descriptions allowed to match
+  up to *k* entities outside the target set;
+* :mod:`repro.extensions.disjunctive` — REs with disjunctions in the
+  style of Horacek [9]: a union of per-subset descriptions covering the
+  targets exactly;
+* :mod:`repro.extensions.exogenous` — prominence from external sources
+  ("the ranking provided by a search engine or external localized
+  corpora"): plug arbitrary score tables into Ĉ with fr fallback.
+"""
+
+from repro.extensions.disjunctive import DisjunctiveRE, DisjunctiveREMI
+from repro.extensions.exceptions import ToleranceMatcher, mine_with_exceptions
+from repro.extensions.exogenous import ExogenousProminence
+from repro.extensions.maverick import ExceptionalFact, MaverickMiner
+
+__all__ = [
+    "DisjunctiveRE",
+    "DisjunctiveREMI",
+    "ExceptionalFact",
+    "ExogenousProminence",
+    "MaverickMiner",
+    "ToleranceMatcher",
+    "mine_with_exceptions",
+]

@@ -1,0 +1,123 @@
+"""Disjunctive referring expressions in the style of Horacek [9] (§5/§6).
+
+A disjunctive RE is a union of conjunctive expressions whose bindings
+*partition-cover* the targets exactly::
+
+    officialLang(x, Spanish) ∨ officialLang(x, French)
+
+Each disjunct must bind a non-empty subset of ``T`` and nothing outside
+``T``; the union of the disjuncts' bindings must be all of ``T``.  The
+paper notes such REs are "more expressive... [but] in general more
+difficult to interpret", which is why REMI proper prefers existential
+variables — this module exists to make that comparison concrete.
+
+Mining is a greedy set cover: repeatedly take an uncovered target, find
+the Ĉ-cheapest conjunction that covers it *without leaking outside T*
+(a REMI-style DFS whose acceptance test is ``bindings ⊆ T``), and remove
+the covered targets.  Ĉ(disjunction) = Σ Ĉ(disjunct) — consistent with
+the paper's additive treatment of conjunctions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.config import MinerConfig
+from repro.core.remi import REMI
+from repro.expressions.expression import Expression
+from repro.kb.store import KnowledgeBase
+from repro.kb.terms import Term
+
+
+@dataclass
+class DisjunctiveRE:
+    """A union of conjunctive expressions covering the targets exactly."""
+
+    disjuncts: Tuple[Expression, ...]
+    complexity: float
+    #: Which targets each disjunct contributed when it was chosen.
+    covers: Tuple[FrozenSet[Term], ...] = field(default=())
+
+    @property
+    def found(self) -> bool:
+        return bool(self.disjuncts)
+
+    def __repr__(self) -> str:
+        if not self.disjuncts:
+            return "⊥"
+        return " ∨ ".join(f"({d!r})" for d in self.disjuncts)
+
+
+class DisjunctiveREMI:
+    """Greedy Ĉ-guided set cover over subset-of-T expressions."""
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        prominence: str = "fr",
+        config: Optional[MinerConfig] = None,
+    ):
+        self.kb = kb
+        self.miner = REMI(kb, prominence=prominence, config=config)
+
+    # ------------------------------------------------------------------
+
+    def _cheapest_subset_expression(
+        self, seed: Term, targets: FrozenSet[Term]
+    ) -> Optional[Tuple[Expression, float, FrozenSet[Term]]]:
+        """The Ĉ-cheapest conjunction containing *seed* whose bindings
+        stay inside *targets* (DFS with the sorted queue, bound pruning)."""
+        queue = self.miner.candidates([seed])
+        matcher = self.miner.matcher
+        best: Optional[Tuple[Expression, float, FrozenSet[Term]]] = None
+
+        def accept(expression: Expression, complexity: float) -> bool:
+            nonlocal best
+            bindings = matcher.expression_bindings(expression)
+            if seed in bindings and bindings <= targets:
+                if best is None or complexity < best[1]:
+                    best = (expression, complexity, bindings)
+                return True
+            return False
+
+        def dfs(prefix: tuple, prefix_c: float, start: int) -> None:
+            for i in range(start, len(queue)):
+                se, se_c = queue[i]
+                child_c = prefix_c + se_c
+                if best is not None and child_c >= best[1]:
+                    break  # queue sorted: later siblings only costlier
+                child = Expression(prefix + (se,))
+                if accept(child, child_c):
+                    break  # siblings and descendants are costlier
+                dfs(prefix + (se,), child_c, i + 1)
+
+        dfs((), 0.0, 0)
+        return best
+
+    # ------------------------------------------------------------------
+
+    def mine(self, targets: Sequence[Term]) -> DisjunctiveRE:
+        """A disjunctive RE for *targets*, or an empty one when some
+        target admits no subset-of-T description at all."""
+        target_set = frozenset(targets)
+        if not target_set:
+            raise ValueError("need at least one target entity")
+        uncovered = set(target_set)
+        disjuncts: List[Expression] = []
+        covers: List[FrozenSet[Term]] = []
+        total = 0.0
+        while uncovered:
+            seed = min(uncovered, key=lambda t: t.sort_key())
+            found = self._cheapest_subset_expression(seed, target_set)
+            if found is None:
+                return DisjunctiveRE(disjuncts=(), complexity=math.inf)
+            expression, complexity, bindings = found
+            disjuncts.append(expression)
+            covers.append(frozenset(bindings))
+            total += complexity
+            uncovered -= bindings
+        return DisjunctiveRE(
+            disjuncts=tuple(disjuncts), complexity=total, covers=tuple(covers)
+        )

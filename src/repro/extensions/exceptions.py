@@ -1,0 +1,92 @@
+"""REs with exceptions (paper §6: "relax the unambiguity constraint").
+
+A *k-tolerant* referring expression for targets ``T`` matches every
+target and at most ``k`` entities outside ``T`` — "they were both places
+of the Inca Civil War (and so was one other border town)".  Useful when
+KB noise (§4.1.3's Kingdom-of-France problem) makes exact REs impossible
+or absurdly complex.
+
+Implementation: REMI's search transfers unchanged.  Candidate conjuncts
+are common to all targets, so coverage (``T ⊆ bindings``) holds along
+every branch and only the excess shrinks as conjuncts are added; Ĉ still
+grows monotonically with depth, so depth/side/bound pruning stay sound
+when the RE test is relaxed to "excess ≤ k".  We therefore reuse
+:class:`~repro.core.remi.REMI` with a :class:`ToleranceMatcher` whose
+``identifies`` implements the relaxed test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Sequence, Tuple
+
+from repro.core.config import MinerConfig
+from repro.core.remi import REMI
+from repro.core.results import MiningResult
+from repro.expressions.expression import Expression
+from repro.expressions.matching import Matcher
+from repro.kb.store import KnowledgeBase
+from repro.kb.terms import Term
+
+
+class ToleranceMatcher(Matcher):
+    """A matcher whose RE test allows up to *exceptions* extra bindings."""
+
+    def __init__(self, kb: KnowledgeBase, exceptions: int = 1, cache_size: int = 65536):
+        if exceptions < 0:
+            raise ValueError(f"exceptions must be ≥ 0, got {exceptions}")
+        super().__init__(kb, cache_size=cache_size)
+        self.exceptions = exceptions
+
+    def identifies(self, expression: Expression, targets: FrozenSet[Term]) -> bool:
+        if expression.is_top:
+            return False
+        for se in expression.conjuncts:
+            for t in targets:
+                if not self.holds_for(se, t):
+                    return False
+        bindings = self.expression_bindings(expression)
+        if not targets <= bindings:
+            return False
+        return len(bindings - targets) <= self.exceptions
+
+
+@dataclass
+class TolerantResult:
+    """A mining result plus the exceptions the winning RE admits."""
+
+    result: MiningResult
+    exceptions: Tuple[Term, ...]
+
+    @property
+    def found(self) -> bool:
+        return self.result.found
+
+    @property
+    def expression(self) -> Optional[Expression]:
+        return self.result.expression
+
+
+def mine_with_exceptions(
+    kb: KnowledgeBase,
+    targets: Sequence[Term],
+    exceptions: int = 1,
+    prominence: str = "fr",
+    config: Optional[MinerConfig] = None,
+) -> TolerantResult:
+    """The Ĉ-minimal RE matching all targets and ≤ *exceptions* others.
+
+    With ``exceptions=0`` this is exactly :meth:`REMI.mine`.  The result
+    carries the concrete exception entities so callers can render them
+    ("… and also Cusco").
+    """
+    matcher = ToleranceMatcher(kb, exceptions=exceptions)
+    miner = REMI(kb, prominence=prominence, config=config, matcher=matcher)
+    result = miner.mine(targets)
+    extra: Tuple[Term, ...] = ()
+    if result.found:
+        bindings = matcher.expression_bindings(result.expression)
+        extra = tuple(
+            sorted(bindings - frozenset(targets), key=lambda t: t.sort_key())
+        )
+    return TolerantResult(result=result, exceptions=extra)

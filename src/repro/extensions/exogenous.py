@@ -1,0 +1,73 @@
+"""Exogenous prominence sources (paper §6 future work).
+
+"As future work we aim to investigate if external sources — such as the
+ranking provided by a search engine or external localized corpora — can
+yield even more intuitive REs that model users' background more
+accurately."
+
+:class:`ExogenousProminence` plugs any external score table (search-hit
+counts, corpus frequencies, view statistics …) into the Ĉ machinery.
+Scores may cover only part of the vocabulary; uncovered terms fall back
+to the endogenous ``fr`` measure, scaled below the smallest external
+score — the same "use fr whenever pr is undefined" rule §3.1 applies to
+the page rank.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.complexity.ranking import FrequencyProminence, _BaseProminence
+from repro.kb.store import KnowledgeBase
+from repro.kb.terms import IRI, Term
+
+
+class ExogenousProminence(_BaseProminence):
+    """Prominence from an external score table with fr fallback."""
+
+    name = "exo"
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        entity_scores: Mapping[Term, float],
+        predicate_scores: Optional[Mapping[IRI, float]] = None,
+    ):
+        super().__init__(kb)
+        if any(score < 0 for score in entity_scores.values()):
+            raise ValueError("external scores must be non-negative")
+        self._scores: Dict[Term, float] = dict(entity_scores)
+        self._predicate_scores = dict(predicate_scores or {})
+        self._fallback = FrequencyProminence(kb)
+        positive = [s for s in self._scores.values() if s > 0]
+        min_external = min(positive) if positive else 1.0
+        max_fr = max(
+            (self._fallback.entity_score(e) for e in kb.entities()), default=1.0
+        )
+        self._fr_scale = (min_external * 0.5) / max(max_fr, 1.0)
+
+    @property
+    def coverage(self) -> float:
+        """Share of KB entities the external table covers."""
+        entities = self.kb.entities()
+        if not entities:
+            return 0.0
+        return sum(1 for e in entities if e in self._scores) / len(entities)
+
+    def entity_score(self, term: Term) -> float:
+        score = self._scores.get(term)
+        if score is not None:
+            return score
+        return self._fallback.entity_score(term) * self._fr_scale
+
+    def predicate_score(self, predicate: IRI) -> float:
+        score = self._predicate_scores.get(predicate)
+        if score is not None:
+            return score
+        return super().predicate_score(predicate)
+
+    def __repr__(self) -> str:
+        return (
+            f"ExogenousProminence(kb={self.kb.name!r}, "
+            f"coverage={self.coverage:.0%})"
+        )

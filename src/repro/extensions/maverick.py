@@ -1,0 +1,110 @@
+"""A Maverick-style exceptional-fact miner (paper §5, [17]).
+
+Maverick (Zhang et al., SIGMOD 2018) answers a different question from
+REMI: given an entity and a *context* (a peer group such as "candidates
+to the US presidential election"), report the facts that make the entity
+*exceptional* within that context — they need not identify it uniquely.
+
+We implement the core scoring idea at our scale: a feature ``(p, o)`` of
+the entity is exceptional in context ``C`` when few peers share it.  The
+exceptionality of a feature is one minus its peer-support::
+
+    exceptionality(p, o | C) = 1 − |{c ∈ C : p(c, o)}| / |C|
+
+and features are reported by decreasing exceptionality, tie-broken by
+the feature's own prominence (surprising *and* recognizable facts first).
+The contrast with REMI (§5): Maverick's output may match many entities —
+`` she is a female`` identifies nothing uniquely, it is merely rare in
+the context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.complexity.ranking import FrequencyProminence, Prominence
+from repro.kb.namespaces import RDF_TYPE
+from repro.kb.store import KnowledgeBase
+from repro.kb.terms import IRI, Term
+from repro.summarization.features import Feature, entity_features
+
+
+@dataclass(frozen=True)
+class ExceptionalFact:
+    """One reported fact with its scores."""
+
+    feature: Feature
+    exceptionality: float  # 1 = unique in context, 0 = everyone has it
+    peers_sharing: int
+    context_size: int
+
+    def __repr__(self) -> str:
+        return (
+            f"{self.feature!r} [exceptionality {self.exceptionality:.2f}, "
+            f"{self.peers_sharing}/{self.context_size} peers share it]"
+        )
+
+
+class MaverickMiner:
+    """Context-relative exceptional facts."""
+
+    def __init__(self, kb: KnowledgeBase, prominence: Optional[Prominence] = None):
+        self.kb = kb
+        self.prominence = prominence or FrequencyProminence(kb)
+
+    def context_of_class(self, entity: Term, type_predicate: IRI = RDF_TYPE) -> List[Term]:
+        """The default context: the entity's class siblings."""
+        peers: set = set()
+        for cls in self.kb.objects(entity, type_predicate):
+            peers |= self.kb.subjects(type_predicate, cls)
+        peers.discard(entity)
+        return sorted(peers, key=lambda t: t.sort_key())
+
+    def mine(
+        self,
+        entity: Term,
+        context: Optional[Sequence[Term]] = None,
+        k: int = 5,
+        min_exceptionality: float = 0.5,
+    ) -> List[ExceptionalFact]:
+        """The top-*k* exceptional facts of *entity* within *context*.
+
+        Without an explicit context, the entity's class siblings are
+        used.  Facts shared by more than ``1 − min_exceptionality`` of
+        the context are suppressed (they are ordinary, not exceptional).
+        """
+        if k < 1:
+            raise ValueError(f"k must be ≥ 1, got {k}")
+        if not 0.0 <= min_exceptionality <= 1.0:
+            raise ValueError("min_exceptionality must be in [0, 1]")
+        peers = list(context) if context is not None else self.context_of_class(entity)
+        if entity in peers:
+            peers = [p for p in peers if p != entity]
+        if not peers:
+            return []
+        reported: List[ExceptionalFact] = []
+        for feature in entity_features(self.kb, entity, include_literals=True):
+            sharing = sum(
+                1
+                for peer in peers
+                if feature.object in self.kb.objects(peer, feature.predicate)
+            )
+            exceptionality = 1.0 - sharing / len(peers)
+            if exceptionality >= min_exceptionality:
+                reported.append(
+                    ExceptionalFact(
+                        feature=feature,
+                        exceptionality=exceptionality,
+                        peers_sharing=sharing,
+                        context_size=len(peers),
+                    )
+                )
+        reported.sort(
+            key=lambda fact: (
+                -fact.exceptionality,
+                -self.prominence.entity_score(fact.feature.object),
+                fact.feature.predicate.value,
+            )
+        )
+        return reported[:k]

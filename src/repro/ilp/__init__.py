@@ -1,0 +1,16 @@
+"""The inductive-logic-programming opponent (paper §4.2.1).
+
+The paper compares REMI against AMIE+, a state-of-the-art Horn-rule miner,
+by reducing RE mining to rule mining: add surrogate facts ``ψ(t, True)``
+for every target ``t`` and mine rules ``ψ(x, True) ⇐ body`` with support
+``|T|`` and confidence 1.0 — the body is then a referring expression.
+
+* :mod:`repro.ilp.rules` — Horn rules, canonicalization, closedness;
+* :mod:`repro.ilp.amie` — the breadth-first AMIE-style miner with the
+  dangling / instantiated / closing refinement operators.
+"""
+
+from repro.ilp.amie import AmieMiner, AmieResult
+from repro.ilp.rules import Rule, canonical_rule, is_closed
+
+__all__ = ["AmieMiner", "AmieResult", "Rule", "canonical_rule", "is_closed"]

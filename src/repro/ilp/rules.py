@@ -1,0 +1,124 @@
+"""Horn rules for the AMIE-style miner.
+
+A :class:`Rule` is ``head ⇐ body`` where the head is the surrogate atom
+``ψ(x, True)`` of §4.2.1 and the body is a conjunction of atoms.  Rules
+are *canonicalized* so that the BFS can deduplicate: body atoms are
+sorted and variables renamed to ``x, v1, v2, …`` in first-appearance
+order (the root variable is never renamed).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from repro.expressions.atoms import ROOT, Atom, Variable
+from repro.kb.terms import IRI, Literal
+
+#: The surrogate head predicate ψ of §4.2.1.
+SURROGATE = IRI("urn:repro:ilp:target")
+#: The constant True used in surrogate facts ψ(t, True).
+TRUE = Literal("true")
+
+HEAD = Atom(SURROGATE, ROOT, TRUE)
+
+
+class Rule:
+    """An immutable Horn rule with the surrogate head."""
+
+    __slots__ = ("body", "_hash")
+
+    def __init__(self, body: Tuple[Atom, ...]):
+        object.__setattr__(self, "body", body)
+        object.__setattr__(self, "_hash", hash((Rule, body)))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Rule instances are immutable")
+
+    @property
+    def head(self) -> Atom:
+        return HEAD
+
+    @property
+    def length(self) -> int:
+        """Total number of atoms, head included (AMIE's l parameter)."""
+        return 1 + len(self.body)
+
+    def variables(self) -> Tuple[Variable, ...]:
+        """All distinct variables, in first-appearance order (root first)."""
+        seen: Dict[Variable, None] = {ROOT: None}
+        for atom in self.body:
+            for variable in atom.variables():
+                seen.setdefault(variable, None)
+        return tuple(seen)
+
+    def extend(self, atom: Atom) -> "Rule":
+        return canonical_rule(self.body + (atom,))
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self.body)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Rule) and self.body == other.body
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        body = " ∧ ".join(repr(a) for a in self.body) if self.body else "⊤"
+        return f"ψ(?x, true) ⇐ {body}"
+
+
+def canonical_rule(body: Tuple[Atom, ...]) -> Rule:
+    """Canonicalize: sort atoms, rename non-root variables by appearance.
+
+    Two rules that differ only in variable names or atom order map to the
+    same canonical rule, which keeps the BFS frontier duplicate-free.
+    """
+    ordered = tuple(sorted(set(body), key=Atom.sort_key))
+    mapping: Dict[Variable, Variable] = {ROOT: ROOT}
+    counter = 0
+    renamed = []
+    for atom in ordered:
+        for variable in atom.variables():
+            if variable not in mapping:
+                counter += 1
+                mapping[variable] = Variable(f"v{counter}")
+        renamed.append(atom.rename(mapping))
+    # Renaming can change sort order; sort once more for a fixed point.
+    return Rule(tuple(sorted(renamed, key=Atom.sort_key)))
+
+
+def is_closed(rule: Rule) -> bool:
+    """AMIE's closedness: every variable appears in at least two atoms.
+
+    The head ``ψ(x, True)`` counts as one appearance of the root.
+    """
+    counts: Dict[Variable, int] = {ROOT: 1}  # head appearance
+    for atom in rule.body:
+        for variable in atom.variables():
+            counts[variable] = counts.get(variable, 0) + 1
+    return all(count >= 2 for count in counts.values())
+
+
+def is_connected(rule: Rule) -> bool:
+    """True when the body atoms form one connected component through
+    shared variables that includes the root (or the body is empty)."""
+    if not rule.body:
+        return True
+    reached = {ROOT}
+    pending = list(rule.body)
+    progress = True
+    while progress and pending:
+        progress = False
+        remaining = []
+        for atom in pending:
+            atom_vars = set(atom.variables())
+            if not atom_vars:
+                continue  # fully instantiated atoms attach nowhere
+            if atom_vars & reached:
+                reached |= atom_vars
+                progress = True
+            else:
+                remaining.append(atom)
+        pending = remaining
+    return not pending

@@ -1,0 +1,56 @@
+"""RDF knowledge-base substrate.
+
+This package implements everything REMI needs from its data layer:
+
+* an RDF term model (:mod:`repro.kb.terms`) with IRIs, literals and blank
+  nodes;
+* triples and triple patterns (:mod:`repro.kb.triples`);
+* an N-Triples parser and serializer (:mod:`repro.kb.ntriples`);
+* an indexed in-memory triple store exposing the atom-binding API the
+  expression matcher is built on (:mod:`repro.kb.store`);
+* an HDT-like dictionary-encoded binary format (:mod:`repro.kb.hdt`),
+  standing in for the HDT files the paper uses (§3.5.1);
+* inverse-predicate materialization for prominent objects
+  (:mod:`repro.kb.inverse`, §2.1/§4);
+* a least-recently-used query cache (:mod:`repro.kb.cache`, §3.5.2).
+"""
+
+from repro.kb.cache import LRUCache
+from repro.kb.hdt import load_hdt, save_hdt
+from repro.kb.inverse import inverse_predicate, is_inverse, materialize_inverses
+from repro.kb.namespaces import EX, RDF, RDFS, XSD, Namespace
+from repro.kb.ntriples import (
+    NTriplesParseError,
+    parse_ntriples,
+    parse_ntriples_file,
+    serialize_ntriples,
+    write_ntriples_file,
+)
+from repro.kb.store import KnowledgeBase
+from repro.kb.terms import IRI, BlankNode, Literal, Term
+from repro.kb.triples import Triple
+
+__all__ = [
+    "IRI",
+    "BlankNode",
+    "EX",
+    "KnowledgeBase",
+    "LRUCache",
+    "Literal",
+    "NTriplesParseError",
+    "Namespace",
+    "RDF",
+    "RDFS",
+    "Term",
+    "Triple",
+    "XSD",
+    "inverse_predicate",
+    "is_inverse",
+    "load_hdt",
+    "materialize_inverses",
+    "parse_ntriples",
+    "parse_ntriples_file",
+    "save_hdt",
+    "serialize_ntriples",
+    "write_ntriples_file",
+]

@@ -1,0 +1,97 @@
+"""Inverse-predicate materialization.
+
+§2.1 defines, for each predicate ``p``, an inverse ``p⁻¹`` with facts
+``p⁻¹(o, s)`` whenever ``p(s, o)`` holds — but only for ``o ∈ I ∪ B``
+(literals cannot be subjects in RDF).  §4 then materializes inverses *only
+for objects among the top 1 % most frequent entities*, which is what
+:func:`materialize_inverses` does by default.
+
+Inverse predicates are minted by appending ``_INV_SUFFIX`` to the IRI, so
+they can be recognized (:func:`is_inverse`) and un-inverted
+(:func:`invert`) when verbalizing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+from repro.kb.store import KnowledgeBase
+from repro.kb.terms import IRI, BlankNode, Term
+from repro.kb.triples import Triple
+
+_INV_SUFFIX = "__inverse"
+
+
+def inverse_predicate(predicate: IRI) -> IRI:
+    """The inverse of *predicate* (an involution)."""
+    if predicate.value.endswith(_INV_SUFFIX):
+        return IRI(predicate.value[: -len(_INV_SUFFIX)])
+    return IRI(predicate.value + _INV_SUFFIX)
+
+
+def is_inverse(predicate: IRI) -> bool:
+    """True when *predicate* was minted by :func:`inverse_predicate`."""
+    return predicate.value.endswith(_INV_SUFFIX)
+
+
+def invert(predicate: IRI) -> IRI:
+    """Alias of :func:`inverse_predicate` (kept for symmetry with the paper's p⁻¹)."""
+    return inverse_predicate(predicate)
+
+
+def top_frequent_entities(kb: KnowledgeBase, fraction: float) -> Set[IRI]:
+    """The top *fraction* (e.g. ``0.01``) most frequent entities of *kb*."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    frequencies = kb.entity_frequencies()
+    if not frequencies:
+        return set()
+    keep = max(1, int(len(frequencies) * fraction)) if fraction > 0 else 0
+    return {entity for entity, _ in frequencies.most_common(keep)}
+
+
+def materialize_inverses(
+    kb: KnowledgeBase,
+    top_fraction: float = 0.01,
+    objects: Optional[Iterable[Term]] = None,
+    skip_predicates: Optional[Set[IRI]] = None,
+) -> int:
+    """Add ``p⁻¹(o, s)`` facts to *kb* for prominent objects.
+
+    Parameters
+    ----------
+    kb:
+        The knowledge base, mutated in place.
+    top_fraction:
+        Materialize inverses only for objects in this top share of the
+        entity-frequency ranking (paper default: 1 %).  Ignored when
+        *objects* is given explicitly.
+    objects:
+        Explicit set of objects to invert, overriding *top_fraction*.
+    skip_predicates:
+        Predicates that should never be inverted (e.g. ``rdfs:label``).
+
+    Returns the number of inverse facts added.
+    """
+    if objects is not None:
+        target_objects: Set[Term] = set(objects)
+    else:
+        target_objects = set(top_frequent_entities(kb, top_fraction))
+    skip = skip_predicates or set()
+    added = 0
+    # Snapshot first: we mutate kb while iterating otherwise.
+    new_facts = []
+    for predicate in list(kb.predicates()):
+        if predicate in skip or is_inverse(predicate):
+            continue
+        inverse = inverse_predicate(predicate)
+        for subject, obj in kb.subject_object_pairs(predicate):
+            if obj not in target_objects:
+                continue
+            if not isinstance(obj, (IRI, BlankNode)):
+                continue  # RDF compliance: literals cannot be subjects
+            new_facts.append(Triple(obj, inverse, subject))
+    for fact in new_facts:
+        if kb.add(fact):
+            added += 1
+    return added

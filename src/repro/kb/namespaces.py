@@ -1,0 +1,66 @@
+"""Namespace helpers for building IRIs compactly.
+
+``Namespace`` mimics the ergonomics of rdflib's namespaces::
+
+    EX = Namespace("http://example.org/")
+    EX.Paris            # IRI("http://example.org/Paris")
+    EX["New York"]      # attribute syntax cannot express spaces
+
+The well-known RDF/RDFS/XSD vocabularies used throughout the codebase are
+predefined, along with ``EX`` for examples/tests and ``DBP``/``WD`` used by
+the synthetic dataset generators.
+"""
+
+from __future__ import annotations
+
+from repro.kb.terms import IRI
+
+
+class Namespace:
+    """A base IRI that mints terms via attribute or item access."""
+
+    def __init__(self, base: str):
+        self._base = base
+
+    @property
+    def base(self) -> str:
+        return self._base
+
+    def term(self, name: str) -> IRI:
+        return IRI(self._base + name)
+
+    def __getattr__(self, name: str) -> IRI:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return self.term(name)
+
+    def __getitem__(self, name: str) -> IRI:
+        return self.term(name)
+
+    def __contains__(self, iri: object) -> bool:
+        return isinstance(iri, IRI) and iri.value.startswith(self._base)
+
+    def local(self, iri: IRI) -> str:
+        """Strip the namespace base from *iri* (raises if it does not match)."""
+        if iri not in self:
+            raise ValueError(f"{iri!r} is not in namespace {self._base!r}")
+        return iri.value[len(self._base):]
+
+    def __repr__(self) -> str:
+        return f"Namespace({self._base!r})"
+
+
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+XSD = Namespace("http://www.w3.org/2001/XMLSchema#")
+OWL = Namespace("http://www.w3.org/2002/07/owl#")
+EX = Namespace("http://example.org/")
+DBP = Namespace("http://dbpedia.example.org/resource/")
+DBO = Namespace("http://dbpedia.example.org/ontology/")
+WD = Namespace("http://wikidata.example.org/entity/")
+WDT = Namespace("http://wikidata.example.org/prop/")
+
+#: ``rdf:type``, called ``is`` / ``type`` in the paper.
+RDF_TYPE = RDF.term("type")
+#: ``rdfs:label``, used for NL verbalization (§4.1.1).
+RDFS_LABEL = RDFS.term("label")

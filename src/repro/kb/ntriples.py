@@ -1,0 +1,225 @@
+"""N-Triples parser and serializer.
+
+N-Triples is the line-oriented RDF syntax the public DBpedia and Wikidata
+dumps ship in, and the natural text companion to the binary HDT-like format
+(:mod:`repro.kb.hdt`).  The parser is a small hand-rolled scanner: per line
+it reads three terms and a terminating dot, handling the string escapes
+N-Triples defines (``\\"``, ``\\n``, ``\\uXXXX``, ``\\UXXXXXXXX``...).
+
+Round-trip property: ``parse_ntriples(serialize_ntriples(ts)) == ts`` for
+any list of valid triples — covered by a hypothesis test.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.kb.terms import IRI, BlankNode, Literal, Term
+from repro.kb.triples import Triple
+
+
+class NTriplesParseError(ValueError):
+    """Raised on malformed N-Triples input, with line/column context."""
+
+    def __init__(self, message: str, line_no: int, column: int):
+        super().__init__(f"line {line_no}, column {column}: {message}")
+        self.line_no = line_no
+        self.column = column
+
+
+_ESCAPES = {
+    "t": "\t",
+    "b": "\b",
+    "n": "\n",
+    "r": "\r",
+    "f": "\f",
+    '"': '"',
+    "'": "'",
+    "\\": "\\",
+}
+
+
+class _LineScanner:
+    """Scanner over a single N-Triples line."""
+
+    def __init__(self, line: str, line_no: int):
+        self.line = line
+        self.pos = 0
+        self.line_no = line_no
+
+    def error(self, message: str) -> NTriplesParseError:
+        return NTriplesParseError(message, self.line_no, self.pos + 1)
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.line) and self.line[self.pos] in " \t":
+            self.pos += 1
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.line)
+
+    def peek(self) -> str:
+        if self.at_end():
+            raise self.error("unexpected end of line")
+        return self.line[self.pos]
+
+    def take(self) -> str:
+        ch = self.peek()
+        self.pos += 1
+        return ch
+
+    def expect(self, ch: str) -> None:
+        if self.at_end() or self.line[self.pos] != ch:
+            raise self.error(f"expected {ch!r}")
+        self.pos += 1
+
+    def read_until(self, terminator: str) -> str:
+        end = self.line.find(terminator, self.pos)
+        if end < 0:
+            raise self.error(f"missing closing {terminator!r}")
+        out = self.line[self.pos:end]
+        self.pos = end + 1
+        return out
+
+    def read_term(self) -> Term:
+        self.skip_ws()
+        ch = self.peek()
+        if ch == "<":
+            self.pos += 1
+            return IRI(_unescape(self.read_until(">"), self))
+        if ch == "_":
+            self.pos += 1
+            self.expect(":")
+            start = self.pos
+            while not self.at_end() and self.line[self.pos] not in " \t.":
+                self.pos += 1
+            label = self.line[start:self.pos]
+            if not label:
+                raise self.error("empty blank node label")
+            return BlankNode(label)
+        if ch == '"':
+            return self._read_literal()
+        raise self.error(f"unexpected character {ch!r} at start of term")
+
+    def _read_literal(self) -> Literal:
+        self.expect('"')
+        chars: list[str] = []
+        while True:
+            ch = self.take()
+            if ch == '"':
+                break
+            if ch == "\\":
+                chars.append(self._read_escape())
+            else:
+                chars.append(ch)
+        lexical = "".join(chars)
+        if not self.at_end() and self.peek() == "@":
+            self.pos += 1
+            start = self.pos
+            while not self.at_end() and (self.line[self.pos].isalnum() or self.line[self.pos] == "-"):
+                self.pos += 1
+            lang = self.line[start:self.pos]
+            if not lang:
+                raise self.error("empty language tag")
+            return Literal(lexical, lang=lang)
+        if not self.at_end() and self.peek() == "^":
+            self.pos += 1
+            self.expect("^")
+            self.expect("<")
+            return Literal(lexical, datatype=IRI(_unescape(self.read_until(">"), self)))
+        return Literal(lexical)
+
+    def _read_escape(self) -> str:
+        ch = self.take()
+        simple = _ESCAPES.get(ch)
+        if simple is not None:
+            return simple
+        if ch == "u":
+            return self._read_codepoint(4)
+        if ch == "U":
+            return self._read_codepoint(8)
+        raise self.error(f"invalid escape sequence \\{ch}")
+
+    def _read_codepoint(self, width: int) -> str:
+        digits = self.line[self.pos:self.pos + width]
+        if len(digits) < width:
+            raise self.error("truncated unicode escape")
+        try:
+            code = int(digits, 16)
+        except ValueError:
+            raise self.error(f"invalid unicode escape \\u{digits}") from None
+        self.pos += width
+        return chr(code)
+
+
+def _unescape(raw: str, scanner: _LineScanner) -> str:
+    """Unescape the inside of an IRI (only \\u escapes are legal there)."""
+    if "\\" not in raw:
+        return raw
+    out: list[str] = []
+    i = 0
+    while i < len(raw):
+        ch = raw[i]
+        if ch != "\\":
+            out.append(ch)
+            i += 1
+            continue
+        if i + 1 >= len(raw):
+            raise scanner.error("dangling backslash in IRI")
+        kind = raw[i + 1]
+        width = {"u": 4, "U": 8}.get(kind)
+        if width is None:
+            raise scanner.error(f"invalid IRI escape \\{kind}")
+        digits = raw[i + 2:i + 2 + width]
+        if len(digits) < width:
+            raise scanner.error("truncated unicode escape in IRI")
+        out.append(chr(int(digits, 16)))
+        i += 2 + width
+    return "".join(out)
+
+
+def parse_ntriples(text: str) -> list[Triple]:
+    """Parse N-Triples *text* into a list of triples (comments/blank lines ok)."""
+    return list(iter_ntriples(text.splitlines()))
+
+
+def iter_ntriples(lines: Iterable[str]) -> Iterator[Triple]:
+    """Stream triples from an iterable of N-Triples lines."""
+    for line_no, line in enumerate(lines, start=1):
+        line = line.rstrip("\r\n")
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        scanner = _LineScanner(line, line_no)
+        subject = scanner.read_term()
+        predicate = scanner.read_term()
+        if not isinstance(predicate, IRI):
+            raise NTriplesParseError("predicate must be an IRI", line_no, scanner.pos)
+        obj = scanner.read_term()
+        scanner.skip_ws()
+        scanner.expect(".")
+        scanner.skip_ws()
+        if not scanner.at_end() and scanner.peek() != "#":
+            raise scanner.error("trailing content after closing dot")
+        yield Triple(subject, predicate, obj).validate()
+
+
+def parse_ntriples_file(path: "str | Path") -> list[Triple]:
+    """Parse an N-Triples file from disk."""
+    with open(path, encoding="utf-8") as handle:
+        return list(iter_ntriples(handle))
+
+
+def serialize_ntriples(triples: Iterable[Triple]) -> str:
+    """Serialize triples to N-Triples text, one statement per line."""
+    return "".join(t.n3() + "\n" for t in triples)
+
+
+def write_ntriples_file(triples: Iterable[Triple], path: "str | Path") -> int:
+    """Write triples to *path*; returns the number of statements written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for triple in triples:
+            handle.write(triple.n3() + "\n")
+            count += 1
+    return count

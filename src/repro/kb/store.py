@@ -1,0 +1,279 @@
+"""Indexed in-memory triple store.
+
+:class:`KnowledgeBase` is the access layer the whole system is built on.
+It plays the role the paper assigns to HDT + Apache Jena (§3.5.1): it only
+answers *atom-level* queries — find the bindings of a triple pattern — and
+leaves joins and conjunctions to the upper layers
+(:mod:`repro.expressions.matching`).
+
+Four hash indexes are maintained:
+
+* ``SPO`` — subject → predicate → objects (entity neighbourhoods, used by
+  the subgraph-expression enumerator);
+* ``PSO`` — predicate → subject → objects (forward scans of a predicate);
+* ``POS`` — predicate → object → subjects (the hot path: evaluating
+  ``p(x, I)`` candidates against target sets);
+* ``OPS`` — object → predicate → subjects (frequency counting and inverse
+  traversal).
+
+All query methods return live iterators or freshly-built containers; the
+store itself is mutated only through :meth:`add` / :meth:`add_all` /
+:meth:`discard`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
+
+from repro.kb.terms import IRI, BlankNode, Literal, Term
+from repro.kb.triples import Triple
+
+_Index2 = Dict[Term, Dict[IRI, Set[Term]]]
+
+
+class KnowledgeBase:
+    """A mutable, fully-indexed set of RDF triples.
+
+    >>> from repro.kb import EX, KnowledgeBase, Triple
+    >>> kb = KnowledgeBase()
+    >>> _ = kb.add(Triple(EX.Paris, EX.capitalOf, EX.France))
+    >>> kb.subjects(EX.capitalOf, EX.France)
+    {IRI('http://example.org/Paris')}
+    """
+
+    def __init__(self, triples: Optional[Iterable[Triple]] = None, name: str = "kb"):
+        self.name = name
+        self._spo: _Index2 = {}
+        self._pso: Dict[IRI, Dict[Term, Set[Term]]] = {}
+        self._pos: Dict[IRI, Dict[Term, Set[Term]]] = {}
+        self._ops: _Index2 = {}
+        self._size = 0
+        if triples is not None:
+            self.add_all(triples)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+
+    def add(self, triple: Triple) -> bool:
+        """Insert *triple*; returns True if it was not already present."""
+        s, p, o = triple.validate()
+        objects = self._spo.setdefault(s, {}).setdefault(p, set())
+        if o in objects:
+            return False
+        objects.add(o)
+        self._pso.setdefault(p, {}).setdefault(s, set()).add(o)
+        self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
+        self._ops.setdefault(o, {}).setdefault(p, set()).add(s)
+        self._size += 1
+        return True
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        """Insert many triples; returns how many were new."""
+        return sum(1 for t in triples if self.add(t))
+
+    def discard(self, triple: Triple) -> bool:
+        """Remove *triple* if present; returns True if it was removed."""
+        s, p, o = triple
+        objects = self._spo.get(s, {}).get(p)
+        if objects is None or o not in objects:
+            return False
+        objects.discard(o)
+        self._prune(self._spo, s, p)
+        self._pso[p][s].discard(o)
+        self._prune(self._pso, p, s)
+        self._pos[p][o].discard(s)
+        self._prune(self._pos, p, o)
+        self._ops[o][p].discard(s)
+        self._prune(self._ops, o, p)
+        self._size -= 1
+        return True
+
+    def _prune(self, index: dict, a: Term, b: Term) -> None:
+        if not index[a][b]:
+            del index[a][b]
+            if not index[a]:
+                del index[a]
+
+    # ------------------------------------------------------------------
+    # pattern matching (the atom-binding API)
+    # ------------------------------------------------------------------
+
+    def __contains__(self, triple: Triple) -> bool:
+        s, p, o = triple
+        return o in self._spo.get(s, {}).get(p, ())
+
+    def triples(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[IRI] = None,
+        obj: Optional[Term] = None,
+    ) -> Iterator[Triple]:
+        """Iterate over all triples matching the pattern (None = wildcard)."""
+        if subject is not None:
+            by_pred = self._spo.get(subject, {})
+            preds = (predicate,) if predicate is not None else tuple(by_pred)
+            for p in preds:
+                objects = by_pred.get(p, ())
+                if obj is not None:
+                    if obj in objects:
+                        yield Triple(subject, p, obj)
+                else:
+                    for o in objects:
+                        yield Triple(subject, p, o)
+            return
+        if predicate is not None:
+            if obj is not None:
+                for s in self._pos.get(predicate, {}).get(obj, ()):
+                    yield Triple(s, predicate, obj)
+            else:
+                for s, objects in self._pso.get(predicate, {}).items():
+                    for o in objects:
+                        yield Triple(s, predicate, o)
+            return
+        if obj is not None:
+            for p, subjects in self._ops.get(obj, {}).items():
+                for s in subjects:
+                    yield Triple(s, p, obj)
+            return
+        for s, by_pred in self._spo.items():
+            for p, objects in by_pred.items():
+                for o in objects:
+                    yield Triple(s, p, o)
+
+    def objects(self, subject: Term, predicate: IRI) -> Set[Term]:
+        """Bindings of ``o`` in ``predicate(subject, o)``."""
+        return self._spo.get(subject, {}).get(predicate, set())
+
+    def subjects(self, predicate: IRI, obj: Term) -> Set[Term]:
+        """Bindings of ``s`` in ``predicate(s, obj)`` — the hot query of REMI."""
+        return self._pos.get(predicate, {}).get(obj, set())
+
+    def objects_of_predicate(self, predicate: IRI) -> Set[Term]:
+        """All distinct objects appearing under *predicate*."""
+        return set(self._pos.get(predicate, {}))
+
+    def subjects_of_predicate(self, predicate: IRI) -> Set[Term]:
+        """All distinct subjects appearing under *predicate*."""
+        return set(self._pso.get(predicate, {}))
+
+    def subject_object_pairs(self, predicate: IRI) -> Iterator[Tuple[Term, Term]]:
+        """All ``(s, o)`` with ``predicate(s, o)`` in the KB."""
+        for s, objects in self._pso.get(predicate, {}).items():
+            for o in objects:
+                yield s, o
+
+    def predicate_object_pairs(self, subject: Term) -> Iterator[Tuple[IRI, Term]]:
+        """All ``(p, o)`` with ``p(subject, o)`` — an entity's neighbourhood."""
+        for p, objects in self._spo.get(subject, {}).items():
+            for o in objects:
+                yield p, o
+
+    def predicates_of(self, subject: Term) -> Set[IRI]:
+        """The predicates for which *subject* has at least one fact."""
+        return set(self._spo.get(subject, {}))
+
+    def predicates_into(self, obj: Term) -> Set[IRI]:
+        """The predicates for which *obj* appears as an object."""
+        return set(self._ops.get(obj, {}))
+
+    def count(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[IRI] = None,
+        obj: Optional[Term] = None,
+    ) -> int:
+        """Number of triples matching the pattern, computed from the indexes."""
+        if subject is None and predicate is None and obj is None:
+            return self._size
+        if subject is not None and predicate is not None and obj is None:
+            return len(self._spo.get(subject, {}).get(predicate, ()))
+        if subject is None and predicate is not None and obj is not None:
+            return len(self._pos.get(predicate, {}).get(obj, ()))
+        if subject is None and predicate is not None and obj is None:
+            return sum(len(v) for v in self._pso.get(predicate, {}).values())
+        if subject is not None and predicate is None and obj is None:
+            return sum(len(v) for v in self._spo.get(subject, {}).values())
+        if subject is None and predicate is None and obj is not None:
+            return sum(len(v) for v in self._ops.get(obj, {}).values())
+        return sum(1 for _ in self.triples(subject, predicate, obj))
+
+    # ------------------------------------------------------------------
+    # vocabulary and statistics
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[Triple]:
+        return self.triples()
+
+    def predicates(self) -> Set[IRI]:
+        """All predicates with at least one fact."""
+        return set(self._pso)
+
+    def subjects_all(self) -> Set[Term]:
+        return set(self._spo)
+
+    def entities(self) -> Set[IRI]:
+        """All IRIs occurring in subject or object position (the set ``I``)."""
+        out: Set[IRI] = set()
+        for s in self._spo:
+            if isinstance(s, IRI):
+                out.add(s)
+        for o in self._ops:
+            if isinstance(o, IRI):
+                out.add(o)
+        return out
+
+    def predicate_fact_count(self, predicate: IRI) -> int:
+        """Number of facts using *predicate* (its corpus size, §3.5.3)."""
+        return self.count(predicate=predicate)
+
+    def term_frequency(self, term: Term) -> int:
+        """Number of facts where *term* occurs as subject or object.
+
+        This is the paper's endogenous prominence measure ``fr`` (§3.1):
+        "the number of facts where a concept occurs in the KB".
+        """
+        as_subject = sum(len(v) for v in self._spo.get(term, {}).values())
+        as_object = sum(len(v) for v in self._ops.get(term, {}).values())
+        return as_subject + as_object
+
+    def object_frequencies(self, predicate: IRI) -> Counter:
+        """How often each object appears under *predicate* (for Eq. 1 fits)."""
+        return Counter(
+            {o: len(subjects) for o, subjects in self._pos.get(predicate, {}).items()}
+        )
+
+    def entity_frequencies(self) -> Counter:
+        """``term_frequency`` for every IRI entity, as one Counter."""
+        freq: Counter = Counter()
+        for s, by_pred in self._spo.items():
+            if isinstance(s, IRI):
+                freq[s] += sum(len(v) for v in by_pred.values())
+        for o, by_pred in self._ops.items():
+            if isinstance(o, IRI):
+                freq[o] += sum(len(v) for v in by_pred.values())
+        return freq
+
+    def classes_of(self, entity: Term, type_predicate: IRI) -> Set[Term]:
+        """The classes asserted for *entity* via *type_predicate*."""
+        return set(self.objects(entity, type_predicate))
+
+    def copy(self, name: Optional[str] = None) -> "KnowledgeBase":
+        """A deep-enough copy (terms are shared, index structure is fresh)."""
+        return KnowledgeBase(self.triples(), name=name or self.name)
+
+    def stats(self) -> Dict[str, int]:
+        """Summary statistics used by the CLI and benches."""
+        return {
+            "facts": self._size,
+            "predicates": len(self._pso),
+            "subjects": len(self._spo),
+            "entities": len(self.entities()),
+        }
+
+    def __repr__(self) -> str:
+        return f"KnowledgeBase(name={self.name!r}, facts={self._size}, predicates={len(self._pso)})"

@@ -1,0 +1,239 @@
+"""RDF term model: IRIs, literals and blank nodes.
+
+Terms are immutable, hashable and totally ordered.  The ordering is the one
+used by the dictionary section of the HDT-like binary format
+(:mod:`repro.kb.hdt`): terms sort first by kind (IRI < blank node < literal)
+and then lexicographically, which keeps dictionary encoding deterministic.
+
+The paper (§2.1) defines a KB over entities ``I``, predicates ``P``,
+literals ``L`` and blank nodes ``B``.  We model all of them with the three
+concrete classes below; predicates are simply IRIs used in the predicate
+position.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+
+class Term:
+    """Abstract base class for RDF terms.
+
+    Subclasses define ``_sort_kind`` (an integer used for cross-kind
+    ordering) and ``sort_key()`` (the within-kind key).
+    """
+
+    __slots__ = ()
+
+    _sort_kind = -1
+
+    def sort_key(self) -> tuple:
+        raise NotImplementedError
+
+    def n3(self) -> str:
+        """Render the term in N-Triples syntax."""
+        raise NotImplementedError
+
+    def __lt__(self, other: "Term") -> bool:
+        if not isinstance(other, Term):
+            return NotImplemented
+        if self._sort_kind != other._sort_kind:
+            return self._sort_kind < other._sort_kind
+        return self.sort_key() < other.sort_key()
+
+    def __le__(self, other: "Term") -> bool:
+        return self == other or self < other
+
+    def __gt__(self, other: "Term") -> bool:
+        if not isinstance(other, Term):
+            return NotImplemented
+        return other < self
+
+    def __ge__(self, other: "Term") -> bool:
+        return self == other or other < self
+
+
+class IRI(Term):
+    """An IRI reference, e.g. ``<http://example.org/Paris>``.
+
+    IRIs are compared by their string value.  The constructor interns
+    instances so that equal IRIs share one object; this keeps the large
+    dictionaries inside :class:`repro.kb.store.KnowledgeBase` cheap.
+    """
+
+    __slots__ = ("value",)
+
+    _sort_kind = 0
+    _intern: dict[str, "IRI"] = {}
+
+    def __new__(cls, value: str) -> "IRI":
+        cached = cls._intern.get(value)
+        if cached is not None:
+            return cached
+        self = super().__new__(cls)
+        object.__setattr__(self, "value", value)
+        cls._intern[value] = self
+        return self
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("IRI instances are immutable")
+
+    def sort_key(self) -> tuple:
+        return (self.value,)
+
+    def n3(self) -> str:
+        return f"<{self.value}>"
+
+    @property
+    def local_name(self) -> str:
+        """The fragment after the last ``/``, ``#`` or ``:`` separator."""
+        value = self.value
+        for sep in ("#", "/", ":"):
+            idx = value.rfind(sep)
+            if idx >= 0:
+                return value[idx + 1 :]
+        return value
+
+    def __eq__(self, other: object) -> bool:
+        return self is other or (isinstance(other, IRI) and self.value == other.value)
+
+    def __hash__(self) -> int:
+        return hash((IRI, self.value))
+
+    def __repr__(self) -> str:
+        return f"IRI({self.value!r})"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class BlankNode(Term):
+    """An anonymous node, e.g. ``_:b42``.
+
+    The paper's pruning heuristics treat blank nodes specially (§3.5.2):
+    single-atom expressions ending in a blank node are never interesting,
+    but paths that "hide" a blank node behind a second hop are.
+    """
+
+    __slots__ = ("label",)
+
+    _sort_kind = 1
+
+    def __init__(self, label: str):
+        object.__setattr__(self, "label", label)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("BlankNode instances are immutable")
+
+    def sort_key(self) -> tuple:
+        return (self.label,)
+
+    def n3(self) -> str:
+        return f"_:{self.label}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BlankNode) and self.label == other.label
+
+    def __hash__(self) -> int:
+        return hash((BlankNode, self.label))
+
+    def __repr__(self) -> str:
+        return f"BlankNode({self.label!r})"
+
+    def __str__(self) -> str:
+        return f"_:{self.label}"
+
+
+class Literal(Term):
+    """A literal value with optional datatype or language tag.
+
+    ``Literal("42", datatype=XSD.integer)`` and ``Literal("hi", lang="en")``
+    are both supported; a plain ``Literal("hi")`` is an ``xsd:string``.
+    """
+
+    __slots__ = ("lexical", "datatype", "lang")
+
+    _sort_kind = 2
+
+    def __init__(self, lexical: str, datatype: "IRI | None" = None, lang: "str | None" = None):
+        if datatype is not None and lang is not None:
+            raise ValueError("a literal cannot carry both a datatype and a language tag")
+        object.__setattr__(self, "lexical", str(lexical))
+        object.__setattr__(self, "datatype", datatype)
+        object.__setattr__(self, "lang", lang)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Literal instances are immutable")
+
+    def sort_key(self) -> tuple:
+        return (
+            self.lexical,
+            self.datatype.value if self.datatype is not None else "",
+            self.lang or "",
+        )
+
+    def n3(self) -> str:
+        escaped = (
+            self.lexical.replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+            .replace("\r", "\\r")
+            .replace("\t", "\\t")
+        )
+        # Escape remaining control and line-breaking characters (\x0b, \x0c,
+        # \x85,  ...) — they would break the line-oriented syntax.
+        escaped = "".join(
+            ch if ch.isprintable() or ch == " " else f"\\u{ord(ch):04X}"
+            if ord(ch) <= 0xFFFF
+            else f"\\U{ord(ch):08X}"
+            for ch in escaped
+        )
+        if self.lang is not None:
+            return f'"{escaped}"@{self.lang}'
+        if self.datatype is not None:
+            return f'"{escaped}"^^{self.datatype.n3()}'
+        return f'"{escaped}"'
+
+    def to_python(self) -> Union[int, float, bool, str]:
+        """Best-effort conversion to a Python value based on the datatype."""
+        if self.datatype is not None:
+            dt = self.datatype.value
+            if dt.endswith(("#integer", "#int", "#long")):
+                return int(self.lexical)
+            if dt.endswith(("#decimal", "#double", "#float")):
+                return float(self.lexical)
+            if dt.endswith("#boolean"):
+                return self.lexical in ("true", "1")
+        return self.lexical
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Literal)
+            and self.lexical == other.lexical
+            and self.datatype == other.datatype
+            and self.lang == other.lang
+        )
+
+    def __hash__(self) -> int:
+        return hash((Literal, self.lexical, self.datatype, self.lang))
+
+    def __repr__(self) -> str:
+        extra = ""
+        if self.datatype is not None:
+            extra = f", datatype={self.datatype!r}"
+        elif self.lang is not None:
+            extra = f", lang={self.lang!r}"
+        return f"Literal({self.lexical!r}{extra})"
+
+    def __str__(self) -> str:
+        return self.lexical
+
+
+def is_entity(term: Term) -> bool:
+    """True when *term* can appear as a target entity (an IRI, not literal/blank)."""
+    return isinstance(term, IRI)
+
+
+def is_resource(term: Term) -> bool:
+    """True when *term* may appear in subject position (IRI or blank node)."""
+    return isinstance(term, (IRI, BlankNode))

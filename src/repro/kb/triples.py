@@ -1,0 +1,66 @@
+"""Triples and triple patterns.
+
+A :class:`Triple` is an assertion ``p(s, o)`` in the paper's notation
+(§2.1).  Patterns are plain tuples where ``None`` acts as a wildcard; the
+store's matching API (:meth:`repro.kb.store.KnowledgeBase.triples`) accepts
+them directly, so no dedicated pattern class is needed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, NamedTuple, Optional, Tuple
+
+from repro.kb.terms import IRI, BlankNode, Literal, Term
+
+
+class Triple(NamedTuple):
+    """An RDF triple ``(subject, predicate, object)``.
+
+    The paper writes triples predicate-first as ``p(s, o)``; use
+    :meth:`as_fact` for that rendering.
+    """
+
+    subject: Term
+    predicate: IRI
+    object: Term
+
+    def as_fact(self) -> str:
+        """Render the triple in the paper's ``p(s, o)`` fact notation."""
+        return f"{self.predicate.local_name}({_short(self.subject)}, {_short(self.object)})"
+
+    def n3(self) -> str:
+        """Render the triple as one N-Triples line (without trailing newline)."""
+        return f"{self.subject.n3()} {self.predicate.n3()} {self.object.n3()} ."
+
+    def validate(self) -> "Triple":
+        """Check RDF positional constraints and return self.
+
+        Raises :class:`TypeError` when the subject is a literal or the
+        predicate is not an IRI, mirroring the RDF abstract syntax.
+        """
+        if not isinstance(self.subject, (IRI, BlankNode)):
+            raise TypeError(f"triple subject must be an IRI or blank node, got {self.subject!r}")
+        if not isinstance(self.predicate, IRI):
+            raise TypeError(f"triple predicate must be an IRI, got {self.predicate!r}")
+        if not isinstance(self.object, Term):
+            raise TypeError(f"triple object must be an RDF term, got {self.object!r}")
+        return self
+
+
+#: A triple pattern: ``None`` positions are wildcards.
+Pattern = Tuple[Optional[Term], Optional[IRI], Optional[Term]]
+
+
+def _short(term: Term) -> str:
+    if isinstance(term, IRI):
+        return term.local_name
+    if isinstance(term, Literal):
+        return f'"{term.lexical}"'
+    return str(term)
+
+
+def sort_triples(triples: "Iterator[Triple] | list[Triple]") -> list[Triple]:
+    """Sort triples in SPO order (the canonical order of the HDT format)."""
+    return sorted(triples, key=lambda t: (t.subject.sort_key(), t.subject._sort_kind,
+                                          t.predicate.sort_key(),
+                                          t.object._sort_kind, t.object.sort_key()))

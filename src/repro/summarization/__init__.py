@@ -1,0 +1,34 @@
+"""Entity summarization: the Table 3 baselines and gold standard.
+
+§4.1.4 evaluates REMI on the FACES/LinkSUM benchmark: reference summaries
+of 5 and 10 predicate-object pairs for 80 prominent DBpedia entities,
+hand-picked by 7 semantic-web experts with *diversity*, *prominence* and
+*uniqueness* as criteria.
+
+* :mod:`repro.summarization.features` — the feature model ((p, o) pairs);
+* :mod:`repro.summarization.faces`    — FACES-style diversity-aware
+  summarizer (conceptual clustering + per-cluster ranking);
+* :mod:`repro.summarization.linksum`  — LinkSUM-style link-analysis
+  summarizer (PageRank importance × backlink relevance);
+* :mod:`repro.summarization.gold`     — the simulated expert panel;
+* :mod:`repro.summarization.quality`  — the average-overlap quality
+  metric at the O (object) and PO (predicate-object) levels.
+"""
+
+from repro.summarization.faces import FacesSummarizer
+from repro.summarization.features import Feature, entity_features
+from repro.summarization.gold import ExpertPanel, GoldStandard
+from repro.summarization.linksum import LinkSumSummarizer
+from repro.summarization.quality import quality_object, quality_pair, summary_quality
+
+__all__ = [
+    "ExpertPanel",
+    "FacesSummarizer",
+    "Feature",
+    "GoldStandard",
+    "LinkSumSummarizer",
+    "entity_features",
+    "quality_object",
+    "quality_pair",
+    "summary_quality",
+]

@@ -1,0 +1,60 @@
+"""The feature model for entity summarization.
+
+A *feature* of an entity ``e`` is a predicate-object pair ``(p, o)`` with
+``p(e, o)`` in the KB — the unit both FACES and LinkSUM select over, and
+the unit of the gold-standard summaries (§4.1.4).
+
+Following the benchmark's setup, ``rdf:type``, ``rdfs:label``, literal
+objects and inverse predicates are excluded by default: expert summaries
+are built from entity-valued forward attributes.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional, Set
+
+from repro.kb.inverse import is_inverse
+from repro.kb.namespaces import RDF_TYPE, RDFS_LABEL
+from repro.kb.store import KnowledgeBase
+from repro.kb.terms import IRI, Term
+
+
+class Feature(NamedTuple):
+    """One candidate summary item: a (predicate, object) pair."""
+
+    predicate: IRI
+    object: Term
+
+    def __repr__(self) -> str:
+        obj = self.object.local_name if isinstance(self.object, IRI) else str(self.object)
+        return f"{self.predicate.local_name}→{obj}"
+
+
+def entity_features(
+    kb: KnowledgeBase,
+    entity: Term,
+    include_types: bool = False,
+    include_literals: bool = False,
+    include_inverses: bool = False,
+    exclude_predicates: Optional[Set[IRI]] = None,
+) -> List[Feature]:
+    """The candidate features of *entity*, deterministic order."""
+    excluded = set(exclude_predicates or ()) | {RDFS_LABEL}
+    if not include_types:
+        excluded.add(RDF_TYPE)
+    features = []
+    for predicate, obj in kb.predicate_object_pairs(entity):
+        if predicate in excluded:
+            continue
+        if not include_inverses and is_inverse(predicate):
+            continue
+        if not include_literals and not isinstance(obj, IRI):
+            continue
+        features.append(Feature(predicate, obj))
+    features.sort(key=lambda f: (f.predicate.value, f.object.sort_key()))
+    return features
+
+
+def feature_frequency(kb: KnowledgeBase, feature: Feature) -> int:
+    """How many entities carry this exact feature (its commonness)."""
+    return len(kb.subjects(feature.predicate, feature.object))

@@ -1,0 +1,75 @@
+"""The summary quality metric of FACES (§4.1.4).
+
+"Quality is defined in [8] as the average overlap between the reported and
+the gold standard summaries.  This overlap can be calculated at the level
+of the object entities (O) or the pairs predicate-object (PO)."
+
+Given a system summary ``S`` and the expert summaries ``E1..En``::
+
+    quality(S) = (1/n) · Σᵢ |S ∩ Eᵢ|
+
+so for top-5 the metric lives in [0, 5] and for top-10 in [0, 10]
+(Table 3's columns).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.summarization.features import Feature
+
+
+def quality_pair(summary: Sequence[Feature], expert_summaries: Sequence[Sequence[Feature]]) -> float:
+    """Average PO-level overlap: (predicate, object) pairs must match."""
+    if not expert_summaries:
+        return 0.0
+    mine = {(f.predicate, f.object) for f in summary}
+    overlaps = [
+        len(mine & {(f.predicate, f.object) for f in expert})
+        for expert in expert_summaries
+    ]
+    return sum(overlaps) / len(expert_summaries)
+
+
+def quality_object(summary: Sequence[Feature], expert_summaries: Sequence[Sequence[Feature]]) -> float:
+    """Average O-level overlap: object entities must match."""
+    if not expert_summaries:
+        return 0.0
+    mine = {f.object for f in summary}
+    overlaps = [len(mine & {f.object for f in expert}) for expert in expert_summaries]
+    return sum(overlaps) / len(expert_summaries)
+
+
+def summary_quality(
+    summaries: "dict",
+    gold,
+    k: int,
+) -> Tuple[float, float, float, float]:
+    """Aggregate Table 3 cells over a set of entities.
+
+    *summaries* maps entity → system summary; *gold* is a
+    :class:`~repro.summarization.gold.GoldStandard`.  Returns
+    ``(mean_PO, std_PO, mean_O, std_O)``.
+    """
+    po_scores: List[float] = []
+    o_scores: List[float] = []
+    for entity, summary in summaries.items():
+        experts = gold.summaries(entity, k)
+        if not experts:
+            continue
+        po_scores.append(quality_pair(summary, experts))
+        o_scores.append(quality_object(summary, experts))
+    return (_mean(po_scores), _std(po_scores), _mean(o_scores), _std(o_scores))
+
+
+def _mean(values: Iterable[float]) -> float:
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def _std(values: Iterable[float]) -> float:
+    values = list(values)
+    if len(values) < 2:
+        return 0.0
+    mean = _mean(values)
+    return (sum((v - mean) ** 2 for v in values) / (len(values) - 1)) ** 0.5

@@ -1,0 +1,51 @@
+"""Simulated user studies (paper §4.1.1–§4.1.3).
+
+The paper's qualitative evaluation rests on three studies with human
+participants (CS students, researchers, staff and their friends).  Humans
+are unavailable to an offline reproduction, so this package simulates the
+*mechanisms* the paper itself identifies in its participants:
+
+* perceived simplicity tracks concept prominence, but noisily
+  (per-user and per-item lognormal noise);
+* users systematically over-prefer ``rdf:type`` atoms ("people usually
+  deem the predicate type the simplest whereas REMI often ranks it second
+  or third" — the stated cause of the low precision@1 in Table 2);
+* extra atoms and existential variables carry a comprehension cost;
+* interestingness further depends on *pertinence* — descriptions through
+  domain-unrelated concepts (the Buddhism movie example) score badly.
+
+Because the simulation encodes causes rather than target numbers, the
+reproduced patterns (p@1 ≪ p@3, MAP ≈ 0.6, middling interestingness)
+emerge for the paper's reasons instead of by curve fitting.
+
+* :mod:`repro.userstudy.users`   — the participant model;
+* :mod:`repro.userstudy.metrics` — p@k, average precision, MAP;
+* :mod:`repro.userstudy.studies` — the four study harnesses.
+"""
+
+from repro.userstudy.metrics import average_precision, mean_std, precision_at_k
+from repro.userstudy.studies import (
+    StudyOneResult,
+    StudyThreeResult,
+    StudyTwoResult,
+    study_interestingness,
+    study_rank_subgraphs,
+    study_remi_output,
+    study_variant_preference,
+)
+from repro.userstudy.users import SimulatedUser, UserPanel
+
+__all__ = [
+    "SimulatedUser",
+    "StudyOneResult",
+    "StudyThreeResult",
+    "StudyTwoResult",
+    "UserPanel",
+    "average_precision",
+    "mean_std",
+    "precision_at_k",
+    "study_interestingness",
+    "study_rank_subgraphs",
+    "study_remi_output",
+    "study_variant_preference",
+]

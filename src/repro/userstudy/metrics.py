@@ -1,0 +1,38 @@
+"""Ranking-agreement metrics for the user studies.
+
+Table 2 reports precision@k between Ĉ's ranking and each user's ranking;
+§4.1.2 reports MAP treating REMI's answer as the single relevant item.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+def precision_at_k(system: Sequence[T], user: Sequence[T], k: int) -> float:
+    """|top-k(system) ∩ top-k(user)| / k."""
+    if k < 1:
+        raise ValueError(f"k must be ≥ 1, got {k}")
+    return len(set(system[:k]) & set(user[:k])) / k
+
+
+def average_precision(relevant: T, user_ranking: Sequence[T]) -> float:
+    """AP with a single relevant item: 1 / (its 1-based rank); 0 if absent."""
+    for index, item in enumerate(user_ranking, start=1):
+        if item == relevant:
+            return 1.0 / index
+    return 0.0
+
+
+def mean_std(values: Iterable[float]) -> Tuple[float, float]:
+    """(mean, sample standard deviation) — the paper's ± notation."""
+    data: List[float] = list(values)
+    if not data:
+        return 0.0, 0.0
+    mean = sum(data) / len(data)
+    if len(data) < 2:
+        return mean, 0.0
+    variance = sum((v - mean) ** 2 for v in data) / (len(data) - 1)
+    return mean, variance ** 0.5

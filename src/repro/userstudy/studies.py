@@ -1,0 +1,229 @@
+"""The four study harnesses of §4.1.
+
+Each function reproduces one experimental protocol with a
+:class:`~repro.userstudy.users.UserPanel` standing in for the cohort:
+
+* :func:`study_rank_subgraphs` — §4.1.1 / Table 2: users rank five
+  subgraph expressions (Ĉ's top 3 + the worst-ranked + a random one) by
+  simplicity; report precision@{1,2,3} between Ĉ and the users;
+* :func:`study_remi_output` — §4.1.2: users rank REMI's answer against
+  alternative REs met during traversal; report MAP with REMI's answer as
+  the single relevant item;
+* :func:`study_interestingness` — §4.1.3: users grade descriptions 1–5;
+* :func:`study_variant_preference` — §4.1.2's last question: given the
+  Ĉfr and Ĉpr answers, which do users find simpler?
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.remi import REMI
+from repro.expressions.expression import Expression
+from repro.expressions.subgraph import SubgraphExpression
+from repro.kb.terms import Term
+from repro.userstudy.metrics import average_precision, mean_std, precision_at_k
+from repro.userstudy.users import UserPanel
+
+
+@dataclass
+class StudyOneResult:
+    """Table 2 cells: precision@k mean ± std, plus the response count."""
+
+    responses: int = 0
+    precision: Dict[int, Tuple[float, float]] = field(default_factory=dict)
+    sets_evaluated: int = 0
+
+    def row(self) -> str:
+        cells = "  ".join(
+            f"p@{k} {mean:.2f}±{std:.2f}" for k, (mean, std) in sorted(self.precision.items())
+        )
+        return f"n={self.responses}  {cells}"
+
+
+@dataclass
+class StudyTwoResult:
+    """§4.1.2: MAP of REMI's answer in the users' rankings."""
+
+    responses: int = 0
+    map_score: float = 0.0
+    map_std: float = 0.0
+    sets_evaluated: int = 0
+
+
+@dataclass
+class StudyThreeResult:
+    """§4.1.3: interestingness grades."""
+
+    responses: int = 0
+    mean_score: float = 0.0
+    std_score: float = 0.0
+    descriptions: int = 0
+    scoring_at_least_3: int = 0
+
+
+def study_rank_subgraphs(
+    miner: REMI,
+    entity_sets: Sequence[Sequence[Term]],
+    panel: UserPanel,
+    responses_per_set: int = 2,
+    num_stimuli: int = 5,
+    seed: int = 99,
+) -> StudyOneResult:
+    """§4.1.1: rank five subgraph expressions by simplicity."""
+    rng = random.Random(seed)
+    result = StudyOneResult()
+    p_scores: Dict[int, List[float]] = {1: [], 2: [], 3: []}
+    users = list(panel)
+    for targets in entity_sets:
+        queue = miner.candidates(targets)
+        if len(queue) < num_stimuli:
+            continue
+        ranked = [se for se, _ in queue]
+        # Stimuli: Ĉ's top 3, the worst ranked, and one random mid-rank.
+        stimuli = ranked[:3] + [ranked[-1]]
+        middle = ranked[3:-1]
+        stimuli.append(rng.choice(middle) if middle else ranked[3])
+        system_order = [se for se in ranked if se in set(stimuli)]
+        result.sets_evaluated += 1
+        for _ in range(responses_per_set):
+            user = rng.choice(users)
+            user_order = user.rank_by_simplicity(stimuli)
+            for k in (1, 2, 3):
+                p_scores[k].append(precision_at_k(system_order, user_order, k))
+            result.responses += 1
+    for k, scores in p_scores.items():
+        result.precision[k] = mean_std(scores)
+    return result
+
+
+def _dissimilar_alternatives(
+    solution: Expression,
+    encountered: List[Tuple[Expression, float]],
+    limit: int,
+) -> List[Expression]:
+    """Pick alternatives that are not proper sub/supersets of each other
+    or of the solution (the paper's 'not too similar' constraint)."""
+    chosen: List[Expression] = [solution]
+    for expression, _ in sorted(encountered, key=lambda pair: pair[1]):
+        if len(chosen) - 1 >= limit:
+            break
+        candidate_sets = frozenset(expression.conjuncts)
+        too_similar = False
+        for existing in chosen:
+            existing_set = frozenset(existing.conjuncts)
+            if candidate_sets <= existing_set or existing_set <= candidate_sets:
+                too_similar = True
+                break
+        if not too_similar:
+            chosen.append(expression)
+    return chosen[1:]
+
+
+def study_remi_output(
+    miner: REMI,
+    entity_sets: Sequence[Sequence[Term]],
+    panel: UserPanel,
+    responses_per_set: int = 3,
+    max_alternatives: int = 4,
+    seed: int = 77,
+) -> StudyTwoResult:
+    """§4.1.2: MAP of REMI's answer among alternative REs."""
+    rng = random.Random(seed)
+    users = list(panel)
+    ap_scores: List[float] = []
+    sets_evaluated = 0
+    for targets in entity_sets:
+        mined = miner.mine(targets, collect_encountered=True)
+        if not mined.found:
+            continue
+        alternatives = _dissimilar_alternatives(
+            mined.expression, mined.encountered, max_alternatives
+        )
+        if not alternatives:
+            continue
+        stimuli = [mined.expression] + alternatives
+        sets_evaluated += 1
+        for _ in range(responses_per_set):
+            user = rng.choice(users)
+            ranking = user.rank_expressions(stimuli)
+            ap_scores.append(average_precision(mined.expression, ranking))
+    mean, std = mean_std(ap_scores)
+    return StudyTwoResult(
+        responses=len(ap_scores),
+        map_score=mean,
+        map_std=std,
+        sets_evaluated=sets_evaluated,
+    )
+
+
+def study_interestingness(
+    miner: REMI,
+    entities: Sequence[Term],
+    panel: UserPanel,
+    responses_per_description: int = 3,
+    seed: int = 55,
+) -> StudyThreeResult:
+    """§4.1.3: 1–5 interestingness grades for mined descriptions."""
+    rng = random.Random(seed)
+    users = list(panel)
+    grades: List[float] = []
+    description_means: List[float] = []
+    descriptions = 0
+    for entity in entities:
+        mined = miner.mine([entity])
+        if not mined.found:
+            continue
+        descriptions += 1
+        local: List[int] = []
+        for _ in range(responses_per_description):
+            user = rng.choice(users)
+            local.append(user.interestingness(mined.expression, entity))
+        grades.extend(local)
+        description_means.append(sum(local) / len(local))
+    mean, std = mean_std(grades)
+    return StudyThreeResult(
+        responses=len(grades),
+        mean_score=mean,
+        std_score=std,
+        descriptions=descriptions,
+        scoring_at_least_3=sum(1 for m in description_means if m >= 3.0),
+    )
+
+
+def study_variant_preference(
+    miner_fr: REMI,
+    miner_pr: REMI,
+    entity_sets: Sequence[Sequence[Term]],
+    panel: UserPanel,
+    responses_per_set: int = 3,
+    seed: int = 33,
+) -> Tuple[float, int, int]:
+    """§4.1.2's closing question: Ĉfr's answer vs Ĉpr's answer.
+
+    Returns ``(share_preferring_fr, responses, identical_solutions)``.
+    """
+    rng = random.Random(seed)
+    users = list(panel)
+    fr_votes = 0
+    total = 0
+    identical = 0
+    for targets in entity_sets:
+        fr_result = miner_fr.mine(targets)
+        pr_result = miner_pr.mine(targets)
+        if not (fr_result.found and pr_result.found):
+            continue
+        if fr_result.expression == pr_result.expression:
+            identical += 1
+            continue
+        for _ in range(responses_per_set):
+            user = rng.choice(users)
+            pair = [fr_result.expression, pr_result.expression]
+            preferred = user.rank_expressions(pair)[0]
+            if preferred == fr_result.expression:
+                fr_votes += 1
+            total += 1
+    share = fr_votes / total if total else 0.0
+    return share, total, identical

@@ -1,0 +1,178 @@
+"""Ĉ estimator tests: the paper's coding scheme, chain rule and modes."""
+
+import math
+
+import pytest
+
+from repro.complexity.codes import ComplexityEstimator, _tie_aware_ranks
+from repro.complexity.ranking import FrequencyProminence
+from repro.expressions.expression import Expression
+from repro.expressions.subgraph import SubgraphExpression
+from repro.kb.namespaces import EX
+from repro.kb.store import KnowledgeBase
+from repro.kb.triples import Triple
+
+
+@pytest.fixture
+def kb():
+    """France prominent; Alice obscure; mayors join to parties."""
+    kb = KnowledgeBase()
+    for i in range(20):
+        kb.add(Triple(EX[f"City{i}"], EX.cityIn, EX.France))
+    for i in range(5):
+        kb.add(Triple(EX[f"City{i}"], EX.cityIn, EX.Belgium))
+    kb.add(Triple(EX.City0, EX.capitalOf, EX.France))
+    kb.add(Triple(EX.City0, EX.mayor, EX.Alice))
+    kb.add(Triple(EX.City1, EX.mayor, EX.Bob))
+    kb.add(Triple(EX.Alice, EX.party, EX.Socialist))
+    kb.add(Triple(EX.Bob, EX.party, EX.Socialist))
+    return kb
+
+
+@pytest.fixture
+def estimator(kb):
+    return ComplexityEstimator(kb, FrequencyProminence(kb))
+
+
+class TestSingleAtom:
+    def test_bits_are_predicate_plus_object_rank(self, kb, estimator):
+        # cityIn is the most frequent predicate → log2(1) = 0 bits;
+        # France is the top object of cityIn → log2(1) = 0 bits.
+        se = SubgraphExpression.single_atom(EX.cityIn, EX.France)
+        assert estimator.complexity(se) == pytest.approx(0.0)
+
+    def test_less_prominent_object_costs_more(self, estimator):
+        france = SubgraphExpression.single_atom(EX.cityIn, EX.France)
+        belgium = SubgraphExpression.single_atom(EX.cityIn, EX.Belgium)
+        assert estimator.complexity(belgium) > estimator.complexity(france)
+
+    def test_less_prominent_predicate_costs_more(self, estimator):
+        city = SubgraphExpression.single_atom(EX.cityIn, EX.France)
+        capital = SubgraphExpression.single_atom(EX.capitalOf, EX.France)
+        assert estimator.complexity(capital) > estimator.complexity(city)
+
+    def test_unknown_object_ranks_past_vocabulary(self, kb, estimator):
+        known = SubgraphExpression.single_atom(EX.cityIn, EX.Belgium)
+        unknown = SubgraphExpression.single_atom(EX.cityIn, EX.Mars)
+        assert estimator.complexity(unknown) > estimator.complexity(known)
+
+    def test_complexity_cached(self, estimator):
+        se = SubgraphExpression.single_atom(EX.cityIn, EX.France)
+        assert estimator.complexity(se) == estimator.complexity(se)
+
+
+class TestChainRule:
+    def test_path_pays_conditional_join_code(self, kb, estimator):
+        """mayor(x,y) ∧ party(y,Socialist): party ranks among predicates
+        joinable with mayor, Socialist among parties of mayors."""
+        path = SubgraphExpression.path(EX.mayor, EX.party, EX.Socialist)
+        bits = estimator.complexity(path)
+        # predicate mayor: rank 3 of {cityIn(25), party(2)=mayor(2)...}
+        expected_head = estimator.predicate_bits(EX.mayor)
+        assert bits >= expected_head
+        assert math.isfinite(bits)
+
+    def test_paper_example_kleiner_vs_einstein(self, einstein_kb):
+        """§3.2: 'supervisor of the supervisor of Einstein' can beat the
+        direct description through obscure Kleiner."""
+        estimator = ComplexityEstimator(
+            einstein_kb, FrequencyProminence(einstein_kb)
+        )
+        direct = SubgraphExpression.single_atom(EX.supervisorOf, EX.Kleiner)
+        via_einstein = SubgraphExpression.path(
+            EX.supervisorOf, EX.supervisorOf, EX.Einstein
+        )
+        assert estimator.complexity(via_einstein) < estimator.complexity(direct)
+
+    def test_star_pays_both_tails(self, estimator):
+        path = SubgraphExpression.path(EX.mayor, EX.party, EX.Socialist)
+        star = SubgraphExpression.path_star(
+            EX.mayor, EX.party, EX.Socialist, EX.party, EX.Green
+        )
+        assert estimator.complexity(star) > estimator.complexity(path)
+
+    def test_closed_shapes_cost_increases_with_atoms(self, kb):
+        kb.add(Triple(EX.City0, EX.largestIn, EX.France))
+        kb.add(Triple(EX.City0, EX.oldestIn, EX.France))
+        estimator = ComplexityEstimator(kb, FrequencyProminence(kb))
+        closed2 = SubgraphExpression.closed(EX.cityIn, EX.largestIn)
+        closed3 = SubgraphExpression.closed(EX.cityIn, EX.largestIn, EX.oldestIn)
+        assert estimator.complexity(closed3) >= estimator.complexity(closed2)
+
+
+class TestExpressionComplexity:
+    def test_top_is_infinite(self, estimator):
+        assert estimator.expression_complexity(Expression.TOP) == math.inf
+
+    def test_sum_over_conjuncts(self, estimator):
+        a = SubgraphExpression.single_atom(EX.cityIn, EX.Belgium)
+        b = SubgraphExpression.single_atom(EX.capitalOf, EX.France)
+        total = estimator.expression_complexity(Expression.of(a, b))
+        assert total == pytest.approx(
+            estimator.complexity(a) + estimator.complexity(b)
+        )
+
+    def test_conjunction_monotone(self, estimator):
+        """Adding a conjunct never lowers Ĉ — the depth-pruning invariant."""
+        a = SubgraphExpression.single_atom(EX.cityIn, EX.France)
+        b = SubgraphExpression.single_atom(EX.capitalOf, EX.France)
+        assert estimator.expression_complexity(
+            Expression.of(a, b)
+        ) >= estimator.expression_complexity(Expression.of(a))
+
+
+class TestModes:
+    def test_powerlaw_mode_close_to_exact_on_zipf_data(self):
+        kb = KnowledgeBase()
+        counter = 0
+        for rank in range(1, 20):
+            for _ in range(max(1, 80 // rank)):
+                kb.add(Triple(EX[f"s{counter}"], EX.p, EX[f"o{rank}"]))
+                counter += 1
+        fr = FrequencyProminence(kb)
+        exact = ComplexityEstimator(kb, fr, mode="exact")
+        approx = ComplexityEstimator(kb, fr, mode="powerlaw")
+        se = SubgraphExpression.single_atom(EX.p, EX.o3)
+        assert approx.complexity(se) == pytest.approx(exact.complexity(se), abs=1.5)
+
+    def test_powerlaw_preserves_order(self):
+        kb = KnowledgeBase()
+        counter = 0
+        for rank in range(1, 20):
+            for _ in range(max(1, 80 // rank)):
+                kb.add(Triple(EX[f"s{counter}"], EX.p, EX[f"o{rank}"]))
+                counter += 1
+        approx = ComplexityEstimator(kb, FrequencyProminence(kb), mode="powerlaw")
+        head = SubgraphExpression.single_atom(EX.p, EX.o1)
+        tail = SubgraphExpression.single_atom(EX.p, EX.o19)
+        assert approx.complexity(head) < approx.complexity(tail)
+
+    def test_invalid_mode_rejected(self, kb):
+        with pytest.raises(ValueError):
+            ComplexityEstimator(kb, FrequencyProminence(kb), mode="bogus")
+
+    def test_clear_caches_after_mutation(self, kb, estimator):
+        se = SubgraphExpression.single_atom(EX.cityIn, EX.Belgium)
+        before = estimator.complexity(se)
+        for i in range(30):
+            kb.add(Triple(EX[f"B{i}"], EX.cityIn, EX.Belgium))
+        estimator.clear_caches()
+        estimator.prominence = FrequencyProminence(kb)
+        after = estimator.complexity(se)
+        assert after < before  # Belgium became the top object
+
+
+class TestTieAwareRanks:
+    def test_ties_share_last_position(self):
+        scores = {"a": 5, "b": 3, "c": 3, "d": 1}
+        ranks = _tie_aware_ranks(scores.keys(), scores.get)
+        assert ranks == {"a": 1, "b": 3, "c": 3, "d": 4}
+
+    def test_no_ties_is_positional(self):
+        scores = {"a": 3, "b": 2, "c": 1}
+        ranks = _tie_aware_ranks(scores.keys(), scores.get)
+        assert ranks == {"a": 1, "b": 2, "c": 3}
+
+    def test_all_tied(self):
+        ranks = _tie_aware_ranks(["a", "b", "c"], lambda _: 7)
+        assert set(ranks.values()) == {3}

@@ -1,0 +1,105 @@
+"""PageRank tests."""
+
+import pytest
+
+from repro.complexity.pagerank import link_graph, pagerank, top_entities
+from repro.kb.namespaces import EX
+from repro.kb.store import KnowledgeBase
+from repro.kb.terms import Literal
+from repro.kb.triples import Triple
+
+
+class TestLinkGraph:
+    def test_entity_edges_only(self):
+        kb = KnowledgeBase(
+            [
+                Triple(EX.a, EX.p, EX.b),
+                Triple(EX.a, EX.p, Literal("x")),  # literal object: skipped
+            ]
+        )
+        graph = link_graph(kb)
+        assert graph[EX.a] == {EX.b}
+        assert EX.b in graph  # sink node exists
+
+    def test_self_loops_skipped(self):
+        kb = KnowledgeBase([Triple(EX.a, EX.p, EX.a)])
+        assert link_graph(kb) == {}
+
+    def test_skip_predicates(self):
+        kb = KnowledgeBase([Triple(EX.a, EX.p, EX.b)])
+        assert link_graph(kb, skip_predicates={EX.p}) == {}
+
+    def test_inverse_predicates_excluded_by_default(self):
+        from repro.kb.inverse import inverse_predicate
+
+        kb = KnowledgeBase([Triple(EX.b, inverse_predicate(EX.p), EX.a)])
+        assert link_graph(kb) == {}
+        assert link_graph(kb, include_inverses=True) != {}
+
+
+class TestPageRank:
+    def test_empty(self):
+        assert pagerank({}) == {}
+
+    def test_scores_sum_to_one(self):
+        graph = {EX.a: {EX.b}, EX.b: {EX.c}, EX.c: {EX.a}}
+        scores = pagerank(graph)
+        assert sum(scores.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_symmetric_cycle_is_uniform(self):
+        graph = {EX.a: {EX.b}, EX.b: {EX.c}, EX.c: {EX.a}}
+        scores = pagerank(graph)
+        assert scores[EX.a] == pytest.approx(scores[EX.b], abs=1e-9)
+        assert scores[EX.b] == pytest.approx(scores[EX.c], abs=1e-9)
+
+    def test_hub_gets_highest_score(self):
+        # star: everyone links to the hub
+        spokes = [EX[f"s{i}"] for i in range(10)]
+        graph = {s: {EX.hub} for s in spokes}
+        graph[EX.hub] = set()
+        scores = pagerank(graph)
+        assert scores[EX.hub] == max(scores.values())
+        assert scores[EX.hub] > 5 * scores[spokes[0]]
+
+    def test_dangling_mass_redistributed(self):
+        graph = {EX.a: {EX.b}, EX.b: set()}  # b is a sink
+        scores = pagerank(graph)
+        assert sum(scores.values()) == pytest.approx(1.0, abs=1e-6)
+        assert scores[EX.b] > scores[EX.a]
+
+    def test_damping_validation(self):
+        with pytest.raises(ValueError):
+            pagerank({EX.a: set()}, damping=1.5)
+
+    def test_accepts_kb_directly(self):
+        kb = KnowledgeBase([Triple(EX.a, EX.p, EX.b)])
+        scores = pagerank(kb)
+        assert set(scores) == {EX.a, EX.b}
+
+    def test_matches_networkx(self):
+        """Cross-check against the reference implementation."""
+        networkx = pytest.importorskip("networkx")
+        edges = [
+            (EX.a, EX.b), (EX.b, EX.c), (EX.c, EX.a), (EX.a, EX.c),
+            (EX.d, EX.a), (EX.d, EX.c),
+        ]
+        graph = {}
+        nx_graph = networkx.DiGraph()
+        for s, o in edges:
+            graph.setdefault(s, set()).add(o)
+            nx_graph.add_edge(s, o)
+        graph.setdefault(EX.b, set())
+        ours = pagerank(graph, damping=0.85, tolerance=1e-12)
+        reference = networkx.pagerank(nx_graph, alpha=0.85, tol=1e-12)
+        for node, score in reference.items():
+            assert ours[node] == pytest.approx(score, abs=1e-6)
+
+
+def test_top_entities_deterministic():
+    graph = {EX.a: {EX.c}, EX.b: {EX.c}, EX.c: set()}
+    scores = pagerank(graph)
+    top = top_entities(scores, 2)
+    assert top[0] == EX.c
+    assert len(top) == 2
+    # ties (a and b) break lexicographically
+    assert top[1] == EX.a

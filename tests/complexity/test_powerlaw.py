@@ -1,0 +1,134 @@
+"""Power-law fit tests (Eq. 1), including fit-quality properties."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.complexity.powerlaw import PowerLawFit, PowerLawModel, fit_power_law
+from repro.kb.namespaces import EX
+from repro.kb.store import KnowledgeBase
+from repro.kb.triples import Triple
+
+
+class TestFit:
+    def test_perfect_power_law_recovered(self):
+        # rank = 100 / score  →  log2 rank = -1·log2 score + log2 100
+        points = [(score, 100.0 / score) for score in (1, 2, 4, 5, 10, 20, 50)]
+        fit = fit_power_law(points)
+        assert fit.alpha == pytest.approx(1.0, abs=1e-9)
+        assert fit.beta == pytest.approx(math.log2(100), abs=1e-9)
+        assert fit.r_squared == pytest.approx(1.0, abs=1e-9)
+
+    def test_steeper_exponent(self):
+        points = [(score, 64.0 / score**2) for score in (1, 2, 4, 8)]
+        fit = fit_power_law(points)
+        assert fit.alpha == pytest.approx(2.0, abs=1e-9)
+
+    def test_constant_scores_degenerate(self):
+        fit = fit_power_law([(5.0, 1), (5.0, 2), (5.0, 3)])
+        assert fit.alpha == 0.0
+        assert fit.r_squared == 1.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fit_power_law([(0.0, 1.0)])
+        with pytest.raises(ValueError):
+            fit_power_law([(1.0, -2.0)])
+        with pytest.raises(ValueError):
+            fit_power_law([])
+
+    def test_rank_bits_monotone_decreasing_in_score(self):
+        fit = PowerLawFit(alpha=1.0, beta=8.0, r_squared=0.9, points=10)
+        assert fit.rank_bits(1.0) > fit.rank_bits(10.0) > fit.rank_bits(100.0)
+
+    def test_rank_bits_nonnegative(self):
+        fit = PowerLawFit(alpha=1.0, beta=2.0, r_squared=0.9, points=10)
+        assert fit.rank_bits(1e9) == 0.0
+
+    def test_rank_bits_unseen_concept(self):
+        fit = PowerLawFit(alpha=1.0, beta=4.0, r_squared=0.9, points=10)
+        assert fit.rank_bits(0.0) == 5.0  # beta + 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.1, max_value=1e6, allow_nan=False),
+            st.integers(min_value=1, max_value=10_000),
+        ),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_fit_properties(points):
+    fit = fit_power_law(points)
+    assert 0.0 <= fit.r_squared <= 1.0
+    assert fit.points == len(points)
+    assert math.isfinite(fit.alpha) and math.isfinite(fit.beta)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.floats(min_value=0.5, max_value=3.0), st.floats(min_value=1.0, max_value=12.0))
+def test_fit_inverts_generated_law(alpha, beta):
+    """Fitting data generated from (α, β) recovers (α, β)."""
+    points = []
+    for rank in range(1, 40):
+        # invert: log2 rank = -α log2 score + β  →  score = 2^((β - log2 rank)/α)
+        score = 2 ** ((beta - math.log2(rank)) / alpha)
+        points.append((score, rank))
+    fit = fit_power_law(points)
+    assert fit.alpha == pytest.approx(alpha, rel=1e-6)
+    assert fit.beta == pytest.approx(beta, rel=1e-6)
+    assert fit.r_squared == pytest.approx(1.0, abs=1e-9)
+
+
+class TestModel:
+    @pytest.fixture
+    def zipf_kb(self):
+        """Objects of EX.p follow a Zipf-ish conditional frequency."""
+        kb = KnowledgeBase()
+        counter = 0
+        for rank in range(1, 15):
+            frequency = max(1, int(60 / rank))
+            for _ in range(frequency):
+                kb.add(Triple(EX[f"s{counter}"], EX.p, EX[f"obj{rank}"]))
+                counter += 1
+        return kb
+
+    def test_fit_for_predicate(self, zipf_kb):
+        model = PowerLawModel(zipf_kb)
+        fit = model.fit_for(EX.p)
+        assert fit is not None
+        assert fit.alpha > 0.5
+        assert fit.r_squared > 0.8
+
+    def test_fit_cached(self, zipf_kb):
+        model = PowerLawModel(zipf_kb)
+        assert model.fit_for(EX.p) is model.fit_for(EX.p)
+
+    def test_too_few_points_returns_none(self):
+        kb = KnowledgeBase([Triple(EX.a, EX.p, EX.b)])
+        assert PowerLawModel(kb).fit_for(EX.p) is None
+
+    def test_estimated_bits_ordering(self, zipf_kb):
+        model = PowerLawModel(zipf_kb)
+        frequent = model.estimated_rank_bits(EX.p, EX.obj1)
+        rare = model.estimated_rank_bits(EX.p, EX.obj14)
+        assert frequent is not None and rare is not None
+        assert frequent < rare
+
+    def test_average_r_squared(self, zipf_kb):
+        model = PowerLawModel(zipf_kb)
+        assert 0.8 <= model.average_r_squared() <= 1.0
+
+    def test_average_r_squared_empty_kb(self):
+        assert PowerLawModel(KnowledgeBase()).average_r_squared() == 0.0
+
+    def test_custom_score_function(self, zipf_kb):
+        scores = {EX[f"obj{rank}"]: 1.0 / rank for rank in range(1, 15)}
+        model = PowerLawModel(zipf_kb, score=lambda t: scores.get(t, 0.0))
+        fit = model.fit_for(EX.p)
+        assert fit is not None and fit.r_squared > 0.9

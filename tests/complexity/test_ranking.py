@@ -1,0 +1,107 @@
+"""Prominence model tests."""
+
+import pytest
+
+from repro.complexity.ranking import (
+    FrequencyProminence,
+    PageRankProminence,
+    conditional_rank,
+    rank_terms,
+    ranking_of,
+)
+from repro.kb.namespaces import EX
+from repro.kb.store import KnowledgeBase
+from repro.kb.terms import Literal
+from repro.kb.triples import Triple
+
+
+@pytest.fixture
+def kb():
+    kb = KnowledgeBase()
+    for i in range(10):
+        kb.add(Triple(EX[f"City{i}"], EX.cityIn, EX.France))
+    for i in range(3):
+        kb.add(Triple(EX[f"City{i}"], EX.twinOf, EX.Berlin))
+    kb.add(Triple(EX.City0, EX.mayor, EX.Alice))
+    return kb
+
+
+class TestFrequencyProminence:
+    def test_entity_score_is_fact_count(self, kb):
+        fr = FrequencyProminence(kb)
+        assert fr.entity_score(EX.France) == 10
+        assert fr.entity_score(EX.Berlin) == 3
+        assert fr.entity_score(EX.City0) == 3  # cityIn + twinOf + mayor
+        assert fr.entity_score(EX.Unknown) == 0
+
+    def test_predicate_rank_order(self, kb):
+        fr = FrequencyProminence(kb)
+        assert fr.predicate_rank(EX.cityIn) == 1
+        assert fr.predicate_rank(EX.twinOf) == 2
+        assert fr.predicate_rank(EX.mayor) == 3
+
+    def test_unknown_predicate_ranks_last(self, kb):
+        fr = FrequencyProminence(kb)
+        assert fr.predicate_rank(EX.unknown) == 4
+
+    def test_top_entities(self, kb):
+        fr = FrequencyProminence(kb)
+        top = fr.top_entities(0.08)  # 14 entities → top 1
+        assert EX.France in top
+
+    def test_top_entities_zero_fraction(self, kb):
+        assert FrequencyProminence(kb).top_entities(0.0) == frozenset()
+
+
+class TestPageRankProminence:
+    def test_pr_defined_entities_outrank_literals(self, kb):
+        kb.add(Triple(EX.City9, EX.population, Literal("500")))
+        pr = PageRankProminence(kb)
+        assert pr.entity_score(EX.France) > pr.entity_score(Literal("500"))
+
+    def test_fr_fallback_preserves_relative_order(self, kb):
+        lit_a, lit_b = Literal("a"), Literal("b")
+        kb.add(Triple(EX.City1, EX.note, lit_a))
+        kb.add(Triple(EX.City1, EX.note, lit_b))
+        kb.add(Triple(EX.City2, EX.note, lit_b))
+        pr = PageRankProminence(kb)
+        assert pr.entity_score(lit_b) > pr.entity_score(lit_a)
+
+    def test_predicates_always_rank_by_fr(self, kb):
+        pr = PageRankProminence(kb)
+        fr = FrequencyProminence(kb)
+        for p in kb.predicates():
+            assert pr.predicate_rank(p) == fr.predicate_rank(p)
+
+    def test_accepts_precomputed_scores(self, kb):
+        pr = PageRankProminence(kb, scores={EX.Berlin: 0.9, EX.France: 0.1})
+        assert pr.entity_score(EX.Berlin) > pr.entity_score(EX.France)
+
+
+class TestRankHelpers:
+    def test_rank_terms_descending(self, kb):
+        fr = FrequencyProminence(kb)
+        ranks = rank_terms([EX.France, EX.Berlin, EX.Alice], fr.entity_score)
+        assert ranks[EX.France] == 1
+        assert ranks[EX.Berlin] == 2
+        assert ranks[EX.Alice] == 3
+
+    def test_conditional_rank_tie_group_shares_last_position(self, kb):
+        fr = FrequencyProminence(kb)
+        # City3..City9 all have frequency 1 (one cityIn fact each).
+        candidates = [EX[f"City{i}"] for i in range(3, 10)]
+        ranks = {c: conditional_rank(c, candidates, fr) for c in candidates}
+        assert len(set(ranks.values())) == 1  # one tie group
+        assert set(ranks.values()) == {len(candidates)}
+
+    def test_conditional_rank_outside_candidates(self, kb):
+        fr = FrequencyProminence(kb)
+        rank = conditional_rank(EX.Nowhere, [EX.France, EX.Berlin], fr)
+        assert rank == 3
+
+    def test_ranking_of_deterministic(self, kb):
+        fr = FrequencyProminence(kb)
+        first = ranking_of(kb.entities(), fr)
+        second = ranking_of(kb.entities(), fr)
+        assert first == second
+        assert first[0] == EX.France

@@ -1,0 +1,61 @@
+"""Tests for the §4.1.1 type-predicate discount."""
+
+import pytest
+
+from repro.complexity.codes import ComplexityEstimator
+from repro.complexity.ranking import FrequencyProminence
+from repro.expressions.subgraph import SubgraphExpression
+from repro.kb.namespaces import EX, RDF_TYPE
+from repro.kb.store import KnowledgeBase
+from repro.kb.triples import Triple
+
+
+@pytest.fixture
+def kb():
+    """cityIn dominates; rdf:type ranks second."""
+    kb = KnowledgeBase()
+    for i in range(20):
+        kb.add(Triple(EX[f"City{i}"], EX.cityIn, EX.France))
+    for i in range(10):
+        kb.add(Triple(EX[f"City{i}"], RDF_TYPE, EX.City))
+    return kb
+
+
+def test_discount_lowers_type_bits(kb):
+    fr = FrequencyProminence(kb)
+    plain = ComplexityEstimator(kb, fr)
+    discounted = ComplexityEstimator(kb, fr, type_discount_bits=2.0)
+    assert discounted.predicate_bits(RDF_TYPE) < plain.predicate_bits(RDF_TYPE)
+    # other predicates are untouched
+    assert discounted.predicate_bits(EX.cityIn) == plain.predicate_bits(EX.cityIn)
+
+
+def test_discount_floors_at_zero(kb):
+    fr = FrequencyProminence(kb)
+    discounted = ComplexityEstimator(kb, fr, type_discount_bits=50.0)
+    assert discounted.predicate_bits(RDF_TYPE) == 0.0
+
+
+def test_discount_reorders_candidates(kb):
+    """With the discount, the type atom outranks the cityIn atom it lost
+    to before — the Table 2 p@1 fix [13] suggests."""
+    fr = FrequencyProminence(kb)
+    type_atom = SubgraphExpression.single_atom(RDF_TYPE, EX.City)
+    city_atom = SubgraphExpression.single_atom(EX.cityIn, EX.France)
+    plain = ComplexityEstimator(kb, fr)
+    assert plain.complexity(type_atom) > plain.complexity(city_atom)
+    discounted = ComplexityEstimator(kb, fr, type_discount_bits=3.0)
+    assert discounted.complexity(type_atom) <= discounted.complexity(city_atom)
+
+
+def test_negative_discount_rejected(kb):
+    with pytest.raises(ValueError):
+        ComplexityEstimator(kb, FrequencyProminence(kb), type_discount_bits=-1.0)
+
+
+def test_zero_discount_is_default_behaviour(kb):
+    fr = FrequencyProminence(kb)
+    a = ComplexityEstimator(kb, fr)
+    b = ComplexityEstimator(kb, fr, type_discount_bits=0.0)
+    se = SubgraphExpression.single_atom(RDF_TYPE, EX.City)
+    assert a.complexity(se) == b.complexity(se)

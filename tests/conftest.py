@@ -1,0 +1,119 @@
+"""Shared fixtures: scene KBs, generated KBs, helper strategies.
+
+Expensive fixtures (the generated KBs) are session-scoped; mutating tests
+must copy them first.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import combinations
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    dbpedia_like,
+    einstein_scene,
+    france_scene,
+    rennes_nantes_scene,
+    south_america_scene,
+    wikidata_like,
+)
+from repro.expressions.expression import Expression
+from repro.kb.terms import IRI, BlankNode, Literal
+from repro.kb.triples import Triple
+
+
+# ----------------------------------------------------------------------
+# scene KBs (cheap: rebuild per test so mutation is safe)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def rennes_kb():
+    return rennes_nantes_scene()
+
+
+@pytest.fixture
+def south_america_kb():
+    return south_america_scene()
+
+
+@pytest.fixture
+def einstein_kb():
+    return einstein_scene()
+
+
+@pytest.fixture
+def france_kb():
+    return france_scene()
+
+
+# ----------------------------------------------------------------------
+# generated KBs (expensive: session scope, treat as read-only)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="session")
+def dbpedia_small():
+    return dbpedia_like(scale=0.35, seed=11)
+
+
+@pytest.fixture(scope="session")
+def wikidata_small():
+    return wikidata_like(scale=0.35, seed=12)
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+
+
+def brute_force_best(miner, targets, max_conjuncts: int = 3, max_queue: int = 40):
+    """Exhaustive Ĉ-minimal RE search — the oracle for optimality tests.
+
+    Only usable on small candidate queues; trims the queue to *max_queue*
+    (callers should pick targets with small common-SE sets).
+    """
+    queue = miner.candidates(targets)[:max_queue]
+    target_set = frozenset(targets)
+    best, best_c = None, math.inf
+    for size in range(1, max_conjuncts + 1):
+        for combo in combinations(queue, size):
+            complexity = sum(c for _, c in combo)
+            if complexity >= best_c:
+                continue
+            expression = Expression(tuple(se for se, _ in combo))
+            if miner.matcher.identifies(expression, target_set):
+                best, best_c = expression, complexity
+    return best, best_c
+
+
+# ----------------------------------------------------------------------
+# hypothesis strategies for RDF terms/triples
+# ----------------------------------------------------------------------
+
+_NAME = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789",
+    min_size=1,
+    max_size=12,
+)
+
+iris = st.builds(lambda name: IRI("http://example.org/" + name), _NAME)
+blanks = st.builds(BlankNode, _NAME)
+# Lexical forms exercise the N-Triples escape machinery.
+_LEXICAL = st.text(min_size=0, max_size=24).filter(lambda s: "\x00" not in s)
+plain_literals = st.builds(Literal, _LEXICAL)
+lang_literals = st.builds(
+    lambda lex, lang: Literal(lex, lang=lang),
+    _LEXICAL,
+    st.sampled_from(["en", "fr", "de", "en-GB"]),
+)
+typed_literals = st.builds(
+    lambda lex, dt: Literal(lex, datatype=dt), _LEXICAL, iris
+)
+literals = st.one_of(plain_literals, lang_literals, typed_literals)
+subjects = st.one_of(iris, blanks)
+objects = st.one_of(iris, blanks, literals)
+triples = st.builds(Triple, subjects, iris, objects)

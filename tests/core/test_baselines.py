@@ -1,0 +1,127 @@
+"""Baseline miner tests (Full Brevity [3] and Incremental [13])."""
+
+import pytest
+
+from repro.baselines import FullBrevityMiner, IncrementalMiner
+from repro.core.config import MinerConfig
+from repro.core.remi import REMI
+from repro.expressions.matching import Matcher
+from repro.kb.namespaces import EX
+from repro.kb.store import KnowledgeBase
+from repro.kb.triples import Triple
+
+
+class TestFullBrevity:
+    def test_finds_shortest_re(self, rennes_kb):
+        miner = FullBrevityMiner(rennes_kb)
+        expression = miner.mine([EX.Rennes, EX.Nantes])
+        assert expression is not None
+        assert Matcher(rennes_kb).identifies(
+            expression, frozenset({EX.Rennes, EX.Nantes})
+        )
+        # no shorter RE exists: each shared single atom matches ≥3 cities
+        assert len(expression) == 2
+
+    def test_result_is_minimal_length(self, rennes_kb):
+        """No sub-conjunction of the answer is itself an RE."""
+        miner = FullBrevityMiner(rennes_kb)
+        targets = frozenset({EX.Rennes, EX.Nantes})
+        expression = miner.mine([EX.Rennes, EX.Nantes])
+        matcher = Matcher(rennes_kb)
+        from repro.expressions.expression import Expression
+
+        for index in range(len(expression.conjuncts)):
+            reduced = Expression(
+                expression.conjuncts[:index] + expression.conjuncts[index + 1 :]
+            )
+            if not reduced.is_top:
+                assert not matcher.identifies(reduced, targets)
+
+    def test_single_atom_when_possible(self, france_kb):
+        expression = FullBrevityMiner(france_kb).mine([EX.Paris])
+        assert expression is not None
+        assert len(expression) == 1
+
+    def test_no_solution(self):
+        kb = KnowledgeBase()
+        for entity in (EX.a, EX.b):
+            kb.add(Triple(entity, EX.p, EX.shared))
+        assert FullBrevityMiner(kb).mine([EX.a]) is None
+
+    def test_ranker_breaks_length_ties(self, rennes_kb):
+        remi = REMI(rennes_kb, config=MinerConfig.standard())
+        ranked = FullBrevityMiner(rennes_kb).mine(
+            [EX.Rennes, EX.Nantes], ranker=remi.estimator.expression_complexity
+        )
+        unranked = FullBrevityMiner(rennes_kb).mine([EX.Rennes, EX.Nantes])
+        assert len(ranked) == len(unranked)  # ranker never changes length
+        assert remi.estimator.expression_complexity(
+            ranked
+        ) <= remi.estimator.expression_complexity(unranked)
+
+    def test_ignores_intuitiveness(self):
+        """The paper's criticism: a rare-concept RE wins if it is shorter."""
+        kb = KnowledgeBase()
+        for i in range(10):
+            kb.add(Triple(EX[f"City{i}"], EX.cityIn, EX.France))
+        kb.add(Triple(EX.City0, EX.restingPlaceOf, EX.ObscurePoet))
+        expression = FullBrevityMiner(kb).mine([EX.City0])
+        assert len(expression) == 1
+        assert expression.conjuncts[0].predicates() == (EX.restingPlaceOf,)
+
+    def test_validation(self, rennes_kb):
+        with pytest.raises(ValueError):
+            FullBrevityMiner(rennes_kb, max_atoms=0)
+        with pytest.raises(ValueError):
+            FullBrevityMiner(rennes_kb).mine([])
+
+
+class TestIncremental:
+    def test_finds_re(self, rennes_kb):
+        expression = IncrementalMiner(rennes_kb).mine([EX.Rennes, EX.Nantes])
+        assert expression is not None
+        assert Matcher(rennes_kb).identifies(
+            expression, frozenset({EX.Rennes, EX.Nantes})
+        )
+
+    def test_respects_preference_order(self, rennes_kb):
+        """The first useful predicate in the order appears in the result."""
+        order = [EX.placeOf, EX.belongedTo, EX.inRegion, EX.mayor, EX.party]
+        expression = IncrementalMiner(rennes_kb, preference_order=order).mine(
+            [EX.Rennes, EX.Nantes]
+        )
+        assert expression is not None
+        assert expression.conjuncts[0].predicates()[0] == EX.placeOf
+
+    def test_can_overspecify(self):
+        """The classic failure mode: an early attribute that shrinks the
+        distractor set is kept even when later ones subsume it."""
+        kb = KnowledgeBase()
+        # color rules out some distractors, size rules out all of them
+        kb.add(Triple(EX.target, EX.color, EX.red))
+        kb.add(Triple(EX.target, EX.size, EX.small))
+        kb.add(Triple(EX.d1, EX.color, EX.red))
+        kb.add(Triple(EX.d1, EX.size, EX.big))
+        kb.add(Triple(EX.d2, EX.color, EX.blue))
+        kb.add(Triple(EX.d2, EX.size, EX.small2))
+        miner = IncrementalMiner(kb, preference_order=[EX.color, EX.size])
+        expression = miner.mine([EX.target])
+        assert expression is not None and len(expression) == 2
+        assert miner.overspecification(expression, [EX.target]) >= 1
+
+    def test_remi_never_overspecifies(self, rennes_kb):
+        """Ĉ-minimality implies no redundant conjunct."""
+        remi = REMI(rennes_kb)
+        result = remi.mine([EX.Rennes, EX.Nantes])
+        helper = IncrementalMiner(rennes_kb)
+        assert helper.overspecification(result.expression, [EX.Rennes, EX.Nantes]) == 0
+
+    def test_no_solution_returns_none(self):
+        kb = KnowledgeBase()
+        for entity in (EX.a, EX.b):
+            kb.add(Triple(entity, EX.p, EX.shared))
+        assert IncrementalMiner(kb).mine([EX.a]) is None
+
+    def test_empty_targets_rejected(self, rennes_kb):
+        with pytest.raises(ValueError):
+            IncrementalMiner(rennes_kb).mine([])

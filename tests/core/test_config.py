@@ -1,0 +1,62 @@
+"""MinerConfig validation tests."""
+
+import pytest
+
+from repro.core.config import LanguageBias, MinerConfig, SearchStrategy
+from repro.kb.namespaces import RDF_TYPE, RDFS_LABEL
+from repro.kb.namespaces import EX
+
+
+class TestDefaults:
+    def test_paper_default(self):
+        config = MinerConfig.paper_default()
+        assert config.language is LanguageBias.REMI
+        assert config.max_atoms == 3
+        assert config.prominent_object_cutoff == 0.05
+        assert config.prune_blank_single_atoms
+        assert config.search is SearchStrategy.COMPLETE
+
+    def test_standard(self):
+        config = MinerConfig.standard()
+        assert config.language is LanguageBias.STANDARD
+        assert not config.language.allows_variables
+
+    def test_remi_language_allows_variables(self):
+        assert LanguageBias.REMI.allows_variables
+
+
+class TestValidation:
+    def test_max_atoms(self):
+        with pytest.raises(ValueError):
+            MinerConfig(max_atoms=0)
+
+    def test_cutoff_range(self):
+        with pytest.raises(ValueError):
+            MinerConfig(prominent_object_cutoff=1.5)
+        MinerConfig(prominent_object_cutoff=None)  # disabled is fine
+
+    def test_num_threads(self):
+        with pytest.raises(ValueError):
+            MinerConfig(num_threads=0)
+
+
+class TestExclusions:
+    def test_labels_excluded_by_default(self):
+        assert MinerConfig().is_excluded(RDFS_LABEL)
+
+    def test_type_included_by_default(self):
+        assert not MinerConfig().is_excluded(RDF_TYPE)
+
+    def test_type_excludable(self):
+        config = MinerConfig(include_type_atoms=False)
+        assert config.is_excluded(RDF_TYPE)
+
+    def test_custom_exclusions(self):
+        config = MinerConfig(exclude_predicates=frozenset({EX.secret}))
+        assert config.is_excluded(EX.secret)
+        assert not config.is_excluded(EX.public)
+
+    def test_frozen(self):
+        config = MinerConfig()
+        with pytest.raises(Exception):
+            config.max_atoms = 5

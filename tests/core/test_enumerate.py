@@ -1,0 +1,185 @@
+"""Enumeration tests: Table 1 coverage, §3.5.2 pruning, the intersection
+semantics of Alg. 1 line 1, and the language census."""
+
+import pytest
+
+from repro.core.config import LanguageBias, MinerConfig
+from repro.core.enumerate import (
+    common_subgraph_expressions,
+    language_census,
+    subgraph_expressions,
+)
+from repro.expressions.matching import Matcher
+from repro.expressions.subgraph import Shape, SubgraphExpression
+from repro.kb.namespaces import EX, RDFS_LABEL
+from repro.kb.store import KnowledgeBase
+from repro.kb.terms import BlankNode, Literal
+from repro.kb.triples import Triple
+
+
+@pytest.fixture
+def kb():
+    kb = KnowledgeBase()
+    kb.add_all(
+        [
+            Triple(EX.Rennes, EX.inRegion, EX.Brittany),
+            Triple(EX.Rennes, EX.belongedTo, EX.Brittany),
+            Triple(EX.Rennes, EX.mayor, EX.Appere),
+            Triple(EX.Appere, EX.party, EX.Socialist),
+            Triple(EX.Appere, EX.bornIn, EX.Rennes),
+            Triple(EX.Rennes, EX.near, BlankNode("river")),
+            Triple(BlankNode("river"), EX.flowsInto, EX.Atlantic),
+            Triple(EX.Rennes, RDFS_LABEL, Literal("Rennes")),
+        ]
+    )
+    return kb
+
+
+class TestShapes:
+    def test_single_atoms_present(self, kb):
+        found = subgraph_expressions(kb, EX.Rennes)
+        assert SubgraphExpression.single_atom(EX.inRegion, EX.Brittany) in found
+
+    def test_paths_present(self, kb):
+        found = subgraph_expressions(kb, EX.Rennes)
+        assert SubgraphExpression.path(EX.mayor, EX.party, EX.Socialist) in found
+
+    def test_path_star_present(self, kb):
+        found = subgraph_expressions(kb, EX.Rennes)
+        star = SubgraphExpression.path_star(
+            EX.mayor, EX.party, EX.Socialist, EX.bornIn, EX.Rennes
+        )
+        assert star in found
+
+    def test_closed_pair_present(self, kb):
+        found = subgraph_expressions(kb, EX.Rennes)
+        assert SubgraphExpression.closed(EX.inRegion, EX.belongedTo) in found
+
+    def test_closed_triple_present(self, kb):
+        kb.add(Triple(EX.Rennes, EX.capitalOfRegion, EX.Brittany))
+        found = subgraph_expressions(kb, EX.Rennes)
+        closed3 = SubgraphExpression.closed(
+            EX.inRegion, EX.belongedTo, EX.capitalOfRegion
+        )
+        assert closed3 in found
+
+    def test_every_expression_holds_for_the_entity(self, kb):
+        matcher = Matcher(kb)
+        for se in subgraph_expressions(kb, EX.Rennes):
+            assert matcher.holds_for(se, EX.Rennes), se
+
+    def test_standard_language_single_atoms_only(self, kb):
+        found = subgraph_expressions(kb, EX.Rennes, MinerConfig.standard())
+        assert found
+        assert all(se.shape is Shape.SINGLE_ATOM for se in found)
+
+    def test_max_atoms_two_excludes_stars_and_closed3(self, kb):
+        found = subgraph_expressions(kb, EX.Rennes, MinerConfig(max_atoms=2))
+        assert all(se.size <= 2 for se in found)
+        assert any(se.shape is Shape.PATH for se in found)
+
+
+class TestPruning:
+    def test_blank_single_atoms_pruned(self, kb):
+        found = subgraph_expressions(kb, EX.Rennes)
+        assert SubgraphExpression.single_atom(EX.near, BlankNode("river")) not in found
+
+    def test_blank_single_atoms_kept_when_disabled(self, kb):
+        config = MinerConfig(prune_blank_single_atoms=False)
+        found = subgraph_expressions(kb, EX.Rennes, config)
+        assert SubgraphExpression.single_atom(EX.near, BlankNode("river")) in found
+
+    def test_paths_hide_blank_nodes(self, kb):
+        """§3.5.2: p(x,y) ∧ p'(y,I) is derived even when y is blank."""
+        found = subgraph_expressions(kb, EX.Rennes)
+        assert SubgraphExpression.path(EX.near, EX.flowsInto, EX.Atlantic) in found
+
+    def test_prominent_hub_cutoff(self, kb):
+        """No multi-atom derivation through a top-prominence object."""
+        found = subgraph_expressions(
+            kb, EX.Rennes, prominent=frozenset({EX.Appere})
+        )
+        assert SubgraphExpression.path(EX.mayor, EX.party, EX.Socialist) not in found
+        # single atom through Appere survives
+        assert SubgraphExpression.single_atom(EX.mayor, EX.Appere) in found
+
+    def test_labels_never_enumerated(self, kb):
+        found = subgraph_expressions(kb, EX.Rennes)
+        assert all(RDFS_LABEL not in se.predicates() for se in found)
+
+    def test_type_excludable(self, kb):
+        from repro.kb.namespaces import RDF_TYPE
+
+        kb.add(Triple(EX.Rennes, RDF_TYPE, EX.City))
+        config = MinerConfig(include_type_atoms=False)
+        found = subgraph_expressions(kb, EX.Rennes, config)
+        assert all(RDF_TYPE not in se.predicates() for se in found)
+
+    def test_max_star_pairs_caps_quadratic_blowup(self):
+        kb = KnowledgeBase()
+        for i in range(12):
+            kb.add(Triple(EX.x, EX.link, EX.hub))
+            kb.add(Triple(EX.hub, EX[f"p{i}"], EX[f"o{i}"]))
+        unlimited = subgraph_expressions(kb, EX.x)
+        capped = subgraph_expressions(kb, EX.x, MinerConfig(max_star_pairs=3))
+        stars_unlimited = sum(1 for se in unlimited if se.shape is Shape.PATH_STAR)
+        stars_capped = sum(1 for se in capped if se.shape is Shape.PATH_STAR)
+        assert stars_unlimited == 66  # C(12, 2)
+        assert stars_capped == 3
+
+
+class TestCommon:
+    def test_intersection_semantics(self, rennes_kb):
+        """Common SEs = those every target satisfies."""
+        matcher = Matcher(rennes_kb)
+        targets = [EX.Rennes, EX.Nantes]
+        common = common_subgraph_expressions(rennes_kb, targets, matcher=matcher)
+        assert common
+        for se in common:
+            for t in targets:
+                assert matcher.holds_for(se, t), (se, t)
+
+    def test_equivalent_to_per_entity_intersection(self, rennes_kb):
+        config = MinerConfig()
+        per_entity = [
+            subgraph_expressions(rennes_kb, t, config)
+            for t in (EX.Rennes, EX.Nantes)
+        ]
+        expected = set.intersection(*per_entity)
+        common = common_subgraph_expressions(
+            rennes_kb, [EX.Rennes, EX.Nantes], config
+        )
+        assert common == expected
+
+    def test_single_target_is_full_enumeration(self, rennes_kb):
+        assert common_subgraph_expressions(
+            rennes_kb, [EX.Rennes]
+        ) == subgraph_expressions(rennes_kb, EX.Rennes)
+
+    def test_empty_targets_rejected(self, rennes_kb):
+        with pytest.raises(ValueError):
+            common_subgraph_expressions(rennes_kb, [])
+
+
+class TestCensus:
+    def test_census_counts_are_consistent(self, kb):
+        census = language_census(kb, EX.Rennes)
+        assert census["standard"] <= census["one_var_2atom"]
+        assert census["one_var_2atom"] <= census["one_var_3atom"]
+        assert census["one_var_3atom"] <= census["two_var_3atom"]
+
+    def test_census_standard_matches_enumeration(self, kb):
+        census = language_census(kb, EX.Rennes)
+        standard = subgraph_expressions(kb, EX.Rennes, MinerConfig.standard())
+        assert census["standard"] == len(standard)
+
+    def test_census_full_matches_enumeration(self, kb):
+        census = language_census(kb, EX.Rennes)
+        full = subgraph_expressions(kb, EX.Rennes)
+        assert census["one_var_3atom"] == len(full)
+
+    def test_two_var_chains_counted(self, kb):
+        # Rennes –mayor→ Appere –bornIn→ Rennes –inRegion→ Brittany is a
+        # two-variable chain, so the census must exceed the one-var count.
+        census = language_census(kb, EX.Rennes)
+        assert census["two_var_3atom"] > census["one_var_3atom"]

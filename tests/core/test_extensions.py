@@ -1,0 +1,162 @@
+"""Tests for the §6 future-work extensions."""
+
+import math
+
+import pytest
+
+from repro.core.remi import REMI
+from repro.expressions.matching import Matcher
+from repro.extensions import (
+    DisjunctiveREMI,
+    ExogenousProminence,
+    ToleranceMatcher,
+    mine_with_exceptions,
+)
+from repro.kb.namespaces import EX
+from repro.kb.store import KnowledgeBase
+from repro.kb.triples import Triple
+
+
+class TestExceptions:
+    def test_zero_tolerance_equals_remi(self, rennes_kb):
+        targets = [EX.Rennes, EX.Nantes]
+        strict = REMI(rennes_kb).mine(targets)
+        tolerant = mine_with_exceptions(rennes_kb, targets, exceptions=0)
+        assert tolerant.found == strict.found
+        assert tolerant.result.complexity == pytest.approx(strict.complexity)
+        assert tolerant.exceptions == ()
+
+    def test_tolerance_finds_cheaper_descriptions(self, rennes_kb):
+        """Allowing Brest as an exception admits the cheap Brittany pair."""
+        targets = [EX.Rennes, EX.Nantes]
+        strict = REMI(rennes_kb).mine(targets)
+        tolerant = mine_with_exceptions(rennes_kb, targets, exceptions=1)
+        assert tolerant.found
+        assert tolerant.result.complexity <= strict.complexity
+        assert len(tolerant.exceptions) <= 1
+
+    def test_exceptions_are_real_bindings(self, rennes_kb):
+        targets = [EX.Rennes, EX.Nantes]
+        tolerant = mine_with_exceptions(rennes_kb, targets, exceptions=2)
+        matcher = Matcher(rennes_kb)
+        bindings = matcher.expression_bindings(tolerant.expression)
+        assert frozenset(targets) <= bindings
+        assert bindings - frozenset(targets) == frozenset(tolerant.exceptions)
+
+    def test_tolerance_solves_otherwise_unsolvable(self):
+        """Twin entities: no strict RE, but k=1 gives one."""
+        kb = KnowledgeBase()
+        for entity in (EX.a, EX.b):
+            kb.add(Triple(entity, EX.p, EX.shared))
+        strict = REMI(kb).mine([EX.a])
+        tolerant = mine_with_exceptions(kb, [EX.a], exceptions=1)
+        assert not strict.found
+        assert tolerant.found
+        assert tolerant.exceptions == (EX.b,)
+
+    def test_matcher_validation(self, rennes_kb):
+        with pytest.raises(ValueError):
+            ToleranceMatcher(rennes_kb, exceptions=-1)
+
+    def test_monotone_in_k(self, rennes_kb):
+        targets = [EX.Rennes, EX.Nantes]
+        complexities = [
+            mine_with_exceptions(rennes_kb, targets, exceptions=k).result.complexity
+            for k in (0, 1, 2, 3)
+        ]
+        assert complexities == sorted(complexities, reverse=True)
+
+
+class TestDisjunctive:
+    def test_covers_targets_exactly(self, south_america_kb):
+        targets = [EX.Brazil, EX.Argentina, EX.Peru]
+        disjunctive = DisjunctiveREMI(south_america_kb).mine(targets)
+        assert disjunctive.found
+        matcher = Matcher(south_america_kb)
+        union = frozenset()
+        for disjunct in disjunctive.disjuncts:
+            bindings = matcher.expression_bindings(disjunct)
+            assert bindings <= frozenset(targets)  # no leakage
+            union |= bindings
+        assert union == frozenset(targets)
+
+    def test_single_disjunct_when_conjunctive_re_exists(self, south_america_kb):
+        disjunctive = DisjunctiveREMI(south_america_kb).mine([EX.Guyana, EX.Suriname])
+        assert disjunctive.found
+        assert len(disjunctive.disjuncts) == 1
+
+    def test_complexity_is_sum(self, south_america_kb):
+        miner = DisjunctiveREMI(south_america_kb)
+        targets = [EX.Brazil, EX.Argentina, EX.Peru]
+        disjunctive = miner.mine(targets)
+        parts = sum(
+            miner.miner.estimator.expression_complexity(d)
+            for d in disjunctive.disjuncts
+        )
+        assert disjunctive.complexity == pytest.approx(parts)
+
+    def test_unsolvable_target_gives_bottom(self):
+        kb = KnowledgeBase()
+        for entity in (EX.a, EX.b):
+            kb.add(Triple(entity, EX.p, EX.shared))
+        disjunctive = DisjunctiveREMI(kb).mine([EX.a])
+        assert not disjunctive.found
+        assert disjunctive.complexity == math.inf
+
+    def test_empty_targets_rejected(self, south_america_kb):
+        with pytest.raises(ValueError):
+            DisjunctiveREMI(south_america_kb).mine([])
+
+    def test_heterogeneous_pair_needs_disjunction(self):
+        """Two entities with nothing in common still get described."""
+        kb = KnowledgeBase()
+        kb.add(Triple(EX.cat, EX.species, EX.feline))
+        kb.add(Triple(EX.car, EX.maker, EX.acme))
+        kb.add(Triple(EX.dog, EX.species, EX.canine))
+        disjunctive = DisjunctiveREMI(kb).mine([EX.cat, EX.car])
+        assert disjunctive.found
+        assert len(disjunctive.disjuncts) == 2
+
+
+class TestExogenous:
+    def test_scores_override_frequency(self, rennes_kb):
+        exo = ExogenousProminence(rennes_kb, {EX.Epitech: 1e6})
+        assert exo.entity_score(EX.Epitech) == 1e6
+        # uncovered entities fall below every external score
+        assert exo.entity_score(EX.Brittany) < 1e6
+
+    def test_fallback_preserves_fr_order(self, rennes_kb):
+        exo = ExogenousProminence(rennes_kb, {EX.Epitech: 10.0})
+        from repro.complexity.ranking import FrequencyProminence
+
+        fr = FrequencyProminence(rennes_kb)
+        assert (fr.entity_score(EX.Brittany) > fr.entity_score(EX.Appere)) == (
+            exo.entity_score(EX.Brittany) > exo.entity_score(EX.Appere)
+        )
+
+    def test_steers_remi_output(self, rennes_kb):
+        """Cranking one concept's external prominence pulls the RE to it."""
+        exo = ExogenousProminence(
+            rennes_kb, {EX.Epitech: 1e6, EX.Socialist: 1.0}
+        )
+        result = REMI(rennes_kb, prominence=exo).mine([EX.Rennes, EX.Nantes])
+        assert result.found
+        constants = {
+            c for se in result.expression.conjuncts for c in se.constants()
+        }
+        assert EX.Epitech in constants
+
+    def test_coverage(self, rennes_kb):
+        exo = ExogenousProminence(rennes_kb, {EX.Epitech: 1.0})
+        assert 0.0 < exo.coverage < 1.0
+
+    def test_negative_scores_rejected(self, rennes_kb):
+        with pytest.raises(ValueError):
+            ExogenousProminence(rennes_kb, {EX.Epitech: -1.0})
+
+    def test_predicate_scores_optional(self, rennes_kb):
+        exo = ExogenousProminence(
+            rennes_kb, {EX.Epitech: 5.0}, predicate_scores={EX.mayor: 100.0}
+        )
+        assert exo.predicate_score(EX.mayor) == 100.0
+        assert exo.predicate_score(EX.party) > 0

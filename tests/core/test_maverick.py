@@ -1,0 +1,86 @@
+"""Tests for the Maverick-style exceptional-fact miner (§5, [17])."""
+
+import pytest
+
+from repro.extensions import MaverickMiner
+from repro.kb.namespaces import EX, RDF_TYPE
+from repro.kb.store import KnowledgeBase
+from repro.kb.triples import Triple
+
+
+@pytest.fixture
+def kb():
+    """Five candidates; one is female — the paper's Hillary Clinton example."""
+    kb = KnowledgeBase()
+    candidates = ["Clinton", "TrumpA", "TrumpB", "TrumpC", "TrumpD"]
+    for name in candidates:
+        person = EX[name]
+        kb.add(Triple(person, RDF_TYPE, EX.Candidate))
+        kb.add(Triple(person, EX.gender, EX.male if name != "Clinton" else EX.female))
+        kb.add(Triple(person, EX.citizenOf, EX.USA))
+    kb.add(Triple(EX.Clinton, EX.formerRole, EX.SecretaryOfState))
+    return kb
+
+
+class TestMaverick:
+    def test_rare_fact_reported_first(self, kb):
+        facts = MaverickMiner(kb).mine(EX.Clinton)
+        assert facts
+        top_objects = {f.feature.object for f in facts[:2]}
+        assert EX.female in top_objects
+        assert facts[0].exceptionality == 1.0
+
+    def test_common_facts_suppressed(self, kb):
+        facts = MaverickMiner(kb).mine(EX.Clinton)
+        assert all(f.feature.object != EX.USA for f in facts)
+
+    def test_context_of_class(self, kb):
+        miner = MaverickMiner(kb)
+        peers = miner.context_of_class(EX.Clinton)
+        assert len(peers) == 4
+        assert EX.Clinton not in peers
+
+    def test_explicit_context(self, kb):
+        miner = MaverickMiner(kb)
+        # In a context of only females, being female is not exceptional.
+        kb.add(Triple(EX.Warren, EX.gender, EX.female))
+        facts = miner.mine(EX.Clinton, context=[EX.Warren])
+        assert all(f.feature.object != EX.female for f in facts)
+
+    def test_exceptionality_arithmetic(self, kb):
+        facts = MaverickMiner(kb).mine(EX.Clinton, min_exceptionality=0.0, k=10)
+        by_object = {f.feature.object: f for f in facts}
+        usa = by_object[EX.USA]
+        assert usa.peers_sharing == 4 and usa.context_size == 4
+        assert usa.exceptionality == 0.0
+
+    def test_not_a_referring_expression(self, kb):
+        """The §5 contrast: Maverick's facts need not identify uniquely."""
+        kb.add(Triple(EX.Warren, RDF_TYPE, EX.Candidate))
+        kb.add(Triple(EX.Warren, EX.gender, EX.female))
+        facts = MaverickMiner(kb).mine(EX.Clinton)
+        female_fact = next(f for f in facts if f.feature.object == EX.female)
+        # two candidates are female → the fact is rare but not unique
+        assert female_fact.peers_sharing == 1
+        assert 0.0 < female_fact.exceptionality < 1.0
+
+    def test_empty_context(self, kb):
+        assert MaverickMiner(kb).mine(EX.Clinton, context=[]) == []
+
+    def test_k_limits_output(self, kb):
+        facts = MaverickMiner(kb).mine(EX.Clinton, min_exceptionality=0.0, k=1)
+        assert len(facts) == 1
+
+    def test_validation(self, kb):
+        with pytest.raises(ValueError):
+            MaverickMiner(kb).mine(EX.Clinton, k=0)
+        with pytest.raises(ValueError):
+            MaverickMiner(kb).mine(EX.Clinton, min_exceptionality=2.0)
+
+    def test_on_generated_kb(self, dbpedia_small):
+        kb = dbpedia_small.kb
+        entity = dbpedia_small.instances_of("Person")[0]
+        facts = MaverickMiner(kb).mine(entity, k=3)
+        for fact in facts:
+            assert fact.feature.object in kb.objects(entity, fact.feature.predicate)
+            assert 0.5 <= fact.exceptionality <= 1.0

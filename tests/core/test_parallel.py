@@ -1,0 +1,134 @@
+"""P-REMI tests: equivalence with REMI, thread safety, stop signals."""
+
+import math
+
+import pytest
+
+from repro.core.config import MinerConfig
+from repro.core.parallel import PREMI, _SharedState
+from repro.core.remi import REMI
+from repro.expressions.expression import Expression
+from repro.expressions.subgraph import SubgraphExpression
+from repro.kb.namespaces import EX
+from repro.kb.store import KnowledgeBase
+from repro.kb.triples import Triple
+
+
+class TestSharedState:
+    def test_offer_keeps_minimum(self):
+        state = _SharedState()
+        e1 = Expression.of(SubgraphExpression.single_atom(EX.a, EX.o))
+        e2 = Expression.of(SubgraphExpression.single_atom(EX.b, EX.o))
+        state.offer(e1, 5.0)
+        state.offer(e2, 3.0)
+        state.offer(e1, 9.0)
+        assert state.best == e2 and state.bound() == 3.0
+
+    def test_stop_signal_monotone(self):
+        state = _SharedState()
+        state.signal_no_solution(7)
+        state.signal_no_solution(3)
+        assert state.should_skip(4)
+        assert not state.should_skip(3)
+        assert not state.should_skip(2)
+
+
+class TestEquivalence:
+    """P-REMI must return a solution of the same optimal complexity."""
+
+    @pytest.mark.parametrize("threads", [1, 2, 4])
+    def test_same_complexity_as_sequential_scene(self, rennes_kb, threads):
+        targets = [EX.Rennes, EX.Nantes]
+        sequential = REMI(rennes_kb).mine(targets)
+        parallel = PREMI(
+            rennes_kb, config=MinerConfig(num_threads=threads)
+        ).mine(targets)
+        assert parallel.found == sequential.found
+        assert parallel.complexity == pytest.approx(sequential.complexity)
+
+    def test_same_complexity_on_generated(self, dbpedia_small):
+        kb = dbpedia_small.kb
+        for cls in ("Person", "Settlement", "Film"):
+            targets = dbpedia_small.instances_of(cls)[:2]
+            sequential = REMI(kb).mine(targets)
+            parallel = PREMI(kb, config=MinerConfig(num_threads=4)).mine(targets)
+            assert parallel.found == sequential.found
+            if sequential.found:
+                assert parallel.complexity == pytest.approx(sequential.complexity)
+
+    def test_no_solution_detected(self):
+        kb = KnowledgeBase()
+        for entity in (EX.a, EX.b):
+            kb.add(Triple(entity, EX.p, EX.shared))
+        result = PREMI(kb, config=MinerConfig(num_threads=3)).mine([EX.a])
+        assert not result.found
+        assert result.complexity == math.inf
+
+    def test_single_thread_degenerates_gracefully(self, rennes_kb):
+        result = PREMI(rennes_kb, config=MinerConfig(num_threads=1)).mine(
+            [EX.Rennes, EX.Nantes]
+        )
+        assert result.found
+
+
+class TestStats:
+    def test_thread_stats_merged(self, dbpedia_small):
+        kb = dbpedia_small.kb
+        result = PREMI(kb, config=MinerConfig(num_threads=4)).mine(
+            dbpedia_small.instances_of("Person")[:1]
+        )
+        assert result.stats.roots_explored + result.stats.roots_skipped > 0
+        assert result.stats.candidates > 0
+
+    def test_phase_timings_present(self, dbpedia_small):
+        kb = dbpedia_small.kb
+        result = PREMI(kb).mine(dbpedia_small.instances_of("Person")[:1])
+        stats = result.stats
+        assert stats.sort_seconds >= 0
+        assert stats.queue_build_seconds > 0
+        assert 0 <= stats.sort_share <= 1
+
+    def test_parallel_queue_construction_same_order(self, dbpedia_small):
+        kb = dbpedia_small.kb
+        targets = dbpedia_small.instances_of("Person")[:1]
+        sequential_queue = REMI(kb).candidates(targets)
+        parallel_queue = PREMI(kb, config=MinerConfig(num_threads=4)).candidates(targets)
+        assert [se for se, _ in sequential_queue] == [se for se, _ in parallel_queue]
+
+
+class TestStopSignalSoundness:
+    def test_bound_pruned_subtree_must_not_signal(self):
+        """Regression (found by hypothesis): a worker whose subtree was cut
+        by the shared complexity bound used to signal 'no solution rooted
+        here', suppressing a later, cheaper root.  Queue here: two 1-bit
+        paths (not REs alone; their subtrees only contain costlier REs)
+        followed by the optimal 1.585-bit single atom."""
+        kb = KnowledgeBase(
+            [
+                Triple(EX.e0, EX.p0, EX.e0),
+                Triple(EX.e1, EX.p0, EX.e0),
+                Triple(EX.e1, EX.p0, EX.e2),
+                Triple(EX.e2, EX.p0, EX.e2),
+                Triple(EX.e3, EX.p0, EX.e1),
+            ]
+        )
+        config = MinerConfig(max_atoms=2, prominent_object_cutoff=None)
+        sequential = REMI(kb, config=config).mine([EX.e3])
+        for _ in range(5):
+            parallel = PREMI(
+                kb,
+                config=MinerConfig(
+                    max_atoms=2, prominent_object_cutoff=None, num_threads=3
+                ),
+            ).mine([EX.e3])
+            assert parallel.complexity == pytest.approx(sequential.complexity)
+
+
+class TestDeterminism:
+    def test_complexity_stable_across_runs(self, rennes_kb):
+        targets = [EX.Rennes, EX.Nantes]
+        results = {
+            PREMI(rennes_kb, config=MinerConfig(num_threads=4)).mine(targets).complexity
+            for _ in range(5)
+        }
+        assert len(results) == 1

@@ -1,0 +1,134 @@
+"""Property-based tests of the miners on random knowledge bases.
+
+These are the heavyweight invariants:
+
+* REMI's answer is always a *valid* RE;
+* REMI (COMPLETE strategy) matches the brute-force Ĉ-optimum;
+* P-REMI always matches REMI's complexity;
+* the §6 tolerant miner is monotone in k and degenerates to REMI at k=0.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import MinerConfig, SearchStrategy
+from repro.core.parallel import PREMI
+from repro.core.remi import REMI
+from repro.extensions import mine_with_exceptions
+from repro.kb.namespaces import EX
+from repro.kb.store import KnowledgeBase
+from repro.kb.triples import Triple
+from tests.conftest import brute_force_best
+
+_ENTITIES = [EX[f"e{i}"] for i in range(8)]
+_PREDICATES = [EX[f"p{i}"] for i in range(4)]
+
+_random_kb = st.lists(
+    st.builds(
+        Triple,
+        st.sampled_from(_ENTITIES),
+        st.sampled_from(_PREDICATES),
+        st.sampled_from(_ENTITIES),
+    ),
+    min_size=4,
+    max_size=40,
+)
+
+# Keep queues tiny so brute force stays the oracle, not the bottleneck.
+_SMALL = MinerConfig(max_atoms=2, prominent_object_cutoff=None)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_random_kb, st.data())
+def test_remi_answer_is_valid_and_optimal(triples, data):
+    kb = KnowledgeBase(triples)
+    subjects = sorted(kb.subjects_all(), key=lambda t: t.sort_key())
+    if not subjects:
+        return
+    targets = data.draw(
+        st.lists(st.sampled_from(subjects), min_size=1, max_size=2, unique=True)
+    )
+    miner = REMI(kb, config=_SMALL)
+    result = miner.mine(targets)
+    oracle, oracle_c = brute_force_best(miner, targets, max_conjuncts=3, max_queue=14)
+    if oracle is None:
+        # brute force searched ≤3 conjuncts; REMI may legitimately find a
+        # deeper RE — but it must still be valid.
+        if result.found:
+            assert miner.matcher.identifies(result.expression, frozenset(targets))
+        return
+    assert result.found
+    assert miner.matcher.identifies(result.expression, frozenset(targets))
+    if len(miner.candidates(targets)) <= 14:
+        # oracle saw the whole queue → complexities must coincide
+        assert result.complexity == pytest.approx(oracle_c)
+    else:
+        assert result.complexity <= oracle_c + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(_random_kb, st.data())
+def test_premi_matches_remi(triples, data):
+    kb = KnowledgeBase(triples)
+    subjects = sorted(kb.subjects_all(), key=lambda t: t.sort_key())
+    if not subjects:
+        return
+    targets = data.draw(
+        st.lists(st.sampled_from(subjects), min_size=1, max_size=2, unique=True)
+    )
+    sequential = REMI(kb, config=_SMALL).mine(targets)
+    parallel = PREMI(kb, config=MinerConfig(
+        max_atoms=2, prominent_object_cutoff=None, num_threads=3
+    )).mine(targets)
+    assert parallel.found == sequential.found
+    if sequential.found:
+        assert parallel.complexity == pytest.approx(sequential.complexity)
+
+
+@settings(max_examples=30, deadline=None)
+@given(_random_kb, st.data())
+def test_paper_strategy_never_cheaper_than_complete(triples, data):
+    kb = KnowledgeBase(triples)
+    subjects = sorted(kb.subjects_all(), key=lambda t: t.sort_key())
+    if not subjects:
+        return
+    targets = data.draw(
+        st.lists(st.sampled_from(subjects), min_size=1, max_size=2, unique=True)
+    )
+    complete = REMI(kb, config=_SMALL).mine(targets)
+    paper = REMI(
+        kb,
+        config=MinerConfig(
+            max_atoms=2, prominent_object_cutoff=None, search=SearchStrategy.PAPER
+        ),
+    ).mine(targets)
+    if paper.found:
+        assert complete.found
+        assert complete.complexity <= paper.complexity + 1e-9
+    # Alg. 1 line 8 logic: if the complete DFS proves no RE exists, the
+    # paper scan must agree (its first-root subtree covers everything).
+    if not complete.found and not complete.stats.timed_out:
+        assert not paper.found
+
+
+@settings(max_examples=30, deadline=None)
+@given(_random_kb, st.data())
+def test_tolerant_mining_monotone(triples, data):
+    kb = KnowledgeBase(triples)
+    subjects = sorted(kb.subjects_all(), key=lambda t: t.sort_key())
+    if not subjects:
+        return
+    targets = data.draw(
+        st.lists(st.sampled_from(subjects), min_size=1, max_size=2, unique=True)
+    )
+    previous = math.inf
+    for k in (0, 1, 2):
+        tolerant = mine_with_exceptions(kb, targets, exceptions=k, config=_SMALL)
+        complexity = tolerant.result.complexity
+        assert complexity <= previous + 1e-9
+        previous = complexity
+        if tolerant.found:
+            assert len(tolerant.exceptions) <= k

@@ -1,0 +1,233 @@
+"""REMI miner tests: correctness, optimality, pruning, timeouts."""
+
+import math
+
+import pytest
+
+from repro.core.config import MinerConfig, SearchStrategy
+from repro.core.remi import REMI, resolve_prominence
+from repro.expressions.expression import Expression
+from repro.complexity.ranking import FrequencyProminence, PageRankProminence
+from repro.expressions.matching import Matcher
+from repro.kb.namespaces import EX
+from repro.kb.store import KnowledgeBase
+from repro.kb.triples import Triple
+from tests.conftest import brute_force_best
+
+
+class TestResolveProminence:
+    def test_strings(self, rennes_kb):
+        assert isinstance(resolve_prominence(rennes_kb, "fr"), FrequencyProminence)
+        assert isinstance(resolve_prominence(rennes_kb, "pr"), PageRankProminence)
+
+    def test_passthrough(self, rennes_kb):
+        model = FrequencyProminence(rennes_kb)
+        assert resolve_prominence(rennes_kb, model) is model
+
+    def test_unknown_rejected(self, rennes_kb):
+        with pytest.raises(ValueError):
+            resolve_prominence(rennes_kb, "wiki")
+
+
+class TestMineBasics:
+    def test_result_is_a_referring_expression(self, rennes_kb):
+        miner = REMI(rennes_kb)
+        result = miner.mine([EX.Rennes, EX.Nantes])
+        assert result.found
+        assert miner.matcher.identifies(
+            result.expression, frozenset({EX.Rennes, EX.Nantes})
+        )
+
+    def test_complexity_matches_estimator(self, rennes_kb):
+        miner = REMI(rennes_kb)
+        result = miner.mine([EX.Rennes, EX.Nantes])
+        assert result.complexity == pytest.approx(
+            miner.estimator.expression_complexity(result.expression)
+        )
+
+    def test_no_solution_returns_none(self):
+        kb = KnowledgeBase()
+        # Twins: completely indistinguishable entities.
+        for entity in (EX.a, EX.b):
+            kb.add(Triple(entity, EX.p, EX.shared))
+        result = REMI(kb).mine([EX.a])
+        assert not result.found
+        assert result.complexity == math.inf
+
+    def test_empty_targets_rejected(self, rennes_kb):
+        with pytest.raises(ValueError):
+            REMI(rennes_kb).mine([])
+
+    def test_single_entity_descriptions(self, france_kb):
+        result = REMI(france_kb).mine([EX.Paris])
+        assert result.found
+        bindings = REMI(france_kb).matcher.expression_bindings(result.expression)
+        assert bindings == frozenset({EX.Paris})
+
+    def test_stats_populated(self, rennes_kb):
+        result = REMI(rennes_kb).mine([EX.Rennes, EX.Nantes])
+        stats = result.stats
+        assert stats.candidates > 0
+        assert stats.re_tests > 0
+        assert stats.total_seconds > 0
+        assert stats.search_seconds <= stats.total_seconds
+
+    def test_describe_convenience(self, rennes_kb):
+        text = REMI(rennes_kb).describe([EX.Rennes, EX.Nantes])
+        assert isinstance(text, str) and text
+
+
+class TestOptimality:
+    """The COMPLETE strategy returns the Ĉ-minimal RE (brute-force oracle)."""
+
+    @pytest.mark.parametrize(
+        "targets",
+        [
+            [EX.Rennes],
+            [EX.Nantes],
+            [EX.Rennes, EX.Nantes],
+            [EX.Rennes, EX.Nantes, EX.Brest],
+            [EX.Lyon, EX.Paris],
+        ],
+    )
+    def test_matches_brute_force_on_scene(self, rennes_kb, targets):
+        miner = REMI(rennes_kb)
+        result = miner.mine(targets)
+        oracle, oracle_c = brute_force_best(miner, targets)
+        if oracle is None:
+            assert not result.found
+        else:
+            assert result.found
+            assert result.complexity == pytest.approx(oracle_c)
+
+    def test_matches_brute_force_on_generated(self, dbpedia_small):
+        kb = dbpedia_small.kb
+        miner = REMI(kb)
+        for entity in dbpedia_small.instances_of("Settlement")[:4]:
+            result = miner.mine([entity])
+            oracle, oracle_c = brute_force_best(miner, [entity], max_queue=25)
+            if oracle is not None and oracle_c < result.complexity:
+                # oracle searched a trimmed queue; only equality direction holds
+                assert result.complexity <= oracle_c + 1e-9
+            if result.found and oracle is not None:
+                assert result.complexity <= oracle_c + 1e-9
+
+
+class TestStrategies:
+    def test_paper_strategy_finds_valid_re(self, rennes_kb):
+        config = MinerConfig(search=SearchStrategy.PAPER)
+        miner = REMI(rennes_kb, config=config)
+        result = miner.mine([EX.Rennes, EX.Nantes])
+        assert result.found
+        assert miner.matcher.identifies(
+            result.expression, frozenset({EX.Rennes, EX.Nantes})
+        )
+
+    def test_paper_never_beats_complete(self, rennes_kb, dbpedia_small):
+        """The literal Alg. 2 scan can skip branches; it never finds a
+        *cheaper* RE than the complete DFS."""
+        cases = [
+            (rennes_kb, [EX.Rennes, EX.Nantes]),
+            (rennes_kb, [EX.Rennes]),
+            (dbpedia_small.kb, dbpedia_small.instances_of("Person")[:1]),
+            (dbpedia_small.kb, dbpedia_small.instances_of("Film")[:2]),
+        ]
+        for kb, targets in cases:
+            complete = REMI(kb).mine(targets)
+            paper = REMI(kb, config=MinerConfig(search=SearchStrategy.PAPER)).mine(targets)
+            assert paper.found == complete.found
+            if complete.found:
+                assert complete.complexity <= paper.complexity + 1e-9
+
+
+class TestPruning:
+    def test_depth_pruning_reduces_tests(self, rennes_kb):
+        on = REMI(rennes_kb).mine([EX.Rennes, EX.Nantes])
+        off = REMI(
+            rennes_kb, config=MinerConfig(depth_pruning=False, side_pruning=False, bound_pruning=False)
+        ).mine([EX.Rennes, EX.Nantes])
+        assert on.stats.re_tests <= off.stats.re_tests
+        assert on.complexity == pytest.approx(off.complexity)
+
+    def test_ablation_preserves_optimality(self, rennes_kb):
+        """Disabling prunings changes work, never the answer."""
+        baseline = REMI(rennes_kb).mine([EX.Rennes, EX.Nantes])
+        for overrides in (
+            dict(side_pruning=False),
+            dict(bound_pruning=False),
+            dict(side_pruning=False, bound_pruning=False),
+        ):
+            result = REMI(rennes_kb, config=MinerConfig(**overrides)).mine(
+                [EX.Rennes, EX.Nantes]
+            )
+            assert result.complexity == pytest.approx(baseline.complexity)
+
+    def test_prominent_cutoff_shrinks_queue(self, dbpedia_small):
+        kb = dbpedia_small.kb
+        target = dbpedia_small.instances_of("Person")[:1]
+        with_cutoff = REMI(kb).mine(target)
+        without = REMI(
+            kb, config=MinerConfig(prominent_object_cutoff=None)
+        ).mine(target)
+        assert with_cutoff.stats.candidates <= without.stats.candidates
+
+
+class TestTimeout:
+    def test_timeout_flag_set(self, dbpedia_small):
+        kb = dbpedia_small.kb
+        config = MinerConfig(timeout_seconds=0.0)
+        result = REMI(kb, config=config).mine(
+            dbpedia_small.instances_of("Person")[:2]
+        )
+        assert result.stats.timed_out
+
+    def test_no_timeout_normally(self, rennes_kb):
+        result = REMI(rennes_kb).mine([EX.Rennes])
+        assert not result.stats.timed_out
+
+
+class TestEncounteredCollection:
+    def test_collects_res_seen(self, rennes_kb):
+        result = REMI(rennes_kb).mine([EX.Rennes, EX.Nantes], collect_encountered=True)
+        assert result.encountered
+        matcher = Matcher(rennes_kb)
+        for expression, complexity in result.encountered:
+            assert matcher.identifies(expression, frozenset({EX.Rennes, EX.Nantes}))
+            assert complexity >= result.complexity - 1e-9
+
+    def test_not_collected_by_default(self, rennes_kb):
+        result = REMI(rennes_kb).mine([EX.Rennes, EX.Nantes])
+        assert result.encountered == []
+
+
+class TestPaperExamples:
+    def test_guyana_suriname(self, south_america_kb):
+        """§2.2.2: the Germanic-language South American countries."""
+        miner = REMI(south_america_kb)
+        result = miner.mine([EX.Guyana, EX.Suriname])
+        assert result.found
+        predicates = {
+            p for se in result.expression.conjuncts for p in se.predicates()
+        }
+        assert EX["in"] in predicates or EX.officialLanguage in predicates
+
+    def test_noise_prevents_capital_description(self, france_kb):
+        """§4.1.3: France cannot be 'the country whose capital is Paris'
+        because Paris is also capital of the Kingdom of France."""
+        from repro.kb.inverse import materialize_inverses
+
+        materialize_inverses(france_kb, objects=[EX.France, EX.KingdomOfFrance])
+        from repro.expressions.subgraph import SubgraphExpression
+        from repro.kb.inverse import inverse_predicate
+
+        miner = REMI(france_kb)
+        # The single atom "x's capital is Paris" matches the Kingdom too,
+        # so it is NOT an RE for France alone.
+        naive = Expression.of(
+            SubgraphExpression.single_atom(inverse_predicate(EX.capitalOf), EX.Paris)
+        )
+        assert not miner.matcher.identifies(naive, frozenset({EX.France}))
+        # REMI therefore reports something else (or a multi-atom repair).
+        result = miner.mine([EX.France])
+        assert result.found
+        assert result.expression != naive

@@ -1,0 +1,51 @@
+"""SearchStats / MiningResult record tests."""
+
+import math
+
+from repro.core.results import MiningResult, SearchStats
+from repro.expressions.expression import Expression
+from repro.expressions.subgraph import SubgraphExpression
+from repro.kb.namespaces import EX
+
+
+class TestSearchStats:
+    def test_defaults(self):
+        stats = SearchStats()
+        assert stats.nodes_visited == 0
+        assert not stats.timed_out
+        assert stats.sort_share == 0.0
+
+    def test_queue_build_seconds(self):
+        stats = SearchStats(
+            enumerate_seconds=1.0, complexity_seconds=2.0, sort_seconds=0.5
+        )
+        assert stats.queue_build_seconds == 3.5
+
+    def test_sort_share(self):
+        stats = SearchStats(sort_seconds=1.0, total_seconds=10.0)
+        assert stats.sort_share == 0.1
+
+    def test_merge_accumulates(self):
+        a = SearchStats(nodes_visited=3, re_tests=5, peak_stack_depth=2)
+        b = SearchStats(nodes_visited=4, re_tests=1, timed_out=True, peak_stack_depth=5)
+        a.merge(b)
+        assert a.nodes_visited == 7
+        assert a.re_tests == 6
+        assert a.timed_out
+        assert a.peak_stack_depth == 5
+
+
+class TestMiningResult:
+    def test_found(self):
+        expression = Expression.of(SubgraphExpression.single_atom(EX.p, EX.o))
+        result = MiningResult(targets=(EX.a,), expression=expression, complexity=2.0)
+        assert result.found
+
+    def test_not_found(self):
+        result = MiningResult(targets=(EX.a,), expression=None)
+        assert not result.found
+        assert result.complexity == math.inf
+
+    def test_repr_compact(self):
+        result = MiningResult(targets=(EX.a,), expression=None)
+        assert "∅" in repr(result)

@@ -1,0 +1,85 @@
+"""Scene-KB tests: the paper's running examples must hold structurally."""
+
+from repro.expressions.expression import Expression
+from repro.expressions.matching import Matcher
+from repro.expressions.subgraph import SubgraphExpression
+from repro.kb.namespaces import EX, RDFS_LABEL
+
+
+class TestRennesNantes:
+    def test_figure1_subgraph_expressions_hold(self, rennes_kb):
+        """Figure 1's ρ1, ρ2, ρ3 must all hold for Rennes and Nantes."""
+        matcher = Matcher(rennes_kb)
+        rho1 = SubgraphExpression.single_atom(EX.belongedTo, EX.Brittany)
+        rho2 = SubgraphExpression.path(EX.mayor, EX.party, EX.Socialist)
+        rho3 = SubgraphExpression.single_atom(EX.placeOf, EX.Epitech)
+        for se in (rho1, rho2, rho3):
+            assert matcher.holds_for(se, EX.Rennes)
+            assert matcher.holds_for(se, EX.Nantes)
+
+    def test_no_single_rho_is_an_re(self, rennes_kb):
+        """Each ρ alone matches more cities — Figure 1's tree must descend."""
+        matcher = Matcher(rennes_kb)
+        targets = frozenset({EX.Rennes, EX.Nantes})
+        rho1 = SubgraphExpression.single_atom(EX.belongedTo, EX.Brittany)
+        rho2 = SubgraphExpression.path(EX.mayor, EX.party, EX.Socialist)
+        rho3 = SubgraphExpression.single_atom(EX.placeOf, EX.Epitech)
+        for se in (rho1, rho2, rho3):
+            assert not matcher.identifies(Expression.of(se), targets)
+
+    def test_a_conjunction_is_an_re(self, rennes_kb):
+        matcher = Matcher(rennes_kb)
+        targets = frozenset({EX.Rennes, EX.Nantes})
+        e = Expression.of(
+            SubgraphExpression.single_atom(EX.belongedTo, EX.Brittany),
+            SubgraphExpression.single_atom(EX.placeOf, EX.Epitech),
+        )
+        assert matcher.identifies(e, targets)
+
+
+class TestSouthAmerica:
+    def test_paper_re_holds_exactly(self, south_america_kb):
+        matcher = Matcher(south_america_kb)
+        e = Expression.of(
+            SubgraphExpression.single_atom(EX["in"], EX.SouthAmerica),
+            SubgraphExpression.path(EX.officialLanguage, EX.langFamily, EX.Germanic),
+        )
+        assert matcher.identifies(e, frozenset({EX.Guyana, EX.Suriname}))
+
+
+class TestEinstein:
+    def test_supervision_chain(self, einstein_kb):
+        assert EX.Kleiner in einstein_kb.objects(EX.Mueller, EX.supervisorOf)
+        assert EX.Einstein in einstein_kb.objects(EX.Kleiner, EX.supervisorOf)
+
+    def test_einstein_most_prominent(self, einstein_kb):
+        frequencies = einstein_kb.entity_frequencies()
+        people = [e for e in frequencies if e.value.endswith(("Einstein", "Kleiner"))]
+        assert frequencies[EX.Einstein] > frequencies[EX.Kleiner]
+
+    def test_two_hop_path_identifies_kleiners_supervisors(self, einstein_kb):
+        matcher = Matcher(einstein_kb)
+        path = SubgraphExpression.path(EX.supervisorOf, EX.supervisorOf, EX.Einstein)
+        # Both of Kleiner's supervisors fit "supervisor of the supervisor
+        # of Einstein" — the same set the direct Kleiner atom binds.
+        direct = SubgraphExpression.single_atom(EX.supervisorOf, EX.Kleiner)
+        assert matcher.bindings(path) == matcher.bindings(direct)
+        assert EX.Mueller in matcher.bindings(path)
+
+
+class TestFrance:
+    def test_kingdom_noise_present(self, france_kb):
+        capitals_of = france_kb.objects(EX.Paris, EX.capitalOf)
+        assert capitals_of == {EX.France, EX.KingdomOfFrance}
+
+    def test_labels_present(self, france_kb):
+        assert france_kb.objects(EX.Paris, RDFS_LABEL)
+
+
+def test_all_scenes_nonempty_and_queryable(
+    rennes_kb, south_america_kb, einstein_kb, france_kb
+):
+    for kb in (rennes_kb, south_america_kb, einstein_kb, france_kb):
+        stats = kb.stats()
+        assert stats["facts"] > 10
+        assert stats["predicates"] >= 3

@@ -1,0 +1,73 @@
+"""Schema model validation tests."""
+
+import pytest
+
+from repro.datasets.schema import ClassSpec, KBSchema, PredicateSpec
+
+
+class TestPredicateSpec:
+    def test_valid(self):
+        PredicateSpec("p", "Target", participation=0.5, fanout=(1, 3), zipf=1.1)
+
+    @pytest.mark.parametrize("participation", [-0.1, 1.1])
+    def test_participation_range(self, participation):
+        with pytest.raises(ValueError):
+            PredicateSpec("p", "T", participation=participation)
+
+    @pytest.mark.parametrize("fanout", [(0, 1), (3, 2)])
+    def test_fanout_validation(self, fanout):
+        with pytest.raises(ValueError):
+            PredicateSpec("p", "T", fanout=fanout)
+
+    def test_zipf_nonnegative(self):
+        with pytest.raises(ValueError):
+            PredicateSpec("p", "T", zipf=-1.0)
+
+
+class TestClassSpec:
+    def test_negative_count(self):
+        with pytest.raises(ValueError):
+            ClassSpec("C", -1)
+
+    def test_duplicate_predicates(self):
+        with pytest.raises(ValueError):
+            ClassSpec("C", 1, (PredicateSpec("p", "C"), PredicateSpec("p", "C")))
+
+
+class TestKBSchema:
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ValueError):
+            KBSchema("s", (ClassSpec("C", 1, (PredicateSpec("p", "Nope"),)),))
+
+    def test_special_targets_allowed(self):
+        KBSchema(
+            "s",
+            (
+                ClassSpec(
+                    "C", 1, (PredicateSpec("p", "@literal"), PredicateSpec("q", "@blank"))
+                ),
+            ),
+        )
+
+    def test_duplicate_class_names(self):
+        with pytest.raises(ValueError):
+            KBSchema("s", (ClassSpec("C", 1), ClassSpec("C", 2)))
+
+    def test_class_named(self):
+        schema = KBSchema("s", (ClassSpec("C", 1),))
+        assert schema.class_named("C").count == 1
+        with pytest.raises(KeyError):
+            schema.class_named("D")
+
+
+def test_builtin_schemas_validate():
+    from repro.datasets.dbpedia import dbpedia_schema
+    from repro.datasets.wikidata import wikidata_schema
+
+    db = dbpedia_schema()
+    wd = wikidata_schema()
+    # The DBpedia-like model is the bigger one, as in the paper.
+    assert len(db.classes) > len(wd.classes)
+    db_predicates = sum(len(c.predicates) for c in db.classes)
+    wd_predicates = sum(len(c.predicates) for c in wd.classes)
+    assert db_predicates > wd_predicates

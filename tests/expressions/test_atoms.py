@@ -1,0 +1,102 @@
+"""Atom and variable tests."""
+
+import pytest
+
+from repro.expressions.atoms import ROOT, Atom, Variable, Y
+from repro.kb.namespaces import EX
+from repro.kb.terms import Literal
+
+
+class TestVariable:
+    def test_interning(self):
+        assert Variable("x") is Variable("x")
+        assert Variable("x") is ROOT
+
+    def test_equality(self):
+        assert Variable("a") == Variable("a")
+        assert Variable("a") != Variable("b")
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            Variable("x").name = "y"
+
+    def test_repr(self):
+        assert repr(Variable("y")) == "?y"
+
+
+class TestAtom:
+    def test_construction_and_accessors(self):
+        atom = Atom(EX.mayor, ROOT, Y)
+        assert atom.predicate == EX.mayor
+        assert atom.subject is ROOT
+        assert atom.object is Y
+
+    def test_type_validation(self):
+        with pytest.raises(TypeError):
+            Atom("not-iri", ROOT, Y)
+        with pytest.raises(TypeError):
+            Atom(EX.p, "not-a-term", Y)
+        with pytest.raises(TypeError):
+            Atom(EX.p, ROOT, 42)
+
+    def test_equality_and_hash(self):
+        a = Atom(EX.p, ROOT, EX.France)
+        b = Atom(EX.p, ROOT, EX.France)
+        assert a == b and hash(a) == hash(b)
+        assert a != Atom(EX.p, ROOT, EX.Germany)
+        assert a != Atom(EX.q, ROOT, EX.France)
+
+    def test_variables(self):
+        assert Atom(EX.p, ROOT, Y).variables() == (ROOT, Y)
+        assert Atom(EX.p, ROOT, EX.France).variables() == (ROOT,)
+        assert Atom(EX.p, EX.a, EX.b).variables() == ()
+
+    def test_constants(self):
+        assert Atom(EX.p, ROOT, EX.France).constants() == (EX.France,)
+        assert Atom(EX.p, EX.a, Literal("4")).constants() == (EX.a, Literal("4"))
+
+    def test_is_ground(self):
+        assert Atom(EX.p, EX.a, EX.b).is_ground()
+        assert not Atom(EX.p, ROOT, EX.b).is_ground()
+
+    def test_mentions(self):
+        atom = Atom(EX.p, ROOT, Y)
+        assert atom.mentions(ROOT) and atom.mentions(Y)
+        assert not atom.mentions(Variable("z"))
+
+    def test_substitute(self):
+        atom = Atom(EX.p, ROOT, Y)
+        bound = atom.substitute({ROOT: EX.Paris})
+        assert bound == Atom(EX.p, EX.Paris, Y)
+        fully = atom.substitute({ROOT: EX.Paris, Y: EX.France})
+        assert fully.is_ground()
+
+    def test_substitute_leaves_constants(self):
+        atom = Atom(EX.p, ROOT, EX.France)
+        assert atom.substitute({Y: EX.x}) == atom
+
+    def test_rename(self):
+        atom = Atom(EX.p, ROOT, Y)
+        renamed = atom.rename({Y: Variable("v1")})
+        assert renamed == Atom(EX.p, ROOT, Variable("v1"))
+
+    def test_rename_does_not_touch_constants(self):
+        atom = Atom(EX.p, ROOT, EX.France)
+        assert atom.rename({Y: Variable("v1")}) == atom
+
+    def test_sort_key_deterministic(self):
+        atoms = [
+            Atom(EX.b, ROOT, Y),
+            Atom(EX.a, ROOT, EX.France),
+            Atom(EX.a, ROOT, Y),
+        ]
+        ordered = sorted(atoms, key=Atom.sort_key)
+        assert [a.predicate for a in ordered] == [EX.a, EX.a, EX.b]
+        # variables sort before constants
+        assert ordered[0].object is Y
+
+    def test_iter(self):
+        assert list(Atom(EX.p, ROOT, EX.o)) == [ROOT, EX.o]
+
+    def test_repr(self):
+        assert repr(Atom(EX.mayor, ROOT, Y)) == "mayor(?x, ?y)"

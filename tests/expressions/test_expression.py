@@ -1,0 +1,82 @@
+"""Referring-expression (conjunction) tests."""
+
+import pytest
+
+from repro.expressions.expression import Expression
+from repro.expressions.subgraph import SubgraphExpression
+from repro.kb.namespaces import EX
+
+
+@pytest.fixture
+def se_a():
+    return SubgraphExpression.single_atom(EX.a, EX.o1)
+
+
+@pytest.fixture
+def se_b():
+    return SubgraphExpression.single_atom(EX.b, EX.o2)
+
+
+@pytest.fixture
+def se_c():
+    return SubgraphExpression.path(EX.c, EX.d, EX.o3)
+
+
+class TestTop:
+    def test_top_is_empty(self):
+        assert Expression.TOP.is_top
+        assert len(Expression.TOP) == 0
+        assert Expression.TOP.size == 0
+
+    def test_top_repr(self):
+        assert repr(Expression.TOP) == "⊤"
+
+    def test_of_builds_nonempty(self, se_a):
+        assert not Expression.of(se_a).is_top
+
+
+class TestStructure:
+    def test_size_counts_atoms(self, se_a, se_c):
+        assert Expression.of(se_a, se_c).size == 3  # 1 + 2 atoms
+
+    def test_extend(self, se_a, se_b):
+        e = Expression.of(se_a).extend(se_b)
+        assert e.conjuncts == (se_a, se_b)
+
+    def test_extend_dedupes(self, se_a):
+        e = Expression.of(se_a).extend(se_a)
+        assert len(e) == 1
+
+    def test_prefix(self, se_a, se_b, se_c):
+        e = Expression.of(se_a, se_b, se_c)
+        assert e.prefix(2) == Expression.of(se_a, se_b)
+        assert e.prefix(0).is_top
+
+    def test_is_prefixed_with(self, se_a, se_b, se_c):
+        e = Expression.of(se_a, se_b, se_c)
+        assert e.is_prefixed_with(Expression.of(se_a))
+        assert e.is_prefixed_with(Expression.of(se_a, se_b))
+        assert not e.is_prefixed_with(Expression.of(se_b))
+        assert e.is_prefixed_with(Expression.TOP)
+
+    def test_atoms_iterates_all(self, se_a, se_c):
+        atoms = list(Expression.of(se_a, se_c).atoms())
+        assert len(atoms) == 3
+
+    def test_iteration(self, se_a, se_b):
+        assert list(Expression.of(se_a, se_b)) == [se_a, se_b]
+
+
+class TestEquality:
+    def test_commutative_equality(self, se_a, se_b):
+        assert Expression.of(se_a, se_b) == Expression.of(se_b, se_a)
+        assert hash(Expression.of(se_a, se_b)) == hash(Expression.of(se_b, se_a))
+
+    def test_inequality(self, se_a, se_b, se_c):
+        assert Expression.of(se_a) != Expression.of(se_b)
+        assert Expression.of(se_a, se_b) != Expression.of(se_a, se_c)
+
+    def test_immutable(self, se_a):
+        e = Expression.of(se_a)
+        with pytest.raises(AttributeError):
+            e.conjuncts = ()

@@ -1,0 +1,86 @@
+"""SPARQL rendering tests."""
+
+import pytest
+
+from repro.expressions.expression import Expression
+from repro.expressions.sparql import to_ask_sparql, to_sparql
+from repro.expressions.subgraph import SubgraphExpression
+from repro.kb.inverse import inverse_predicate
+from repro.kb.namespaces import EX
+from repro.kb.terms import Literal
+
+
+def test_single_atom():
+    e = Expression.of(SubgraphExpression.single_atom(EX.cityIn, EX.France))
+    query = to_sparql(e)
+    assert query.startswith("SELECT DISTINCT ?x WHERE {")
+    assert "?x <http://example.org/cityIn> <http://example.org/France> ." in query
+
+
+def test_literal_object():
+    e = Expression.of(SubgraphExpression.single_atom(EX.population, Literal("2M")))
+    assert '"2M"' in to_sparql(e)
+
+
+def test_path_renames_y():
+    e = Expression.of(SubgraphExpression.path(EX.mayor, EX.party, EX.Socialist))
+    query = to_sparql(e)
+    assert "?x <http://example.org/mayor> ?y0 ." in query
+    assert "?y0 <http://example.org/party> <http://example.org/Socialist> ." in query
+
+
+def test_conjuncts_get_distinct_ys():
+    e = Expression.of(
+        SubgraphExpression.path(EX.mayor, EX.party, EX.Socialist),
+        SubgraphExpression.path(EX.river, EX.flowsInto, EX.Atlantic),
+    )
+    query = to_sparql(e)
+    assert "?y0" in query and "?y1" in query
+
+
+def test_inverse_predicates_uninverted():
+    inv = inverse_predicate(EX.capitalOf)
+    e = Expression.of(SubgraphExpression.single_atom(inv, EX.France))
+    query = to_sparql(e)
+    assert "__inverse" not in query
+    assert "<http://example.org/France> <http://example.org/capitalOf> ?x ." in query
+
+
+def test_closed_shape_shares_y():
+    e = Expression.of(SubgraphExpression.closed(EX.bornIn, EX.diedIn))
+    query = to_sparql(e)
+    assert query.count("?y0") == 2
+
+
+def test_top_rejected():
+    with pytest.raises(ValueError):
+        to_sparql(Expression.TOP)
+
+
+def test_ask_query_binds_entity():
+    e = Expression.of(SubgraphExpression.single_atom(EX.cityIn, EX.France))
+    ask = to_ask_sparql(e, EX.Paris)
+    assert ask.startswith("ASK WHERE")
+    assert "?x" not in ask
+    assert "<http://example.org/Paris>" in ask
+
+
+def test_query_is_answerable_by_generic_solver():
+    """The rendered pattern is semantically the expression: solving the
+    original expression and the (re-parsed) pattern agree."""
+    from repro.expressions.matching import Matcher
+    from repro.kb.store import KnowledgeBase
+    from repro.kb.triples import Triple
+
+    kb = KnowledgeBase(
+        [
+            Triple(EX.Paris, EX.mayor, EX.Hidalgo),
+            Triple(EX.Hidalgo, EX.party, EX.Socialist),
+            Triple(EX.Lyon, EX.mayor, EX.Doucet),
+        ]
+    )
+    se = SubgraphExpression.path(EX.mayor, EX.party, EX.Socialist)
+    assert Matcher(kb).bindings(se) == frozenset({EX.Paris})
+    # the SPARQL text mentions exactly the triple constraints used above
+    query = to_sparql(Expression.of(se))
+    assert query.count(" .") == 2

@@ -1,0 +1,106 @@
+"""Subgraph-expression shape tests (Table 1 grammar)."""
+
+import pytest
+
+from repro.expressions.atoms import ROOT, Y
+from repro.expressions.subgraph import Shape, SubgraphExpression
+from repro.kb.namespaces import EX
+from repro.kb.terms import Literal
+
+
+class TestConstructors:
+    def test_single_atom(self):
+        se = SubgraphExpression.single_atom(EX.capitalOf, EX.France)
+        assert se.shape is Shape.SINGLE_ATOM
+        assert se.size == 1
+        assert not se.uses_variable
+        assert se.root_atom.subject is ROOT
+
+    def test_single_atom_rejects_variable_object(self):
+        with pytest.raises(TypeError):
+            SubgraphExpression.single_atom(EX.p, Y)
+
+    def test_path(self):
+        se = SubgraphExpression.path(EX.mayor, EX.party, EX.Socialist)
+        assert se.shape is Shape.PATH
+        assert se.size == 2
+        assert se.uses_variable
+        assert se.atoms[0].object is Y and se.atoms[1].subject is Y
+
+    def test_path_rejects_variable_tail(self):
+        with pytest.raises(TypeError):
+            SubgraphExpression.path(EX.p0, EX.p1, Y)
+
+    def test_path_star(self):
+        se = SubgraphExpression.path_star(EX.mayor, EX.party, EX.Left, EX.bornIn, EX.Lyon)
+        assert se.shape is Shape.PATH_STAR
+        assert se.size == 3
+
+    def test_path_star_canonicalizes_star_order(self):
+        a = SubgraphExpression.path_star(EX.p0, EX.b, EX.o1, EX.a, EX.o2)
+        b = SubgraphExpression.path_star(EX.p0, EX.a, EX.o2, EX.b, EX.o1)
+        assert a == b and hash(a) == hash(b)
+
+    def test_path_star_rejects_duplicate_stars(self):
+        with pytest.raises(ValueError):
+            SubgraphExpression.path_star(EX.p0, EX.p1, EX.o, EX.p1, EX.o)
+
+    def test_closed_two(self):
+        se = SubgraphExpression.closed(EX.bornIn, EX.diedIn)
+        assert se.shape is Shape.CLOSED_2
+        assert all(a.subject is ROOT and a.object is Y for a in se.atoms)
+
+    def test_closed_three(self):
+        se = SubgraphExpression.closed(EX.bornIn, EX.livedIn, EX.diedIn)
+        assert se.shape is Shape.CLOSED_3
+        assert se.size == 3
+
+    def test_closed_canonical_order(self):
+        assert SubgraphExpression.closed(EX.b, EX.a) == SubgraphExpression.closed(EX.a, EX.b)
+
+    def test_closed_arity_validation(self):
+        with pytest.raises(ValueError):
+            SubgraphExpression.closed(EX.a)
+        with pytest.raises(ValueError):
+            SubgraphExpression.closed(EX.a, EX.b, EX.c, EX.d)
+
+    def test_closed_distinct_predicates(self):
+        with pytest.raises(ValueError):
+            SubgraphExpression.closed(EX.a, EX.a)
+
+
+class TestStructure:
+    def test_predicates(self):
+        se = SubgraphExpression.path(EX.mayor, EX.party, EX.Socialist)
+        assert se.predicates() == (EX.mayor, EX.party)
+
+    def test_constants(self):
+        se = SubgraphExpression.path_star(EX.p0, EX.p1, EX.o1, EX.p2, Literal("5"))
+        constants = se.constants()
+        assert EX.o1 in constants and Literal("5") in constants
+        assert len(constants) == 2
+
+    def test_tail_constant(self):
+        assert SubgraphExpression.single_atom(EX.p, EX.o).tail_constant() == EX.o
+        assert SubgraphExpression.path(EX.p0, EX.p1, EX.o).tail_constant() == EX.o
+        assert SubgraphExpression.closed(EX.a, EX.b).tail_constant() is None
+
+    def test_generalization(self):
+        closed2 = SubgraphExpression.closed(EX.a, EX.b)
+        closed3 = SubgraphExpression.closed(EX.a, EX.b, EX.c)
+        assert closed2.is_generalization_of(closed3)
+        assert not closed3.is_generalization_of(closed2)
+
+    def test_immutability(self):
+        se = SubgraphExpression.single_atom(EX.p, EX.o)
+        with pytest.raises(AttributeError):
+            se.shape = Shape.PATH
+
+    def test_repr_readable(self):
+        se = SubgraphExpression.path(EX.mayor, EX.party, EX.Socialist)
+        assert "mayor(?x, ?y)" in repr(se) and "party(?y, Socialist)" in repr(se)
+
+    def test_cross_shape_inequality(self):
+        single = SubgraphExpression.single_atom(EX.p, EX.o)
+        closed = SubgraphExpression.closed(EX.p, EX.q)
+        assert single != closed

@@ -1,0 +1,112 @@
+"""Verbalization tests (§4.1.1's NL translation recipe)."""
+
+import pytest
+
+from repro.expressions.expression import Expression
+from repro.expressions.subgraph import SubgraphExpression
+from repro.expressions.verbalize import Verbalizer, prettify_local_name
+from repro.kb.inverse import inverse_predicate
+from repro.kb.namespaces import EX, RDFS_LABEL
+from repro.kb.store import KnowledgeBase
+from repro.kb.terms import Literal
+from repro.kb.triples import Triple
+
+
+@pytest.mark.parametrize(
+    "name, expected",
+    [
+        ("officialLanguage", "official language"),
+        ("birth_place", "birth place"),
+        ("capitalOf", "capital of"),
+        ("CEO", "ceo"),
+        ("twin-city", "twin city"),
+        ("plain", "plain"),
+    ],
+)
+def test_prettify_local_name(name, expected):
+    assert prettify_local_name(name) == expected
+
+
+@pytest.fixture
+def kb():
+    kb = KnowledgeBase()
+    kb.add(Triple(EX.France, RDFS_LABEL, Literal("France", lang="en")))
+    kb.add(Triple(EX.capitalOf, RDFS_LABEL, Literal("capital of", lang="en")))
+    return kb
+
+
+@pytest.fixture
+def verbalizer(kb):
+    return Verbalizer(kb)
+
+
+class TestLabels:
+    def test_label_prefers_rdfs_label(self, verbalizer):
+        assert verbalizer.label(EX.France) == "France"
+
+    def test_label_falls_back_to_local_name(self, verbalizer):
+        assert verbalizer.label(EX.officialLanguage) == "official language"
+
+    def test_label_literal(self, verbalizer):
+        assert verbalizer.label(Literal("42")) == '"42"'
+
+
+class TestSubgraphRendering:
+    def test_single_atom_forward(self, verbalizer):
+        se = SubgraphExpression.single_atom(EX.cityIn, EX.France)
+        assert verbalizer.subgraph(se) == "x's city in is France"
+
+    def test_single_atom_inverse_uses_of_frame(self, verbalizer):
+        se = SubgraphExpression.single_atom(inverse_predicate(EX.capitalOf), EX.France)
+        assert verbalizer.subgraph(se) == "x is the capital of France"
+
+    def test_path(self, verbalizer):
+        se = SubgraphExpression.path(EX.mayor, EX.party, EX.Socialist)
+        assert verbalizer.subgraph(se) == "x's mayor has party socialist"
+
+    def test_path_star(self, verbalizer):
+        se = SubgraphExpression.path_star(EX.mayor, EX.party, EX.Left, EX.bornIn, EX.Lyon)
+        text = verbalizer.subgraph(se)
+        assert text.startswith("x's mayor")
+        assert "and" in text
+
+    def test_closed(self, verbalizer):
+        se = SubgraphExpression.closed(EX.bornIn, EX.diedIn)
+        assert verbalizer.subgraph(se) == "x's born in and died in are the same"
+
+    def test_no_doubled_of(self, verbalizer):
+        se = SubgraphExpression.single_atom(inverse_predicate(EX.capitalOf), EX.France)
+        assert "of of" not in verbalizer.subgraph(se)
+
+
+class TestExpressionRendering:
+    def test_top(self, verbalizer):
+        assert "⊤" in verbalizer.expression(Expression.TOP)
+
+    def test_conjunction_joined(self, verbalizer):
+        e = Expression.of(
+            SubgraphExpression.single_atom(EX.cityIn, EX.France),
+            SubgraphExpression.single_atom(EX.hosts, EX.Epitech),
+        )
+        text = verbalizer.expression(e)
+        assert "; and " in text
+
+    def test_describe_with_subject(self, verbalizer):
+        e = Expression.of(SubgraphExpression.single_atom(EX.cityIn, EX.France))
+        assert verbalizer.describe(e, "Paris").startswith("Paris: ")
+        assert verbalizer.describe(e).endswith(".")
+
+
+def test_every_shape_renders_on_scene(rennes_kb):
+    """Smoke: all five shapes verbalize without error on a real scene KB."""
+    verbalizer = Verbalizer(rennes_kb)
+    shapes = [
+        SubgraphExpression.single_atom(EX.belongedTo, EX.Brittany),
+        SubgraphExpression.path(EX.mayor, EX.party, EX.Socialist),
+        SubgraphExpression.path_star(EX.mayor, EX.party, EX.Socialist, EX.party, EX.Green),
+        SubgraphExpression.closed(EX.inRegion, EX.belongedTo),
+        SubgraphExpression.closed(EX.inRegion, EX.belongedTo, EX.placeOf),
+    ]
+    for se in shapes:
+        text = verbalizer.subgraph(se)
+        assert isinstance(text, str) and text.startswith(("x", "something"))

@@ -1,0 +1,114 @@
+"""AMIE miner tests: RE semantics, language modes, thresholds, timeouts."""
+
+import pytest
+
+from repro.expressions.atoms import ROOT
+from repro.expressions.matching import solve
+from repro.ilp.amie import AmieMiner
+from repro.kb.namespaces import EX
+from repro.kb.store import KnowledgeBase
+from repro.kb.triples import Triple
+
+
+def _bodies_are_res(kb, result):
+    """Every reported rule's body must bind the root to exactly T."""
+    targets = set(result.targets)
+    for rule in result.referring_rules:
+        roots = {a[ROOT] for a in solve(list(rule.body), kb) if ROOT in a}
+        assert roots == targets, rule
+
+
+class TestStandardLanguage:
+    def test_finds_bound_atom_conjunctions(self, rennes_kb):
+        miner = AmieMiner(rennes_kb, language="standard", timeout_seconds=30)
+        result = miner.mine([EX.Rennes, EX.Nantes])
+        assert result.found
+        _bodies_are_res(rennes_kb, result)
+
+    def test_all_atoms_rooted(self, rennes_kb):
+        miner = AmieMiner(rennes_kb, language="standard", timeout_seconds=30)
+        result = miner.mine([EX.Rennes, EX.Nantes])
+        for rule in result.referring_rules:
+            assert all(atom.subject is ROOT for atom in rule.body)
+            assert all(not atom.variables()[1:] for atom in rule.body)
+
+    def test_no_re_when_indistinguishable(self):
+        kb = KnowledgeBase()
+        for entity in (EX.a, EX.b):
+            kb.add(Triple(entity, EX.p, EX.shared))
+        result = AmieMiner(kb, language="standard", timeout_seconds=10).mine([EX.a])
+        assert not result.found
+
+
+class TestFullLanguage:
+    def test_reproduces_paper_example(self, south_america_kb):
+        """§2.2.2: in(x, SAm) ∧ officialLanguage(x, y) ∧ langFamily(y, Germanic)."""
+        miner = AmieMiner(south_america_kb, timeout_seconds=60)
+        result = miner.mine([EX.Guyana, EX.Suriname])
+        assert result.found
+        _bodies_are_res(south_america_kb, result)
+        rendered = [repr(rule) for rule in result.referring_rules]
+        assert any(
+            "officialLanguage" in r and "langFamily" in r and "Germanic" in r
+            for r in rendered
+        )
+
+    def test_rules_within_length_bound(self, south_america_kb):
+        miner = AmieMiner(south_america_kb, max_length=3, timeout_seconds=30)
+        result = miner.mine([EX.Guyana, EX.Suriname])
+        for rule in result.referring_rules:
+            assert rule.length <= 3
+
+    def test_rules_are_closed(self, south_america_kb):
+        from repro.ilp.rules import is_closed
+
+        miner = AmieMiner(south_america_kb, timeout_seconds=30)
+        result = miner.mine([EX.Guyana, EX.Suriname])
+        assert all(is_closed(rule) for rule in result.referring_rules)
+
+
+class TestConfigValidation:
+    def test_language_validated(self, rennes_kb):
+        with pytest.raises(ValueError):
+            AmieMiner(rennes_kb, language="prolog")
+
+    def test_max_length_validated(self, rennes_kb):
+        with pytest.raises(ValueError):
+            AmieMiner(rennes_kb, max_length=1)
+
+    def test_empty_targets_rejected(self, rennes_kb):
+        with pytest.raises(ValueError):
+            AmieMiner(rennes_kb).mine([])
+
+
+class TestBudget:
+    def test_timeout_flag(self, dbpedia_small):
+        miner = AmieMiner(dbpedia_small.kb, timeout_seconds=0.05)
+        result = miner.mine(dbpedia_small.instances_of("Person")[:1])
+        assert result.timed_out
+        assert result.seconds < 5
+
+    def test_stats_populated(self, south_america_kb):
+        result = AmieMiner(south_america_kb, timeout_seconds=30).mine(
+            [EX.Guyana, EX.Suriname]
+        )
+        assert result.rules_popped > 0
+        assert result.refinements > 0
+        assert result.support_checks > 0
+        assert result.seconds > 0
+
+
+class TestAgreementWithREMI:
+    def test_amie_standard_covers_remi_standard(self, rennes_kb):
+        """In the standard language both systems see the same RE space, so
+        AMIE must find an RE whenever REMI does (given enough budget)."""
+        from repro.core.config import MinerConfig
+        from repro.core.remi import REMI
+
+        remi = REMI(rennes_kb, config=MinerConfig.standard())
+        amie = AmieMiner(rennes_kb, language="standard", timeout_seconds=60)
+        for targets in ([EX.Rennes], [EX.Rennes, EX.Nantes], [EX.Lyon]):
+            remi_result = remi.mine(targets)
+            amie_result = amie.mine(targets)
+            if remi_result.found:
+                assert amie_result.found, targets

@@ -1,0 +1,98 @@
+"""Horn-rule model tests: canonicalization, closedness, connectivity."""
+
+import pytest
+
+from repro.expressions.atoms import ROOT, Atom, Variable
+from repro.ilp.rules import HEAD, Rule, SURROGATE, canonical_rule, is_closed, is_connected
+from repro.kb.namespaces import EX
+
+
+V1, V2 = Variable("v1"), Variable("v2")
+
+
+class TestRule:
+    def test_head_is_surrogate(self):
+        rule = Rule(())
+        assert rule.head == HEAD
+        assert rule.head.predicate == SURROGATE
+
+    def test_length_counts_head(self):
+        assert Rule(()).length == 1
+        assert Rule((Atom(EX.p, ROOT, EX.o),)).length == 2
+
+    def test_variables_in_appearance_order(self):
+        rule = Rule((Atom(EX.p, ROOT, V1), Atom(EX.q, V1, V2)))
+        assert rule.variables() == (ROOT, V1, V2)
+
+    def test_equality_and_hash(self):
+        a = Rule((Atom(EX.p, ROOT, EX.o),))
+        b = Rule((Atom(EX.p, ROOT, EX.o),))
+        assert a == b and hash(a) == hash(b)
+
+    def test_repr(self):
+        assert "⇐" in repr(Rule((Atom(EX.p, ROOT, EX.o),)))
+        assert repr(Rule(())).endswith("⊤")
+
+
+class TestCanonicalization:
+    def test_atom_order_normalized(self):
+        a = canonical_rule((Atom(EX.b, ROOT, EX.o), Atom(EX.a, ROOT, EX.o)))
+        b = canonical_rule((Atom(EX.a, ROOT, EX.o), Atom(EX.b, ROOT, EX.o)))
+        assert a == b
+
+    def test_variable_names_normalized(self):
+        w = Variable("weird")
+        a = canonical_rule((Atom(EX.p, ROOT, w), Atom(EX.q, w, EX.o)))
+        b = canonical_rule((Atom(EX.p, ROOT, V1), Atom(EX.q, V1, EX.o)))
+        assert a == b
+
+    def test_root_never_renamed(self):
+        rule = canonical_rule((Atom(EX.p, ROOT, V2),))
+        assert any(atom.subject is ROOT for atom in rule.body)
+
+    def test_duplicate_atoms_collapse(self):
+        rule = canonical_rule((Atom(EX.p, ROOT, EX.o), Atom(EX.p, ROOT, EX.o)))
+        assert len(rule.body) == 1
+
+    def test_extend_canonicalizes(self):
+        rule = Rule((Atom(EX.b, ROOT, EX.o),)).extend(Atom(EX.a, ROOT, EX.o))
+        assert rule.body[0].predicate == EX.a
+
+    def test_canonical_fixed_point(self):
+        body = (Atom(EX.p, ROOT, V2), Atom(EX.q, V2, V1), Atom(EX.r, V1, EX.o))
+        once = canonical_rule(body)
+        twice = canonical_rule(once.body)
+        assert once == twice
+
+
+class TestClosedness:
+    def test_single_instantiated_atom_closed(self):
+        assert is_closed(Rule((Atom(EX.p, ROOT, EX.o),)))
+
+    def test_dangling_variable_open(self):
+        assert not is_closed(Rule((Atom(EX.p, ROOT, V1),)))
+
+    def test_path_closed(self):
+        rule = Rule((Atom(EX.p, ROOT, V1), Atom(EX.q, V1, EX.o)))
+        assert is_closed(rule)
+
+    def test_closing_atom_closes(self):
+        rule = Rule((Atom(EX.p, ROOT, V1), Atom(EX.q, ROOT, V1)))
+        assert is_closed(rule)
+
+    def test_empty_body_open(self):
+        # The root appears only in the head (one appearance < two).
+        assert not is_closed(Rule(()))
+
+
+class TestConnectivity:
+    def test_empty_connected(self):
+        assert is_connected(Rule(()))
+
+    def test_chain_connected(self):
+        rule = Rule((Atom(EX.p, ROOT, V1), Atom(EX.q, V1, V2)))
+        assert is_connected(rule)
+
+    def test_disconnected_component(self):
+        rule = Rule((Atom(EX.p, ROOT, EX.o), Atom(EX.q, V1, V2)))
+        assert not is_connected(rule)

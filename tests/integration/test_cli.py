@@ -1,0 +1,66 @@
+"""CLI integration tests (in-process, via main())."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def kb_file(tmp_path):
+    path = tmp_path / "kb.hdt"
+    code = main(["generate", "--kind", "wikidata", "--scale", "0.3", "--out", str(path)])
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_generates_hdt(self, kb_file, capsys):
+        assert kb_file.exists()
+
+    def test_generates_ntriples(self, tmp_path):
+        path = tmp_path / "kb.nt"
+        assert main(["generate", "--kind", "dbpedia", "--scale", "0.2", "--out", str(path)]) == 0
+        assert path.read_text().strip().endswith(".")
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "--kind", "freebase", "--out", str(tmp_path / "x.hdt")])
+
+
+class TestStats:
+    def test_prints_stats(self, kb_file, capsys):
+        assert main(["stats", str(kb_file)]) == 0
+        out = capsys.readouterr().out
+        assert "facts" in out and "predicates" in out
+
+
+class TestMine:
+    def test_mines_known_entity(self, kb_file, capsys):
+        code = main(
+            ["mine", str(kb_file), "http://wikidata.example.org/entity/City_0"]
+        )
+        out = capsys.readouterr().out
+        assert code in (0, 1)
+        if code == 0:
+            assert "complexity" in out and "verbalized" in out
+
+    def test_unknown_entity_rejected(self, kb_file, capsys):
+        code = main(["mine", str(kb_file), "http://nope.example.org/X"])
+        assert code == 2
+        assert "unknown entities" in capsys.readouterr().err
+
+    def test_standard_and_parallel_flags(self, kb_file):
+        args = [
+            "mine", str(kb_file),
+            "http://wikidata.example.org/entity/City_1",
+            "--standard", "--parallel", "--timeout", "30",
+        ]
+        assert main(args) in (0, 1)
+
+    def test_pr_prominence(self, kb_file):
+        args = [
+            "mine", str(kb_file),
+            "http://wikidata.example.org/entity/City_2",
+            "--prominence", "pr",
+        ]
+        assert main(args) in (0, 1)

@@ -1,0 +1,91 @@
+"""End-to-end integration: generate → persist → reload → mine → verbalize."""
+
+import pytest
+
+from repro import (
+    KnowledgeBase,
+    MinerConfig,
+    PREMI,
+    REMI,
+    Verbalizer,
+    load_hdt,
+    save_hdt,
+)
+from repro.datasets import wikidata_like
+from repro.ilp import AmieMiner
+from repro.kb.ntriples import parse_ntriples_file, write_ntriples_file
+
+
+class TestFullPipeline:
+    def test_generate_persist_reload_mine(self, tmp_path, wikidata_small):
+        kb = wikidata_small.kb
+        path = tmp_path / "kb.hdt"
+        save_hdt(kb, path)
+        reloaded = load_hdt(path)
+        assert len(reloaded) == len(kb)
+
+        target = wikidata_small.instances_of("City")[0]
+        original = REMI(kb).mine([target])
+        roundtripped = REMI(reloaded).mine([target])
+        assert roundtripped.found == original.found
+        if original.found:
+            assert roundtripped.complexity == pytest.approx(original.complexity)
+
+    def test_ntriples_route_equivalent(self, tmp_path, wikidata_small):
+        kb = wikidata_small.kb
+        path = tmp_path / "kb.nt"
+        write_ntriples_file(kb.triples(), path)
+        reloaded = KnowledgeBase(parse_ntriples_file(path))
+        target = wikidata_small.instances_of("Film")[0]
+        assert REMI(reloaded).mine([target]).complexity == pytest.approx(
+            REMI(kb).mine([target]).complexity
+        )
+
+    def test_mine_and_verbalize_every_class(self, wikidata_small):
+        kb = wikidata_small.kb
+        miner = REMI(kb)
+        verbalizer = Verbalizer(kb)
+        described = 0
+        for cls in ("City", "Human", "Film", "Company"):
+            target = wikidata_small.instances_of(cls)[0]
+            result = miner.mine([target])
+            if result.found:
+                described += 1
+                text = verbalizer.expression(result.expression)
+                assert isinstance(text, str) and len(text) > 3
+        assert described >= 3
+
+    def test_three_miners_agree_on_feasibility(self, rennes_kb):
+        """REMI, P-REMI and AMIE (standard language) agree on whether an
+        RE exists in the standard language."""
+        from repro.kb.namespaces import EX
+
+        targets = [EX.Rennes, EX.Nantes]
+        remi = REMI(rennes_kb, config=MinerConfig.standard()).mine(targets)
+        premi = PREMI(rennes_kb, config=MinerConfig.standard()).mine(targets)
+        amie = AmieMiner(rennes_kb, language="standard", timeout_seconds=60).mine(targets)
+        assert remi.found == premi.found == amie.found
+
+    def test_remi_solution_is_cheapest_amie_solution(self, rennes_kb):
+        """AMIE enumerates ALL standard-language REs; ranking its output by
+        Ĉfr (the §4.2.1 protocol) can never beat REMI's answer."""
+        from repro.kb.namespaces import EX
+        from repro.expressions.expression import Expression
+        from repro.expressions.subgraph import SubgraphExpression
+
+        targets = [EX.Rennes, EX.Nantes]
+        miner = REMI(rennes_kb, config=MinerConfig.standard())
+        remi_result = miner.mine(targets)
+        amie_result = AmieMiner(
+            rennes_kb, language="standard", timeout_seconds=120
+        ).mine(targets)
+        assert remi_result.found and amie_result.found
+        best_amie = float("inf")
+        for rule in amie_result.referring_rules:
+            conjuncts = tuple(
+                SubgraphExpression.single_atom(atom.predicate, atom.object)
+                for atom in rule.body
+            )
+            complexity = miner.estimator.expression_complexity(Expression(conjuncts))
+            best_amie = min(best_amie, complexity)
+        assert remi_result.complexity <= best_amie + 1e-9

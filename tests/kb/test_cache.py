@@ -1,0 +1,134 @@
+"""LRU cache tests: eviction, stats, thread safety."""
+
+import threading
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.kb.cache import LRUCache
+
+
+class TestBasics:
+    def test_put_get(self):
+        cache = LRUCache(capacity=4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("missing") is None
+        assert cache.get("missing", 42) == 42
+
+    def test_eviction_order(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert cache.get("a") is None
+        assert cache.get("b") == 2
+        assert cache.get("c") == 3
+
+    def test_get_refreshes_recency(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # a becomes most recent
+        cache.put("c", 3)  # evicts b
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+
+    def test_put_refreshes_recency(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        cache.put("c", 3)
+        assert cache.get("a") == 10
+        assert cache.get("b") is None
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            LRUCache(capacity=0)
+
+    def test_contains_and_len(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        assert "a" in cache
+        assert "b" not in cache
+        assert len(cache) == 1
+
+    def test_clear(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 0 and cache.misses == 0
+
+
+class TestStats:
+    def test_hit_miss_counters(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_hit_rate_empty(self):
+        assert LRUCache(capacity=1).hit_rate == 0.0
+
+
+class TestGetOrCompute:
+    def test_computes_on_miss(self):
+        cache = LRUCache(capacity=2)
+        calls = []
+        value = cache.get_or_compute("k", lambda: calls.append(1) or "v")
+        assert value == "v" and calls == [1]
+
+    def test_skips_compute_on_hit(self):
+        cache = LRUCache(capacity=2)
+        cache.put("k", "v")
+        assert cache.get_or_compute("k", lambda: pytest.fail("should not run")) == "v"
+
+    def test_caches_falsy_values(self):
+        cache = LRUCache(capacity=2)
+        calls = []
+        for _ in range(2):
+            assert cache.get_or_compute("k", lambda: calls.append(1) or frozenset()) == frozenset()
+        assert calls == [1]
+
+
+def test_thread_safety_smoke():
+    cache = LRUCache(capacity=64)
+    errors = []
+
+    def worker(base):
+        try:
+            for i in range(500):
+                cache.put((base, i % 80), i)
+                cache.get((base, (i * 7) % 80))
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(t,)) for t in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert len(cache) <= 64
+
+
+@given(st.lists(st.tuples(st.integers(0, 20), st.integers()), max_size=200))
+def test_never_exceeds_capacity(operations):
+    cache = LRUCache(capacity=5)
+    for key, value in operations:
+        cache.put(key, value)
+        assert len(cache) <= 5
+
+
+@given(st.lists(st.integers(0, 10), min_size=1, max_size=100))
+def test_most_recent_insert_always_present(keys):
+    cache = LRUCache(capacity=3)
+    for key in keys:
+        cache.put(key, key * 2)
+        assert cache.get(key) == key * 2

@@ -1,0 +1,99 @@
+"""RHDT binary format tests: round-trips, compression, error handling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kb.hdt import (
+    HDTFormatError,
+    dumps_hdt,
+    load_hdt,
+    loads_hdt,
+    save_hdt,
+)
+from repro.kb.namespaces import EX
+from repro.kb.ntriples import serialize_ntriples
+from repro.kb.store import KnowledgeBase
+from repro.kb.terms import BlankNode, Literal
+from repro.kb.triples import Triple
+from tests.conftest import triples as triple_strategy
+
+
+def _canonical(kb: KnowledgeBase):
+    return sorted(t.n3() for t in kb.triples())
+
+
+class TestRoundTrip:
+    def test_empty_kb(self):
+        assert len(loads_hdt(dumps_hdt(KnowledgeBase()))) == 0
+
+    def test_small_kb(self):
+        kb = KnowledgeBase(
+            [
+                Triple(EX.Paris, EX.capitalOf, EX.France),
+                Triple(BlankNode("b1"), EX.near, EX.Paris),
+                Triple(EX.Paris, EX.population, Literal("2.1M")),
+                Triple(EX.Paris, EX.label, Literal("Paris", lang="fr")),
+                Triple(EX.Paris, EX.area, Literal("105", datatype=EX.km2)),
+            ]
+        )
+        restored = loads_hdt(dumps_hdt(kb))
+        assert _canonical(restored) == _canonical(kb)
+
+    def test_file_round_trip(self, tmp_path):
+        kb = KnowledgeBase([Triple(EX.a, EX.b, EX.c)])
+        path = tmp_path / "kb.hdt"
+        written = save_hdt(kb, path)
+        assert path.stat().st_size == written
+        assert _canonical(load_hdt(path)) == _canonical(kb)
+        assert load_hdt(path).name == "kb"
+
+    def test_scene_round_trip(self, rennes_kb):
+        restored = loads_hdt(dumps_hdt(rennes_kb))
+        assert _canonical(restored) == _canonical(rennes_kb)
+
+
+class TestCompression:
+    def test_smaller_than_ntriples(self, dbpedia_small):
+        """The dictionary + delta encoding beats the text serialization."""
+        kb = dbpedia_small.kb
+        binary = dumps_hdt(kb)
+        text = serialize_ntriples(kb.triples()).encode("utf-8")
+        assert len(binary) < len(text) / 2
+
+    def test_front_coding_exploits_shared_prefixes(self):
+        shared = KnowledgeBase(
+            [Triple(EX[f"Entity{i:04d}"], EX.p, EX.o) for i in range(200)]
+        )
+        disjoint = KnowledgeBase(
+            [
+                Triple(EX[f"{chr(65 + i % 26)}{i}zzzz{i}"], EX.p, EX.o)
+                for i in range(200)
+            ]
+        )
+        assert len(dumps_hdt(shared)) < len(dumps_hdt(disjoint))
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(HDTFormatError, match="magic"):
+            loads_hdt(b"NOPE" + b"\x00" * 20)
+
+    def test_bad_version(self):
+        data = bytearray(dumps_hdt(KnowledgeBase([Triple(EX.a, EX.b, EX.c)])))
+        data[4] = 99
+        with pytest.raises(HDTFormatError, match="version"):
+            loads_hdt(bytes(data))
+
+    def test_truncated_payload(self):
+        data = dumps_hdt(KnowledgeBase([Triple(EX.a, EX.b, EX.c)]))
+        with pytest.raises(HDTFormatError):
+            loads_hdt(data[:-3])
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(triple_strategy, max_size=50))
+def test_round_trip_property(triples):
+    kb = KnowledgeBase(triples)
+    restored = loads_hdt(dumps_hdt(kb))
+    assert _canonical(restored) == _canonical(kb)

@@ -1,0 +1,103 @@
+"""Inverse-predicate materialization tests (§2.1, §4 preprocessing)."""
+
+import pytest
+
+from repro.kb.inverse import (
+    inverse_predicate,
+    is_inverse,
+    materialize_inverses,
+    top_frequent_entities,
+)
+from repro.kb.namespaces import EX
+from repro.kb.store import KnowledgeBase
+from repro.kb.terms import Literal
+from repro.kb.triples import Triple
+
+
+def test_inverse_is_involution():
+    p = EX.capitalOf
+    assert inverse_predicate(inverse_predicate(p)) == p
+    assert inverse_predicate(p) != p
+
+
+def test_is_inverse():
+    assert not is_inverse(EX.capitalOf)
+    assert is_inverse(inverse_predicate(EX.capitalOf))
+
+
+def test_top_frequent_entities_fraction():
+    kb = KnowledgeBase()
+    for i in range(100):
+        kb.add(Triple(EX[f"s{i}"], EX.p, EX.hub))  # hub: freq 100
+    top = top_frequent_entities(kb, 0.01)
+    assert EX.hub in top
+    assert len(top) == max(1, int(len(kb.entity_frequencies()) * 0.01))
+
+
+def test_top_frequent_entities_validates_fraction():
+    with pytest.raises(ValueError):
+        top_frequent_entities(KnowledgeBase(), 1.5)
+
+
+def test_materialize_creates_inverse_facts():
+    kb = KnowledgeBase()
+    for i in range(50):
+        kb.add(Triple(EX[f"City{i}"], EX.cityIn, EX.France))
+    kb.add(Triple(EX.City0, EX.mayor, EX.Alice))
+    added = materialize_inverses(kb, top_fraction=0.02)
+    assert added > 0
+    inv = inverse_predicate(EX.cityIn)
+    # France is the most frequent entity → its inverses exist.
+    assert kb.objects(EX.France, inv) == {EX[f"City{i}"] for i in range(50)}
+    # Alice is rare → no inverse facts for mayor.
+    assert kb.objects(EX.Alice, inverse_predicate(EX.mayor)) == set()
+
+
+def test_materialize_skips_literal_objects():
+    kb = KnowledgeBase()
+    literal = Literal("42")
+    for i in range(10):
+        kb.add(Triple(EX[f"s{i}"], EX.value, literal))
+    added = materialize_inverses(kb, objects=[literal])
+    assert added == 0  # literals cannot become subjects (RDF compliance)
+
+
+def test_materialize_explicit_objects():
+    kb = KnowledgeBase()
+    kb.add(Triple(EX.Paris, EX.capitalOf, EX.France))
+    kb.add(Triple(EX.Berlin, EX.capitalOf, EX.Germany))
+    added = materialize_inverses(kb, objects=[EX.France])
+    assert added == 1
+    assert kb.objects(EX.France, inverse_predicate(EX.capitalOf)) == {EX.Paris}
+    assert kb.objects(EX.Germany, inverse_predicate(EX.capitalOf)) == set()
+
+
+def test_materialize_skip_predicates():
+    kb = KnowledgeBase()
+    kb.add(Triple(EX.Paris, EX.capitalOf, EX.France))
+    added = materialize_inverses(kb, objects=[EX.France], skip_predicates={EX.capitalOf})
+    assert added == 0
+
+
+def test_materialize_never_inverts_inverses():
+    kb = KnowledgeBase()
+    kb.add(Triple(EX.Paris, EX.capitalOf, EX.France))
+    materialize_inverses(kb, objects=[EX.France])
+    before = len(kb)
+    materialize_inverses(kb, objects=[EX.Paris, EX.France])
+    double = inverse_predicate(inverse_predicate(EX.capitalOf))
+    # Re-running may add p⁻¹ for new objects but never p⁻¹⁻¹ facts beyond p.
+    assert double == EX.capitalOf
+    assert all(not p.value.endswith("__inverse__inverse") for p in kb.predicates())
+    assert len(kb) >= before
+
+
+def test_materialize_is_idempotent():
+    kb = KnowledgeBase()
+    for i in range(20):
+        kb.add(Triple(EX[f"City{i}"], EX.cityIn, EX.France))
+    materialize_inverses(kb, top_fraction=0.05)
+    size = len(kb)
+    added = materialize_inverses(kb, top_fraction=0.05)
+    assert added == 0
+    assert len(kb) == size

@@ -1,0 +1,41 @@
+"""Namespace helper tests."""
+
+import pytest
+
+from repro.kb.namespaces import EX, Namespace, RDF, RDF_TYPE, RDFS_LABEL
+from repro.kb.terms import IRI
+
+
+def test_attribute_access():
+    assert EX.Paris == IRI("http://example.org/Paris")
+
+
+def test_item_access_allows_any_name():
+    assert EX["New York"] == IRI("http://example.org/New York")
+
+
+def test_term_method():
+    ns = Namespace("http://foo/")
+    assert ns.term("bar") == IRI("http://foo/bar")
+
+
+def test_contains():
+    assert EX.Paris in EX
+    assert IRI("http://other.org/x") not in EX
+    assert "not-an-iri" not in EX
+
+
+def test_local():
+    assert EX.local(EX.Paris) == "Paris"
+    with pytest.raises(ValueError):
+        EX.local(IRI("http://other.org/x"))
+
+
+def test_private_attribute_lookup_raises():
+    with pytest.raises(AttributeError):
+        EX._private
+
+
+def test_wellknown_terms():
+    assert RDF_TYPE == RDF.term("type")
+    assert RDFS_LABEL.value.endswith("label")

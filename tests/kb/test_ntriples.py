@@ -1,0 +1,120 @@
+"""N-Triples parser/serializer tests, including the round-trip property."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.kb.namespaces import EX, XSD
+from repro.kb.ntriples import (
+    NTriplesParseError,
+    parse_ntriples,
+    parse_ntriples_file,
+    serialize_ntriples,
+    write_ntriples_file,
+)
+from repro.kb.terms import BlankNode, IRI, Literal
+from repro.kb.triples import Triple
+from tests.conftest import triples as triple_strategy
+
+
+class TestParsing:
+    def test_simple_triple(self):
+        [t] = parse_ntriples(
+            "<http://example.org/Paris> <http://example.org/capitalOf> "
+            "<http://example.org/France> ."
+        )
+        assert t == Triple(EX.Paris, EX.capitalOf, EX.France)
+
+    def test_blank_node_subject(self):
+        [t] = parse_ntriples("_:b1 <http://example.org/p> <http://example.org/o> .")
+        assert t.subject == BlankNode("b1")
+
+    def test_plain_literal(self):
+        [t] = parse_ntriples('<http://example.org/s> <http://example.org/p> "hello" .')
+        assert t.object == Literal("hello")
+
+    def test_lang_literal(self):
+        [t] = parse_ntriples('<http://example.org/s> <http://example.org/p> "bonjour"@fr .')
+        assert t.object == Literal("bonjour", lang="fr")
+
+    def test_typed_literal(self):
+        [t] = parse_ntriples(
+            '<http://example.org/s> <http://example.org/p> '
+            '"42"^^<http://www.w3.org/2001/XMLSchema#integer> .'
+        )
+        assert t.object == Literal("42", datatype=XSD.integer)
+
+    def test_escapes_in_literal(self):
+        [t] = parse_ntriples(
+            '<http://example.org/s> <http://example.org/p> "a\\"b\\nc\\td\\\\e" .'
+        )
+        assert t.object.lexical == 'a"b\nc\td\\e'
+
+    def test_unicode_escapes(self):
+        [t] = parse_ntriples(
+            '<http://example.org/s> <http://example.org/p> "caf\\u00E9 \\U0001F600" .'
+        )
+        assert t.object.lexical == "café \U0001F600"
+
+    def test_comments_and_blank_lines(self):
+        text = (
+            "# a comment\n"
+            "\n"
+            "<http://example.org/s> <http://example.org/p> <http://example.org/o> .\n"
+            "   # indented comment\n"
+        )
+        assert len(parse_ntriples(text)) == 1
+
+    def test_trailing_comment_after_dot(self):
+        [t] = parse_ntriples(
+            "<http://example.org/s> <http://example.org/p> <http://example.org/o> . # ok"
+        )
+        assert t.predicate == EX.p
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "<http://example.org/s> <http://example.org/p> <http://example.org/o>",  # no dot
+            "<http://example.org/s> <http://example.org/p> .",  # missing object
+            '"literal" <http://example.org/p> <http://example.org/o> .',  # literal subject
+            "<http://example.org/s> _:b <http://example.org/o> .",  # blank predicate
+            "<http://example.org/s <http://example.org/p> <http://example.org/o> .",  # unclosed IRI
+            '<http://example.org/s> <http://example.org/p> "unclosed .',
+            "<http://example.org/s> <http://example.org/p> <http://example.org/o> . junk",
+            '<http://example.org/s> <http://example.org/p> "bad\\q" .',  # invalid escape
+            '<http://example.org/s> <http://example.org/p> "trunc\\u12" .',
+        ],
+    )
+    def test_malformed_lines_raise(self, line):
+        with pytest.raises((NTriplesParseError, TypeError)):
+            parse_ntriples(line)
+
+    def test_error_reports_line_number(self):
+        text = "<http://a> <http://b> <http://c> .\nbroken line ."
+        with pytest.raises(NTriplesParseError) as exc:
+            parse_ntriples(text)
+        assert exc.value.line_no == 2
+
+
+class TestSerialization:
+    def test_round_trip_basic(self):
+        original = [
+            Triple(EX.Paris, EX.capitalOf, EX.France),
+            Triple(BlankNode("b1"), EX.p, Literal("x", lang="en")),
+            Triple(EX.s, EX.p, Literal("42", datatype=XSD.integer)),
+        ]
+        assert parse_ntriples(serialize_ntriples(original)) == original
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "out.nt"
+        original = [Triple(EX.a, EX.b, EX.c), Triple(EX.a, EX.b, Literal("hi"))]
+        assert write_ntriples_file(original, path) == 2
+        assert parse_ntriples_file(path) == original
+
+
+@given(st.lists(triple_strategy, max_size=30))
+def test_round_trip_property(triples):
+    """serialize → parse is the identity on arbitrary valid triples."""
+    assert parse_ntriples(serialize_ntriples(triples)) == triples

@@ -1,0 +1,196 @@
+"""Tests for the indexed triple store, including index-consistency properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.kb.namespaces import EX
+from repro.kb.store import KnowledgeBase
+from repro.kb.terms import Literal
+from repro.kb.triples import Triple
+from tests.conftest import triples as triple_strategy
+
+
+@pytest.fixture
+def kb():
+    kb = KnowledgeBase()
+    kb.add_all(
+        [
+            Triple(EX.Paris, EX.capitalOf, EX.France),
+            Triple(EX.Paris, EX.cityIn, EX.France),
+            Triple(EX.Lyon, EX.cityIn, EX.France),
+            Triple(EX.Berlin, EX.capitalOf, EX.Germany),
+            Triple(EX.Paris, EX.population, Literal("2M")),
+        ]
+    )
+    return kb
+
+
+class TestMutation:
+    def test_add_returns_true_once(self):
+        kb = KnowledgeBase()
+        t = Triple(EX.a, EX.b, EX.c)
+        assert kb.add(t) is True
+        assert kb.add(t) is False
+        assert len(kb) == 1
+
+    def test_add_all_counts_new(self, kb):
+        added = kb.add_all([Triple(EX.a, EX.b, EX.c), Triple(EX.Paris, EX.cityIn, EX.France)])
+        assert added == 1
+
+    def test_discard(self, kb):
+        t = Triple(EX.Paris, EX.capitalOf, EX.France)
+        assert kb.discard(t) is True
+        assert t not in kb
+        assert kb.discard(t) is False
+        assert len(kb) == 4
+        assert kb.subjects(EX.capitalOf, EX.France) == set()
+
+    def test_discard_prunes_empty_index_entries(self):
+        kb = KnowledgeBase()
+        t = Triple(EX.a, EX.b, EX.c)
+        kb.add(t)
+        kb.discard(t)
+        assert kb.predicates() == set()
+        assert kb.subjects_all() == set()
+
+    def test_validation_on_add(self):
+        kb = KnowledgeBase()
+        with pytest.raises(TypeError):
+            kb.add(Triple(Literal("x"), EX.p, EX.o))
+
+
+class TestPatterns:
+    def test_contains(self, kb):
+        assert Triple(EX.Paris, EX.capitalOf, EX.France) in kb
+        assert Triple(EX.Paris, EX.capitalOf, EX.Germany) not in kb
+
+    def test_fully_bound(self, kb):
+        assert list(kb.triples(EX.Paris, EX.capitalOf, EX.France)) == [
+            Triple(EX.Paris, EX.capitalOf, EX.France)
+        ]
+
+    def test_subject_only(self, kb):
+        assert len(list(kb.triples(subject=EX.Paris))) == 3
+
+    def test_subject_predicate(self, kb):
+        assert list(kb.triples(EX.Paris, EX.capitalOf)) == [
+            Triple(EX.Paris, EX.capitalOf, EX.France)
+        ]
+
+    def test_predicate_only(self, kb):
+        assert {t.subject for t in kb.triples(predicate=EX.cityIn)} == {EX.Paris, EX.Lyon}
+
+    def test_predicate_object(self, kb):
+        assert {t.subject for t in kb.triples(predicate=EX.cityIn, obj=EX.France)} == {
+            EX.Paris,
+            EX.Lyon,
+        }
+
+    def test_object_only(self, kb):
+        assert len(list(kb.triples(obj=EX.France))) == 3
+
+    def test_full_scan(self, kb):
+        assert len(list(kb.triples())) == 5
+
+    def test_subject_object_wildcard_predicate(self, kb):
+        found = list(kb.triples(subject=EX.Paris, obj=EX.France))
+        assert {t.predicate for t in found} == {EX.capitalOf, EX.cityIn}
+
+
+class TestAccessors:
+    def test_objects(self, kb):
+        assert kb.objects(EX.Paris, EX.capitalOf) == {EX.France}
+        assert kb.objects(EX.Paris, EX.nonexistent) == set()
+
+    def test_subjects(self, kb):
+        assert kb.subjects(EX.cityIn, EX.France) == {EX.Paris, EX.Lyon}
+
+    def test_objects_of_predicate(self, kb):
+        assert kb.objects_of_predicate(EX.capitalOf) == {EX.France, EX.Germany}
+
+    def test_subjects_of_predicate(self, kb):
+        assert kb.subjects_of_predicate(EX.capitalOf) == {EX.Paris, EX.Berlin}
+
+    def test_predicate_object_pairs(self, kb):
+        assert set(kb.predicate_object_pairs(EX.Paris)) == {
+            (EX.capitalOf, EX.France),
+            (EX.cityIn, EX.France),
+            (EX.population, Literal("2M")),
+        }
+
+    def test_predicates_of_and_into(self, kb):
+        assert kb.predicates_of(EX.Paris) == {EX.capitalOf, EX.cityIn, EX.population}
+        assert kb.predicates_into(EX.France) == {EX.capitalOf, EX.cityIn}
+
+
+class TestCounts:
+    @pytest.mark.parametrize(
+        "pattern, expected",
+        [
+            (dict(), 5),
+            (dict(predicate=EX.cityIn), 2),
+            (dict(subject=EX.Paris), 3),
+            (dict(obj=EX.France), 3),
+            (dict(subject=EX.Paris, predicate=EX.cityIn), 1),
+            (dict(predicate=EX.cityIn, obj=EX.France), 2),
+        ],
+    )
+    def test_count_matches_scan(self, kb, pattern, expected):
+        assert kb.count(**pattern) == expected
+        assert kb.count(**pattern) == len(list(kb.triples(**pattern)))
+
+    def test_term_frequency(self, kb):
+        # France: 3 object occurrences; Paris: 3 subject occurrences.
+        assert kb.term_frequency(EX.France) == 3
+        assert kb.term_frequency(EX.Paris) == 3
+        assert kb.term_frequency(EX.Germany) == 1
+        assert kb.term_frequency(EX.Unknown) == 0
+
+    def test_entity_frequencies_matches_term_frequency(self, kb):
+        freq = kb.entity_frequencies()
+        for entity in kb.entities():
+            assert freq[entity] == kb.term_frequency(entity)
+
+    def test_object_frequencies(self, kb):
+        assert kb.object_frequencies(EX.cityIn) == {EX.France: 2}
+
+    def test_stats(self, kb):
+        stats = kb.stats()
+        assert stats["facts"] == 5
+        assert stats["predicates"] == 3
+
+
+def test_copy_is_independent(kb):
+    clone = kb.copy()
+    clone.add(Triple(EX.new, EX.p, EX.o))
+    assert len(clone) == len(kb) + 1
+
+
+@given(st.lists(triple_strategy, max_size=40))
+def test_indexes_agree_with_each_other(triples):
+    """Every query path returns the same triple set."""
+    kb = KnowledgeBase(triples)
+    all_triples = set(kb.triples())
+    assert len(all_triples) == len(kb)
+    # per-subject, per-predicate and per-object scans partition the store
+    by_subject = {t for s in kb.subjects_all() for t in kb.triples(subject=s)}
+    by_predicate = {t for p in kb.predicates() for t in kb.triples(predicate=p)}
+    assert by_subject == all_triples
+    assert by_predicate == all_triples
+    for t in all_triples:
+        assert t in kb
+        assert t.object in kb.objects(t.subject, t.predicate)
+        assert t.subject in kb.subjects(t.predicate, t.object)
+
+
+@given(st.lists(triple_strategy, min_size=1, max_size=30), st.data())
+def test_discard_restores_consistency(triples, data):
+    kb = KnowledgeBase(triples)
+    victim = data.draw(st.sampled_from(sorted(set(kb.triples()), key=lambda t: t.n3())))
+    kb.discard(victim)
+    assert victim not in kb
+    assert victim.subject not in kb.subjects(victim.predicate, victim.object)
+    remaining = set(kb.triples())
+    assert len(remaining) == len(kb)
+    assert victim not in remaining

@@ -1,0 +1,140 @@
+"""Unit tests for the RDF term model."""
+
+import pytest
+from hypothesis import given
+
+from repro.kb.terms import IRI, BlankNode, Literal, is_entity, is_resource
+from tests.conftest import iris, literals
+
+from repro.kb.namespaces import XSD
+
+
+class TestIRI:
+    def test_equality_and_interning(self):
+        a = IRI("http://example.org/Paris")
+        b = IRI("http://example.org/Paris")
+        assert a == b
+        assert a is b  # interned
+        assert hash(a) == hash(b)
+
+    def test_inequality(self):
+        assert IRI("http://example.org/a") != IRI("http://example.org/b")
+        assert IRI("http://example.org/a") != "http://example.org/a"
+
+    def test_immutable(self):
+        iri = IRI("http://example.org/x")
+        with pytest.raises(AttributeError):
+            iri.value = "other"
+
+    def test_n3(self):
+        assert IRI("http://example.org/Paris").n3() == "<http://example.org/Paris>"
+
+    @pytest.mark.parametrize(
+        "value, local",
+        [
+            ("http://example.org/Paris", "Paris"),
+            ("http://example.org/onto#mayor", "mayor"),
+            ("urn:isbn:12345", "12345"),
+            ("noseparator", "noseparator"),
+        ],
+    )
+    def test_local_name(self, value, local):
+        assert IRI(value).local_name == local
+
+    def test_ordering_is_lexicographic(self):
+        assert IRI("http://a") < IRI("http://b")
+        assert IRI("http://b") > IRI("http://a")
+
+
+class TestBlankNode:
+    def test_equality(self):
+        assert BlankNode("b1") == BlankNode("b1")
+        assert BlankNode("b1") != BlankNode("b2")
+
+    def test_n3(self):
+        assert BlankNode("b1").n3() == "_:b1"
+
+    def test_immutable(self):
+        node = BlankNode("b1")
+        with pytest.raises(AttributeError):
+            node.label = "b2"
+
+    def test_sorts_between_iris_and_literals(self):
+        assert IRI("http://z") < BlankNode("a") < Literal("a")
+
+
+class TestLiteral:
+    def test_plain_equality(self):
+        assert Literal("42") == Literal("42")
+        assert Literal("42") != Literal("43")
+
+    def test_datatype_distinguishes(self):
+        assert Literal("42") != Literal("42", datatype=XSD.integer)
+
+    def test_lang_distinguishes(self):
+        assert Literal("hi", lang="en") != Literal("hi", lang="fr")
+        assert Literal("hi", lang="en") != Literal("hi")
+
+    def test_datatype_and_lang_exclusive(self):
+        with pytest.raises(ValueError):
+            Literal("x", datatype=XSD.string, lang="en")
+
+    def test_n3_escaping(self):
+        lit = Literal('say "hi"\nnow\t!')
+        assert lit.n3() == '"say \\"hi\\"\\nnow\\t!"'
+
+    def test_n3_lang_and_datatype(self):
+        assert Literal("hi", lang="en").n3() == '"hi"@en'
+        assert (
+            Literal("42", datatype=XSD.integer).n3()
+            == '"42"^^<http://www.w3.org/2001/XMLSchema#integer>'
+        )
+
+    @pytest.mark.parametrize(
+        "lexical, datatype, expected",
+        [
+            ("42", "integer", 42),
+            ("4.5", "double", 4.5),
+            ("true", "boolean", True),
+            ("false", "boolean", False),
+            ("plain", None, "plain"),
+        ],
+    )
+    def test_to_python(self, lexical, datatype, expected):
+        literal = (
+            Literal(lexical, datatype=XSD.term(datatype)) if datatype else Literal(lexical)
+        )
+        assert literal.to_python() == expected
+
+    def test_numeric_coercion_to_str(self):
+        assert Literal(42).lexical == "42"
+
+
+class TestPredicates:
+    def test_is_entity(self):
+        assert is_entity(IRI("http://x"))
+        assert not is_entity(BlankNode("b"))
+        assert not is_entity(Literal("x"))
+
+    def test_is_resource(self):
+        assert is_resource(IRI("http://x"))
+        assert is_resource(BlankNode("b"))
+        assert not is_resource(Literal("x"))
+
+
+@given(iris)
+def test_iri_hash_consistency(iri):
+    assert IRI(iri.value) == iri
+    assert hash(IRI(iri.value)) == hash(iri)
+
+
+@given(literals)
+def test_literal_self_equality(literal):
+    clone = Literal(literal.lexical, datatype=literal.datatype, lang=literal.lang)
+    assert clone == literal
+    assert hash(clone) == hash(literal)
+
+
+@given(literals, literals)
+def test_literal_ordering_total(a, b):
+    assert (a < b) or (b < a) or (a.sort_key() == b.sort_key())

@@ -1,0 +1,64 @@
+"""Unit tests for triples and patterns."""
+
+import pytest
+
+from repro.kb.namespaces import EX
+from repro.kb.terms import BlankNode, Literal
+from repro.kb.triples import Triple, sort_triples
+
+
+class TestTriple:
+    def test_fields(self):
+        t = Triple(EX.Paris, EX.capitalOf, EX.France)
+        assert t.subject == EX.Paris
+        assert t.predicate == EX.capitalOf
+        assert t.object == EX.France
+
+    def test_as_fact_notation(self):
+        t = Triple(EX.Paris, EX.capitalOf, EX.France)
+        assert t.as_fact() == "capitalOf(Paris, France)"
+
+    def test_as_fact_literal(self):
+        t = Triple(EX.Paris, EX.population, Literal("2M"))
+        assert t.as_fact() == 'population(Paris, "2M")'
+
+    def test_n3_line(self):
+        t = Triple(EX.Paris, EX.capitalOf, EX.France)
+        assert t.n3() == (
+            "<http://example.org/Paris> <http://example.org/capitalOf> "
+            "<http://example.org/France> ."
+        )
+
+    def test_validate_accepts_blank_subject(self):
+        Triple(BlankNode("b"), EX.p, EX.o).validate()
+
+    def test_validate_rejects_literal_subject(self):
+        with pytest.raises(TypeError):
+            Triple(Literal("x"), EX.p, EX.o).validate()
+
+    def test_validate_rejects_non_iri_predicate(self):
+        with pytest.raises(TypeError):
+            Triple(EX.s, BlankNode("b"), EX.o).validate()
+
+    def test_unpacking(self):
+        s, p, o = Triple(EX.a, EX.b, EX.c)
+        assert (s, p, o) == (EX.a, EX.b, EX.c)
+
+    def test_equality_as_tuple(self):
+        assert Triple(EX.a, EX.b, EX.c) == Triple(EX.a, EX.b, EX.c)
+        assert Triple(EX.a, EX.b, EX.c) != Triple(EX.a, EX.b, EX.d)
+
+
+def test_sort_triples_spo_order():
+    triples = [
+        Triple(EX.b, EX.p, EX.o2),
+        Triple(EX.a, EX.q, EX.o1),
+        Triple(EX.a, EX.p, Literal("x")),
+        Triple(EX.a, EX.p, EX.o1),
+    ]
+    ordered = sort_triples(triples)
+    assert ordered[0].subject == EX.a and ordered[-1].subject == EX.b
+    # within subject a: predicate p before q; IRI object before literal
+    assert ordered[0].predicate == EX.p and ordered[0].object == EX.o1
+    assert ordered[1].object == Literal("x")
+    assert ordered[2].predicate == EX.q

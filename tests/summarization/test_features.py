@@ -1,0 +1,63 @@
+"""Feature-model tests."""
+
+from repro.kb.inverse import inverse_predicate, materialize_inverses
+from repro.kb.namespaces import EX, RDF_TYPE, RDFS_LABEL
+from repro.kb.store import KnowledgeBase
+from repro.kb.terms import Literal
+from repro.kb.triples import Triple
+from repro.summarization.features import Feature, entity_features, feature_frequency
+
+
+def _kb():
+    kb = KnowledgeBase()
+    kb.add(Triple(EX.Paris, RDF_TYPE, EX.City))
+    kb.add(Triple(EX.Paris, RDFS_LABEL, Literal("Paris")))
+    kb.add(Triple(EX.Paris, EX.country, EX.France))
+    kb.add(Triple(EX.Paris, EX.population, Literal("2M")))
+    kb.add(Triple(EX.Lyon, EX.country, EX.France))
+    materialize_inverses(kb, objects=[EX.France])
+    return kb
+
+
+def test_default_exclusions():
+    features = entity_features(_kb(), EX.Paris)
+    assert features == [Feature(EX.country, EX.France)]
+
+
+def test_include_types():
+    features = entity_features(_kb(), EX.Paris, include_types=True)
+    assert Feature(RDF_TYPE, EX.City) in features
+
+
+def test_include_literals():
+    features = entity_features(_kb(), EX.Paris, include_literals=True)
+    assert Feature(EX.population, Literal("2M")) in features
+
+
+def test_labels_never_included():
+    features = entity_features(_kb(), EX.Paris, include_literals=True)
+    assert all(f.predicate != RDFS_LABEL for f in features)
+
+
+def test_include_inverses():
+    kb = _kb()
+    features = entity_features(kb, EX.France, include_inverses=True)
+    assert Feature(inverse_predicate(EX.country), EX.Paris) in features
+    assert entity_features(kb, EX.France) == []
+
+
+def test_custom_exclusions():
+    features = entity_features(_kb(), EX.Paris, exclude_predicates={EX.country})
+    assert features == []
+
+
+def test_deterministic_order():
+    kb = _kb()
+    kb.add(Triple(EX.Paris, EX.adjacentTo, EX.Versailles))
+    assert entity_features(kb, EX.Paris) == entity_features(kb, EX.Paris)
+
+
+def test_feature_frequency():
+    kb = _kb()
+    assert feature_frequency(kb, Feature(EX.country, EX.France)) == 2
+    assert feature_frequency(kb, Feature(EX.country, EX.Spain)) == 0

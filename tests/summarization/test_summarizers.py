@@ -1,0 +1,85 @@
+"""FACES / LinkSUM summarizer tests."""
+
+import pytest
+
+from repro.kb.namespaces import EX, RDF_TYPE
+from repro.kb.store import KnowledgeBase
+from repro.kb.triples import Triple
+from repro.summarization.faces import FacesSummarizer
+from repro.summarization.features import Feature
+from repro.summarization.linksum import LinkSumSummarizer
+
+
+@pytest.fixture
+def kb():
+    """An entity with features of three conceptual groups."""
+    kb = KnowledgeBase()
+    # cities
+    for city in ("Lyon", "Nice", "Lille"):
+        kb.add(Triple(EX[city], RDF_TYPE, EX.City))
+        kb.add(Triple(EX.Alice, EX.livedIn, EX[city]))
+    # people
+    for person in ("Bob", "Carol"):
+        kb.add(Triple(EX[person], RDF_TYPE, EX.Person))
+        kb.add(Triple(EX.Alice, EX.knows, EX[person]))
+    # one award
+    kb.add(Triple(EX.Nobel, RDF_TYPE, EX.Award))
+    kb.add(Triple(EX.Alice, EX.won, EX.Nobel))
+    # prominence: Nobel is mentioned a lot
+    for i in range(10):
+        kb.add(Triple(EX[f"w{i}"], EX.won, EX.Nobel))
+    # backlink: Bob links back to Alice
+    kb.add(Triple(EX.Bob, EX.knows, EX.Alice))
+    return kb
+
+
+class TestFaces:
+    def test_summary_size(self, kb):
+        assert len(FacesSummarizer(kb).summarize(EX.Alice, 3)) == 3
+
+    def test_summary_capped_by_available_features(self, kb):
+        summary = FacesSummarizer(kb).summarize(EX.Alice, 50)
+        assert len(summary) == 6  # all features, no padding
+
+    def test_empty_entity(self, kb):
+        assert FacesSummarizer(kb).summarize(EX.Nobody, 5) == []
+
+    def test_diversity_across_clusters(self, kb):
+        """A top-3 summary must span all three conceptual groups."""
+        summary = FacesSummarizer(kb).summarize(EX.Alice, 3)
+        object_classes = frozenset(
+            next(iter(kb.objects(f.object, RDF_TYPE))) for f in summary
+        )
+        assert object_classes == {EX.City, EX.Person, EX.Award}
+
+    def test_features_belong_to_entity(self, kb):
+        for feature in FacesSummarizer(kb).summarize(EX.Alice, 6):
+            assert feature.object in kb.objects(EX.Alice, feature.predicate)
+
+
+class TestLinkSum:
+    def test_summary_size(self, kb):
+        assert len(LinkSumSummarizer(kb).summarize(EX.Alice, 3)) == 3
+
+    def test_one_feature_per_object(self, kb):
+        kb.add(Triple(EX.Alice, EX.admires, EX.Bob))  # second predicate to Bob
+        summary = LinkSumSummarizer(kb).summarize(EX.Alice, 6)
+        objects = [f.object for f in summary]
+        assert len(objects) == len(set(objects))
+
+    def test_backlinked_object_preferred_with_low_alpha(self, kb):
+        """With α small, relevance (backlink) dominates → Bob first."""
+        summary = LinkSumSummarizer(kb, alpha=0.05).summarize(EX.Alice, 1)
+        assert summary[0].object == EX.Bob
+
+    def test_prominent_object_preferred_with_high_alpha(self, kb):
+        """With α = 1 pure PageRank decides → the Nobel hub wins."""
+        summary = LinkSumSummarizer(kb, alpha=1.0).summarize(EX.Alice, 1)
+        assert summary[0].object == EX.Nobel
+
+    def test_alpha_validation(self, kb):
+        with pytest.raises(ValueError):
+            LinkSumSummarizer(kb, alpha=1.5)
+
+    def test_empty_entity(self, kb):
+        assert LinkSumSummarizer(kb).summarize(EX.Nobody, 5) == []

@@ -1,0 +1,62 @@
+"""Ranking metric tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.userstudy.metrics import average_precision, mean_std, precision_at_k
+
+
+class TestPrecisionAtK:
+    def test_identical_rankings(self):
+        assert precision_at_k([1, 2, 3], [1, 2, 3], 3) == 1.0
+
+    def test_disjoint(self):
+        assert precision_at_k([1, 2], [3, 4], 2) == 0.0
+
+    def test_order_within_topk_irrelevant(self):
+        assert precision_at_k([1, 2, 3], [3, 2, 1], 3) == 1.0
+
+    def test_partial(self):
+        assert precision_at_k([1, 2], [2, 3], 2) == 0.5
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            precision_at_k([1], [1], 0)
+
+
+class TestAveragePrecision:
+    def test_first_position(self):
+        assert average_precision("a", ["a", "b", "c"]) == 1.0
+
+    def test_second_position(self):
+        assert average_precision("a", ["b", "a", "c"]) == 0.5
+
+    def test_absent(self):
+        assert average_precision("a", ["b", "c"]) == 0.0
+
+
+class TestMeanStd:
+    def test_empty(self):
+        assert mean_std([]) == (0.0, 0.0)
+
+    def test_single(self):
+        assert mean_std([4.0]) == (4.0, 0.0)
+
+    def test_known_values(self):
+        mean, std = mean_std([1.0, 2.0, 3.0])
+        assert mean == 2.0
+        assert std == pytest.approx(1.0)
+
+
+@given(st.lists(st.integers(0, 9), min_size=3, max_size=9, unique=True), st.integers(1, 3))
+def test_precision_symmetric(ranking, k):
+    assert precision_at_k(ranking, list(reversed(ranking)), k) == precision_at_k(
+        list(reversed(ranking)), ranking, k
+    )
+
+
+@given(st.lists(st.floats(-1e6, 1e6), max_size=50))
+def test_mean_std_finite(values):
+    mean, std = mean_std(values)
+    assert std >= 0.0

@@ -1,0 +1,123 @@
+"""Simulated-user model tests: the encoded biases must be visible."""
+
+import random
+
+import pytest
+
+from repro.complexity.ranking import FrequencyProminence
+from repro.expressions.expression import Expression
+from repro.expressions.subgraph import SubgraphExpression
+from repro.kb.namespaces import EX, RDF_TYPE
+from repro.kb.store import KnowledgeBase
+from repro.kb.triples import Triple
+from repro.userstudy.users import SimulatedUser, UserPanel
+
+
+@pytest.fixture
+def kb():
+    kb = KnowledgeBase()
+    for i in range(30):
+        kb.add(Triple(EX[f"City{i}"], RDF_TYPE, EX.City))
+        kb.add(Triple(EX[f"City{i}"], EX.cityIn, EX.France))
+    kb.add(Triple(EX.City0, EX.obscureRel, EX.ObscureThing))
+    return kb
+
+
+def _user(kb, seed=0, **kwargs):
+    return SimulatedUser(
+        kb, FrequencyProminence(kb), random.Random(seed), **kwargs
+    )
+
+
+class TestPerceivedComplexity:
+    def test_type_atoms_feel_simplest(self, kb):
+        """The §4.1.1 bias: rdf:type beats everything for most users."""
+        type_atom = SubgraphExpression.single_atom(RDF_TYPE, EX.City)
+        other = SubgraphExpression.single_atom(EX.cityIn, EX.France)
+        wins = 0
+        for seed in range(40):
+            user = _user(kb, seed=seed, noise_sigma=0.2)
+            ranking = user.rank_by_simplicity([other, type_atom])
+            if ranking[0] == type_atom:
+                wins += 1
+        assert wins > 25
+
+    def test_prominent_concepts_feel_simpler(self, kb):
+        prominent = SubgraphExpression.single_atom(EX.cityIn, EX.France)
+        obscure = SubgraphExpression.single_atom(EX.obscureRel, EX.ObscureThing)
+        wins = sum(
+            1
+            for seed in range(40)
+            if _user(kb, seed=seed).rank_by_simplicity([obscure, prominent])[0]
+            == prominent
+        )
+        assert wins > 28
+
+    def test_extra_atoms_cost(self, kb):
+        kb.add(Triple(EX.France, EX.continent, EX.Europe))
+        single = SubgraphExpression.single_atom(EX.cityIn, EX.France)
+        path = SubgraphExpression.path(EX.cityIn, EX.continent, EX.Europe)
+        wins = sum(
+            1
+            for seed in range(40)
+            if _user(kb, seed=seed).rank_by_simplicity([path, single])[0] == single
+        )
+        assert wins > 24
+
+    def test_deterministic_given_rng(self, kb):
+        se = SubgraphExpression.single_atom(EX.cityIn, EX.France)
+        assert _user(kb, seed=5).perceived_complexity(se) == _user(
+            kb, seed=5
+        ).perceived_complexity(se)
+
+
+class TestInterestingness:
+    def test_grades_in_range(self, kb):
+        user = _user(kb)
+        e = Expression.of(SubgraphExpression.single_atom(EX.cityIn, EX.France))
+        for _ in range(20):
+            assert 1 <= user.interestingness(e, EX.City3) <= 5
+
+    def test_top_grade_for_empty_expression(self, kb):
+        assert _user(kb).interestingness(Expression.TOP, EX.City3) == 1
+
+    def test_impertinent_descriptions_penalized(self, kb):
+        """The Buddhism-movie effect: same shape, unrelated domain."""
+        kb.add(Triple(EX.Buddhism, RDF_TYPE, EX.Religion))
+        kb.add(Triple(EX.City1, EX.oddLink, EX.Buddhism))
+        pertinent = Expression.of(
+            SubgraphExpression.single_atom(EX.cityIn, EX.France)
+        )
+        impertinent = Expression.of(
+            SubgraphExpression.single_atom(EX.oddLink, EX.Buddhism)
+        )
+        pertinent_scores = []
+        impertinent_scores = []
+        for seed in range(30):
+            user = _user(kb, seed=seed)
+            pertinent_scores.append(user.interestingness(pertinent, EX.City1))
+            impertinent_scores.append(user.interestingness(impertinent, EX.City1))
+        assert sum(pertinent_scores) > sum(impertinent_scores)
+
+
+class TestPanel:
+    def test_panel_size(self, kb):
+        panel = UserPanel(kb, FrequencyProminence(kb), size=10, seed=1)
+        assert len(panel) == 10
+
+    def test_panel_reproducible(self, kb):
+        fr = FrequencyProminence(kb)
+        se = SubgraphExpression.single_atom(EX.cityIn, EX.France)
+        a = [u.perceived_complexity(se) for u in UserPanel(kb, fr, size=5, seed=3)]
+        b = [u.perceived_complexity(se) for u in UserPanel(kb, fr, size=5, seed=3)]
+        assert a == b
+
+    def test_users_vary(self, kb):
+        fr = FrequencyProminence(kb)
+        se = SubgraphExpression.single_atom(EX.cityIn, EX.France)
+        values = {round(u.perceived_complexity(se), 6) for u in UserPanel(kb, fr, size=8, seed=3)}
+        assert len(values) > 1
+
+    def test_size_validation(self, kb):
+        with pytest.raises(ValueError):
+            UserPanel(kb, FrequencyProminence(kb), size=0)
