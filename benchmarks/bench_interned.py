@@ -1,0 +1,164 @@
+"""Benchmark smoke: hash vs interned backend mining throughput.
+
+Runs the Table 4 runtime protocol at smoke scale — entity sets of size
+1/2/3 in 50/30/20 % proportions drawn from the most frequent instances —
+against BOTH storage backends, using :class:`repro.core.batch.BatchMiner`
+(one shared miner per backend, the serving shape).  Writes a JSON record
+with per-backend wall times and the interned/hash throughput ratio.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_interned.py --out BENCH_interned.json
+
+CI runs this as the quick benchmark job; the acceptance bar is that the
+interned backend is no slower than the hash backend (target ≥1.5×).
+Exit code 1 when the ratio falls below ``--fail-below`` (default 0.9 —
+a little headroom for shared-runner timing noise).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.batch import BatchMiner  # noqa: E402
+from repro.core.config import MinerConfig  # noqa: E402
+from repro.datasets import dbpedia_like, wikidata_like  # noqa: E402
+from repro.kb.interned import InternedKnowledgeBase  # noqa: E402
+
+DBPEDIA_CLASSES = ("Person", "Settlement", "Album", "Film", "Organization")
+WIKIDATA_CLASSES = ("Company", "City", "Film", "Human")
+
+
+def sample_entity_sets(generated, classes, count, seed):
+    """Table 4 sampling: 1/2/3 same-class entities in 50/30/20 % proportions."""
+    rng = random.Random(seed)
+    frequencies = generated.kb.entity_frequencies()
+    pools = {
+        cls: sorted(generated.instances_of(cls), key=lambda e: -frequencies[e])[:30]
+        for cls in classes
+    }
+    sets = []
+    for _ in range(count):
+        cls = rng.choice(classes)
+        size = rng.choices((1, 2, 3), weights=(0.5, 0.3, 0.2))[0]
+        sets.append(rng.sample(pools[cls], min(size, len(pools[cls]))))
+    return sets
+
+
+def run_backend(kb, entity_sets, timeout, repeats):
+    """Cold-mine every set on a fresh BatchMiner per repeat; best-of timings.
+
+    Each repeat is a fresh miner (cold matcher and estimator caches), so
+    the measurement covers real mining work, not cached replay.  The
+    KB-independent warm-up (prominence ranking, cutoff set) is excluded —
+    a serving deployment builds it once at startup.
+    """
+    config = MinerConfig(timeout_seconds=timeout)
+    best = None
+    found = 0
+    cache_stats = None
+    warm_seconds = 0.0
+    for _ in range(repeats):
+        miner = BatchMiner(kb, config=config)
+        warm_start = time.perf_counter()
+        miner.warm_up()
+        warm_seconds = time.perf_counter() - warm_start
+        start = time.perf_counter()
+        outcomes = miner.mine_many(entity_sets)
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+        found = sum(1 for o in outcomes if o.found)
+        cache_stats = miner.miner.matcher.cache_stats
+    return {
+        "backend": type(kb).__name__,
+        "warm_up_seconds": round(warm_seconds, 4),
+        "mine_seconds": round(best, 4),
+        "sets_per_second": round(len(entity_sets) / best, 2) if best else None,
+        "solutions_found": found,
+        "cache": cache_stats,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_interned.json")
+    parser.add_argument("--scale", type=float, default=1.0, help="KB scale factor")
+    parser.add_argument("--sets", type=int, default=20, help="entity sets per KB")
+    parser.add_argument("--repeats", type=int, default=3, help="best-of repeats")
+    parser.add_argument("--timeout", type=float, default=10.0, help="per-set timeout")
+    parser.add_argument(
+        "--fail-below",
+        type=float,
+        default=0.9,
+        help="exit 1 when the overall speedup is below this ratio "
+        "(0.9 leaves headroom for shared-runner timing noise)",
+    )
+    args = parser.parse_args(argv)
+
+    workloads = [
+        ("dbpedia", dbpedia_like(scale=args.scale, seed=42), DBPEDIA_CLASSES, 23),
+        ("wikidata", wikidata_like(scale=args.scale, seed=7), WIKIDATA_CLASSES, 29),
+    ]
+    results = []
+    for name, generated, classes, seed in workloads:
+        hash_kb = generated.kb
+        interned_kb = InternedKnowledgeBase(hash_kb.triples(), name=hash_kb.name)
+        entity_sets = sample_entity_sets(generated, classes, args.sets, seed)
+        hash_row = run_backend(hash_kb, entity_sets, args.timeout, args.repeats)
+        interned_row = run_backend(interned_kb, entity_sets, args.timeout, args.repeats)
+        if interned_row["solutions_found"] != hash_row["solutions_found"]:
+            print(f"ERROR: solution counts diverge on {name}", file=sys.stderr)
+            return 2
+        speedup = hash_row["mine_seconds"] / interned_row["mine_seconds"]
+        results.append(
+            {
+                "kb": name,
+                "facts": len(hash_kb),
+                "entity_sets": len(entity_sets),
+                "hash": hash_row,
+                "interned": interned_row,
+                "interned_speedup": round(speedup, 3),
+            }
+        )
+        print(
+            f"{name:9s} facts={len(hash_kb):6d} hash={hash_row['mine_seconds']:.3f}s "
+            f"interned={interned_row['mine_seconds']:.3f}s speedup={speedup:.2f}x"
+        )
+
+    overall = sum(r["hash"]["mine_seconds"] for r in results) / sum(
+        r["interned"]["mine_seconds"] for r in results
+    )
+    payload = {
+        "benchmark": "interned-vs-hash-backend",
+        "protocol": "table4-smoke",
+        "python": platform.python_version(),
+        "scale": args.scale,
+        "sets_per_kb": args.sets,
+        "repeats": args.repeats,
+        "results": results,
+        "overall_interned_speedup": round(overall, 3),
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"overall interned speedup: {overall:.2f}x -> {args.out}")
+    if overall < args.fail_below:
+        print(
+            f"FAIL: interned backend is slower than the hash backend "
+            f"(ratio {overall:.2f} < {args.fail_below})",
+            file=sys.stderr,
+        )
+        return 1
+    if overall < 1.5:
+        print("WARN: below the 1.5x target (acceptable, but investigate)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,37 +1,57 @@
 """Command-line interface.
 
-Three subcommands::
+Four subcommands::
 
     remi generate --kind dbpedia --scale 1.0 --out kb.hdt     # build a KB
     remi mine kb.hdt <entity-iri> [<entity-iri> ...]          # mine an RE
+    remi batch kb.hdt requests.jsonl                          # many targets
     remi stats kb.hdt                                         # KB statistics
 
 ``mine`` prints the winning referring expression, its Ĉ in bits, the NL
-verbalization and the search statistics.  Input KBs may be RHDT binaries
-(``.hdt``) or N-Triples text (anything else).
+verbalization and the search statistics.  ``batch`` reads target sets as
+JSON lines (``["iri", ...]`` or ``{"id": ..., "targets": [...]}``) and
+writes one JSON result per line, sharing the prominence ranking and the
+matcher cache across all requests.  Input KBs may be RHDT binaries
+(``.hdt``) or N-Triples text (anything else); ``--backend`` picks the
+storage backend (``interned`` dictionary-encodes terms to integer IDs —
+the faster choice for mining workloads).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro.core.batch import BatchMiner
 from repro.core.config import LanguageBias, MinerConfig
 from repro.core.parallel import PREMI
 from repro.core.remi import REMI
 from repro.expressions.verbalize import Verbalizer
+from repro.kb.base import BaseKnowledgeBase
 from repro.kb.hdt import load_hdt, save_hdt
+from repro.kb.interned import InternedKnowledgeBase
 from repro.kb.ntriples import parse_ntriples_file, write_ntriples_file
 from repro.kb.store import KnowledgeBase
 from repro.kb.terms import IRI
 
+#: The storage backends selectable via ``--backend``.
+BACKENDS = {
+    "hash": KnowledgeBase,
+    "interned": InternedKnowledgeBase,
+}
 
-def _load_kb(path: str) -> KnowledgeBase:
+
+def _load_kb(path: str, backend: str = "hash") -> BaseKnowledgeBase:
+    backend_class = BACKENDS[backend]
     if path.endswith(".hdt"):
-        return load_hdt(path)
-    return KnowledgeBase(parse_ntriples_file(path), name=Path(path).stem)
+        loaded = load_hdt(path)
+        if backend_class is KnowledgeBase:
+            return loaded
+        return backend_class(loaded.triples(), name=loaded.name)
+    return backend_class(parse_ntriples_file(path), name=Path(path).stem)
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -55,14 +75,14 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    kb = _load_kb(args.kb)
+    kb = _load_kb(args.kb, args.backend)
     for key, value in kb.stats().items():
         print(f"{key:12s} {value}")
     return 0
 
 
 def _cmd_mine(args: argparse.Namespace) -> int:
-    kb = _load_kb(args.kb)
+    kb = _load_kb(args.kb, args.backend)
     targets = [IRI(value) for value in args.entities]
     known = kb.entities()
     unknown = [t for t in targets if t not in known]
@@ -92,6 +112,45 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    kb = _load_kb(args.kb, args.backend)
+    config = MinerConfig(
+        language=LanguageBias.STANDARD if args.standard else LanguageBias.REMI,
+        timeout_seconds=args.timeout,
+    )
+    miner = BatchMiner(
+        kb,
+        prominence=args.prominence,
+        config=config,
+        parallel=args.parallel,
+        workers=args.workers,
+    )
+    verbalizer = Verbalizer(kb) if args.verbalize else None
+    if args.requests == "-":
+        lines = sys.stdin.readlines()
+    else:
+        try:
+            lines = Path(args.requests).read_text(encoding="utf-8").splitlines()
+        except OSError as exc:
+            print(f"cannot read requests file: {exc}", file=sys.stderr)
+            return 2
+    outcomes = miner.mine_jsonl(lines)
+    try:
+        out = open(args.out, "w", encoding="utf-8") if args.out else sys.stdout
+    except OSError as exc:
+        print(f"cannot write output file: {exc}", file=sys.stderr)
+        return 2
+    try:
+        for outcome in outcomes:
+            print(json.dumps(outcome.to_json(verbalizer), ensure_ascii=False), file=out)
+    finally:
+        if out is not sys.stdout:
+            out.close()
+    if args.summary:
+        print(json.dumps(miner.summary()), file=sys.stderr)
+    return 0 if miner.errors == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="remi",
@@ -108,16 +167,36 @@ def build_parser() -> argparse.ArgumentParser:
 
     stats = subparsers.add_parser("stats", help="print KB statistics")
     stats.add_argument("kb", help="KB file (.hdt or N-Triples)")
+    stats.add_argument("--backend", choices=sorted(BACKENDS), default="hash")
     stats.set_defaults(func=_cmd_stats)
 
     mine = subparsers.add_parser("mine", help="mine a referring expression")
     mine.add_argument("kb", help="KB file (.hdt or N-Triples)")
     mine.add_argument("entities", nargs="+", help="target entity IRIs")
+    mine.add_argument("--backend", choices=sorted(BACKENDS), default="hash")
     mine.add_argument("--prominence", choices=("fr", "pr"), default="fr")
     mine.add_argument("--standard", action="store_true", help="standard language bias")
     mine.add_argument("--parallel", action="store_true", help="use P-REMI")
     mine.add_argument("--timeout", type=float, default=None, help="seconds")
     mine.set_defaults(func=_cmd_mine)
+
+    batch = subparsers.add_parser(
+        "batch", help="mine many target sets from a JSON-lines file"
+    )
+    batch.add_argument("kb", help="KB file (.hdt or N-Triples)")
+    batch.add_argument("requests", help="JSON-lines requests file, or - for stdin")
+    batch.add_argument("--backend", choices=sorted(BACKENDS), default="interned")
+    batch.add_argument("--prominence", choices=("fr", "pr"), default="fr")
+    batch.add_argument("--standard", action="store_true", help="standard language bias")
+    batch.add_argument("--parallel", action="store_true", help="use P-REMI per request")
+    batch.add_argument("--workers", type=int, default=1, help="concurrent requests")
+    batch.add_argument("--timeout", type=float, default=None, help="seconds per request")
+    batch.add_argument("--verbalize", action="store_true", help="include NL rendering")
+    batch.add_argument("--out", default=None, help="output file (default: stdout)")
+    batch.add_argument(
+        "--summary", action="store_true", help="print serving stats to stderr"
+    )
+    batch.set_defaults(func=_cmd_batch)
     return parser
 
 

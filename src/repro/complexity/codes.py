@@ -200,34 +200,79 @@ class ComplexityEstimator:
         """log2 k(p1 | p0): rank among predicates joinable 1→2 with p0."""
         ranks = self._join_predicate_ranks.get(p0)
         if ranks is None:
-            joinable: set = set()
-            for mid in self.kb.objects_of_predicate(p0):
-                joinable |= self.kb.predicates_of(mid)
-            ranks = self._rank_predicates(joinable)
+            ranks = self._rank_predicates(self._joinable_predicates(p0))
             self._join_predicate_ranks[p0] = ranks
         return _log2_rank(ranks.get(p1, len(ranks) + 1))
+
+    def _joinable_predicates(self, p0: IRI) -> "set[IRI]":
+        """The predicates reachable from an object of *p0* (one decode on
+        dictionary-encoded backends: the scan runs over integer IDs)."""
+        kb = self.kb
+        if kb.supports_id_queries:
+            p0_id = kb.term_id(p0)  # type: ignore[attr-defined]
+            if p0_id is None:
+                return set()
+            joinable_ids: set = set()
+            for mid_id in kb.object_ids_of_predicate(p0_id):  # type: ignore[attr-defined]
+                joinable_ids |= kb.predicate_ids_of(mid_id)  # type: ignore[attr-defined]
+            return set(kb.decode_terms(joinable_ids))  # type: ignore[attr-defined]
+        joinable: set = set()
+        for mid in kb.objects_of_predicate(p0):
+            joinable |= kb.predicates_of(mid)
+        return joinable
 
     def _closed_predicate_bits(self, anchor: IRI, predicate: IRI) -> float:
         """log2 k(p | anchor) among predicates sharing an (s, o) pair."""
         ranks = self._closed_predicate_ranks.get(anchor)
         if ranks is None:
-            co_occurring: set = set()
-            for subject, obj in self.kb.subject_object_pairs(anchor):
-                for candidate in self.kb.predicates_of(subject):
-                    if candidate != anchor and obj in self.kb.objects(subject, candidate):
-                        co_occurring.add(candidate)
-            ranks = self._rank_predicates(co_occurring)
+            ranks = self._rank_predicates(self._co_occurring_predicates(anchor))
             self._closed_predicate_ranks[anchor] = ranks
         return _log2_rank(ranks.get(predicate, len(ranks) + 1))
+
+    def _co_occurring_predicates(self, anchor: IRI) -> "set[IRI]":
+        """Predicates sharing an ``(s, o)`` pair with *anchor* (ID-space
+        scan with one decode on dictionary-encoded backends)."""
+        kb = self.kb
+        if kb.supports_id_queries:
+            anchor_id = kb.term_id(anchor)  # type: ignore[attr-defined]
+            if anchor_id is None:
+                return set()
+            co_ids: set = set()
+            for s_id, obj_ids in kb.subject_object_items_ids(anchor_id):  # type: ignore[attr-defined]
+                for c_id in kb.predicate_ids_of(s_id):  # type: ignore[attr-defined]
+                    if (
+                        c_id != anchor_id
+                        and c_id not in co_ids
+                        and not obj_ids.isdisjoint(kb.objects_ids(s_id, c_id))  # type: ignore[attr-defined]
+                    ):
+                        co_ids.add(c_id)
+            return set(kb.decode_terms(co_ids))  # type: ignore[attr-defined]
+        co_occurring: set = set()
+        for subject, objs in kb.subject_object_items(anchor):
+            for candidate in kb.predicates_of(subject):
+                if candidate != anchor and candidate not in co_occurring:
+                    if not objs.isdisjoint(kb.objects_view(subject, candidate)):
+                        co_occurring.add(candidate)
+        return co_occurring
 
     def _tail_object_bits(self, p0: IRI, p1: IRI, obj: Term) -> float:
         """log2 k(I | p0 ⋈ p1): rank among bindings of z in p0(x,y) ∧ p1(y,z)."""
         key = (p0, p1)
         ranks = self._tail_ranks.get(key)
         if ranks is None:
-            candidates: set = set()
-            for mid in self.kb.objects_of_predicate(p0):
-                candidates |= self.kb.objects(mid, p1)
+            kb = self.kb
+            if kb.supports_id_queries:
+                p0_id = kb.term_id(p0)  # type: ignore[attr-defined]
+                p1_id = kb.term_id(p1)  # type: ignore[attr-defined]
+                candidate_ids: set = set()
+                if p0_id is not None and p1_id is not None:
+                    for mid_id in kb.object_ids_of_predicate(p0_id):  # type: ignore[attr-defined]
+                        candidate_ids |= kb.objects_ids(mid_id, p1_id)  # type: ignore[attr-defined]
+                candidates: set = set(kb.decode_terms(candidate_ids))  # type: ignore[attr-defined]
+            else:
+                candidates = set()
+                for mid in kb.objects_of_predicate(p0):
+                    candidates |= kb.objects_view(mid, p1)
             ranks = self._rank_map(candidates)
             self._tail_ranks[key] = ranks
         return _log2_rank(ranks.get(obj, len(ranks) + 1))

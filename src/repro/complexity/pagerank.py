@@ -15,13 +15,13 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional, Set
 
+from repro.kb.base import BaseKnowledgeBase
 from repro.kb.inverse import is_inverse
-from repro.kb.store import KnowledgeBase
 from repro.kb.terms import IRI
 
 
 def link_graph(
-    kb: KnowledgeBase,
+    kb: BaseKnowledgeBase,
     skip_predicates: Optional[Set[IRI]] = None,
     include_inverses: bool = False,
 ) -> Dict[IRI, Set[IRI]]:
@@ -41,7 +41,7 @@ def link_graph(
 
 
 def pagerank(
-    graph_or_kb: "Dict[IRI, Set[IRI]] | KnowledgeBase",
+    graph_or_kb: "Dict[IRI, Set[IRI]] | BaseKnowledgeBase",
     damping: float = 0.85,
     tolerance: float = 1e-9,
     max_iterations: int = 200,
@@ -49,10 +49,10 @@ def pagerank(
     """PageRank scores for every node of the link graph.
 
     Accepts either a prebuilt adjacency (node → successors) or a
-    :class:`KnowledgeBase`, in which case :func:`link_graph` is applied
+    :class:`~repro.kb.base.BaseKnowledgeBase`, in which case :func:`link_graph` is applied
     first.  Scores sum to 1.
     """
-    if isinstance(graph_or_kb, KnowledgeBase):
+    if isinstance(graph_or_kb, BaseKnowledgeBase):
         graph = link_graph(graph_or_kb)
     else:
         graph = graph_or_kb

@@ -55,9 +55,16 @@ class _BaseProminence:
     def __init__(self, kb: KnowledgeBase):
         self.kb = kb
         self._predicate_ranks: Optional[Dict[IRI, int]] = None
+        self._predicate_scores: Dict[IRI, float] = {}
 
     def predicate_score(self, predicate: IRI) -> float:
-        return float(self.kb.predicate_fact_count(predicate))
+        # Memoized: a fact count is a full per-predicate index scan, and
+        # the estimator's rank tables score the same predicates repeatedly.
+        cached = self._predicate_scores.get(predicate)
+        if cached is None:
+            cached = float(self.kb.predicate_fact_count(predicate))
+            self._predicate_scores[predicate] = cached
+        return cached
 
     def predicate_rank(self, predicate: IRI) -> int:
         if self._predicate_ranks is None:
@@ -88,13 +95,16 @@ class FrequencyProminence(_BaseProminence):
 
     def __init__(self, kb: KnowledgeBase):
         super().__init__(kb)
-        self._frequencies = kb.entity_frequencies()
+        # All terms (incl. literals and blanks) in one index pass: the
+        # rank tables score the same literal candidates over and over,
+        # and a per-term index scan each time dominated queue building.
+        self._frequencies = kb.term_frequencies()
 
     def entity_score(self, term: Term) -> float:
         cached = self._frequencies.get(term)
         if cached is not None:
             return float(cached)
-        return float(self.kb.term_frequency(term))
+        return 0.0  # absent from every index position
 
     def __repr__(self) -> str:
         return f"FrequencyProminence(kb={self.kb.name!r})"

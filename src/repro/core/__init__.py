@@ -6,9 +6,12 @@
   by the §3.2 growth experiment;
 * :mod:`repro.core.remi` — Algorithm 1 (REMI) and Algorithm 2 (DFS-REMI);
 * :mod:`repro.core.parallel` — Algorithm 3 (P-REMI / P-DFS-REMI);
+* :mod:`repro.core.batch` — batch mining of many target sets with shared
+  KB-dependent state (the serving shape);
 * :mod:`repro.core.results` — result and instrumentation records.
 """
 
+from repro.core.batch import BatchMiner, BatchOutcome, BatchRequest
 from repro.core.config import LanguageBias, MinerConfig
 from repro.core.enumerate import (
     common_subgraph_expressions,
@@ -20,6 +23,9 @@ from repro.core.remi import REMI
 from repro.core.results import MiningResult, SearchStats
 
 __all__ = [
+    "BatchMiner",
+    "BatchOutcome",
+    "BatchRequest",
     "LanguageBias",
     "MinerConfig",
     "MiningResult",

@@ -1,0 +1,285 @@
+"""Batch mining: many target sets against one KB, one shared substrate.
+
+The serving shape of the ROADMAP's north star: a deployment keeps ONE
+knowledge base resident and answers a stream of mining requests against
+it.  Re-instantiating :class:`~repro.core.remi.REMI` per request would
+recompute the prominence ranking, the prominent-entity cutoff set, the
+complexity estimator's rank tables and the matcher's LRU cache every time
+— all of which depend only on the KB.  :class:`BatchMiner` builds them
+once and reuses them across every request in the batch (and, on an
+interned backend, the term dictionary is shared implicitly through the
+store).
+
+Requests travel as JSON lines (one target set per line)::
+
+    ["http://example.org/Rennes", "http://example.org/Nantes"]
+    {"id": "req-7", "targets": ["http://example.org/Guyana"]}
+
+Either form is accepted; bare lists get positional IDs.  The CLI front end
+is ``remi batch`` (:mod:`repro.cli`); programmatic callers use
+:meth:`BatchMiner.mine_many` / :meth:`BatchMiner.mine_one` directly.
+
+With ``workers > 1`` requests are answered concurrently from a thread
+pool.  Results stay deterministic: the matcher cache is thread-safe, the
+estimator's rank tables are computed from pure KB queries (a racy double
+compute yields the same values), and every request runs its own search.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.core.config import MinerConfig
+from repro.core.remi import REMI
+from repro.core.results import MiningResult
+from repro.expressions.verbalize import Verbalizer
+from repro.kb.base import BaseKnowledgeBase
+from repro.kb.terms import IRI, Term
+
+
+class BatchRequestError(ValueError):
+    """Raised when a JSON-lines request cannot be parsed."""
+
+
+@dataclass(frozen=True)
+class BatchRequest:
+    """One mining request: a target set plus a caller-chosen ID."""
+
+    id: str
+    targets: Tuple[Term, ...]
+
+
+@dataclass
+class BatchOutcome:
+    """The answer to one :class:`BatchRequest`.
+
+    Either ``result`` is set (the request was mined — it may still hold no
+    RE) or ``error`` explains why mining was impossible (unknown entities,
+    malformed request).
+    """
+
+    request: BatchRequest
+    result: Optional[MiningResult] = None
+    error: Optional[str] = None
+    seconds: float = 0.0
+
+    @property
+    def found(self) -> bool:
+        return self.result is not None and self.result.found
+
+    def to_json(self, verbalizer: Optional[Verbalizer] = None) -> Dict:
+        """A JSON-serializable record, one per output line of ``remi batch``."""
+        record: Dict = {
+            "id": self.request.id,
+            "targets": [str(t) for t in self.request.targets],
+        }
+        if self.error is not None:
+            record["error"] = self.error
+            return record
+        assert self.result is not None
+        record["found"] = self.result.found
+        record["seconds"] = round(self.seconds, 6)
+        if self.result.found:
+            record["expression"] = repr(self.result.expression)
+            record["complexity_bits"] = self.result.complexity
+            if verbalizer is not None:
+                record["verbalized"] = verbalizer.expression(self.result.expression)
+        stats = self.result.stats
+        record["stats"] = {
+            "candidates": stats.candidates,
+            "re_tests": stats.re_tests,
+            "timed_out": stats.timed_out,
+        }
+        return record
+
+
+def parse_request(line: str, index: int) -> BatchRequest:
+    """Parse one JSON line into a :class:`BatchRequest`.
+
+    Accepts a bare list of IRIs or an object ``{"id": ..., "targets":
+    [...]}``; bare lists get the 1-based line position as their ID.
+    """
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise BatchRequestError(f"line {index}: invalid JSON ({exc})") from exc
+    if isinstance(payload, list):
+        request_id, raw_targets = str(index), payload
+    elif isinstance(payload, dict):
+        if "targets" not in payload:
+            raise BatchRequestError(f"line {index}: missing 'targets' key")
+        request_id = str(payload.get("id", index))
+        raw_targets = payload["targets"]
+    else:
+        raise BatchRequestError(
+            f"line {index}: expected a JSON list or object, got {type(payload).__name__}"
+        )
+    if not isinstance(raw_targets, list) or not all(
+        isinstance(t, str) for t in raw_targets
+    ):
+        raise BatchRequestError(f"line {index}: 'targets' must be a list of IRI strings")
+    if not raw_targets:
+        raise BatchRequestError(f"line {index}: empty target set")
+    return BatchRequest(id=request_id, targets=tuple(IRI(t) for t in raw_targets))
+
+
+def parse_requests(lines: Iterable[str]) -> Iterator[BatchRequest]:
+    """Parse a JSON-lines stream, skipping blank lines and ``#`` comments."""
+    for index, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        yield parse_request(stripped, index)
+
+
+class BatchMiner:
+    """Mines many target sets against one KB with shared machinery.
+
+    Parameters
+    ----------
+    kb:
+        Any :class:`~repro.kb.base.BaseKnowledgeBase` backend.  The
+        interned backend is the intended production choice — see
+        ``benchmarks/bench_interned.py`` for the measured ratio.
+    prominence, config:
+        Forwarded to :class:`~repro.core.remi.REMI`; one miner instance
+        (and thus one prominence ranking, estimator and matcher cache) is
+        shared by every request.
+    parallel:
+        Use :class:`~repro.core.parallel.PREMI` per request (intra-request
+        parallelism).
+    workers:
+        Number of concurrent requests (inter-request parallelism).  The
+        default of 1 answers requests in order on the calling thread.
+    """
+
+    def __init__(
+        self,
+        kb: BaseKnowledgeBase,
+        prominence: str = "fr",
+        config: Optional[MinerConfig] = None,
+        parallel: bool = False,
+        workers: int = 1,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be ≥ 1, got {workers}")
+        if parallel:
+            from repro.core.parallel import PREMI
+
+            miner_class = PREMI
+        else:
+            miner_class = REMI
+        self.kb = kb
+        self.miner = miner_class(kb, prominence=prominence, config=config)
+        self.workers = workers
+        self.requests_served = 0
+        self.errors = 0
+        # Counter updates are load/add/store; workers > 1 would lose
+        # increments without this lock.
+        self._counter_lock = threading.Lock()
+        #: Known-entity set, computed once per batch miner.  Scanning the
+        #: KB per request would dwarf small mining calls; batch serving
+        #: assumes the KB is read-only while requests are in flight.
+        self._known: Optional[frozenset] = None
+
+    # ------------------------------------------------------------------
+
+    def warm_up(self) -> None:
+        """Force the shared KB-dependent state to build ahead of traffic.
+
+        Touches the prominence ranking, the prominent-entity cutoff set and
+        the known-entity set so the first request does not pay for them.
+        """
+        _ = self.miner.prominent_entities
+        self.miner.prominence.predicate_rank(next(iter(self.kb.predicates()), IRI("urn:none")))
+        self._known = frozenset(self.kb.entities())
+
+    def mine_one(self, request: BatchRequest) -> BatchOutcome:
+        """Answer a single request; errors become per-request outcomes."""
+        if not request.targets:
+            with self._counter_lock:
+                self.errors += 1
+            return BatchOutcome(request=request, error="empty target set")
+        if self._known is None:
+            self._known = frozenset(self.kb.entities())
+        known = self._known
+        unknown = [t for t in request.targets if t not in known]
+        if unknown:
+            with self._counter_lock:
+                self.errors += 1
+            return BatchOutcome(
+                request=request,
+                error="unknown entities: " + ", ".join(str(u) for u in unknown),
+            )
+        started = time.perf_counter()
+        result = self.miner.mine(request.targets)
+        outcome = BatchOutcome(
+            request=request, result=result, seconds=time.perf_counter() - started
+        )
+        with self._counter_lock:
+            self.requests_served += 1
+        return outcome
+
+    def mine_many(
+        self, requests: Iterable[Union[BatchRequest, Sequence[Term]]]
+    ) -> List[BatchOutcome]:
+        """Answer every request, preserving input order.
+
+        Plain target sequences are wrapped into :class:`BatchRequest` with
+        positional IDs, so ``mine_many([[a], [b, c]])`` works directly.
+        """
+        normalized = [
+            r
+            if isinstance(r, BatchRequest)
+            else BatchRequest(id=str(i), targets=tuple(r))
+            for i, r in enumerate(requests, start=1)
+        ]
+        if self.workers == 1 or len(normalized) <= 1:
+            return [self.mine_one(r) for r in normalized]
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            return list(pool.map(self.mine_one, normalized))
+
+    def mine_jsonl(self, lines: Iterable[str]) -> List[BatchOutcome]:
+        """Parse a JSON-lines stream and answer it, one outcome per record.
+
+        Malformed lines become error outcomes in place, so output order
+        matches input order even when some lines cannot be parsed.
+        """
+        parse_errors: Dict[int, BatchOutcome] = {}
+        good: List[Tuple[int, BatchRequest]] = []
+        position = 0
+        for index, line in enumerate(lines, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            try:
+                good.append((position, parse_request(stripped, index)))
+            except BatchRequestError as exc:
+                self.errors += 1
+                bad = BatchRequest(id=str(index), targets=())
+                parse_errors[position] = BatchOutcome(request=bad, error=str(exc))
+            position += 1
+        mined = self.mine_many(request for _, request in good)
+        merged: List[Optional[BatchOutcome]] = [None] * position
+        for outcome_position, outcome in parse_errors.items():
+            merged[outcome_position] = outcome
+        for (outcome_position, _), outcome in zip(good, mined):
+            merged[outcome_position] = outcome
+        return [o for o in merged if o is not None]
+
+    # ------------------------------------------------------------------
+
+    def summary(self) -> Dict:
+        """Aggregate serving statistics (cache reuse is the whole point)."""
+        cache = self.miner.matcher.cache_stats
+        return {
+            "requests_served": self.requests_served,
+            "errors": self.errors,
+            "backend": type(self.kb).__name__,
+            "matcher_cache": cache,
+        }

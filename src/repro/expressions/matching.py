@@ -9,116 +9,277 @@ The :class:`Matcher` answers the two questions REMI's search loop asks
 * is an expression a referring expression for a target set ``T`` —
   :meth:`Matcher.identifies` (bindings == T, §2.2.2).
 
-Each Table 1 shape gets a dedicated evaluation plan built from the store's
-atom-binding API; results are memoized in an LRU cache keyed on the
-canonical expression (§3.5.2).  A generic backtracking conjunctive-query
-solver (:func:`solve`) handles arbitrary atom lists — it is what the AMIE+
-opponent uses, and doubles as a differential-testing oracle for the fast
-paths.
+Each Table 1 shape gets a dedicated evaluation plan built from the
+backend's atom-binding API; results are memoized in an LRU cache keyed on
+the canonical expression (§3.5.2).  On a dictionary-encoded backend
+(``supports_id_queries``, e.g. :class:`~repro.kb.interned.InternedKnowledgeBase`)
+the plans run entirely in integer-ID space — atom constants are encoded
+once per evaluation, set algebra happens over ``set[int]``, and results are
+decoded to terms only at the public API boundary (:meth:`Matcher.bindings`,
+:meth:`Matcher.expression_bindings`).  A generic backtracking
+conjunctive-query solver (:func:`solve`) handles arbitrary atom lists — it
+is what the AMIE+ opponent uses, and doubles as a differential-testing
+oracle for the fast paths.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.expressions.atoms import Atom, Variable
 from repro.expressions.expression import Expression
 from repro.expressions.subgraph import Shape, SubgraphExpression
+from repro.kb.base import BaseKnowledgeBase
 from repro.kb.cache import LRUCache
-from repro.kb.store import KnowledgeBase
 from repro.kb.terms import Term
 
 Assignment = Dict[Variable, Term]
 
+_EMPTY: frozenset = frozenset()
+
+
+def _identity(term: Term) -> Term:
+    return term
+
+
+def _iter_bits(mask: int) -> Iterator[int]:
+    """The set bit positions of *mask*, ascending."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
 
 class Matcher:
-    """Evaluates subgraph expressions and referring expressions on a KB."""
+    """Evaluates subgraph expressions and referring expressions on a KB.
 
-    def __init__(self, kb: KnowledgeBase, cache_size: int = 65536):
+    Internally the matcher works in the backend's *raw* binding
+    representation and decodes to terms only when a public method returns
+    bindings:
+
+    * **hash backend** — raw bindings are (frozen)sets of term objects;
+    * **interned backend** — raw bindings are *bitmasks*: big ints with
+      bit *i* set when dense term ID *i* binds.  Dense IDs make binding
+      sets compact, and intersection / union / subset / equality over a
+      whole candidate set collapse into single C-speed big-int operations
+      (the compact-ID-set technique of HDT and the decision-diagram
+      literature).
+
+    The LRU cache, all set algebra, and the RE test operate on the raw
+    representation.
+    """
+
+    def __init__(self, kb: BaseKnowledgeBase, cache_size: int = 65536):
         self.kb = kb
-        self._cache: LRUCache[SubgraphExpression, FrozenSet[Term]] = LRUCache(cache_size)
+        #: Cached root bindings per subgraph expression, in RAW form
+        #: (frozenset of terms, or a bitmask int on an interned backend).
+        self._cache: LRUCache[SubgraphExpression, Any] = LRUCache(cache_size)
         self.evaluations = 0  # SE evaluations that actually hit the KB
+        self._targets_memo: Optional[Tuple[Any, Any]] = None
+        self._mask_space = bool(getattr(kb, "supports_id_queries", False))
+        if self._mask_space:
+            self._encode = kb.term_id  # type: ignore[attr-defined]
+            self._decode = kb.decode_mask  # type: ignore[attr-defined]
+            self._subjects_mask = kb.subjects_mask  # type: ignore[attr-defined]
+            self._subjects_ids = kb.subjects_ids  # type: ignore[attr-defined]
+            self._objects = kb.objects_ids  # type: ignore[attr-defined]
+            self._subject_count = kb.subject_count_ids  # type: ignore[attr-defined]
+            self._subject_object_items_ids = kb.subject_object_items_ids  # type: ignore[attr-defined]
+            self._empty: Any = 0
+        else:
+            self._encode = _identity
+            self._decode = frozenset
+            self._objects = kb.objects_view
+            self._subject_count = kb.subject_count
+            self._subject_object_items = kb.subject_object_items
+            self._empty = _EMPTY
 
     # ------------------------------------------------------------------
     # subgraph expressions
     # ------------------------------------------------------------------
 
     def bindings(self, se: SubgraphExpression) -> FrozenSet[Term]:
-        """All bindings of the root variable for *se* (cached)."""
+        """All bindings of the root variable for *se* (cached, decoded)."""
+        return self._decode(self._raw_bindings(se))
+
+    def _raw_bindings(self, se: SubgraphExpression) -> Any:
+        """Root bindings in raw form (the cached representation)."""
         return self._cache.get_or_compute(se, lambda: self._evaluate(se))
 
-    def _evaluate(self, se: SubgraphExpression) -> FrozenSet[Term]:
+    def _evaluate(self, se: SubgraphExpression) -> Any:
         self.evaluations += 1
+        if self._mask_space:
+            return self._evaluate_masks(se)
+        return self._evaluate_sets(se)
+
+    # -- term-set evaluation plans (hash backend) ----------------------
+
+    def _evaluate_sets(self, se: SubgraphExpression) -> FrozenSet[Term]:
         kb = self.kb
         atoms = se.atoms
         if se.shape is Shape.SINGLE_ATOM:
             atom = atoms[0]
-            return frozenset(kb.subjects(atom.predicate, atom.object))  # type: ignore[arg-type]
+            return frozenset(kb.subjects_view(atom.predicate, atom.object))  # type: ignore[arg-type]
         if se.shape is Shape.PATH:
             hop, tail = atoms
-            mids = kb.subjects(tail.predicate, tail.object)  # type: ignore[arg-type]
-            return self._roots_via(hop.predicate, mids)
+            mids: Set[Term] = kb.subjects_view(tail.predicate, tail.object)  # type: ignore[arg-type]
+            return self._roots_via_sets(hop.predicate, mids)
         if se.shape is Shape.PATH_STAR:
             hop, star1, star2 = atoms
-            mids = kb.subjects(star1.predicate, star1.object)  # type: ignore[arg-type]
+            mids = kb.subjects_view(star1.predicate, star1.object)  # type: ignore[arg-type]
             if mids:
-                mids = mids & kb.subjects(star2.predicate, star2.object)  # type: ignore[arg-type]
-            return self._roots_via(hop.predicate, mids)
+                mids = mids & kb.subjects_view(star2.predicate, star2.object)  # type: ignore[arg-type]
+            return self._roots_via_sets(hop.predicate, mids)
         if se.shape in (Shape.CLOSED_2, Shape.CLOSED_3):
-            return self._closed_roots(se)
+            return self._closed_roots_sets(se)
         raise AssertionError(f"unhandled shape {se.shape}")
 
-    def _roots_via(self, predicate, mids: Iterable[Term]) -> FrozenSet[Term]:
+    def _roots_via_sets(self, predicate, mids: Iterable[Term]) -> FrozenSet[Term]:
+        subjects = self.kb.subjects_view
         roots: Set[Term] = set()
         for mid in mids:
-            roots |= self.kb.subjects(predicate, mid)
+            roots |= subjects(predicate, mid)
         return frozenset(roots)
 
-    def _closed_roots(self, se: SubgraphExpression) -> FrozenSet[Term]:
-        kb = self.kb
+    def _closed_roots_sets(self, se: SubgraphExpression) -> FrozenSet[Term]:
         predicates = se.predicates()
         # Drive the scan from the predicate with the fewest subjects.
-        driver = min(predicates, key=lambda p: len(kb._pso.get(p, {})))
-        rest = [p for p in predicates if p is not driver]
+        driver = min(predicates, key=self._subject_count)
+        rest = [p for p in predicates if p != driver]
+        objects = self._objects
         roots: Set[Term] = set()
-        for subject, objects in kb._pso.get(driver, {}).items():
-            shared = set(objects)
+        for subject, driver_objects in self._subject_object_items(driver):
+            shared = driver_objects
             for p in rest:
-                shared &= kb.objects(subject, p)
+                shared = shared & objects(subject, p)
                 if not shared:
                     break
             if shared:
                 roots.add(subject)
         return frozenset(roots)
 
-    def holds_for(self, se: SubgraphExpression, entity: Term) -> bool:
-        """Does *entity* satisfy *se*?  Cheaper than computing all bindings."""
-        cached = self._cache.get(se)
-        if cached is not None:
-            return entity in cached
-        kb = self.kb
+    # -- bitmask evaluation plans (interned backend) -------------------
+    #
+    # Plans walk the cheap id-set adjacency views and accumulate the root
+    # set in a bytearray, finalized to one bitmask int (O(n + width/8)).
+    # Only the *cached* masks do big-int algebra — that is where the RE
+    # test's subset/intersection/equality checks become single C-speed
+    # operations.
+
+    def _evaluate_masks(self, se: SubgraphExpression) -> int:
+        encode = self._encode
         atoms = se.atoms
         if se.shape is Shape.SINGLE_ATOM:
             atom = atoms[0]
-            return atom.object in kb.objects(entity, atom.predicate)
+            p = encode(atom.predicate)
+            o = encode(atom.object)  # type: ignore[arg-type]
+            if p is None or o is None:
+                return 0
+            return self._subjects_mask(p, o)
         if se.shape is Shape.PATH:
             hop, tail = atoms
-            return any(
-                tail.object in kb.objects(mid, tail.predicate)
-                for mid in kb.objects(entity, hop.predicate)
-            )
+            return self._roots_via_mask(hop.predicate, self._atom_ids(tail))
         if se.shape is Shape.PATH_STAR:
             hop, star1, star2 = atoms
+            mids = self._atom_ids(star1)
+            if mids:
+                mids = mids & self._atom_ids(star2)
+            return self._roots_via_mask(hop.predicate, mids)
+        if se.shape in (Shape.CLOSED_2, Shape.CLOSED_3):
+            predicates = [encode(p) for p in se.predicates()]
+            if any(p is None for p in predicates):
+                return 0
+            driver = min(predicates, key=self._subject_count)
+            rest = [p for p in predicates if p != driver]
+            objects_ids = self._objects
+            buf = bytearray(self._mask_bytes())
+            for subject, driver_objects in self._subject_object_items_ids(driver):
+                shared = driver_objects
+                for p in rest:
+                    shared = shared & objects_ids(subject, p)
+                    if not shared:
+                        break
+                if shared:
+                    buf[subject >> 3] |= 1 << (subject & 7)
+            return int.from_bytes(buf, "little")
+        raise AssertionError(f"unhandled shape {se.shape}")
+
+    def _mask_bytes(self) -> int:
+        return (self.kb.term_count() >> 3) + 1  # type: ignore[attr-defined]
+
+    def _atom_ids(self, atom: Atom) -> Set[int]:
+        """Raw subject IDs of a bound atom ``p(x, I)`` (read-only view)."""
+        p = self._encode(atom.predicate)
+        o = self._encode(atom.object)  # type: ignore[arg-type]
+        if p is None or o is None:
+            return _EMPTY  # type: ignore[return-value]
+        return self._subjects_ids(p, o)
+
+    def _roots_via_mask(self, predicate, mids: Iterable[int]) -> int:
+        p = self._encode(predicate)
+        if p is None or not mids:
+            return 0
+        subjects_ids = self._subjects_ids
+        buf = bytearray(self._mask_bytes())
+        for mid in mids:
+            for s in subjects_ids(p, mid):
+                buf[s >> 3] |= 1 << (s & 7)
+        return int.from_bytes(buf, "little")
+
+    def holds_for(self, se: SubgraphExpression, entity: Term) -> bool:
+        """Does *entity* satisfy *se*?  Cheaper than computing all bindings."""
+        x = self._encode(entity)
+        if x is None:
+            return False
+        cached = self._cache.get(se)
+        if cached is not None:
+            if self._mask_space:
+                return bool(cached >> x & 1)
+            return x in cached
+        encode = self._encode
+        objects = self._objects
+        atoms = se.atoms
+        if se.shape is Shape.SINGLE_ATOM:
+            atom = atoms[0]
+            p = encode(atom.predicate)
+            o = encode(atom.object)  # type: ignore[arg-type]
+            return p is not None and o is not None and o in objects(x, p)
+        if se.shape is Shape.PATH:
+            hop, tail = atoms
+            hp, tp = encode(hop.predicate), encode(tail.predicate)
+            to = encode(tail.object)  # type: ignore[arg-type]
+            if hp is None or tp is None or to is None:
+                return False
+            return any(to in objects(mid, tp) for mid in objects(x, hp))
+        if se.shape is Shape.PATH_STAR:
+            hop, star1, star2 = atoms
+            hp = encode(hop.predicate)
+            p1, o1 = encode(star1.predicate), encode(star1.object)  # type: ignore[arg-type]
+            p2, o2 = encode(star2.predicate), encode(star2.object)  # type: ignore[arg-type]
+            if None in (hp, p1, o1, p2, o2):
+                return False
             return any(
-                star1.object in kb.objects(mid, star1.predicate)
-                and star2.object in kb.objects(mid, star2.predicate)
-                for mid in kb.objects(entity, hop.predicate)
+                o1 in objects(mid, p1) and o2 in objects(mid, p2)
+                for mid in objects(x, hp)
             )
         if se.shape in (Shape.CLOSED_2, Shape.CLOSED_3):
-            predicates = se.predicates()
-            shared = set(kb.objects(entity, predicates[0]))
+            predicates = [encode(p) for p in se.predicates()]
+            if any(p is None for p in predicates):
+                return False
+            shared: Set[Any] = objects(x, predicates[0])
             for p in predicates[1:]:
-                shared &= kb.objects(entity, p)
+                shared = shared & objects(x, p)
                 if not shared:
                     return False
             return bool(shared)
@@ -135,35 +296,77 @@ class Matcher:
         independent and intersection of per-conjunct root bindings is the
         exact semantics, no cross-conjunct join required.
         """
+        return self._decode(self._raw_expression_bindings(expression))
+
+    def _raw_expression_bindings(self, expression: Expression) -> Any:
         if expression.is_top:
             raise ValueError("⊤ has unbounded bindings; test conjuncts instead")
-        result: Optional[FrozenSet[Term]] = None
+        result: Optional[Any] = None
         # Evaluate cached conjuncts first, then by ascending cost estimate.
         for se in sorted(expression.conjuncts, key=lambda s: (s not in self._cache, s.size)):
-            found = self.bindings(se)
+            found = self._raw_bindings(se)
             result = found if result is None else (result & found)
             if not result:
-                return frozenset()
+                return self._empty
         assert result is not None
         return result
+
+    def _encode_targets(self, targets: FrozenSet[Term]) -> Optional[Any]:
+        """*targets* in raw form; None when a target is not in the KB."""
+        if not self._mask_space:
+            return targets if isinstance(targets, frozenset) else frozenset(targets)
+        memo = self._targets_memo
+        if memo is not None and memo[0] is targets:
+            return memo[1]
+        encode = self._encode
+        mask = 0
+        for t in targets:
+            r = encode(t)
+            if r is None:
+                return None  # never interned => bound by no expression
+            mask |= 1 << r
+        self._targets_memo = (targets, mask)
+        return mask
 
     def identifies(self, expression: Expression, targets: FrozenSet[Term]) -> bool:
         """The RE test of §2.2.2: bindings(expression) == targets exactly.
 
-        Short-circuits as soon as one target misses one conjunct.
+        Short-circuits as soon as one target misses one conjunct: cached
+        conjuncts via a raw subset test, uncached ones via per-target
+        probes (cheaper than materializing their full bindings when the
+        test fails).  One pass over the cache per conjunct.
         """
         if expression.is_top:
             return False
+        raw_targets = self._encode_targets(targets)
+        if raw_targets is None:
+            return False
+        mask_space = self._mask_space
+        result: Optional[Any] = None
+        pending = None
         for se in expression.conjuncts:
             cached = self._cache.get(se)
-            candidates = cached if cached is not None else None
-            for t in targets:
-                if candidates is not None:
-                    if t not in candidates:
-                        return False
-                elif not self.holds_for(se, t):
+            if cached is None:
+                if pending is None:
+                    pending = [se]
+                else:
+                    pending.append(se)
+                continue
+            if mask_space:
+                if raw_targets & cached != raw_targets:
                     return False
-        return self.expression_bindings(expression) == targets
+            elif not raw_targets <= cached:
+                return False
+            result = cached if result is None else (result & cached)
+        if pending is not None:
+            for se in pending:
+                for t in targets:
+                    if not self.holds_for(se, t):
+                        return False
+                # every target satisfies the conjunct; now materialize it
+                found = self._raw_bindings(se)
+                result = found if result is None else (result & found)
+        return result == raw_targets
 
     @property
     def cache_stats(self) -> dict:
@@ -181,7 +384,7 @@ class Matcher:
 # ----------------------------------------------------------------------
 
 
-def _atom_cost(atom: Atom, kb: KnowledgeBase, bound: Set[Variable]) -> int:
+def _atom_cost(atom: Atom, kb: BaseKnowledgeBase, bound: Set[Variable]) -> int:
     """Estimated number of KB rows the atom yields given bound variables."""
     subject_free = isinstance(atom.subject, Variable) and atom.subject not in bound
     object_free = isinstance(atom.object, Variable) and atom.object not in bound
@@ -195,7 +398,7 @@ def _atom_cost(atom: Atom, kb: KnowledgeBase, bound: Set[Variable]) -> int:
 
 def solve(
     atoms: Sequence[Atom],
-    kb: KnowledgeBase,
+    kb: BaseKnowledgeBase,
     initial: Optional[Assignment] = None,
 ) -> Iterator[Assignment]:
     """Enumerate all assignments satisfying the conjunction of *atoms*.
@@ -211,7 +414,7 @@ def solve(
 
 
 def _solve_rec(
-    remaining: List[Atom], kb: KnowledgeBase, assignment: Assignment
+    remaining: List[Atom], kb: BaseKnowledgeBase, assignment: Assignment
 ) -> Iterator[Assignment]:
     if not remaining:
         yield dict(assignment)
@@ -226,17 +429,17 @@ def _solve_rec(
     object_var = grounded.object if isinstance(grounded.object, Variable) else None
 
     if subject_var is None and object_var is None:
-        if grounded.object in kb.objects(grounded.subject, grounded.predicate):  # type: ignore[arg-type]
+        if grounded.object in kb.objects_view(grounded.subject, grounded.predicate):  # type: ignore[arg-type]
             yield from _solve_rec(rest, kb, assignment)
         return
     if subject_var is None:
-        for o in kb.objects(grounded.subject, grounded.predicate):  # type: ignore[arg-type]
+        for o in kb.objects_view(grounded.subject, grounded.predicate):  # type: ignore[arg-type]
             assignment[object_var] = o  # type: ignore[index]
             yield from _solve_rec(rest, kb, assignment)
         assignment.pop(object_var, None)  # type: ignore[arg-type]
         return
     if object_var is None:
-        for s in kb.subjects(grounded.predicate, grounded.object):  # type: ignore[arg-type]
+        for s in kb.subjects_view(grounded.predicate, grounded.object):  # type: ignore[arg-type]
             assignment[subject_var] = s
             yield from _solve_rec(rest, kb, assignment)
         assignment.pop(subject_var, None)
@@ -256,13 +459,13 @@ def _solve_rec(
     assignment.pop(object_var, None)
 
 
-def exists(atoms: Sequence[Atom], kb: KnowledgeBase, initial: Optional[Assignment] = None) -> bool:
+def exists(atoms: Sequence[Atom], kb: BaseKnowledgeBase, initial: Optional[Assignment] = None) -> bool:
     """True when the conjunction has at least one satisfying assignment."""
     return next(solve(atoms, kb, initial), None) is not None
 
 
 def variable_bindings(
-    atoms: Sequence[Atom], kb: KnowledgeBase, variable: Variable
+    atoms: Sequence[Atom], kb: BaseKnowledgeBase, variable: Variable
 ) -> FrozenSet[Term]:
     """All values *variable* takes across satisfying assignments."""
     return frozenset(a[variable] for a in solve(atoms, kb) if variable in a)

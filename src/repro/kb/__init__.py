@@ -6,8 +6,13 @@ This package implements everything REMI needs from its data layer:
   nodes;
 * triples and triple patterns (:mod:`repro.kb.triples`);
 * an N-Triples parser and serializer (:mod:`repro.kb.ntriples`);
+* the abstract backend interface every store implements
+  (:mod:`repro.kb.base`);
 * an indexed in-memory triple store exposing the atom-binding API the
   expression matcher is built on (:mod:`repro.kb.store`);
+* a dictionary-encoding interner and an integer-ID backend that runs the
+  matcher's set algebra over dense ints (:mod:`repro.kb.interner`,
+  :mod:`repro.kb.interned`);
 * an HDT-like dictionary-encoded binary format (:mod:`repro.kb.hdt`),
   standing in for the HDT files the paper uses (§3.5.1);
 * inverse-predicate materialization for prominent objects
@@ -15,8 +20,11 @@ This package implements everything REMI needs from its data layer:
 * a least-recently-used query cache (:mod:`repro.kb.cache`, §3.5.2).
 """
 
+from repro.kb.base import BaseKnowledgeBase
 from repro.kb.cache import LRUCache
 from repro.kb.hdt import load_hdt, save_hdt
+from repro.kb.interned import InternedKnowledgeBase
+from repro.kb.interner import TermInterner
 from repro.kb.inverse import inverse_predicate, is_inverse, materialize_inverses
 from repro.kb.namespaces import EX, RDF, RDFS, XSD, Namespace
 from repro.kb.ntriples import (
@@ -32,8 +40,10 @@ from repro.kb.triples import Triple
 
 __all__ = [
     "IRI",
+    "BaseKnowledgeBase",
     "BlankNode",
     "EX",
+    "InternedKnowledgeBase",
     "KnowledgeBase",
     "LRUCache",
     "Literal",
@@ -42,6 +52,7 @@ __all__ = [
     "RDF",
     "RDFS",
     "Term",
+    "TermInterner",
     "Triple",
     "XSD",
     "inverse_predicate",

@@ -1,0 +1,222 @@
+"""The abstract knowledge-base backend interface.
+
+Every storage backend — the hash-indexed :class:`~repro.kb.store.KnowledgeBase`,
+the dictionary-encoded :class:`~repro.kb.interned.InternedKnowledgeBase`, and
+any future sharded/mmap/HDT-native backend — implements this one interface.
+Everything above the data layer (the expression matcher, the enumerator, the
+complexity estimator, the miners) is written against it, so backends are
+swappable per-request.
+
+The interface is the paper's atom-binding API (§3.5.1): a backend answers
+*atom-level* queries — find the bindings of a triple pattern — and leaves
+joins and conjunctions to :mod:`repro.expressions.matching`.
+
+Two families of accessors exist:
+
+* **safe accessors** (:meth:`objects`, :meth:`subjects`, …) return fresh
+  containers the caller may mutate freely;
+* **view accessors** (:meth:`objects_view`, :meth:`subjects_view`,
+  :meth:`subject_object_items`) may return live internal sets for speed and
+  must be treated as **read-only** — they exist for the matcher's hot path.
+
+Backends that dictionary-encode terms into dense integer IDs advertise it
+with ``supports_id_queries = True`` and additionally expose the ID-space
+API consumed by :class:`~repro.expressions.matching.Matcher`
+(``term_id`` / ``decode_terms`` / ``subjects_ids`` / ``objects_ids`` /
+``subject_count_ids`` / ``subject_object_items_ids``).
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import Counter
+from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
+
+from repro.kb.terms import IRI, Term
+from repro.kb.triples import Triple
+
+
+class BaseKnowledgeBase(abc.ABC):
+    """A mutable, indexed set of RDF triples behind the atom-binding API."""
+
+    name: str
+
+    #: True when the backend exposes the integer-ID query API (see module
+    #: docstring); the matcher then evaluates its plans entirely in ID space.
+    supports_id_queries: bool = False
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def add(self, triple: Triple) -> bool:
+        """Insert *triple*; returns True if it was not already present."""
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        """Insert many triples; returns how many were new."""
+        return sum(1 for t in triples if self.add(t))
+
+    @abc.abstractmethod
+    def discard(self, triple: Triple) -> bool:
+        """Remove *triple* if present; returns True if it was removed."""
+
+    # ------------------------------------------------------------------
+    # pattern matching (the atom-binding API)
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def __contains__(self, triple: Triple) -> bool: ...
+
+    @abc.abstractmethod
+    def triples(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[IRI] = None,
+        obj: Optional[Term] = None,
+    ) -> Iterator[Triple]:
+        """Iterate over all triples matching the pattern (None = wildcard)."""
+
+    @abc.abstractmethod
+    def objects(self, subject: Term, predicate: IRI) -> Set[Term]:
+        """Bindings of ``o`` in ``predicate(subject, o)`` — a fresh set."""
+
+    @abc.abstractmethod
+    def subjects(self, predicate: IRI, obj: Term) -> Set[Term]:
+        """Bindings of ``s`` in ``predicate(s, obj)`` — a fresh set."""
+
+    def objects_view(self, subject: Term, predicate: IRI) -> Set[Term]:
+        """Like :meth:`objects`, but MAY return a live internal set.
+
+        Callers must not mutate the result; it exists for read-heavy hot
+        paths.  The default just delegates to :meth:`objects`.
+        """
+        return self.objects(subject, predicate)
+
+    def subjects_view(self, predicate: IRI, obj: Term) -> Set[Term]:
+        """Like :meth:`subjects`, but MAY return a live internal set."""
+        return self.subjects(predicate, obj)
+
+    @abc.abstractmethod
+    def objects_of_predicate(self, predicate: IRI) -> Set[Term]:
+        """All distinct objects appearing under *predicate*."""
+
+    @abc.abstractmethod
+    def subjects_of_predicate(self, predicate: IRI) -> Set[Term]:
+        """All distinct subjects appearing under *predicate*."""
+
+    @abc.abstractmethod
+    def subject_count(self, predicate: IRI) -> int:
+        """Number of distinct subjects with a *predicate* fact.
+
+        Used by the matcher to pick the cheapest driver predicate for
+        closed-shape scans (it replaces reaching into private indexes).
+        """
+
+    @abc.abstractmethod
+    def subject_object_items(
+        self, predicate: IRI
+    ) -> Iterator[Tuple[Term, Set[Term]]]:
+        """``(subject, objects)`` groups under *predicate*.
+
+        The yielded object sets MAY be live internal sets and must be
+        treated as read-only (copy before mutating).
+        """
+
+    @abc.abstractmethod
+    def subject_object_pairs(self, predicate: IRI) -> Iterator[Tuple[Term, Term]]:
+        """All ``(s, o)`` with ``predicate(s, o)`` in the KB."""
+
+    @abc.abstractmethod
+    def predicate_object_pairs(self, subject: Term) -> Iterator[Tuple[IRI, Term]]:
+        """All ``(p, o)`` with ``p(subject, o)`` — an entity's neighbourhood."""
+
+    @abc.abstractmethod
+    def predicates_of(self, subject: Term) -> Set[IRI]:
+        """The predicates for which *subject* has at least one fact."""
+
+    @abc.abstractmethod
+    def predicates_into(self, obj: Term) -> Set[IRI]:
+        """The predicates for which *obj* appears as an object."""
+
+    @abc.abstractmethod
+    def count(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[IRI] = None,
+        obj: Optional[Term] = None,
+    ) -> int:
+        """Number of triples matching the pattern, computed from the indexes."""
+
+    # ------------------------------------------------------------------
+    # vocabulary and statistics
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def __len__(self) -> int: ...
+
+    def __iter__(self) -> Iterator[Triple]:
+        return self.triples()
+
+    @abc.abstractmethod
+    def predicates(self) -> Set[IRI]:
+        """All predicates with at least one fact."""
+
+    @abc.abstractmethod
+    def subjects_all(self) -> Set[Term]:
+        """All terms occurring in subject position."""
+
+    @abc.abstractmethod
+    def entities(self) -> Set[IRI]:
+        """All IRIs occurring in subject or object position (the set ``I``)."""
+
+    def predicate_fact_count(self, predicate: IRI) -> int:
+        """Number of facts using *predicate* (its corpus size, §3.5.3)."""
+        return self.count(predicate=predicate)
+
+    @abc.abstractmethod
+    def term_frequency(self, term: Term) -> int:
+        """Number of facts where *term* occurs as subject or object (§3.1)."""
+
+    @abc.abstractmethod
+    def object_frequencies(self, predicate: IRI) -> Counter:
+        """How often each object appears under *predicate* (for Eq. 1 fits)."""
+
+    @abc.abstractmethod
+    def entity_frequencies(self) -> Counter:
+        """``term_frequency`` for every IRI entity, as one Counter."""
+
+    def term_frequencies(self) -> Counter:
+        """``term_frequency`` for EVERY term (incl. literals and blanks).
+
+        One pass over the store; prominence models use it to avoid
+        re-scanning the indexes per scored literal.
+        """
+        freq: Counter = Counter()
+        for triple in self.triples():
+            freq[triple.subject] += 1
+            freq[triple.object] += 1
+        return freq
+
+    def classes_of(self, entity: Term, type_predicate: IRI) -> Set[Term]:
+        """The classes asserted for *entity* via *type_predicate*."""
+        return set(self.objects_view(entity, type_predicate))
+
+    def copy(self, name: Optional[str] = None) -> "BaseKnowledgeBase":
+        """A deep-enough copy (terms are shared, index structure is fresh)."""
+        return type(self)(self.triples(), name=name or self.name)  # type: ignore[call-arg]
+
+    def stats(self) -> Dict[str, int]:
+        """Summary statistics used by the CLI and benches."""
+        return {
+            "facts": len(self),
+            "predicates": len(self.predicates()),
+            "subjects": len(self.subjects_all()),
+            "entities": len(self.entities()),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(name={self.name!r}, facts={len(self)}, "
+            f"predicates={len(self.predicates())})"
+        )

@@ -1,0 +1,83 @@
+"""Dictionary encoding: a bidirectional Term ↔ dense-integer mapping.
+
+HDT (§3.5.1) and the decision-diagram literature get their speed from the
+same trick: replace structured terms by dense integer IDs once, then run
+every set operation over plain ints.  :class:`TermInterner` is that
+dictionary layer.  IDs are assigned in first-seen order, are never reused,
+and stay stable for the lifetime of the interner — an interner only grows,
+even when the store that owns it discards triples (a dangling ID is cheaper
+than renumbering every index).
+
+One interner may back several stores (the batch-serving setup shares one
+across a KB and its derived views), so interning is idempotent and lookup
+is O(1) in both directions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional
+
+from repro.kb.terms import Term
+
+
+class TermInterner:
+    """Assigns dense integer IDs to terms, bidirectionally.
+
+    >>> interner = TermInterner()
+    >>> a = interner.intern(EX.Paris)
+    >>> interner.intern(EX.Paris) == a       # idempotent
+    True
+    >>> interner.term(a)
+    IRI('http://example.org/Paris')
+    """
+
+    __slots__ = ("_ids", "_terms")
+
+    def __init__(self, terms: Optional[Iterable[Term]] = None):
+        self._ids: Dict[Term, int] = {}
+        self._terms: List[Term] = []
+        if terms is not None:
+            for term in terms:
+                self.intern(term)
+
+    def intern(self, term: Term) -> int:
+        """The ID of *term*, assigning a fresh dense ID on first sight."""
+        existing = self._ids.get(term)
+        if existing is not None:
+            return existing
+        new_id = len(self._terms)
+        self._ids[term] = new_id
+        self._terms.append(term)
+        return new_id
+
+    def id_of(self, term: Term) -> Optional[int]:
+        """The ID of *term*, or None when it was never interned."""
+        return self._ids.get(term)
+
+    def term(self, term_id: int) -> Term:
+        """The term behind *term_id*; raises IndexError for unknown IDs."""
+        if term_id < 0:
+            raise IndexError(f"term IDs are non-negative, got {term_id}")
+        return self._terms[term_id]
+
+    def decode(self, ids: Iterable[int]) -> FrozenSet[Term]:
+        """The terms behind *ids*, as a frozenset."""
+        terms = self._terms
+        return frozenset(terms[i] for i in ids)
+
+    def decode_set(self, ids: Iterable[int]) -> set:
+        """The terms behind *ids*, as a fresh mutable set."""
+        terms = self._terms
+        return {terms[i] for i in ids}
+
+    def __contains__(self, term: Term) -> bool:
+        return term in self._ids
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __iter__(self) -> Iterator[Term]:
+        return iter(self._terms)
+
+    def __repr__(self) -> str:
+        return f"TermInterner(terms={len(self._terms)})"

@@ -16,9 +16,14 @@ Four hash indexes are maintained:
 * ``OPS`` — object → predicate → subjects (frequency counting and inverse
   traversal).
 
-All query methods return live iterators or freshly-built containers; the
+All query methods return freshly-built containers (or live iterators); the
 store itself is mutated only through :meth:`add` / :meth:`add_all` /
-:meth:`discard`.
+:meth:`discard`.  The ``*_view`` accessors of the backend interface are the
+one exception: they return live internal sets for the matcher's hot path
+and must be treated as read-only.
+
+This is the *hash* backend of :class:`~repro.kb.base.BaseKnowledgeBase`;
+see :mod:`repro.kb.interned` for the dictionary-encoded integer-ID backend.
 """
 
 from __future__ import annotations
@@ -26,13 +31,16 @@ from __future__ import annotations
 from collections import Counter
 from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
 
+from repro.kb.base import BaseKnowledgeBase
 from repro.kb.terms import IRI, BlankNode, Literal, Term
 from repro.kb.triples import Triple
 
 _Index2 = Dict[Term, Dict[IRI, Set[Term]]]
 
+_EMPTY: frozenset = frozenset()
 
-class KnowledgeBase:
+
+class KnowledgeBase(BaseKnowledgeBase):
     """A mutable, fully-indexed set of RDF triples.
 
     >>> from repro.kb import EX, KnowledgeBase, Triple
@@ -143,12 +151,28 @@ class KnowledgeBase:
                     yield Triple(s, p, o)
 
     def objects(self, subject: Term, predicate: IRI) -> Set[Term]:
-        """Bindings of ``o`` in ``predicate(subject, o)``."""
-        return self._spo.get(subject, {}).get(predicate, set())
+        """Bindings of ``o`` in ``predicate(subject, o)`` — a fresh set.
+
+        The result is a copy: mutating it cannot corrupt the indexes.  The
+        matcher's hot path uses :meth:`objects_view` to skip the copy.
+        """
+        return set(self._spo.get(subject, {}).get(predicate, _EMPTY))
 
     def subjects(self, predicate: IRI, obj: Term) -> Set[Term]:
-        """Bindings of ``s`` in ``predicate(s, obj)`` — the hot query of REMI."""
-        return self._pos.get(predicate, {}).get(obj, set())
+        """Bindings of ``s`` in ``predicate(s, obj)`` — the hot query of REMI.
+
+        The result is a copy; see :meth:`subjects_view` for the zero-copy
+        read-only variant.
+        """
+        return set(self._pos.get(predicate, {}).get(obj, _EMPTY))
+
+    def objects_view(self, subject: Term, predicate: IRI) -> Set[Term]:
+        """Live internal ``objects`` set — read-only, never mutate."""
+        return self._spo.get(subject, {}).get(predicate, _EMPTY)  # type: ignore[return-value]
+
+    def subjects_view(self, predicate: IRI, obj: Term) -> Set[Term]:
+        """Live internal ``subjects`` set — read-only, never mutate."""
+        return self._pos.get(predicate, {}).get(obj, _EMPTY)  # type: ignore[return-value]
 
     def objects_of_predicate(self, predicate: IRI) -> Set[Term]:
         """All distinct objects appearing under *predicate*."""
@@ -157,6 +181,21 @@ class KnowledgeBase:
     def subjects_of_predicate(self, predicate: IRI) -> Set[Term]:
         """All distinct subjects appearing under *predicate*."""
         return set(self._pso.get(predicate, {}))
+
+    def subject_count(self, predicate: IRI) -> int:
+        """Number of distinct subjects with a *predicate* fact."""
+        return len(self._pso.get(predicate, ()))
+
+    def subject_object_items(
+        self, predicate: IRI
+    ) -> Iterator[Tuple[Term, Set[Term]]]:
+        """``(subject, objects)`` groups under *predicate*.
+
+        The yielded sets are live internal views — read-only, copy before
+        mutating.  This is the closed-shape scan accessor of the backend
+        interface.
+        """
+        return iter(self._pso.get(predicate, {}).items())
 
     def subject_object_pairs(self, predicate: IRI) -> Iterator[Tuple[Term, Term]]:
         """All ``(s, o)`` with ``predicate(s, o)`` in the KB."""
@@ -258,9 +297,18 @@ class KnowledgeBase:
                 freq[o] += sum(len(v) for v in by_pred.values())
         return freq
 
+    def term_frequencies(self) -> Counter:
+        """``term_frequency`` for every term, in one index pass."""
+        freq: Counter = Counter()
+        for s, by_pred in self._spo.items():
+            freq[s] += sum(len(v) for v in by_pred.values())
+        for o, by_pred in self._ops.items():
+            freq[o] += sum(len(v) for v in by_pred.values())
+        return freq
+
     def classes_of(self, entity: Term, type_predicate: IRI) -> Set[Term]:
         """The classes asserted for *entity* via *type_predicate*."""
-        return set(self.objects(entity, type_predicate))
+        return set(self.objects_view(entity, type_predicate))
 
     def copy(self, name: Optional[str] = None) -> "KnowledgeBase":
         """A deep-enough copy (terms are shared, index structure is fresh)."""

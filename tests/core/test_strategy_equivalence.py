@@ -1,0 +1,91 @@
+"""Regression: every miner variant finds the same minimal complexity.
+
+The batch/interned refactor must not silently change results: on a fixed
+scenario set, the sequential miner (default ``SearchStrategy.COMPLETE``)
+is the reference, and
+
+* an explicitly-configured COMPLETE search,
+* P-REMI with several thread counts,
+* both of the above on the interned backend
+
+must all report the same optimal Ĉ (P-REMI may legitimately return a
+*different* expression of equal complexity, so only Ĉ is pinned).
+"""
+
+import math
+
+import pytest
+
+from repro.core.config import MinerConfig, SearchStrategy
+from repro.core.parallel import PREMI
+from repro.core.remi import REMI
+from repro.datasets.scenes import (
+    einstein_scene,
+    france_scene,
+    rennes_nantes_scene,
+    south_america_scene,
+)
+from repro.kb.interned import InternedKnowledgeBase
+from repro.kb.namespaces import EX
+
+SCENARIOS = [
+    (rennes_nantes_scene, [EX.Rennes, EX.Nantes]),
+    (rennes_nantes_scene, [EX.Rennes, EX.Nantes, EX.Brest]),
+    (rennes_nantes_scene, [EX.Paris]),
+    (south_america_scene, [EX.Guyana, EX.Suriname]),
+    (south_america_scene, [EX.Guyana]),
+    (einstein_scene, [EX.Mueller]),
+    (france_scene, [EX.Paris]),
+]
+
+
+def _scenario_id(param):
+    if callable(param):
+        return param.__name__
+    return "+".join(t.local_name for t in param)
+
+
+@pytest.mark.parametrize("scene, targets", SCENARIOS, ids=_scenario_id)
+def test_all_variants_find_the_same_minimal_complexity(scene, targets):
+    hash_kb = scene()
+    interned_kb = InternedKnowledgeBase(hash_kb.triples(), name=hash_kb.name)
+    reference = REMI(hash_kb).mine(targets)
+
+    variants = {
+        "complete-hash": REMI(
+            hash_kb, config=MinerConfig(search=SearchStrategy.COMPLETE)
+        ).mine(targets),
+        "complete-interned": REMI(
+            interned_kb, config=MinerConfig(search=SearchStrategy.COMPLETE)
+        ).mine(targets),
+        "premi-2-hash": PREMI(hash_kb, config=MinerConfig(num_threads=2)).mine(targets),
+        "premi-4-interned": PREMI(
+            interned_kb, config=MinerConfig(num_threads=4)
+        ).mine(targets),
+    }
+    for label, result in variants.items():
+        assert result.found == reference.found, label
+        if reference.found:
+            assert result.complexity == pytest.approx(reference.complexity), label
+        else:
+            assert math.isinf(result.complexity), label
+
+
+def test_no_solution_agreement():
+    """All variants agree when no RE exists (two indistinguishable targets)."""
+    kb = south_america_scene()
+    interned_kb = InternedKnowledgeBase(kb.triples(), name=kb.name)
+    # Peru and Argentina share every enumerable property in this scene
+    # except prominence-irrelevant labels; no RE separates {both} from
+    # Brazil-like distractors... verify the miners agree, whatever it is.
+    targets = [EX.Peru, EX.Argentina]
+    reference = REMI(kb).mine(targets)
+    for miner in (
+        REMI(interned_kb),
+        PREMI(kb, config=MinerConfig(num_threads=3)),
+        PREMI(interned_kb, config=MinerConfig(num_threads=3)),
+    ):
+        result = miner.mine(targets)
+        assert result.found == reference.found
+        if reference.found:
+            assert result.complexity == pytest.approx(reference.complexity)

@@ -1,0 +1,134 @@
+"""Differential testing: Matcher fast paths vs the generic solve() oracle.
+
+The :class:`Matcher` has a dedicated evaluation plan per Table 1 shape —
+and since the interned-backend rework, two raw key spaces those plans can
+run in.  The generic backtracking solver :func:`solve` implements the same
+semantics with none of the shortcuts, so it serves as the oracle: on ~50
+small seeded random KBs we enumerate every subgraph expression of random
+entities and assert that ``bindings`` and ``holds_for`` agree with the
+oracle exactly, on BOTH backends.
+"""
+
+import random
+
+import pytest
+
+from repro.core.config import MinerConfig
+from repro.core.enumerate import subgraph_expressions
+from repro.expressions.atoms import ROOT
+from repro.expressions.expression import Expression
+from repro.expressions.matching import Matcher, variable_bindings
+from repro.expressions.subgraph import Shape
+from repro.kb.interned import InternedKnowledgeBase
+from repro.kb.namespaces import EX
+from repro.kb.store import KnowledgeBase
+from repro.kb.terms import BlankNode, Literal
+from repro.kb.triples import Triple
+
+BACKENDS = [KnowledgeBase, InternedKnowledgeBase]
+BACKEND_IDS = ["hash", "interned"]
+
+N_KBS = 50
+
+#: Enumerate everything: no prominence cutoff, no predicate exclusions.
+FULL_CONFIG = MinerConfig(
+    prominent_object_cutoff=None,
+    exclude_predicates=frozenset(),
+)
+
+
+def _random_kb(rng: random.Random, backend):
+    """A small dense-ish random KB with IRIs, literals and blank nodes."""
+    entities = [EX[f"e{i}"] for i in range(rng.randint(4, 9))]
+    predicates = [EX[f"p{i}"] for i in range(rng.randint(2, 4))]
+    literals = [Literal("red"), Literal("42")]
+    blanks = [BlankNode("b0"), BlankNode("b1")]
+    subjects = entities + blanks
+    objects = entities + literals + blanks
+    kb = backend()
+    for _ in range(rng.randint(10, 32)):
+        kb.add(Triple(rng.choice(subjects), rng.choice(predicates), rng.choice(objects)))
+    return kb
+
+
+def _sample_expressions(rng: random.Random, kb):
+    """All subgraph expressions of a few random entities of *kb*."""
+    entities = sorted(kb.entities(), key=lambda t: t.sort_key())
+    roots = rng.sample(entities, min(3, len(entities)))
+    expressions = set()
+    for root in roots:
+        expressions |= subgraph_expressions(kb, root, FULL_CONFIG)
+    return sorted(expressions, key=lambda se: se.sort_key())
+
+
+@pytest.mark.parametrize("backend", BACKENDS, ids=BACKEND_IDS)
+def test_matcher_agrees_with_solve_oracle(backend):
+    """bindings() and holds_for() match the oracle on every enumerated SE."""
+    shapes_seen = set()
+    expressions_checked = 0
+    for seed in range(N_KBS):
+        rng = random.Random(seed)
+        kb = _random_kb(rng, backend)
+        expressions = _sample_expressions(rng, kb)
+        # Two matchers: holds_for must exercise its own per-shape plans,
+        # which it only does while the expression is NOT in the cache —
+        # so the holds_for matcher never computes full bindings first.
+        holds_matcher = Matcher(kb)
+        bindings_matcher = Matcher(kb)
+        probes = sorted(kb.entities(), key=lambda t: t.sort_key())[:4]
+        probes.append(EX.NotInThisKB)
+        for se in expressions:
+            oracle = variable_bindings(se.atoms, kb, ROOT)
+            for probe in probes:
+                assert holds_matcher.holds_for(se, probe) == (probe in oracle), (
+                    f"seed={seed} shape={se.shape} se={se!r} probe={probe!r}"
+                )
+            assert bindings_matcher.bindings(se) == oracle, (
+                f"seed={seed} shape={se.shape} se={se!r}"
+            )
+            shapes_seen.add(se.shape)
+            expressions_checked += 1
+    # The harness must actually cover every Table 1 shape and be substantial.
+    assert shapes_seen == set(Shape), f"shapes never generated: {set(Shape) - shapes_seen}"
+    assert expressions_checked > 500
+
+
+@pytest.mark.parametrize("backend", BACKENDS, ids=BACKEND_IDS)
+def test_conjunction_bindings_agree_with_oracle(backend):
+    """expression_bindings == intersection of per-conjunct oracle bindings."""
+    checked = 0
+    for seed in range(0, N_KBS, 5):
+        rng = random.Random(1000 + seed)
+        kb = _random_kb(rng, backend)
+        expressions = _sample_expressions(rng, kb)
+        if len(expressions) < 2:
+            continue
+        matcher = Matcher(kb)
+        for _ in range(10):
+            pair = rng.sample(expressions, 2)
+            conjunction = Expression(tuple(pair))
+            expected = variable_bindings(pair[0].atoms, kb, ROOT) & variable_bindings(
+                pair[1].atoms, kb, ROOT
+            )
+            assert matcher.expression_bindings(conjunction) == expected
+            # identifies is exactly "bindings == targets" (§2.2.2) ...
+            assert matcher.identifies(conjunction, expected) is True
+            # ... so any strictly larger target set must be rejected.
+            assert not matcher.identifies(conjunction, expected | {EX.NotInThisKB})
+            checked += 1
+    assert checked > 50
+
+
+@pytest.mark.parametrize("backend", BACKENDS, ids=BACKEND_IDS)
+def test_holds_for_consistent_with_cached_bindings(backend):
+    """The cached and uncached holds_for paths give the same verdicts."""
+    rng = random.Random(4242)
+    kb = _random_kb(rng, backend)
+    expressions = _sample_expressions(rng, kb)
+    cold = Matcher(kb)
+    warm = Matcher(kb)
+    probes = sorted(kb.entities(), key=lambda t: t.sort_key())
+    for se in expressions:
+        warm.bindings(se)  # populate the cache
+        for probe in probes:
+            assert cold.holds_for(se, probe) == warm.holds_for(se, probe)

@@ -1,0 +1,78 @@
+"""Backend equivalence end to end: mining must not depend on the store.
+
+`REMI.mine` must return the *identical* expression and Ĉ on the hash and
+interned backends for the seed scenes dataset — determinism is part of the
+backend contract (rankings tie-break on term sort keys, the queue is
+sorted deterministically, and both backends answer atom queries with the
+same sets).
+"""
+
+import math
+
+import pytest
+
+from repro.core.remi import REMI
+from repro.datasets.scenes import (
+    einstein_scene,
+    france_scene,
+    rennes_nantes_scene,
+    south_america_scene,
+)
+from repro.kb.interned import InternedKnowledgeBase
+from repro.kb.namespaces import EX
+
+SCENARIOS = [
+    (rennes_nantes_scene, [EX.Rennes, EX.Nantes]),
+    (rennes_nantes_scene, [EX.Rennes]),
+    (rennes_nantes_scene, [EX.Lyon]),
+    (rennes_nantes_scene, [EX.Rennes, EX.Nantes, EX.Brest]),
+    (south_america_scene, [EX.Guyana, EX.Suriname]),
+    (south_america_scene, [EX.Brazil]),
+    (einstein_scene, [EX.Mueller]),
+    (einstein_scene, [EX.Kleiner]),
+    (france_scene, [EX.Paris]),
+    (france_scene, [EX.Versailles]),
+]
+
+
+def _scenario_id(param):
+    if callable(param):
+        return param.__name__
+    return "+".join(t.local_name for t in param)
+
+
+@pytest.mark.parametrize("scene, targets", SCENARIOS, ids=_scenario_id)
+def test_mine_identical_on_both_backends(scene, targets):
+    hash_kb = scene()
+    interned_kb = InternedKnowledgeBase(hash_kb.triples(), name=hash_kb.name)
+    hash_result = REMI(hash_kb).mine(targets)
+    interned_result = REMI(interned_kb).mine(targets)
+    assert hash_result.found == interned_result.found
+    assert hash_result.expression == interned_result.expression
+    if math.isfinite(hash_result.complexity):
+        assert interned_result.complexity == pytest.approx(hash_result.complexity)
+    else:
+        assert math.isinf(interned_result.complexity)
+
+
+@pytest.mark.parametrize("prominence", ["fr", "pr"])
+def test_mine_identical_across_prominence_models(prominence):
+    hash_kb = rennes_nantes_scene()
+    interned_kb = InternedKnowledgeBase(hash_kb.triples(), name=hash_kb.name)
+    targets = [EX.Rennes, EX.Nantes]
+    hash_result = REMI(hash_kb, prominence=prominence).mine(targets)
+    interned_result = REMI(interned_kb, prominence=prominence).mine(targets)
+    assert hash_result.expression == interned_result.expression
+    assert interned_result.complexity == pytest.approx(hash_result.complexity)
+
+
+def test_search_visits_same_node_count_on_both_backends():
+    """The searches are not just equal in outcome — they walk the same tree."""
+    hash_kb = rennes_nantes_scene()
+    interned_kb = InternedKnowledgeBase(hash_kb.triples(), name=hash_kb.name)
+    targets = [EX.Rennes, EX.Nantes]
+    hash_stats = REMI(hash_kb).mine(targets).stats
+    interned_stats = REMI(interned_kb).mine(targets).stats
+    assert hash_stats.candidates == interned_stats.candidates
+    assert hash_stats.nodes_visited == interned_stats.nodes_visited
+    assert hash_stats.re_tests == interned_stats.re_tests

@@ -1,5 +1,7 @@
 """CLI integration tests (in-process, via main())."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -64,3 +66,79 @@ class TestMine:
             "--prominence", "pr",
         ]
         assert main(args) in (0, 1)
+
+    def test_interned_backend_same_output(self, kb_file, capsys):
+        entity = "http://wikidata.example.org/entity/City_0"
+        code_hash = main(["mine", str(kb_file), entity])
+        out_hash = capsys.readouterr().out
+        code_interned = main(["mine", str(kb_file), entity, "--backend", "interned"])
+        out_interned = capsys.readouterr().out
+        assert code_hash == code_interned
+        # expression/complexity/verbalization lines agree; timings differ
+        strip = lambda text: [l for l in text.splitlines() if not l.startswith("search")]
+        assert strip(out_hash) == strip(out_interned)
+
+
+class TestBatch:
+    def _requests_file(self, tmp_path, records):
+        path = tmp_path / "requests.jsonl"
+        path.write_text("\n".join(records) + "\n", encoding="utf-8")
+        return path
+
+    def test_batch_jsonl_roundtrip(self, kb_file, tmp_path, capsys):
+        requests = self._requests_file(
+            tmp_path,
+            [
+                json.dumps(["http://wikidata.example.org/entity/City_0"]),
+                json.dumps(
+                    {
+                        "id": "named",
+                        "targets": ["http://wikidata.example.org/entity/City_1"],
+                    }
+                ),
+            ],
+        )
+        code = main(
+            ["batch", str(kb_file), str(requests), "--verbalize", "--summary"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        records = [json.loads(line) for line in captured.out.strip().splitlines()]
+        assert len(records) == 2
+        assert records[0]["id"] == "1"
+        assert records[1]["id"] == "named"
+        for record in records:
+            assert "found" in record and "stats" in record
+        summary = json.loads(captured.err.strip().splitlines()[-1])
+        assert summary["requests_served"] == 2
+
+    def test_batch_reports_errors_and_exit_code(self, kb_file, tmp_path, capsys):
+        requests = self._requests_file(
+            tmp_path,
+            [
+                json.dumps(["http://wikidata.example.org/entity/City_0"]),
+                "garbage line",
+                json.dumps(["http://nope.example.org/X"]),
+            ],
+        )
+        code = main(["batch", str(kb_file), str(requests)])
+        captured = capsys.readouterr()
+        assert code == 1
+        records = [json.loads(line) for line in captured.out.strip().splitlines()]
+        assert len(records) == 3
+        assert "error" in records[1] and "error" in records[2]
+
+    def test_batch_out_file_and_hash_backend(self, kb_file, tmp_path):
+        requests = self._requests_file(
+            tmp_path, [json.dumps(["http://wikidata.example.org/entity/City_2"])]
+        )
+        out_path = tmp_path / "results.jsonl"
+        code = main(
+            [
+                "batch", str(kb_file), str(requests),
+                "--backend", "hash", "--workers", "2", "--out", str(out_path),
+            ]
+        )
+        assert code == 0
+        records = [json.loads(l) for l in out_path.read_text().strip().splitlines()]
+        assert len(records) == 1

@@ -1,0 +1,80 @@
+"""Tests for the Term ↔ dense-int dictionary layer."""
+
+import pytest
+
+from repro.kb.interned import InternedKnowledgeBase
+from repro.kb.interner import TermInterner
+from repro.kb.namespaces import EX
+from repro.kb.terms import BlankNode, Literal
+from repro.kb.triples import Triple
+
+
+class TestInterner:
+    def test_ids_are_dense_and_first_seen_ordered(self):
+        interner = TermInterner()
+        ids = [interner.intern(t) for t in (EX.a, EX.b, Literal("x"), BlankNode("n"))]
+        assert ids == [0, 1, 2, 3]
+        assert len(interner) == 4
+
+    def test_intern_is_idempotent(self):
+        interner = TermInterner()
+        first = interner.intern(EX.Paris)
+        assert interner.intern(EX.Paris) == first
+        assert len(interner) == 1
+
+    def test_bidirectional_roundtrip(self):
+        interner = TermInterner()
+        terms = [EX.a, Literal("42"), BlankNode("b"), Literal("42", lang="en")]
+        for term in terms:
+            assert interner.term(interner.intern(term)) == term
+
+    def test_distinct_literals_get_distinct_ids(self):
+        interner = TermInterner()
+        assert interner.intern(Literal("x")) != interner.intern(Literal("x", lang="en"))
+
+    def test_id_of_unknown_is_none(self):
+        interner = TermInterner()
+        assert interner.id_of(EX.never) is None
+        assert EX.never not in interner
+
+    def test_term_of_unknown_id_raises(self):
+        interner = TermInterner()
+        with pytest.raises(IndexError):
+            interner.term(0)
+        interner.intern(EX.a)
+        with pytest.raises(IndexError):
+            interner.term(-1)
+
+    def test_decode(self):
+        interner = TermInterner()
+        a, b = interner.intern(EX.a), interner.intern(EX.b)
+        assert interner.decode({a, b}) == frozenset({EX.a, EX.b})
+        decoded = interner.decode_set([a])
+        decoded.add(EX.c)  # a fresh mutable set
+        assert interner.decode_set([a]) == {EX.a}
+
+    def test_seeded_constructor_and_iteration(self):
+        interner = TermInterner([EX.a, EX.b, EX.a])
+        assert list(interner) == [EX.a, EX.b]
+
+
+class TestSharedInterner:
+    def test_two_stores_share_one_dictionary(self):
+        shared = TermInterner()
+        kb1 = InternedKnowledgeBase(interner=shared)
+        kb2 = InternedKnowledgeBase(interner=shared)
+        kb1.add(Triple(EX.Paris, EX.capitalOf, EX.France))
+        kb2.add(Triple(EX.Lyon, EX.cityIn, EX.France))
+        assert kb1.term_id(EX.France) == kb2.term_id(EX.France)
+        # but the stores' facts stay independent
+        assert len(kb1) == 1 and len(kb2) == 1
+        assert Triple(EX.Lyon, EX.cityIn, EX.France) not in kb1
+
+    def test_interner_survives_discard(self):
+        kb = InternedKnowledgeBase()
+        t = Triple(EX.a, EX.p, EX.b)
+        kb.add(t)
+        kb.discard(t)
+        # IDs are never reclaimed: the dictionary only grows
+        assert kb.term_id(EX.a) is not None
+        assert len(kb) == 0

@@ -1,19 +1,36 @@
-"""Tests for the indexed triple store, including index-consistency properties."""
+"""Tests for the triple-store backends, including index-consistency properties.
+
+The whole API suite runs against BOTH backends — the hash-indexed
+:class:`KnowledgeBase` and the dictionary-encoded
+:class:`InternedKnowledgeBase` — via the parametrized ``backend`` fixture.
+A backend that cannot pass this file is not a valid
+:class:`~repro.kb.base.BaseKnowledgeBase`.
+"""
 
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
+from repro.kb.interned import InternedKnowledgeBase
 from repro.kb.namespaces import EX
 from repro.kb.store import KnowledgeBase
 from repro.kb.terms import Literal
 from repro.kb.triples import Triple
 from tests.conftest import triples as triple_strategy
 
+BACKENDS = [KnowledgeBase, InternedKnowledgeBase]
+BACKEND_IDS = ["hash", "interned"]
+
+
+@pytest.fixture(params=BACKENDS, ids=BACKEND_IDS)
+def backend(request):
+    """The store class under test; every API test runs on both."""
+    return request.param
+
 
 @pytest.fixture
-def kb():
-    kb = KnowledgeBase()
+def kb(backend):
+    kb = backend()
     kb.add_all(
         [
             Triple(EX.Paris, EX.capitalOf, EX.France),
@@ -27,8 +44,8 @@ def kb():
 
 
 class TestMutation:
-    def test_add_returns_true_once(self):
-        kb = KnowledgeBase()
+    def test_add_returns_true_once(self, backend):
+        kb = backend()
         t = Triple(EX.a, EX.b, EX.c)
         assert kb.add(t) is True
         assert kb.add(t) is False
@@ -46,16 +63,20 @@ class TestMutation:
         assert len(kb) == 4
         assert kb.subjects(EX.capitalOf, EX.France) == set()
 
-    def test_discard_prunes_empty_index_entries(self):
-        kb = KnowledgeBase()
+    def test_discard_prunes_empty_index_entries(self, backend):
+        kb = backend()
         t = Triple(EX.a, EX.b, EX.c)
         kb.add(t)
         kb.discard(t)
         assert kb.predicates() == set()
         assert kb.subjects_all() == set()
 
-    def test_validation_on_add(self):
-        kb = KnowledgeBase()
+    def test_discard_unknown_terms(self, kb):
+        assert kb.discard(Triple(EX.never, EX.seen, EX.before)) is False
+        assert len(kb) == 5
+
+    def test_validation_on_add(self, backend):
+        kb = backend()
         with pytest.raises(TypeError):
             kb.add(Triple(Literal("x"), EX.p, EX.o))
 
@@ -97,6 +118,11 @@ class TestPatterns:
         found = list(kb.triples(subject=EX.Paris, obj=EX.France))
         assert {t.predicate for t in found} == {EX.capitalOf, EX.cityIn}
 
+    def test_unknown_terms_match_nothing(self, kb):
+        assert list(kb.triples(subject=EX.Ghost)) == []
+        assert list(kb.triples(predicate=EX.ghostOf)) == []
+        assert list(kb.triples(obj=EX.Ghost)) == []
+
 
 class TestAccessors:
     def test_objects(self, kb):
@@ -123,6 +149,67 @@ class TestAccessors:
         assert kb.predicates_of(EX.Paris) == {EX.capitalOf, EX.cityIn, EX.population}
         assert kb.predicates_into(EX.France) == {EX.capitalOf, EX.cityIn}
 
+    def test_subject_count(self, kb):
+        assert kb.subject_count(EX.cityIn) == 2
+        assert kb.subject_count(EX.capitalOf) == 2
+        assert kb.subject_count(EX.nonexistent) == 0
+
+    def test_subject_object_items(self, kb):
+        items = {s: frozenset(objs) for s, objs in kb.subject_object_items(EX.capitalOf)}
+        assert items == {
+            EX.Paris: frozenset({EX.France}),
+            EX.Berlin: frozenset({EX.Germany}),
+        }
+        assert list(kb.subject_object_items(EX.nonexistent)) == []
+
+    def test_views_agree_with_copies(self, kb):
+        assert set(kb.objects_view(EX.Paris, EX.capitalOf)) == kb.objects(
+            EX.Paris, EX.capitalOf
+        )
+        assert set(kb.subjects_view(EX.cityIn, EX.France)) == kb.subjects(
+            EX.cityIn, EX.France
+        )
+
+
+class TestNoLiveSetLeaks:
+    """Regression: the safe accessors must return copies.
+
+    ``objects()`` / ``subjects()`` used to hand out the live internal index
+    sets — a caller mutating the result corrupted the indexes and
+    ``_size``.  These tests pin down that mutation no longer leaks into
+    the store.
+    """
+
+    def test_mutating_objects_result_does_not_corrupt_store(self, kb):
+        result = kb.objects(EX.Paris, EX.capitalOf)
+        result.add(EX.Atlantis)
+        result.clear()
+        assert kb.objects(EX.Paris, EX.capitalOf) == {EX.France}
+        assert Triple(EX.Paris, EX.capitalOf, EX.France) in kb
+        assert len(kb) == 5
+        assert kb.count(subject=EX.Paris, predicate=EX.capitalOf) == 1
+
+    def test_mutating_subjects_result_does_not_corrupt_store(self, kb):
+        result = kb.subjects(EX.cityIn, EX.France)
+        result.discard(EX.Paris)
+        result.add(EX.Atlantis)
+        assert kb.subjects(EX.cityIn, EX.France) == {EX.Paris, EX.Lyon}
+        assert kb.count(predicate=EX.cityIn) == 2
+        # the full scan still sees every original triple
+        assert len(list(kb.triples())) == 5
+
+    def test_mutating_vocabulary_results_does_not_corrupt_store(self, kb):
+        kb.objects_of_predicate(EX.capitalOf).clear()
+        kb.subjects_of_predicate(EX.capitalOf).clear()
+        kb.predicates_of(EX.Paris).clear()
+        kb.predicates_into(EX.France).clear()
+        kb.predicates().clear()
+        kb.subjects_all().clear()
+        kb.entities().clear()
+        assert kb.objects_of_predicate(EX.capitalOf) == {EX.France, EX.Germany}
+        assert kb.predicates() == {EX.capitalOf, EX.cityIn, EX.population}
+        assert len(kb) == 5
+
 
 class TestCounts:
     @pytest.mark.parametrize(
@@ -134,6 +221,7 @@ class TestCounts:
             (dict(obj=EX.France), 3),
             (dict(subject=EX.Paris, predicate=EX.cityIn), 1),
             (dict(predicate=EX.cityIn, obj=EX.France), 2),
+            (dict(subject=EX.Ghost), 0),
         ],
     )
     def test_count_matches_scan(self, kb, pattern, expected):
@@ -165,12 +253,14 @@ def test_copy_is_independent(kb):
     clone = kb.copy()
     clone.add(Triple(EX.new, EX.p, EX.o))
     assert len(clone) == len(kb) + 1
+    assert type(clone) is type(kb)
 
 
+@pytest.mark.parametrize("backend", BACKENDS, ids=BACKEND_IDS)
 @given(st.lists(triple_strategy, max_size=40))
-def test_indexes_agree_with_each_other(triples):
+def test_indexes_agree_with_each_other(backend, triples):
     """Every query path returns the same triple set."""
-    kb = KnowledgeBase(triples)
+    kb = backend(triples)
     all_triples = set(kb.triples())
     assert len(all_triples) == len(kb)
     # per-subject, per-predicate and per-object scans partition the store
@@ -184,9 +274,10 @@ def test_indexes_agree_with_each_other(triples):
         assert t.subject in kb.subjects(t.predicate, t.object)
 
 
+@pytest.mark.parametrize("backend", BACKENDS, ids=BACKEND_IDS)
 @given(st.lists(triple_strategy, min_size=1, max_size=30), st.data())
-def test_discard_restores_consistency(triples, data):
-    kb = KnowledgeBase(triples)
+def test_discard_restores_consistency(backend, triples, data):
+    kb = backend(triples)
     victim = data.draw(st.sampled_from(sorted(set(kb.triples()), key=lambda t: t.n3())))
     kb.discard(victim)
     assert victim not in kb
@@ -194,3 +285,21 @@ def test_discard_restores_consistency(triples, data):
     remaining = set(kb.triples())
     assert len(remaining) == len(kb)
     assert victim not in remaining
+
+
+@given(st.lists(triple_strategy, max_size=40))
+def test_backends_agree_triple_for_triple(triples):
+    """The two backends are observationally identical on the same input."""
+    hash_kb = KnowledgeBase(triples)
+    interned_kb = InternedKnowledgeBase(triples)
+    assert set(hash_kb.triples()) == set(interned_kb.triples())
+    assert len(hash_kb) == len(interned_kb)
+    assert hash_kb.predicates() == interned_kb.predicates()
+    assert hash_kb.entities() == interned_kb.entities()
+    assert hash_kb.entity_frequencies() == interned_kb.entity_frequencies()
+    for p in hash_kb.predicates():
+        assert hash_kb.subject_count(p) == interned_kb.subject_count(p)
+        assert hash_kb.object_frequencies(p) == interned_kb.object_frequencies(p)
+        assert set(hash_kb.subject_object_pairs(p)) == set(
+            interned_kb.subject_object_pairs(p)
+        )
