@@ -10,9 +10,13 @@ length in bits, where codes derive from *prominence rankings*:
 * :mod:`repro.complexity.powerlaw` — Eq. 1: per-predicate power-law fits
   that compress conditional rankings into (α, β) coefficient pairs;
 * :mod:`repro.complexity.codes` — the :class:`ComplexityEstimator`
-  computing Ĉ(ρ) and Ĉ(e) with the chain rule for joins.
+  computing Ĉ(ρ) and Ĉ(e) with the chain rule for joins;
+* :mod:`repro.complexity.batch` — the :class:`QueueScorer`: whole
+  candidate queues scored in one pass against shared, ID-keyed
+  conditional rank tables.
 """
 
+from repro.complexity.batch import QueueScorer
 from repro.complexity.codes import ComplexityEstimator
 from repro.complexity.pagerank import pagerank
 from repro.complexity.powerlaw import PowerLawFit, PowerLawModel, fit_power_law
@@ -29,6 +33,7 @@ __all__ = [
     "PowerLawFit",
     "PowerLawModel",
     "Prominence",
+    "QueueScorer",
     "fit_power_law",
     "pagerank",
 ]

@@ -1,0 +1,287 @@
+"""Batch Ĉ scoring: whole candidate queues in one pass (§3.5.2 phase 1).
+
+:meth:`ComplexityEstimator.complexity` answers one subgraph expression at
+a time: hash the SE, probe the memo, dispatch on shape, probe each lazy
+rank table.  Queue construction asks the same question tens of thousands
+of times per target set, and in batch serving the same conditional
+rankings are needed by request after request.  :class:`QueueScorer`
+restructures that work the way the candidate pipeline restructures
+enumeration:
+
+1. **group** the surviving candidates by shape and anchor predicate;
+2. **materialize** every conditional ranking the group needs exactly once
+   — predicate ranks, ``k(I | p)`` object tables, join and co-occurrence
+   tables — *keyed by interned integer IDs* on dictionary-encoded
+   backends, so table probes are int-dict lookups and no term is decoded
+   during scoring;
+3. **score** the whole queue in one tight pass over local references.
+
+The candidate sets behind each table come from the same ID-space scans
+the estimator uses (:func:`~repro.complexity.codes.joinable_predicate_ids`
+and friends), and ranks are computed with the same tie-aware ranking, so
+the scores are bit-identical to ``estimator.complexity`` — pinned by the
+differential harness in ``tests/core/test_candidate_engine.py``.
+
+Tables persist for the scorer's lifetime: a :class:`~repro.core.batch.BatchMiner`
+holds one scorer (through its engine) and amortizes them across every
+request in the batch.  Concurrent use is safe the same way the estimator
+is: a racy double build computes identical tables from pure KB queries.
+
+The ID fast path requires ``mode="exact"`` (power-law object codes are
+per-(predicate, object) estimates, not rankings) and a backend with
+``supports_id_queries``; otherwise :meth:`score` transparently falls back
+to per-SE ``estimator.complexity`` calls, preserving exact behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.complexity.codes import (
+    ComplexityEstimator,
+    _log2_rank,
+    _tie_aware_ranks,
+    co_occurring_predicate_ids,
+    joinable_predicate_ids,
+    tail_candidate_ids,
+)
+from repro.expressions.subgraph import Shape, SubgraphExpression
+
+#: Per-SE scoring plans: shape tag + the interned IDs the formula needs.
+#: The candidate engine builds plans straight from its ID tuples (no
+#: re-encoding); :meth:`QueueScorer.score` builds them from decoded SEs.
+PLAN_SINGLE, PLAN_PATH, PLAN_STAR, PLAN_CLOSED = 0, 1, 2, 3
+
+
+class QueueScorer:
+    """Scores candidate queues against shared, ID-keyed rank tables.
+
+    Wraps (and defers to) a :class:`~repro.complexity.codes.ComplexityEstimator`;
+    construct one per estimator and reuse it — the tables it materializes
+    are the whole point.
+    """
+
+    def __init__(self, estimator: ComplexityEstimator):
+        self.estimator = estimator
+        kb = estimator.kb
+        self.id_mode = bool(
+            estimator.mode == "exact" and getattr(kb, "supports_id_queries", False)
+        )
+        # Conditional rank tables, keyed by interned IDs (ID mode only).
+        self._pred_bits: Dict[int, float] = {}
+        self._object_ranks: Dict[int, Dict[int, int]] = {}
+        self._join_ranks: Dict[int, Dict[int, int]] = {}
+        self._closed_ranks: Dict[int, Dict[int, int]] = {}
+        self._tail_ranks: Dict[Tuple[int, int], Dict[int, int]] = {}
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def score(self, ses: Sequence[SubgraphExpression]) -> List[float]:
+        """Ĉ(ρ) for every expression, in input order.
+
+        Bit-identical to ``[estimator.complexity(se) for se in ses]``.
+        """
+        if not self.id_mode:
+            complexity = self.estimator.complexity
+            return [complexity(se) for se in ses]
+        return self.score_plans([self._plan(se) for se in ses], ses)
+
+    def score_plans(
+        self,
+        plans: Sequence[Optional[tuple]],
+        ses: Optional[Sequence[SubgraphExpression]] = None,
+    ) -> List[float]:
+        """Score prebuilt ``(PLAN_*, *ids)`` plans, in input order.
+
+        The candidate engine calls this with plans built directly from
+        its ID tuples, skipping the per-SE re-encoding of :meth:`score`.
+        *ses* supplies the per-SE fallback for ``None`` plans — and for
+        every plan when the ID fast path is off (power-law mode / hash
+        backend), where the plans are ignored entirely.
+        """
+        if not self.id_mode:
+            if ses is None:
+                raise ValueError("ses is required when the ID fast path is off")
+            complexity = self.estimator.complexity
+            return [complexity(se) for se in ses]
+        self._ensure_tables(plans)
+        score_plan = self._score_plan
+        if ses is None:
+            if any(plan is None for plan in plans):
+                raise ValueError("ses is required when any plan is None")
+            return [score_plan(plan) for plan in plans]  # type: ignore[arg-type]
+        return [
+            score_plan(plan) if plan is not None else self.estimator.complexity(se)
+            for se, plan in zip(ses, plans)
+        ]
+
+    def table_stats(self) -> Dict[str, int]:
+        """How many conditional rankings are resident (serving telemetry)."""
+        return {
+            "predicate_bits": len(self._pred_bits),
+            "object_rank_tables": len(self._object_ranks),
+            "join_rank_tables": len(self._join_ranks),
+            "closed_rank_tables": len(self._closed_ranks),
+            "tail_rank_tables": len(self._tail_ranks),
+        }
+
+    def clear_tables(self) -> None:
+        """Drop every materialized ranking (after mutating the KB)."""
+        self._pred_bits.clear()
+        self._object_ranks.clear()
+        self._join_ranks.clear()
+        self._closed_ranks.clear()
+        self._tail_ranks.clear()
+
+    # ------------------------------------------------------------------
+    # phase 1: group by shape and anchor, encode to ID plans
+    # ------------------------------------------------------------------
+
+    def _plan(self, se: SubgraphExpression) -> Optional[tuple]:
+        """The (shape, *ids) scoring plan, or None to fall back per-SE."""
+        encode = self.estimator.kb.term_id  # type: ignore[attr-defined]
+        atoms = se.atoms
+        if se.shape is Shape.SINGLE_ATOM:
+            atom = atoms[0]
+            p, o = encode(atom.predicate), encode(atom.object)
+            if p is None or o is None:
+                return None
+            return (PLAN_SINGLE, p, o)
+        if se.shape is Shape.PATH:
+            hop, tail = atoms
+            p0, p1 = encode(hop.predicate), encode(tail.predicate)
+            o = encode(tail.object)
+            if p0 is None or p1 is None or o is None:
+                return None
+            return (PLAN_PATH, p0, p1, o)
+        if se.shape is Shape.PATH_STAR:
+            hop, star1, star2 = atoms
+            ids = (
+                encode(hop.predicate),
+                encode(star1.predicate),
+                encode(star1.object),
+                encode(star2.predicate),
+                encode(star2.object),
+            )
+            if None in ids:
+                return None
+            return (PLAN_STAR,) + ids
+        if se.shape in (Shape.CLOSED_2, Shape.CLOSED_3):
+            # The cheapest predicate anchors the code (same rank-sorted
+            # order as the estimator, so the float summation matches).
+            ordered = sorted(
+                se.predicates(), key=self.estimator.prominence.predicate_rank
+            )
+            ids = tuple(encode(p) for p in ordered)
+            if None in ids:
+                return None
+            return (PLAN_CLOSED,) + ids
+        raise AssertionError(f"unhandled shape {se.shape}")
+
+    # ------------------------------------------------------------------
+    # phase 2: materialize every needed conditional ranking once
+    # ------------------------------------------------------------------
+
+    def _ensure_tables(self, plans: Sequence[Optional[tuple]]) -> None:
+        for plan in plans:
+            if plan is None:
+                continue
+            tag = plan[0]
+            if tag == PLAN_SINGLE:
+                self._ensure_pred_bits(plan[1])
+                self._ensure_object_ranks(plan[1])
+            elif tag == PLAN_PATH:
+                self._ensure_pred_bits(plan[1])
+                self._ensure_join_ranks(plan[1])
+                self._ensure_tail_ranks(plan[1], plan[2])
+            elif tag == PLAN_STAR:
+                self._ensure_pred_bits(plan[1])
+                self._ensure_join_ranks(plan[1])
+                self._ensure_tail_ranks(plan[1], plan[2])
+                self._ensure_tail_ranks(plan[1], plan[4])
+            else:
+                self._ensure_pred_bits(plan[1])
+                self._ensure_closed_ranks(plan[1])
+
+    def _rank_entity_ids(self, ids) -> Dict[int, int]:
+        term = self.estimator.kb.term_of_id  # type: ignore[attr-defined]
+        score = self.estimator.prominence.entity_score
+        return _tie_aware_ranks(set(ids), lambda i: score(term(i)))
+
+    def _rank_predicate_ids(self, ids) -> Dict[int, int]:
+        term = self.estimator.kb.term_of_id  # type: ignore[attr-defined]
+        score = self.estimator.prominence.predicate_score
+        return _tie_aware_ranks(set(ids), lambda i: score(term(i)))
+
+    def _ensure_pred_bits(self, p_id: int) -> None:
+        if p_id not in self._pred_bits:
+            predicate = self.estimator.kb.term_of_id(p_id)  # type: ignore[attr-defined]
+            self._pred_bits[p_id] = self.estimator.predicate_bits(predicate)
+
+    def _ensure_object_ranks(self, p_id: int) -> None:
+        if p_id not in self._object_ranks:
+            kb = self.estimator.kb
+            self._object_ranks[p_id] = self._rank_entity_ids(
+                kb.object_ids_of_predicate(p_id)  # type: ignore[attr-defined]
+            )
+
+    def _ensure_join_ranks(self, p0_id: int) -> None:
+        if p0_id not in self._join_ranks:
+            self._join_ranks[p0_id] = self._rank_predicate_ids(
+                joinable_predicate_ids(self.estimator.kb, p0_id)
+            )
+
+    def _ensure_closed_ranks(self, anchor_id: int) -> None:
+        if anchor_id not in self._closed_ranks:
+            self._closed_ranks[anchor_id] = self._rank_predicate_ids(
+                co_occurring_predicate_ids(self.estimator.kb, anchor_id)
+            )
+
+    def _ensure_tail_ranks(self, p0_id: int, p1_id: int) -> None:
+        key = (p0_id, p1_id)
+        if key not in self._tail_ranks:
+            self._tail_ranks[key] = self._rank_entity_ids(
+                tail_candidate_ids(self.estimator.kb, p0_id, p1_id)
+            )
+
+    # ------------------------------------------------------------------
+    # phase 3: one pass over the queue
+    # ------------------------------------------------------------------
+
+    def _score_plan(self, plan: tuple) -> float:
+        tag = plan[0]
+        pred_bits = self._pred_bits
+        if tag == PLAN_SINGLE:
+            _, p, o = plan
+            ranks = self._object_ranks[p]
+            return pred_bits[p] + _log2_rank(ranks.get(o, len(ranks) + 1))
+        if tag == PLAN_PATH:
+            _, p0, p1, o = plan
+            join = self._join_ranks[p0]
+            tail = self._tail_ranks[(p0, p1)]
+            return (
+                pred_bits[p0]
+                + _log2_rank(join.get(p1, len(join) + 1))
+                + _log2_rank(tail.get(o, len(tail) + 1))
+            )
+        if tag == PLAN_STAR:
+            _, p0, p1, o1, p2, o2 = plan
+            join = self._join_ranks[p0]
+            bits = pred_bits[p0]
+            for p, o in ((p1, o1), (p2, o2)):
+                tail = self._tail_ranks[(p0, p)]
+                bits += _log2_rank(join.get(p, len(join) + 1))
+                bits += _log2_rank(tail.get(o, len(tail) + 1))
+            return bits
+        anchor = plan[1]
+        closed = self._closed_ranks[anchor]
+        bits = pred_bits[anchor]
+        for p in plan[2:]:
+            bits += _log2_rank(closed.get(p, len(closed) + 1))
+        return bits
+
+    def __repr__(self) -> str:
+        mode = "id" if self.id_mode else "fallback"
+        return f"QueueScorer(mode={mode}, estimator={self.estimator!r})"

@@ -52,6 +52,47 @@ def _log2_rank(rank: int) -> float:
     return math.log2(max(rank, 1))
 
 
+# ----------------------------------------------------------------------
+# ID-space conditional candidate sets (shared with the batch scorer)
+#
+# On dictionary-encoded backends the scans that define each conditional
+# ranking's candidate set run over integer IDs.  The estimator decodes the
+# result once to build its term-keyed tables; the batch scorer
+# (:mod:`repro.complexity.batch`) ranks the IDs directly.  One
+# implementation serves both so the two can never drift apart.
+# ----------------------------------------------------------------------
+
+
+def joinable_predicate_ids(kb: KnowledgeBase, p0_id: int) -> "set[int]":
+    """IDs of predicates reachable from an object of ``p0`` (1→2 joins)."""
+    joinable: set = set()
+    for mid_id in kb.object_ids_of_predicate(p0_id):  # type: ignore[attr-defined]
+        joinable |= kb.predicate_ids_of(mid_id)  # type: ignore[attr-defined]
+    return joinable
+
+
+def co_occurring_predicate_ids(kb: KnowledgeBase, anchor_id: int) -> "set[int]":
+    """IDs of predicates sharing an ``(s, o)`` pair with *anchor*."""
+    co_ids: set = set()
+    for s_id, obj_ids in kb.subject_object_items_ids(anchor_id):  # type: ignore[attr-defined]
+        for c_id in kb.predicate_ids_of(s_id):  # type: ignore[attr-defined]
+            if (
+                c_id != anchor_id
+                and c_id not in co_ids
+                and not obj_ids.isdisjoint(kb.objects_ids(s_id, c_id))  # type: ignore[attr-defined]
+            ):
+                co_ids.add(c_id)
+    return co_ids
+
+
+def tail_candidate_ids(kb: KnowledgeBase, p0_id: int, p1_id: int) -> "set[int]":
+    """IDs of the bindings of ``z`` in ``p0(x, y) ∧ p1(y, z)``."""
+    candidate_ids: set = set()
+    for mid_id in kb.object_ids_of_predicate(p0_id):  # type: ignore[attr-defined]
+        candidate_ids |= kb.objects_ids(mid_id, p1_id)  # type: ignore[attr-defined]
+    return candidate_ids
+
+
 def _tie_aware_ranks(items, score) -> dict:
     """Descending-score ranks where a tie group shares its *last* position.
 
@@ -212,10 +253,7 @@ class ComplexityEstimator:
             p0_id = kb.term_id(p0)  # type: ignore[attr-defined]
             if p0_id is None:
                 return set()
-            joinable_ids: set = set()
-            for mid_id in kb.object_ids_of_predicate(p0_id):  # type: ignore[attr-defined]
-                joinable_ids |= kb.predicate_ids_of(mid_id)  # type: ignore[attr-defined]
-            return set(kb.decode_terms(joinable_ids))  # type: ignore[attr-defined]
+            return set(kb.decode_terms(joinable_predicate_ids(kb, p0_id)))  # type: ignore[attr-defined]
         joinable: set = set()
         for mid in kb.objects_of_predicate(p0):
             joinable |= kb.predicates_of(mid)
@@ -237,16 +275,7 @@ class ComplexityEstimator:
             anchor_id = kb.term_id(anchor)  # type: ignore[attr-defined]
             if anchor_id is None:
                 return set()
-            co_ids: set = set()
-            for s_id, obj_ids in kb.subject_object_items_ids(anchor_id):  # type: ignore[attr-defined]
-                for c_id in kb.predicate_ids_of(s_id):  # type: ignore[attr-defined]
-                    if (
-                        c_id != anchor_id
-                        and c_id not in co_ids
-                        and not obj_ids.isdisjoint(kb.objects_ids(s_id, c_id))  # type: ignore[attr-defined]
-                    ):
-                        co_ids.add(c_id)
-            return set(kb.decode_terms(co_ids))  # type: ignore[attr-defined]
+            return set(kb.decode_terms(co_occurring_predicate_ids(kb, anchor_id)))  # type: ignore[attr-defined]
         co_occurring: set = set()
         for subject, objs in kb.subject_object_items(anchor):
             for candidate in kb.predicates_of(subject):
@@ -266,8 +295,7 @@ class ComplexityEstimator:
                 p1_id = kb.term_id(p1)  # type: ignore[attr-defined]
                 candidate_ids: set = set()
                 if p0_id is not None and p1_id is not None:
-                    for mid_id in kb.object_ids_of_predicate(p0_id):  # type: ignore[attr-defined]
-                        candidate_ids |= kb.objects_ids(mid_id, p1_id)  # type: ignore[attr-defined]
+                    candidate_ids = tail_candidate_ids(kb, p0_id, p1_id)
                 candidates: set = set(kb.decode_terms(candidate_ids))  # type: ignore[attr-defined]
             else:
                 candidates = set()

@@ -4,6 +4,9 @@
 * :mod:`repro.core.enumerate` — the ``subgraphs-expressions`` routine
   (§3.3) with the §3.5.2 pruning heuristics, plus the language census used
   by the §3.2 growth experiment;
+* :mod:`repro.core.candidates` — the candidate pipeline (Alg. 1 lines
+  1–2): enumerate → intersect → score → sort as one engine, in integer-ID
+  space on dictionary-encoded backends;
 * :mod:`repro.core.remi` — Algorithm 1 (REMI) and Algorithm 2 (DFS-REMI);
 * :mod:`repro.core.parallel` — Algorithm 3 (P-REMI / P-DFS-REMI);
 * :mod:`repro.core.batch` — batch mining of many target sets with shared
@@ -12,6 +15,7 @@
 """
 
 from repro.core.batch import BatchMiner, BatchOutcome, BatchRequest
+from repro.core.candidates import CandidateEngine
 from repro.core.config import LanguageBias, MinerConfig
 from repro.core.enumerate import (
     common_subgraph_expressions,
@@ -26,6 +30,7 @@ __all__ = [
     "BatchMiner",
     "BatchOutcome",
     "BatchRequest",
+    "CandidateEngine",
     "LanguageBias",
     "MinerConfig",
     "MiningResult",

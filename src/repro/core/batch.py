@@ -10,6 +10,14 @@ once and reuses them across every request in the batch (and, on an
 interned backend, the term dictionary is shared implicitly through the
 store).
 
+The same sharing covers the candidate pipeline: all requests flow through
+the one :class:`~repro.core.candidates.CandidateEngine` owned by the
+shared miner, so its ID-space memos (admissible predicates, term kinds,
+per-hub tail lists and pair sets) and the batch scorer's ID-keyed
+conditional rank tables are built by whichever request needs them first
+and amortized over the rest of the stream — :meth:`BatchMiner.summary`
+reports the resident table counts.
+
 Requests travel as JSON lines (one target set per line)::
 
     ["http://example.org/Rennes", "http://example.org/Nantes"]
@@ -282,4 +290,5 @@ class BatchMiner:
             "errors": self.errors,
             "backend": type(self.kb).__name__,
             "matcher_cache": cache,
+            "engine": self.miner.engine.table_stats(),
         }

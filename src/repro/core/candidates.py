@@ -1,0 +1,724 @@
+"""The candidate pipeline: Alg. 1 lines 1–2 as one engine.
+
+:class:`CandidateEngine` owns the whole front half of REMI — enumerate the
+subgraph expressions of the seed target, intersect across the remaining
+targets, score every survivor with Ĉ, sort the queue — and is shared by
+:class:`~repro.core.remi.REMI`, :class:`~repro.core.parallel.PREMI` and
+:class:`~repro.core.batch.BatchMiner` (whose requests amortize one
+engine's memos and rank tables).
+
+Two interchangeable execution paths produce bit-identical queues:
+
+* **ID space** (dictionary-encoded backends, ``supports_id_queries``) —
+  the default on :class:`~repro.kb.interned.InternedKnowledgeBase`.
+  Candidates exist as plain ``int`` tuples until they survive
+  intersection: neighbourhoods, second-hop tails, closed-pair
+  co-occurrence and the §3.5.2 prominence/blank-node prunes all run over
+  ``set[int]`` adjacency views, and the cross-target intersection tests
+  each candidate against per-target satisfaction sets (memoized per-hub
+  ``(p, o)`` pair sets) instead of per-expression
+  ``matcher.holds_for`` probes.  Only the survivors are decoded into
+  :class:`~repro.expressions.subgraph.SubgraphExpression` objects, which
+  are then scored in one pass by the batch scorer
+  (:class:`~repro.complexity.batch.QueueScorer`, ID-keyed rank tables).
+  This is the "compile the symbolic problem into dense integer
+  structures" move the interned matcher already made for Alg. 2.
+
+* **Term space** (hash backend, or ``use_id_space=False``) — exactly the
+  seed behaviour: :func:`~repro.core.enumerate.subgraph_expressions` on
+  the seed entity, ``matcher.holds_for`` per expression per remaining
+  target, per-expression ``estimator.complexity``.  P-REMI's threaded
+  Ĉ-scoring fan-out (§3.5.2: "we parallelized the construction and
+  sorting of the queue") survives as the ``score_threads`` option on
+  this path; the ID path makes it moot (scoring is table lookups).
+
+The two paths are pinned against each other — and against the seed
+functions in :mod:`repro.core.enumerate` — by the differential harness in
+``tests/core/test_candidate_engine.py`` (candidate sets and Ĉ values
+bit-identical on both backends).
+
+The engine's memos (admissible predicates, term kinds, per-hub tail
+lists, per-hub pair sets, rank tables) assume a read-only KB, like every
+other serving cache; call :meth:`clear_caches` after mutating it.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from itertools import combinations
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from repro.complexity.batch import (
+    PLAN_CLOSED,
+    PLAN_PATH,
+    PLAN_SINGLE,
+    PLAN_STAR,
+    QueueScorer,
+)
+from repro.complexity.codes import ComplexityEstimator
+from repro.core.config import LanguageBias, MinerConfig
+from repro.core.enumerate import subgraph_expressions
+from repro.core.results import SearchStats
+from repro.expressions.atoms import ROOT, Atom, Y
+from repro.expressions.matching import Matcher
+from repro.expressions.subgraph import Shape, SubgraphExpression
+from repro.kb.base import BaseKnowledgeBase
+from repro.kb.terms import Term
+
+#: A scored queue entry: (subgraph expression, Ĉ in bits).
+ScoredSE = Tuple[SubgraphExpression, float]
+
+#: Term kinds used by the ID-space prunes.
+_IRI, _BLANK, _LITERAL = 0, 1, 2
+
+
+def _entry_key(entry: Tuple[SubgraphExpression, float, tuple]) -> Tuple[float, tuple]:
+    """Alg. 1 line 2 order: (Ĉ bits, canonical SE key) — the key is
+    memoized per candidate, so repeat requests never rebuild it."""
+    return (entry[1], entry[2])
+
+
+class _IdCandidates:
+    """Per-shape candidate sets as interned-ID tuples (pre-decode)."""
+
+    __slots__ = ("singles", "paths", "stars", "closed2", "closed3")
+
+    def __init__(self) -> None:
+        self.singles: Set[Tuple[int, int]] = set()
+        self.paths: Set[Tuple[int, int, int]] = set()
+        #: ``(p0, (p1, o1), (p2, o2))`` with the star pairs ID-ordered so
+        #: each unordered atom pair has exactly one tuple (mirrors the
+        #: canonicalization SubgraphExpression.path_star applies on decode).
+        self.stars: Set[Tuple[int, Tuple[int, int], Tuple[int, int]]] = set()
+        self.closed2: Set[Tuple[int, int]] = set()
+        self.closed3: Set[Tuple[int, int, int]] = set()
+
+    def total(self) -> int:
+        return (
+            len(self.singles)
+            + len(self.paths)
+            + len(self.stars)
+            + len(self.closed2)
+            + len(self.closed3)
+        )
+
+    def clear(self) -> None:
+        self.singles.clear()
+        self.paths.clear()
+        self.stars.clear()
+        self.closed2.clear()
+        self.closed3.clear()
+
+
+class CandidateEngine:
+    """Builds the sorted priority queue of Alg. 1 lines 1–2.
+
+    Parameters
+    ----------
+    kb:
+        Any backend; dictionary-encoded ones get the ID-space path.
+    config, matcher, estimator:
+        The miner's collaborators; defaults are built when omitted (a
+        standalone engine is handy in tests and benchmarks).
+    prominent:
+        The §3.5.2 top-prominence cutoff set, or a zero-argument callable
+        returning it (miners pass their lazy property).
+    score_threads:
+        Ĉ-scoring fan-out width for the Term-space path (P-REMI's §3.5.2
+        parallel queue construction).  Ignored on the ID path.
+    use_id_space:
+        Force a path; ``None`` auto-selects (ID space iff the backend
+        supports it).  The benchmark uses ``False`` to measure the
+        Term-space baseline on the same backend.
+    """
+
+    def __init__(
+        self,
+        kb: BaseKnowledgeBase,
+        config: Optional[MinerConfig] = None,
+        matcher: Optional[Matcher] = None,
+        estimator: Optional[ComplexityEstimator] = None,
+        prominent: Union[None, FrozenSet[Term], Callable[[], FrozenSet[Term]]] = None,
+        score_threads: int = 1,
+        use_id_space: Optional[bool] = None,
+    ):
+        self.kb = kb
+        self.config = config or MinerConfig()
+        self.matcher = matcher or Matcher(kb)
+        if estimator is None:
+            from repro.complexity.ranking import FrequencyProminence
+
+            estimator = ComplexityEstimator(kb, FrequencyProminence(kb))
+        self.estimator = estimator
+        if prominent is None:
+            prominent = frozenset()
+        self._prominent_supplier: Callable[[], FrozenSet[Term]] = (
+            prominent if callable(prominent) else (lambda: prominent)  # type: ignore[assignment, return-value]
+        )
+        self.score_threads = score_threads
+        supports_ids = bool(getattr(kb, "supports_id_queries", False))
+        self.id_space = supports_ids if use_id_space is None else (use_id_space and supports_ids)
+        self.scorer = QueueScorer(estimator)
+        # Read-only-KB memos (ID space), keyed by stable interned IDs.
+        self._admit: Dict[int, bool] = {}
+        self._kinds: Dict[int, int] = {}
+        self._pred_values: Dict[int, str] = {}
+        self._pred_ranks: Dict[int, int] = {}
+        self._tails_memo: Dict[int, Tuple[Tuple[int, int], ...]] = {}
+        self._hub_pairs_memo: Dict[int, FrozenSet[Tuple[int, int]]] = {}
+        self._prominent_memo: Optional[Tuple[FrozenSet[Term], FrozenSet[int]]] = None
+        # Materialization memos.  Atoms (and their sort keys) recur across
+        # many candidates — one tail atom appears in every star through
+        # its hub — and whole candidates recur across requests (shared
+        # classes, shared hubs), so both levels are memoized per engine:
+        #   atom memos: ID pair -> (Atom, atom sort key), split by role;
+        #   SE memos:   ID tuple -> (decoded SE, Ĉ bits, SE sort key),
+        #               one dict per shape (raw ID tuples can collide).
+        # A repeat candidate costs one dict probe per request.
+        self._root_atoms: Dict[int, Tuple[Atom, tuple]] = {}
+        self._bound_atoms: Dict[Tuple[int, int], Tuple[Atom, tuple]] = {}
+        self._star_atoms: Dict[Tuple[int, int], Tuple[Atom, tuple]] = {}
+        self._se_memos: Tuple[
+            Dict[tuple, Tuple[SubgraphExpression, float, tuple]], ...
+        ] = ({}, {}, {}, {}, {})
+        self.se_memo_limit = 1 << 20  # entries across shapes; cleared when exceeded
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def candidates(
+        self, targets: Sequence[Term], stats: Optional[SearchStats] = None
+    ) -> List[ScoredSE]:
+        """The sorted priority queue of common subgraph expressions.
+
+        Fills the per-phase counters (``enumerated`` / ``intersected_out``
+        / ``scored``) and timings on *stats*.
+        """
+        stats = stats if stats is not None else SearchStats()
+        if not targets:
+            raise ValueError("need at least one target entity")
+        t0 = time.perf_counter()
+        if self.id_space:
+            cand = self._intersected_ids(targets, stats)
+            t1 = time.perf_counter()
+            entries = self._materialize(cand)
+            stats.scored += len(entries)
+            t2 = time.perf_counter()
+            entries.sort(key=_entry_key)
+            scored = [(se, bits) for se, bits, _ in entries]
+        else:
+            survivors = list(self._common_term_space(targets, stats))
+            t1 = time.perf_counter()
+            scored = self._score(survivors)
+            stats.scored += len(scored)
+            t2 = time.perf_counter()
+            scored.sort(key=lambda pair: (pair[1], pair[0].sort_key()))
+        t3 = time.perf_counter()
+        stats.enumerate_seconds += t1 - t0
+        stats.complexity_seconds += t2 - t1
+        stats.sort_seconds += t3 - t2
+        stats.candidates = len(scored)
+        return scored
+
+    def common(
+        self, targets: Sequence[Term], stats: Optional[SearchStats] = None
+    ) -> Set[SubgraphExpression]:
+        """Alg. 1 line 1 only: the unscored common candidate set."""
+        stats = stats if stats is not None else SearchStats()
+        if not targets:
+            raise ValueError("need at least one target entity")
+        if self.id_space:
+            return set(self._decode(self._intersected_ids(targets, stats)))
+        return set(self._common_term_space(targets, stats))
+
+    def table_stats(self) -> Dict[str, int]:
+        """Resident shared state (serving telemetry for BatchMiner)."""
+        stats = dict(self.scorer.table_stats())
+        stats["hub_tail_memos"] = len(self._tails_memo)
+        stats["hub_pair_memos"] = len(self._hub_pairs_memo)
+        stats["candidate_memos"] = sum(len(m) for m in self._se_memos)
+        return stats
+
+    def clear_caches(self) -> None:
+        """Drop every KB-derived memo and rank table (after mutation)."""
+        self._admit.clear()
+        self._kinds.clear()
+        self._pred_values.clear()
+        self._pred_ranks.clear()
+        self._tails_memo.clear()
+        self._hub_pairs_memo.clear()
+        self._prominent_memo = None
+        self._root_atoms.clear()
+        self._bound_atoms.clear()
+        self._star_atoms.clear()
+        for memo in self._se_memos:
+            memo.clear()
+        self.scorer.clear_tables()
+
+    # ------------------------------------------------------------------
+    # Term-space scoring (phase 2): per-SE estimator, optional fan-out
+    # ------------------------------------------------------------------
+
+    def _score(self, ses: List[SubgraphExpression]) -> List[ScoredSE]:
+        """Seed scoring semantics for the Term-space path (the ID path
+        batch-scores inside :meth:`_materialize` instead)."""
+        if self.score_threads > 1 and len(ses) > 64:
+            workers = min(self.score_threads, max(1, len(ses)))
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                bits = list(pool.map(self.estimator.complexity, ses))
+        else:
+            complexity = self.estimator.complexity
+            bits = [complexity(se) for se in ses]
+        return list(zip(ses, bits))
+
+    # ------------------------------------------------------------------
+    # Term-space path (exact seed behaviour; see enumerate.py)
+    # ------------------------------------------------------------------
+
+    def _common_term_space(
+        self, targets: Sequence[Term], stats: SearchStats
+    ) -> Set[SubgraphExpression]:
+        kb = self.kb
+        seed = min(targets, key=lambda t: kb.count(subject=t))
+        expressions = subgraph_expressions(
+            kb, seed, self.config, self._prominent_supplier()
+        )
+        enumerated = len(expressions)
+        stats.enumerated += enumerated
+        others = [t for t in targets if t != seed]
+        if others:
+            holds_for = self.matcher.holds_for
+            expressions = {
+                se for se in expressions if all(holds_for(se, t) for t in others)
+            }
+        stats.intersected_out += enumerated - len(expressions)
+        return expressions
+
+    # ------------------------------------------------------------------
+    # ID-space path: enumerate → intersect → decode survivors
+    # ------------------------------------------------------------------
+
+    def _intersected_ids(
+        self, targets: Sequence[Term], stats: SearchStats
+    ) -> _IdCandidates:
+        kb = self.kb
+        seed = min(targets, key=lambda t: kb.count(subject=t))
+        cand = self._enumerate_ids(kb.term_id(seed))  # type: ignore[attr-defined]
+        enumerated = cand.total()
+        stats.enumerated += enumerated
+        for t in targets:
+            if t == seed:
+                continue
+            if cand.total() == 0:
+                break
+            self._intersect_target(cand, kb.term_id(t))  # type: ignore[attr-defined]
+        stats.intersected_out += enumerated - cand.total()
+        return cand
+
+    # -- ID-space prunes and memos --------------------------------------
+
+    def _admits(self, p_id: int) -> bool:
+        """Does the config admit this predicate in expressions? (memoized)"""
+        admit = self._admit.get(p_id)
+        if admit is None:
+            from repro.kb.inverse import is_inverse
+
+            predicate = self.kb.term_of_id(p_id)  # type: ignore[attr-defined]
+            admit = not self.config.is_excluded(predicate) and (
+                self.config.include_inverse_atoms or not is_inverse(predicate)
+            )
+            self._admit[p_id] = admit
+        return admit
+
+    def _kind_of(self, term_id: int) -> int:
+        kind = self._kinds.get(term_id)
+        if kind is None:
+            from repro.kb.terms import IRI, BlankNode
+
+            term = self.kb.term_of_id(term_id)  # type: ignore[attr-defined]
+            if isinstance(term, BlankNode):
+                kind = _BLANK
+            elif isinstance(term, IRI):
+                kind = _IRI
+            else:
+                kind = _LITERAL
+            self._kinds[term_id] = kind
+        return kind
+
+    def _pred_value(self, p_id: int) -> str:
+        value = self._pred_values.get(p_id)
+        if value is None:
+            value = self.kb.term_of_id(p_id).value  # type: ignore[attr-defined, union-attr]
+            self._pred_values[p_id] = value
+        return value
+
+    def _pred_rank(self, p_id: int) -> int:
+        rank = self._pred_ranks.get(p_id)
+        if rank is None:
+            predicate = self.kb.term_of_id(p_id)  # type: ignore[attr-defined]
+            rank = self.estimator.prominence.predicate_rank(predicate)  # type: ignore[arg-type]
+            self._pred_ranks[p_id] = rank
+        return rank
+
+    def _prominent_ids(self) -> FrozenSet[int]:
+        prominent = self._prominent_supplier()
+        memo = self._prominent_memo
+        if memo is not None and memo[0] is prominent:
+            return memo[1]
+        term_id = self.kb.term_id  # type: ignore[attr-defined]
+        ids = frozenset(
+            i for i in (term_id(t) for t in prominent) if i is not None
+        )
+        self._prominent_memo = (prominent, ids)
+        return ids
+
+    def _tails(self, hub_id: int) -> Tuple[Tuple[int, int], ...]:
+        """Admissible second-hop ``(p, o)`` pairs of *hub* (§3.5.2: tail
+        objects must be proper constants).  Memoized; iteration order
+        matches the Term-space ``_tail_atoms`` on the same backend, which
+        keeps ``max_star_pairs`` capping bit-identical."""
+        tails = self._tails_memo.get(hub_id)
+        if tails is None:
+            admits, kind_of = self._admits, self._kind_of
+            tails = tuple(
+                (p, o)
+                for p, objs in self.kb.predicate_object_items_ids(hub_id)  # type: ignore[attr-defined]
+                if admits(p)
+                for o in objs
+                if kind_of(o) != _BLANK
+            )
+            self._tails_memo[hub_id] = tails
+        return tails
+
+    def _hub_pairs(self, entity_id: int) -> FrozenSet[Tuple[int, int]]:
+        """ALL ``(p, o)`` pairs of an entity — the satisfaction view used
+        by intersection (no prunes: a target satisfies a path through a
+        prominent hub even though enumeration would not derive it)."""
+        pairs = self._hub_pairs_memo.get(entity_id)
+        if pairs is None:
+            pairs = frozenset(
+                (p, o)
+                for p, objs in self.kb.predicate_object_items_ids(entity_id)  # type: ignore[attr-defined]
+                for o in objs
+            )
+            self._hub_pairs_memo[entity_id] = pairs
+        return pairs
+
+    # -- enumeration (mirrors enumerate.subgraph_expressions) ------------
+
+    def _enumerate_ids(self, entity_id: Optional[int]) -> _IdCandidates:
+        cand = _IdCandidates()
+        if entity_id is None:
+            return cand
+        kb, config = self.kb, self.config
+        admits, kind_of = self._admits, self._kind_of
+        neighbourhood: List[Tuple[int, int]] = [
+            (p, o)
+            for p, objs in kb.predicate_object_items_ids(entity_id)  # type: ignore[attr-defined]
+            if admits(p)
+            for o in objs
+        ]
+
+        # --- single atoms: p0(x, I0) -------------------------------------
+        prune_blank = config.prune_blank_single_atoms
+        singles = cand.singles
+        for pair in neighbourhood:
+            if prune_blank and kind_of(pair[1]) == _BLANK:
+                continue
+            singles.add(pair)
+
+        if config.language is LanguageBias.STANDARD:
+            return cand
+
+        # --- paths and path+stars: p0(x, y) ∧ p1(y, I1) [∧ p2(y, I2)] ----
+        prominent = self._prominent_ids()
+        max_atoms = config.max_atoms
+        for p0, hub in neighbourhood:
+            kind = kind_of(hub)
+            if kind == _LITERAL:
+                continue  # literals cannot be subjects
+            if kind != _BLANK and hub in prominent:
+                continue  # §3.5.2: don't extend through very prominent objects
+            tails = self._tails(hub)
+            if max_atoms >= 2:
+                paths = cand.paths
+                for p1, tail_obj in tails:
+                    paths.add((p0, p1, tail_obj))
+            if max_atoms >= 3:
+                pairs: Iterable = combinations(tails, 2)
+                if config.max_star_pairs is not None:
+                    pairs = list(pairs)[: config.max_star_pairs]
+                stars = cand.stars
+                for a1, a2 in pairs:
+                    if a1 == a2:
+                        continue
+                    stars.add((p0, a1, a2) if a1 <= a2 else (p0, a2, a1))
+
+        # --- closed shapes: p0(x, y) ∧ p1(x, y) [∧ p2(x, y)] -------------
+        if max_atoms >= 2:
+            by_predicate: Dict[int, Set[int]] = {}
+            for p, o in neighbourhood:
+                by_predicate.setdefault(p, set()).add(o)
+            value = self._pred_value
+            predicates = sorted(by_predicate, key=value)
+            closed_pairs: List[Tuple[int, int, Set[int]]] = []
+            for pa, pb in combinations(predicates, 2):
+                shared = by_predicate[pa] & by_predicate[pb]
+                if shared:
+                    cand.closed2.add((pa, pb))
+                    closed_pairs.append((pa, pb, shared))
+            if max_atoms >= 3:
+                for pa, pb, shared in closed_pairs:
+                    pb_value = value(pb)
+                    for pc in predicates:
+                        if pc in (pa, pb) or value(pc) < pb_value:
+                            continue
+                        if not shared.isdisjoint(by_predicate[pc]):
+                            cand.closed3.add((pa, pb, pc))
+        return cand
+
+    # -- cross-target intersection ---------------------------------------
+
+    def _intersect_target(self, cand: _IdCandidates, target_id: Optional[int]) -> None:
+        """Keep only candidates *target* satisfies (semantics of
+        ``matcher.holds_for``, evaluated as set algebra over adjacency)."""
+        if target_id is None:
+            cand.clear()  # never interned ⇒ satisfies nothing
+            return
+        objects = self.kb.objects_ids  # type: ignore[attr-defined]
+
+        if cand.singles:
+            cand.singles = {c for c in cand.singles if c[1] in objects(target_id, c[0])}
+
+        if cand.paths:
+            sat_by_p0: Dict[int, Set[Tuple[int, int]]] = {}
+            hub_pairs = self._hub_pairs
+            surviving_paths: Set[Tuple[int, int, int]] = set()
+            for c in cand.paths:
+                sat = sat_by_p0.get(c[0])
+                if sat is None:
+                    sat = set()
+                    for y in objects(target_id, c[0]):
+                        sat |= hub_pairs(y)
+                    sat_by_p0[c[0]] = sat
+                if (c[1], c[2]) in sat:
+                    surviving_paths.add(c)
+            cand.paths = surviving_paths
+
+        if cand.stars:
+            by_p0: Dict[int, List[Tuple[int, Tuple[int, int], Tuple[int, int]]]] = {}
+            for c in cand.stars:
+                by_p0.setdefault(c[0], []).append(c)
+            surviving_stars: Set[Tuple[int, Tuple[int, int], Tuple[int, int]]] = set()
+            for p0, remaining in by_p0.items():
+                # Both star atoms must hold through ONE hub; sweep hubs,
+                # retiring candidates as soon as some hub satisfies both.
+                for y in objects(target_id, p0):
+                    if not remaining:
+                        break
+                    pairs = self._hub_pairs(y)
+                    if not pairs:
+                        continue
+                    still: List[Tuple[int, Tuple[int, int], Tuple[int, int]]] = []
+                    for c in remaining:
+                        if c[1] in pairs and c[2] in pairs:
+                            surviving_stars.add(c)
+                        else:
+                            still.append(c)
+                    remaining = still
+            cand.stars = surviving_stars
+
+        if cand.closed2:
+            cand.closed2 = {
+                c
+                for c in cand.closed2
+                if not objects(target_id, c[0]).isdisjoint(objects(target_id, c[1]))
+            }
+
+        if cand.closed3:
+            surviving_closed: Set[Tuple[int, int, int]] = set()
+            for pa, pb, pc in cand.closed3:
+                shared = objects(target_id, pa) & objects(target_id, pb)
+                if shared and not shared.isdisjoint(objects(target_id, pc)):
+                    surviving_closed.add((pa, pb, pc))
+            cand.closed3 = surviving_closed
+
+    # -- decoding (the API boundary) -------------------------------------
+
+    def _decode(self, cand: _IdCandidates) -> List[SubgraphExpression]:
+        term = self.kb.term_of_id  # type: ignore[attr-defined]
+        out: List[SubgraphExpression] = []
+        for p, o in cand.singles:
+            out.append(SubgraphExpression.single_atom(term(p), term(o)))  # type: ignore[arg-type]
+        for p0, p1, o in cand.paths:
+            out.append(SubgraphExpression.path(term(p0), term(p1), term(o)))  # type: ignore[arg-type]
+        for p0, (p1, o1), (p2, o2) in cand.stars:
+            out.append(
+                SubgraphExpression.path_star(
+                    term(p0), term(p1), term(o1), term(p2), term(o2)  # type: ignore[arg-type]
+                )
+            )
+        for pa, pb in cand.closed2:
+            out.append(SubgraphExpression.closed(term(pa), term(pb)))  # type: ignore[arg-type]
+        for pa, pb, pc in cand.closed3:
+            out.append(SubgraphExpression.closed(term(pa), term(pb), term(pc)))  # type: ignore[arg-type]
+        return out
+
+    # -- materialization: decode + score once per distinct candidate ------
+
+    def _root_atom(self, p_id: int) -> Tuple[Atom, tuple]:
+        """``p(x, y)`` — also the closed-shape atom — with its sort key."""
+        entry = self._root_atoms.get(p_id)
+        if entry is None:
+            atom = Atom(self.kb.term_of_id(p_id), ROOT, Y)  # type: ignore[attr-defined, arg-type]
+            entry = (atom, atom.sort_key())
+            self._root_atoms[p_id] = entry
+        return entry
+
+    def _bound_atom(self, p_id: int, o_id: int) -> Tuple[Atom, tuple]:
+        """``p(x, I)`` with its sort key."""
+        key = (p_id, o_id)
+        entry = self._bound_atoms.get(key)
+        if entry is None:
+            term = self.kb.term_of_id  # type: ignore[attr-defined]
+            atom = Atom(term(p_id), ROOT, term(o_id))  # type: ignore[arg-type]
+            entry = (atom, atom.sort_key())
+            self._bound_atoms[key] = entry
+        return entry
+
+    def _star_atom(self, p_id: int, o_id: int) -> Tuple[Atom, tuple]:
+        """``p(y, I)`` — path tails and star atoms — with its sort key."""
+        key = (p_id, o_id)
+        entry = self._star_atoms.get(key)
+        if entry is None:
+            term = self.kb.term_of_id  # type: ignore[attr-defined]
+            atom = Atom(term(p_id), Y, term(o_id))  # type: ignore[arg-type]
+            entry = (atom, atom.sort_key())
+            self._star_atoms[key] = entry
+        return entry
+
+    def _materialize(
+        self, cand: _IdCandidates
+    ) -> List[Tuple[SubgraphExpression, float, tuple]]:
+        """``(SE, Ĉ, sort key)`` entries for every survivor, via the
+        cross-request memos.  Misses assemble their SE from memoized
+        atoms — in canonical order, decided by the cached atom sort keys,
+        so the constructors' re-sorting and per-SE ``sort_key()`` calls
+        are skipped — and are planned in ID space (no re-encoding) and
+        batch-scored against the shared rank tables in one pass."""
+        memos = self._se_memos
+        occupancy = (
+            sum(len(m) for m in memos)
+            + len(self._hub_pairs_memo)
+            + len(self._tails_memo)
+        )
+        if occupancy > self.se_memo_limit:
+            for m in memos:
+                m.clear()
+            self._root_atoms.clear()
+            self._bound_atoms.clear()
+            self._star_atoms.clear()
+            # The per-hub memos asymptotically duplicate the SPO index;
+            # they must not outlive the eviction that bounds everything
+            # else, or a long request stream grows RSS without bound.
+            self._hub_pairs_memo.clear()
+            self._tails_memo.clear()
+        out: List[Tuple[SubgraphExpression, float, tuple]] = []
+        append = out.append
+        # (memo, key, decoded SE, SE sort key, scoring plan) per miss.
+        misses: List[Tuple[Dict, tuple, SubgraphExpression, tuple, tuple]] = []
+
+        memo = memos[0]
+        get = memo.get
+        for key in cand.singles:
+            entry = get(key)
+            if entry is not None:
+                append(entry)
+            else:
+                atom, atom_key = self._bound_atom(key[0], key[1])
+                se = SubgraphExpression(Shape.SINGLE_ATOM, (atom,))
+                misses.append((memo, key, se, (atom_key,), (PLAN_SINGLE,) + key))
+
+        memo = memos[1]
+        get = memo.get
+        for key in cand.paths:
+            entry = get(key)
+            if entry is not None:
+                append(entry)
+            else:
+                hop, hop_key = self._root_atom(key[0])
+                tail, tail_key = self._star_atom(key[1], key[2])
+                se = SubgraphExpression(Shape.PATH, (hop, tail))
+                misses.append((memo, key, se, (hop_key, tail_key), (PLAN_PATH,) + key))
+
+        memo = memos[2]
+        get = memo.get
+        for key in cand.stars:
+            entry = get(key)
+            if entry is not None:
+                append(entry)
+            else:
+                p0, (p1, o1), (p2, o2) = key
+                hop, hop_key = self._root_atom(p0)
+                a1, k1 = self._star_atom(p1, o1)
+                a2, k2 = self._star_atom(p2, o2)
+                # Canonical star order (what path_star() would sort into),
+                # decided on the cached atom keys.  Ĉ sums the stars in
+                # this order, so the plan follows it — that keeps the
+                # float summation bit-identical to the estimator's.
+                if k2 < k1:
+                    a1, a2, k1, k2 = a2, a1, k2, k1
+                    plan = (PLAN_STAR, p0, p2, o2, p1, o1)
+                else:
+                    plan = (PLAN_STAR, p0, p1, o1, p2, o2)
+                se = SubgraphExpression(Shape.PATH_STAR, (hop, a1, a2))
+                misses.append((memo, key, se, (hop_key, k1, k2), plan))
+
+        pred_rank = self._pred_rank
+        root_atom = self._root_atom
+        for memo, keys, shape in (
+            (memos[3], cand.closed2, Shape.CLOSED_2),
+            (memos[4], cand.closed3, Shape.CLOSED_3),
+        ):
+            get = memo.get
+            for key in keys:
+                entry = get(key)
+                if entry is not None:
+                    append(entry)
+                else:
+                    pairs = [root_atom(p) for p in key]
+                    # The key is predicate-value-sorted == the canonical
+                    # atom order; the stable rank sort is therefore the
+                    # estimator's anchor selection exactly.
+                    se = SubgraphExpression(shape, tuple(a for a, _ in pairs))
+                    se_key = tuple(k for _, k in pairs)
+                    plan = (PLAN_CLOSED,) + tuple(sorted(key, key=pred_rank))
+                    misses.append((memo, key, se, se_key, plan))
+
+        if misses:
+            bits = self.scorer.score_plans(
+                [plan for _, _, _, _, plan in misses],
+                [se for _, _, se, _, _ in misses],
+            )
+            for (memo, key, se, se_key, _), se_bits in zip(misses, bits):
+                entry = (se, se_bits, se_key)
+                memo[key] = entry
+                append(entry)
+        return out
+
+    def __repr__(self) -> str:
+        path = "id-space" if self.id_space else "term-space"
+        return f"CandidateEngine(path={path}, kb={self.kb.name!r})"

@@ -17,6 +17,14 @@ the smallest neighbourhood and keeps the expressions every other target
 satisfies (semantically equivalent to intersecting per-entity enumerations,
 since enumeration is exhaustive over an entity's matches).
 
+These Term-space functions are the *reference semantics*.  The miners no
+longer call them on the hot path: :class:`~repro.core.candidates.CandidateEngine`
+owns Alg. 1 lines 1–2 and, on dictionary-encoded backends, re-implements
+this exact enumeration (and the cross-target intersection) over interned
+integer IDs, decoding only the surviving candidates.  The differential
+harness in ``tests/core/test_candidate_engine.py`` pins the engine to the
+functions here, so any change to this module must be mirrored there.
+
 :func:`language_census` counts — without running the miner — how many
 subgraph expressions each language variant admits for an entity.  It backs
 the in-text §3.2 claims (a second variable ⇒ +270 % expressions; a third

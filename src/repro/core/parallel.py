@@ -15,8 +15,12 @@ departures from the sequential logic, exactly as §3.4 prescribes:
    (P-DFS-REMI lines 6-7).
 
 Queue *construction* is also parallelized (§3.5.2: "we parallelized the
-construction and sorting of the queue"): Ĉ scoring fans out over a thread
-pool.
+construction and sorting of the queue"): P-REMI configures the shared
+:class:`~repro.core.candidates.CandidateEngine` with
+``score_threads=num_threads``, which fans Ĉ scoring out over a thread
+pool on the Term-space path.  (On the ID-space path of dictionary-encoded
+backends the batch scorer makes the fan-out moot — scoring is int-dict
+table lookups.)
 
 A note on expectations: CPython's GIL serializes pure-Python bytecode, so
 wall-clock speed-ups here come from work-sharing (early shared bounds and
@@ -30,14 +34,11 @@ from __future__ import annotations
 import math
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
-from typing import FrozenSet, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from repro.core.config import MinerConfig
-from repro.core.remi import REMI, ScoredSE, _Search
+from repro.core.remi import REMI, _Search
 from repro.core.results import MiningResult, SearchStats
 from repro.expressions.expression import Expression
-from repro.expressions.subgraph import SubgraphExpression
 from repro.kb.terms import Term
 
 
@@ -93,37 +94,16 @@ class _ParallelSearch(_Search):
 
 
 class PREMI(REMI):
-    """The multi-threaded miner.  Same interface as :class:`REMI`."""
+    """The multi-threaded miner.  Same interface as :class:`REMI`.
 
-    def candidates(
-        self, targets: Sequence[Term], stats: Optional[SearchStats] = None
-    ) -> List[ScoredSE]:
-        """Parallel queue construction: Ĉ scoring fans out over threads."""
-        from repro.core.enumerate import common_subgraph_expressions
+    Queue construction is the same :class:`~repro.core.candidates.CandidateEngine`
+    as REMI's — P-REMI merely turns on its Term-space Ĉ-scoring fan-out
+    (``score_threads``), so the two miners can never build different
+    queues.
+    """
 
-        stats = stats if stats is not None else SearchStats()
-        t0 = time.perf_counter()
-        common = list(
-            common_subgraph_expressions(
-                self.kb, targets, self.config, self.matcher, self.prominent_entities
-            )
-        )
-        t1 = time.perf_counter()
-        workers = min(self.config.num_threads, max(1, len(common)))
-        if workers > 1 and len(common) > 64:
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                complexities = list(pool.map(self.estimator.complexity, common))
-            scored = list(zip(common, complexities))
-        else:
-            scored = [(se, self.estimator.complexity(se)) for se in common]
-        t2 = time.perf_counter()
-        scored.sort(key=lambda pair: (pair[1], pair[0].sort_key()))
-        t3 = time.perf_counter()
-        stats.enumerate_seconds += t1 - t0
-        stats.complexity_seconds += t2 - t1
-        stats.sort_seconds += t3 - t2
-        stats.candidates = len(scored)
-        return scored
+    def _score_threads(self) -> int:
+        return self.config.num_threads
 
     def mine(
         self,
@@ -179,7 +159,8 @@ class PREMI(REMI):
                 found_any = search._dfs(
                     prefix=(root,),
                     prefix_c=root_c,
-                    rest=queue[root_index + 1 :],
+                    rest=queue,
+                    start=root_index + 1,
                     depth=1,
                     tested_prefix=False,
                 )

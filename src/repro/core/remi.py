@@ -3,9 +3,11 @@
 Given a KB and a target entity set ``T``, :meth:`REMI.mine`:
 
 1. enumerates the subgraph expressions common to all targets
-   (Alg. 1 line 1, :mod:`repro.core.enumerate`);
+   (Alg. 1 line 1) and
 2. scores each with Ĉ and sorts them ascending into the priority queue
-   (line 2);
+   (line 2) — both delegated to the shared candidate pipeline,
+   :class:`~repro.core.candidates.CandidateEngine`, which runs them in
+   integer-ID space on dictionary-encoded backends;
 3. explores conjunctions depth-first, pruning
 
    * **by depth** — descendants of an RE are REs with strictly larger Ĉ;
@@ -33,8 +35,8 @@ from repro.complexity.ranking import (
     PageRankProminence,
     Prominence,
 )
+from repro.core.candidates import CandidateEngine, ScoredSE
 from repro.core.config import MinerConfig, SearchStrategy
-from repro.core.enumerate import common_subgraph_expressions
 from repro.core.results import MiningResult, SearchStats
 from repro.expressions.expression import Expression
 from repro.expressions.matching import Matcher
@@ -42,8 +44,7 @@ from repro.expressions.subgraph import SubgraphExpression
 from repro.kb.store import KnowledgeBase
 from repro.kb.terms import Term
 
-#: A scored queue entry: (subgraph expression, Ĉ in bits).
-ScoredSE = Tuple[SubgraphExpression, float]
+__all__ = ["REMI", "ScoredSE", "resolve_prominence"]
 
 
 def resolve_prominence(
@@ -85,6 +86,21 @@ class REMI:
         self.estimator = estimator or ComplexityEstimator(kb, self.prominence, mode=mode)
         self.matcher = matcher or Matcher(kb)
         self._prominent: Optional[FrozenSet[Term]] = None
+        #: The shared candidate pipeline (Alg. 1 lines 1–2).  Its memos
+        #: and rank tables live as long as the miner, so batch serving
+        #: amortizes them across requests.
+        self.engine = CandidateEngine(
+            kb,
+            config=self.config,
+            matcher=self.matcher,
+            estimator=self.estimator,
+            prominent=lambda: self.prominent_entities,
+            score_threads=self._score_threads(),
+        )
+
+    def _score_threads(self) -> int:
+        """Ĉ-scoring fan-out width; P-REMI overrides (§3.5.2)."""
+        return 1
 
     # ------------------------------------------------------------------
     # queue construction (Alg. 1 lines 1-2)
@@ -104,22 +120,12 @@ class REMI:
     def candidates(
         self, targets: Sequence[Term], stats: Optional[SearchStats] = None
     ) -> List[ScoredSE]:
-        """The sorted priority queue of common subgraph expressions."""
-        stats = stats if stats is not None else SearchStats()
-        t0 = time.perf_counter()
-        common = common_subgraph_expressions(
-            self.kb, targets, self.config, self.matcher, self.prominent_entities
-        )
-        t1 = time.perf_counter()
-        scored = [(se, self.estimator.complexity(se)) for se in common]
-        t2 = time.perf_counter()
-        scored.sort(key=lambda pair: (pair[1], pair[0].sort_key()))
-        t3 = time.perf_counter()
-        stats.enumerate_seconds += t1 - t0
-        stats.complexity_seconds += t2 - t1
-        stats.sort_seconds += t3 - t2
-        stats.candidates = len(scored)
-        return scored
+        """The sorted priority queue of common subgraph expressions.
+
+        A thin wrapper over :class:`~repro.core.candidates.CandidateEngine`,
+        which fills the per-phase counters and timings on *stats*.
+        """
+        return self.engine.candidates(targets, stats)
 
     # ------------------------------------------------------------------
     # mining (Alg. 1 lines 3-9)
@@ -235,13 +241,12 @@ class _Search:
                 self.stats.bound_prunes += 1
                 break
             self.stats.roots_explored += 1
-            rest = queue[root_index + 1 :]
             if self.config.search is SearchStrategy.PAPER:
-                found_any = self._paper_scan(root, root_c, rest)
+                found_any = self._paper_scan(root_index)
             else:
                 found_any = self._dfs(
-                    prefix=(root,), prefix_c=root_c, rest=rest, depth=1,
-                    tested_prefix=False,
+                    prefix=(root,), prefix_c=root_c, rest=queue,
+                    start=root_index + 1, depth=1, tested_prefix=False,
                 )
             # Alg. 1 line 8: the first root's subtree covers, in the worst
             # case, the conjunction of ALL candidates — if even that is not
@@ -257,11 +262,18 @@ class _Search:
         prefix: Tuple[SubgraphExpression, ...],
         prefix_c: float,
         rest: List[ScoredSE],
+        start: int,
         depth: int,
         tested_prefix: bool,
     ) -> bool:
-        """Explore conjunctions extending *prefix*; returns True if any RE
-        exists in this subtree (used by Alg. 1 line 8)."""
+        """Explore conjunctions extending *prefix* with entries of *rest*
+        from index *start* on; returns True if any RE exists in this
+        subtree (used by Alg. 1 line 8).
+
+        *rest* is the SHARED scored queue — recursion passes the same list
+        with a moved start index.  Re-slicing (``rest[i + 1:]``) would copy
+        O(n) entries at every recursion level, O(n²) per root subtree.
+        """
         self.stats.peak_stack_depth = max(self.stats.peak_stack_depth, depth)
         found_any = False
         if not tested_prefix:
@@ -273,7 +285,8 @@ class _Search:
                 found_any = True
         if self._expired():
             return found_any
-        for i, (se, se_c) in enumerate(rest):
+        for i in range(start, len(rest)):
+            se, se_c = rest[i]
             child_c = prefix_c + se_c
             if self.config.bound_pruning and child_c >= self.best_c:
                 self.stats.bound_prunes += 1
@@ -284,12 +297,12 @@ class _Search:
                 if self.config.depth_pruning:
                     self.stats.depth_prunes += 1
                 else:
-                    self._dfs(prefix + (se,), child_c, rest[i + 1 :], depth + 1, True)
+                    self._dfs(prefix + (se,), child_c, rest, i + 1, depth + 1, True)
                 if self.config.side_pruning:
                     self.stats.side_prunes += 1
                     break
             else:
-                if self._dfs(prefix + (se,), child_c, rest[i + 1 :], depth + 1, True):
+                if self._dfs(prefix + (se,), child_c, rest, i + 1, depth + 1, True):
                     found_any = True
             if self._expired():
                 break
@@ -297,14 +310,14 @@ class _Search:
 
     # -- literal Algorithm 2 --------------------------------------------
 
-    def _paper_scan(
-        self, root: SubgraphExpression, root_c: float, rest: List[ScoredSE]
-    ) -> bool:
-        """DFS-REMI exactly as printed: one stack, one linear scan of G'."""
+    def _paper_scan(self, root_index: int) -> bool:
+        """DFS-REMI exactly as printed: one stack, one linear scan of G'
+        (starting at *root_index* in the shared queue)."""
         stack: List[ScoredSE] = []
         found_any = False
-        sequence = [(root, root_c)] + rest
-        for scored in sequence:
+        queue = self.queue
+        for j in range(root_index, len(queue)):
+            scored = queue[j]
             if self._expired():
                 break
             stack.append(scored)

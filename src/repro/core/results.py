@@ -21,6 +21,12 @@ class SearchStats:
     """Counters and phase timings for one mining run."""
 
     candidates: int = 0
+    #: Queue-build phase counters, filled by the candidate engine:
+    #: expressions enumerated from the seed target, candidates dropped by
+    #: the cross-target intersection, and survivors handed to Ĉ scoring.
+    enumerated: int = 0
+    intersected_out: int = 0
+    scored: int = 0
     nodes_visited: int = 0
     re_tests: int = 0
     solutions_seen: int = 0

@@ -21,9 +21,22 @@ Two families of accessors exist:
 
 Backends that dictionary-encode terms into dense integer IDs advertise it
 with ``supports_id_queries = True`` and additionally expose the ID-space
-API consumed by :class:`~repro.expressions.matching.Matcher`
-(``term_id`` / ``decode_terms`` / ``subjects_ids`` / ``objects_ids`` /
-``subject_count_ids`` / ``subject_object_items_ids``).
+API consumed by :class:`~repro.expressions.matching.Matcher`, the
+candidate pipeline (:class:`~repro.core.candidates.CandidateEngine`) and
+the batch Ĉ scorer (:class:`~repro.complexity.batch.QueueScorer`):
+
+* the codec — ``term_id`` / ``term_of_id`` / ``decode_terms`` /
+  ``term_count``;
+* atom bindings — ``subjects_ids`` / ``objects_ids`` plus the bitmask
+  variants ``subjects_mask`` / ``decode_mask`` / ``mask_of_ids``;
+* scan accessors — ``subject_count_ids`` / ``subject_object_items_ids``
+  (one PSO row) and ``predicate_object_items_ids`` (one SPO row: an
+  entity's neighbourhood, used by ID-space enumeration);
+* vocabulary scans — ``object_ids_of_predicate`` / ``predicate_ids_of``
+  (the rank-table and co-occurrence builders).
+
+All of these return live read-only views or dense IDs; decoding to
+:class:`~repro.kb.terms.Term` happens once at the API boundary.
 """
 
 from __future__ import annotations

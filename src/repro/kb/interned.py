@@ -180,6 +180,19 @@ class InternedKnowledgeBase(BaseKnowledgeBase):
         """The distinct object IDs under *predicate_id* (read-only view)."""
         return self._pos.get(predicate_id, {}).keys()
 
+    def predicate_object_items_ids(
+        self, subject_id: int
+    ) -> Iterator[Tuple[int, Set[int]]]:
+        """``(predicate_id, object_ids)`` groups of *subject_id*'s facts.
+
+        The entity-neighbourhood accessor of the candidate pipeline
+        (:mod:`repro.core.candidates`): one SPO row, in insertion order,
+        with the object sets as read-only views.  Iteration order matches
+        :meth:`predicate_object_pairs` exactly, which the enumeration
+        engine relies on for bit-identical candidate sets.
+        """
+        return iter(self._spo.get(subject_id, {}).items())
+
     def predicate_ids_of(self, subject_id: int) -> Iterable[int]:
         """The predicate IDs of *subject_id*'s facts (read-only view)."""
         return self._spo.get(subject_id, {}).keys()

@@ -96,6 +96,59 @@ class TestStats:
         assert [se for se, _ in sequential_queue] == [se for se, _ in parallel_queue]
 
 
+class TestNoSolutionStopSignal:
+    """Alg. 3 difference 2: exhausting root 0's subtree without any RE
+    must signal later roots superfluous (they cover only less specific
+    expressions), and workers must skip them."""
+
+    @staticmethod
+    def _twins_kb():
+        # EX.a and EX.b are perfect twins: every subgraph expression one
+        # satisfies, the other satisfies too, so NO conjunction can
+        # identify {EX.a} alone.  The queue still has several roots
+        # (single atoms + a closed pair).
+        kb = KnowledgeBase()
+        for entity in (EX.a, EX.b):
+            kb.add(Triple(entity, EX.p1, EX.o1))
+            kb.add(Triple(entity, EX.p2, EX.o1))
+            kb.add(Triple(entity, EX.p3, EX.o2))
+        return kb
+
+    def test_exhausted_first_root_skips_later_roots(self):
+        # One worker, so scheduling is deterministic: root 0's subtree is
+        # explored fully — no RE, no bound prune (the bound stays ∞) — so
+        # the worker signals and every later root is skipped unexplored.
+        miner = PREMI(
+            self._twins_kb(),
+            config=MinerConfig(num_threads=1, prominent_object_cutoff=None),
+        )
+        queue = miner.candidates([EX.a])
+        assert len(queue) >= 3, "scenario needs several roots"
+        result = miner.mine([EX.a])
+        assert not result.found
+        assert result.complexity == math.inf
+        assert result.stats.roots_explored == 1
+        assert result.stats.roots_skipped == len(queue) - 1
+        assert result.stats.bound_prunes == 0
+
+    def test_signal_invariants_under_concurrency(self):
+        # With several workers other roots may legitimately start before
+        # the signal lands; the scheduling-independent invariants are
+        # that every root is either explored or skipped and the outcome
+        # is still "no solution".
+        miner = PREMI(
+            self._twins_kb(),
+            config=MinerConfig(num_threads=3, prominent_object_cutoff=None),
+        )
+        queue = miner.candidates([EX.a])
+        result = miner.mine([EX.a])
+        assert not result.found
+        assert result.complexity == math.inf
+        stats = result.stats
+        assert stats.roots_explored + stats.roots_skipped == len(queue)
+        assert stats.roots_explored >= 1
+
+
 class TestStopSignalSoundness:
     def test_bound_pruned_subtree_must_not_signal(self):
         """Regression (found by hypothesis): a worker whose subtree was cut
