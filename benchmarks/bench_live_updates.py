@@ -1,0 +1,185 @@
+"""Benchmark smoke: steady-state mining throughput under live KB updates.
+
+The serving question behind the epoch-coherence subsystem: a resident
+:class:`~repro.core.batch.BatchMiner` keeps one KB and its derived caches
+(matcher LRU, prominence, rank tables, candidate memos) warm — what does
+a stream of interleaved ``add``/``delete`` operations cost, now that every
+mutation lazily invalidates those caches through the epoch protocol?
+
+For each update:query mix (e.g. ``0`` = read-only baseline, ``1:10``,
+``1:1``) the bench replays the same request stream, injecting paired
+delete/re-add bursts between requests (the KB returns to its original
+state after every pair, so all mixes answer identical queries), and
+records mining throughput plus the coherence telemetry (epochs seen,
+coarse invalidations, incremental repairs, rebuild seconds).  A final
+differential spot check pins a post-churn answer to a cold miner on the
+same triples — the bench fails hard if live serving ever diverges.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_live_updates.py --out BENCH_live_updates.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.batch import BatchMiner  # noqa: E402
+from repro.core.config import MinerConfig  # noqa: E402
+from repro.datasets import dbpedia_like  # noqa: E402
+from repro.kb.interned import InternedKnowledgeBase  # noqa: E402
+
+CLASSES = ("Person", "Settlement", "Album", "Film", "Organization")
+
+
+def sample_entity_sets(generated, count, seed):
+    """Table 4 sampling: 1/2/3 same-class entities in 50/30/20 % proportions."""
+    rng = random.Random(seed)
+    frequencies = generated.kb.entity_frequencies()
+    pools = {
+        cls: sorted(generated.instances_of(cls), key=lambda e: -frequencies[e])[:30]
+        for cls in CLASSES
+    }
+    sets = []
+    for _ in range(count):
+        cls = rng.choice(CLASSES)
+        size = rng.choices((1, 2, 3), weights=(0.5, 0.3, 0.2))[0]
+        sets.append(rng.sample(pools[cls], min(size, len(pools[cls]))))
+    return sets
+
+
+def update_bursts(kb, count, seed):
+    """Paired (delete, re-add) bursts over existing facts.
+
+    Each burst removes a triple and immediately re-adds it: two epoch
+    bumps of realistic locality, with the KB's final state identical to
+    its initial state — so every mix serves the same ground truth.
+    """
+    rng = random.Random(seed)
+    pool = sorted(kb.triples(), key=lambda t: t.n3())
+    bursts = []
+    for _ in range(count):
+        triple = rng.choice(pool)
+        bursts.append((("delete", triple), ("add", triple)))
+    return bursts
+
+
+def run_mix(kb, entity_sets, bursts, updates_per_query, timeout):
+    """Serve the request stream with `updates_per_query` bursts between
+    requests; returns (stats row, the resident miner) — the miner goes on
+    to the differential check so the post-churn caches are what get
+    validated."""
+    miner = BatchMiner(kb, config=MinerConfig(timeout_seconds=timeout))
+    miner.warm_up()
+    miner.mine_many(entity_sets[:2])  # steady state: caches warm
+    burst_index = 0
+    start = time.perf_counter()
+    for position, targets in enumerate(entity_sets, start=1):
+        # Integer schedule (floats would drop bursts to accumulation
+        # error): by request k, floor(k * ratio) bursts are due.
+        due = int(position * updates_per_query + 1e-9)
+        while burst_index < min(due, len(bursts)):
+            for op, triple in bursts[burst_index]:
+                miner.apply_update(op, triple)
+            burst_index += 1
+        miner.mine_many([targets])
+    elapsed = time.perf_counter() - start
+    coherence = miner.coherence().to_dict()
+    row = {
+        "updates_per_query": updates_per_query,
+        "updates_applied": miner.updates_applied,
+        "requests": len(entity_sets),
+        "seconds": round(elapsed, 4),
+        "sets_per_second": round(len(entity_sets) / elapsed, 2) if elapsed else None,
+        "epoch": kb.epoch,
+        "coherence": coherence,
+    }
+    return row, miner
+
+
+def differential_check(resident, entity_sets, timeout) -> bool:
+    """The post-churn RESIDENT miner (warm, epoch-repaired caches) must
+    answer exactly like a cold miner on the same triples."""
+    kb = resident.kb
+    cold_kb = InternedKnowledgeBase(kb.triples(), name=kb.name)
+    cold = BatchMiner(cold_kb, config=MinerConfig(timeout_seconds=timeout))
+    for targets in entity_sets:
+        a = resident.mine_many([targets])[0]
+        b = cold.mine_many([targets])[0]
+        expr_a = repr(a.result.expression) if a.result else None
+        expr_b = repr(b.result.expression) if b.result else None
+        bits_a = a.result.complexity if a.result else None
+        bits_b = b.result.complexity if b.result else None
+        if expr_a != expr_b or bits_a != bits_b:
+            print(f"DIVERGENCE on {targets}: {expr_a} ({bits_a}) != {expr_b} ({bits_b})",
+                  file=sys.stderr)
+            return False
+    return True
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_live_updates.json")
+    parser.add_argument("--scale", type=float, default=0.6, help="KB scale factor")
+    parser.add_argument("--sets", type=int, default=20, help="mining requests per mix")
+    parser.add_argument("--timeout", type=float, default=10.0, help="per-set timeout")
+    parser.add_argument(
+        "--mixes",
+        default="0,0.1,1",
+        help="comma-separated updates-per-query ratios (0 = read-only baseline)",
+    )
+    args = parser.parse_args(argv)
+
+    generated = dbpedia_like(scale=args.scale, seed=42)
+    kb = InternedKnowledgeBase(generated.kb.triples(), name=generated.kb.name)
+    entity_sets = sample_entity_sets(generated, args.sets, seed=23)
+    bursts = update_bursts(kb, count=args.sets * 2, seed=31)
+    mixes = [float(m) for m in args.mixes.split(",")]
+
+    rows = []
+    last_miner = None
+    for mix in mixes:
+        row, last_miner = run_mix(kb, entity_sets, bursts, mix, args.timeout)
+        rows.append(row)
+        print(
+            f"mix={mix:4.1f} upd/query  updates={row['updates_applied']:4d}  "
+            f"{row['sets_per_second']:>8} sets/s  "
+            f"repairs={row['coherence']['repairs']} "
+            f"invalidations={row['coherence']['invalidations']}"
+        )
+
+    ok = differential_check(last_miner, entity_sets[:5], args.timeout)
+    baseline = rows[0]["sets_per_second"] or 0.0
+    heaviest = rows[-1]["sets_per_second"] or 0.0
+    retained = round(heaviest / baseline, 3) if baseline else None
+
+    payload = {
+        "benchmark": "live-updates-steady-state",
+        "python": platform.python_version(),
+        "scale": args.scale,
+        "facts": len(kb),
+        "requests_per_mix": args.sets,
+        "mixes": rows,
+        "throughput_retained_at_heaviest_mix": retained,
+        "differential_check": "ok" if ok else "DIVERGED",
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(
+        f"throughput retained at heaviest mix: {retained} "
+        f"(differential check: {'ok' if ok else 'DIVERGED'}) -> {args.out}"
+    )
+    if not ok:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

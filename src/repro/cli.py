@@ -11,7 +11,11 @@ Four subcommands::
 verbalization and the search statistics.  ``batch`` reads target sets as
 JSON lines (``["iri", ...]`` or ``{"id": ..., "targets": [...]}``) and
 writes one JSON result per line, sharing the prominence ranking and the
-matcher cache across all requests.  Input KBs may be RHDT binaries
+matcher cache across all requests.  The stream may interleave live KB
+updates — ``{"op": "add"|"delete", "triple": [s, p, o]}`` — which mutate
+the resident KB in place; later requests are served against the updated
+state with every derived cache kept coherent automatically (the epoch
+protocol of :mod:`repro.kb.epoch`).  Input KBs may be RHDT binaries
 (``.hdt``) or N-Triples text (anything else); ``--backend`` picks the
 storage backend (``interned`` dictionary-encodes terms to integer IDs —
 the faster choice for mining workloads).
@@ -127,22 +131,28 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     )
     verbalizer = Verbalizer(kb) if args.verbalize else None
     if args.requests == "-":
-        lines = sys.stdin.readlines()
+        # Stream from stdin.  With the default --workers 1 every line is
+        # answered (and every update applied) as soon as it arrives, so
+        # an interactive request/response producer works; --workers N>1
+        # buffers runs of consecutive requests to mine them concurrently
+        # and flushes at update lines and EOF — don't pair it with a
+        # producer that waits for each response.
+        lines = iter(sys.stdin)
     else:
         try:
-            lines = Path(args.requests).read_text(encoding="utf-8").splitlines()
+            lines = iter(Path(args.requests).read_text(encoding="utf-8").splitlines())
         except OSError as exc:
             print(f"cannot read requests file: {exc}", file=sys.stderr)
             return 2
-    outcomes = miner.mine_jsonl(lines)
     try:
         out = open(args.out, "w", encoding="utf-8") if args.out else sys.stdout
     except OSError as exc:
         print(f"cannot write output file: {exc}", file=sys.stderr)
         return 2
     try:
-        for outcome in outcomes:
+        for outcome in miner.serve_jsonl(lines):
             print(json.dumps(outcome.to_json(verbalizer), ensure_ascii=False), file=out)
+            out.flush()
     finally:
         if out is not sys.stdout:
             out.close()
@@ -181,15 +191,26 @@ def build_parser() -> argparse.ArgumentParser:
     mine.set_defaults(func=_cmd_mine)
 
     batch = subparsers.add_parser(
-        "batch", help="mine many target sets from a JSON-lines file"
+        "batch",
+        help="mine many target sets from a JSON-lines file (may interleave "
+        'live KB updates: {"op": "add"|"delete", "triple": [s, p, o]})',
     )
     batch.add_argument("kb", help="KB file (.hdt or N-Triples)")
-    batch.add_argument("requests", help="JSON-lines requests file, or - for stdin")
+    batch.add_argument(
+        "requests",
+        help="JSON-lines requests/updates file, or - for stdin",
+    )
     batch.add_argument("--backend", choices=sorted(BACKENDS), default="interned")
     batch.add_argument("--prominence", choices=("fr", "pr"), default="fr")
     batch.add_argument("--standard", action="store_true", help="standard language bias")
     batch.add_argument("--parallel", action="store_true", help="use P-REMI per request")
-    batch.add_argument("--workers", type=int, default=1, help="concurrent requests")
+    batch.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="concurrent requests (N>1 buffers request runs; keep 1 for "
+        "interactive per-line streaming from stdin)",
+    )
     batch.add_argument("--timeout", type=float, default=None, help="seconds per request")
     batch.add_argument("--verbalize", action="store_true", help="include NL rendering")
     batch.add_argument("--out", default=None, help="output file (default: stdout)")

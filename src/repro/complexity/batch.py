@@ -37,6 +37,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.kb.epoch import CacheCoherence, EpochWatcher
+
 from repro.complexity.codes import (
     ComplexityEstimator,
     _log2_rank,
@@ -73,6 +75,24 @@ class QueueScorer:
         self._join_ranks: Dict[int, Dict[int, int]] = {}
         self._closed_ranks: Dict[int, Dict[int, int]] = {}
         self._tail_ranks: Dict[Tuple[int, int], Dict[int, int]] = {}
+        self._watch = EpochWatcher(kb)
+
+    # ------------------------------------------------------------------
+    # epoch coherence
+    # ------------------------------------------------------------------
+
+    def _sync(self) -> None:
+        """Drop ID-keyed rank tables built at an older KB epoch (coarse —
+        same argument as the estimator's tables, which the wrapped
+        estimator drops through its own guard)."""
+        watch = self._watch
+        if watch.seen != self.estimator.kb.epoch:
+            watch.absorb(None, self.clear_tables)
+
+    @property
+    def coherence(self) -> CacheCoherence:
+        """Epoch-invalidation telemetry for the shared rank tables."""
+        return self._watch.coherence
 
     # ------------------------------------------------------------------
     # public API
@@ -106,6 +126,7 @@ class QueueScorer:
                 raise ValueError("ses is required when the ID fast path is off")
             complexity = self.estimator.complexity
             return [complexity(se) for se in ses]
+        self._sync()
         self._ensure_tables(plans)
         score_plan = self._score_plan
         if ses is None:
@@ -128,7 +149,11 @@ class QueueScorer:
         }
 
     def clear_tables(self) -> None:
-        """Drop every materialized ranking (after mutating the KB)."""
+        """Drop every materialized ranking.
+
+        Runs automatically through the epoch guard when the KB mutates;
+        manual calls are never required.
+        """
         self._pred_bits.clear()
         self._object_ranks.clear()
         self._join_ranks.clear()
@@ -224,7 +249,7 @@ class QueueScorer:
         if p_id not in self._object_ranks:
             kb = self.estimator.kb
             self._object_ranks[p_id] = self._rank_entity_ids(
-                kb.object_ids_of_predicate(p_id)  # type: ignore[attr-defined]
+                kb.object_ids_of_predicate_view(p_id)  # type: ignore[attr-defined]
             )
 
     def _ensure_join_ranks(self, p0_id: int) -> None:

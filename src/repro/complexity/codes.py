@@ -42,6 +42,7 @@ from repro.complexity.powerlaw import PowerLawModel
 from repro.complexity.ranking import Prominence
 from repro.expressions.expression import Expression
 from repro.expressions.subgraph import Shape, SubgraphExpression
+from repro.kb.epoch import CacheCoherence, EpochWatcher
 from repro.kb.namespaces import RDF_TYPE
 from repro.kb.store import KnowledgeBase
 from repro.kb.terms import IRI, Term
@@ -66,8 +67,8 @@ def _log2_rank(rank: int) -> float:
 def joinable_predicate_ids(kb: KnowledgeBase, p0_id: int) -> "set[int]":
     """IDs of predicates reachable from an object of ``p0`` (1→2 joins)."""
     joinable: set = set()
-    for mid_id in kb.object_ids_of_predicate(p0_id):  # type: ignore[attr-defined]
-        joinable |= kb.predicate_ids_of(mid_id)  # type: ignore[attr-defined]
+    for mid_id in kb.object_ids_of_predicate_view(p0_id):  # type: ignore[attr-defined]
+        joinable |= kb.predicate_ids_of_view(mid_id)  # type: ignore[attr-defined]
     return joinable
 
 
@@ -75,11 +76,11 @@ def co_occurring_predicate_ids(kb: KnowledgeBase, anchor_id: int) -> "set[int]":
     """IDs of predicates sharing an ``(s, o)`` pair with *anchor*."""
     co_ids: set = set()
     for s_id, obj_ids in kb.subject_object_items_ids(anchor_id):  # type: ignore[attr-defined]
-        for c_id in kb.predicate_ids_of(s_id):  # type: ignore[attr-defined]
+        for c_id in kb.predicate_ids_of_view(s_id):  # type: ignore[attr-defined]
             if (
                 c_id != anchor_id
                 and c_id not in co_ids
-                and not obj_ids.isdisjoint(kb.objects_ids(s_id, c_id))  # type: ignore[attr-defined]
+                and not obj_ids.isdisjoint(kb.objects_ids_view(s_id, c_id))  # type: ignore[attr-defined]
             ):
                 co_ids.add(c_id)
     return co_ids
@@ -88,8 +89,8 @@ def co_occurring_predicate_ids(kb: KnowledgeBase, anchor_id: int) -> "set[int]":
 def tail_candidate_ids(kb: KnowledgeBase, p0_id: int, p1_id: int) -> "set[int]":
     """IDs of the bindings of ``z`` in ``p0(x, y) ∧ p1(y, z)``."""
     candidate_ids: set = set()
-    for mid_id in kb.object_ids_of_predicate(p0_id):  # type: ignore[attr-defined]
-        candidate_ids |= kb.objects_ids(mid_id, p1_id)  # type: ignore[attr-defined]
+    for mid_id in kb.object_ids_of_predicate_view(p0_id):  # type: ignore[attr-defined]
+        candidate_ids |= kb.objects_ids_view(mid_id, p1_id)  # type: ignore[attr-defined]
     return candidate_ids
 
 
@@ -159,6 +160,30 @@ class ComplexityEstimator:
         self._join_predicate_ranks: Dict[IRI, Dict[IRI, int]] = {}
         self._closed_predicate_ranks: Dict[IRI, Dict[IRI, int]] = {}
         self._tail_ranks: Dict[Tuple[IRI, IRI], Dict[Term, int]] = {}
+        self._watch = EpochWatcher(kb)
+
+    # ------------------------------------------------------------------
+    # epoch coherence
+    # ------------------------------------------------------------------
+
+    def _sync(self) -> None:
+        """Drop rank tables built at an older KB epoch.  Conditional
+        rankings have no cheap per-key repair (one triple can move any
+        rank), so invalidation is coarse; the power-law fits re-derive
+        with them."""
+        watch = self._watch
+        if watch.seen != self.kb.epoch:
+            watch.absorb(None, self._rebuild_tables)
+
+    def _rebuild_tables(self) -> None:
+        self.clear_caches()
+        if self._powerlaw is not None:
+            self._powerlaw = PowerLawModel(self.kb)
+
+    @property
+    def coherence(self) -> CacheCoherence:
+        """Epoch-invalidation telemetry for this estimator's tables."""
+        return self._watch.coherence
 
     # ------------------------------------------------------------------
     # public API
@@ -166,6 +191,7 @@ class ComplexityEstimator:
 
     def complexity(self, se: SubgraphExpression) -> float:
         """Ĉ(ρ) in bits."""
+        self._sync()
         cached = self._se_cache.get(se)
         if cached is not None:
             return cached
@@ -181,6 +207,7 @@ class ComplexityEstimator:
 
     def predicate_bits(self, predicate: IRI) -> float:
         """l(p_b) = log2 of the predicate's global prominence rank."""
+        self._sync()
         bits = _log2_rank(self.prominence.predicate_rank(predicate))
         if self.type_discount_bits and predicate == RDF_TYPE:
             bits = max(0.0, bits - self.type_discount_bits)
@@ -316,7 +343,11 @@ class ComplexityEstimator:
         return _tie_aware_ranks(predicates, self.prominence.predicate_score)
 
     def clear_caches(self) -> None:
-        """Drop all memoized rankings (needed after mutating the KB)."""
+        """Drop all memoized rankings.
+
+        Called automatically by the epoch guard when the KB mutates
+        (:mod:`repro.kb.epoch`); callers never need to invoke it by hand.
+        """
         self._se_cache.clear()
         self._object_ranks.clear()
         self._join_predicate_ranks.clear()

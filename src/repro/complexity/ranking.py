@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Protocol, Sequence, Tuple
 
 from repro.complexity.pagerank import pagerank
+from repro.kb.epoch import CacheCoherence, EpochWatcher
 from repro.kb.store import KnowledgeBase
 from repro.kb.terms import IRI, Term
 
@@ -50,16 +51,52 @@ def rank_terms(terms: Iterable[Term], score) -> Dict[Term, int]:
 
 
 class _BaseProminence:
-    """Shared predicate-ranking machinery (predicates always rank by fr)."""
+    """Shared predicate-ranking machinery (predicates always rank by fr).
+
+    All memoized rankings are epoch-coherent: every public scorer checks
+    the KB epoch first and repairs (or rebuilds) state built against an
+    older KB — see :mod:`repro.kb.epoch`.
+    """
 
     def __init__(self, kb: KnowledgeBase):
         self.kb = kb
         self._predicate_ranks: Optional[Dict[IRI, int]] = None
         self._predicate_scores: Dict[IRI, float] = {}
+        self._watch = EpochWatcher(kb)
+
+    # -- epoch coherence ------------------------------------------------
+
+    def _sync(self) -> None:
+        """Absorb KB mutations: per-key repair when the mutation log
+        covers the gap, full rebuild otherwise."""
+        watch = self._watch
+        if watch.seen != self.kb.epoch:
+            watch.absorb(self._repair, self._rebuild)
+
+    def _repair(self, changes) -> bool:
+        """Incrementally absorb *changes*; returns False to force a full
+        rebuild.  Fact counts move only for the touched predicates; the
+        global rank table can shift anywhere, so it always re-derives."""
+        for _, triple in changes:
+            self._predicate_scores.pop(triple.predicate, None)
+        self._predicate_ranks = None
+        return True
+
+    def _rebuild(self) -> None:
+        self._predicate_scores.clear()
+        self._predicate_ranks = None
+
+    @property
+    def coherence(self) -> CacheCoherence:
+        """Epoch-invalidation telemetry for this prominence model."""
+        return self._watch.coherence
+
+    # -- scoring --------------------------------------------------------
 
     def predicate_score(self, predicate: IRI) -> float:
         # Memoized: a fact count is a full per-predicate index scan, and
         # the estimator's rank tables score the same predicates repeatedly.
+        self._sync()
         cached = self._predicate_scores.get(predicate)
         if cached is None:
             cached = float(self.kb.predicate_fact_count(predicate))
@@ -67,6 +104,7 @@ class _BaseProminence:
         return cached
 
     def predicate_rank(self, predicate: IRI) -> int:
+        self._sync()
         if self._predicate_ranks is None:
             self._predicate_ranks = rank_terms(self.kb.predicates(), self.predicate_score)  # type: ignore[assignment]
         rank = self._predicate_ranks.get(predicate)
@@ -77,6 +115,7 @@ class _BaseProminence:
 
     def top_entities(self, fraction: float) -> frozenset:
         """The top *fraction* of entities by this prominence (for pruning §3.5.2)."""
+        self._sync()
         entities = sorted(
             self.kb.entities(),
             key=lambda e: (-self.entity_score(e), e.sort_key()),
@@ -100,7 +139,24 @@ class FrequencyProminence(_BaseProminence):
         # and a per-term index scan each time dominated queue building.
         self._frequencies = kb.term_frequencies()
 
+    def _repair(self, changes) -> bool:
+        # The frequency counter is the textbook incremental case: each
+        # mutation moves exactly two counts by one.
+        if not super()._repair(changes):
+            return False
+        freq = self._frequencies
+        for op, triple in changes:
+            step = 1 if op == "add" else -1
+            freq[triple.subject] += step
+            freq[triple.object] += step
+        return True
+
+    def _rebuild(self) -> None:
+        super()._rebuild()
+        self._frequencies = self.kb.term_frequencies()
+
     def entity_score(self, term: Term) -> float:
+        self._sync()
         cached = self._frequencies.get(term)
         if cached is not None:
             return float(cached)
@@ -123,16 +179,39 @@ class PageRankProminence(_BaseProminence):
 
     def __init__(self, kb: KnowledgeBase, scores: Optional[Dict[IRI, float]] = None):
         super().__init__(kb)
+        #: Caller-supplied scores are pinned: a KB mutation rebuilds the
+        #: fr fallback and scale but keeps the provided PageRank vector
+        #: (the caller owns its provenance).  Default scores recompute.
+        self._scores_pinned = scores is not None
         self._scores = scores if scores is not None else pagerank(kb)
         self._fallback = FrequencyProminence(kb)
+        self._fit_fr_scale()
+
+    def _fit_fr_scale(self) -> None:
         min_pr = min(self._scores.values()) if self._scores else 1.0
         max_fr = max(
-            (self._fallback.entity_score(e) for e in kb.entities()), default=1.0
+            (self._fallback.entity_score(e) for e in self.kb.entities()),
+            default=1.0,
         )
         # Map fr scores into (0, min_pr): any pr-defined term outranks them.
         self._fr_scale = (min_pr * 0.5) / max(max_fr, 1.0)
 
+    def _sync(self) -> None:
+        # One edge can reroute rank mass anywhere in the graph: PageRank
+        # has no per-key repair, so sync coarsely (repair=None also skips
+        # the mutation-log materialization the rebuild would ignore).
+        watch = self._watch
+        if watch.seen != self.kb.epoch:
+            watch.absorb(None, self._rebuild)
+
+    def _rebuild(self) -> None:
+        super()._rebuild()
+        if not self._scores_pinned:
+            self._scores = pagerank(self.kb)
+        self._fit_fr_scale()
+
     def entity_score(self, term: Term) -> float:
+        self._sync()
         score = self._scores.get(term)  # type: ignore[arg-type]
         if score is not None:
             return score

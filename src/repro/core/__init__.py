@@ -14,7 +14,7 @@
 * :mod:`repro.core.results` — result and instrumentation records.
 """
 
-from repro.core.batch import BatchMiner, BatchOutcome, BatchRequest
+from repro.core.batch import BatchMiner, BatchOutcome, BatchRequest, UpdateOutcome
 from repro.core.candidates import CandidateEngine
 from repro.core.config import LanguageBias, MinerConfig
 from repro.core.enumerate import (
@@ -30,6 +30,7 @@ __all__ = [
     "BatchMiner",
     "BatchOutcome",
     "BatchRequest",
+    "UpdateOutcome",
     "CandidateEngine",
     "LanguageBias",
     "MinerConfig",

@@ -23,14 +23,33 @@ Requests travel as JSON lines (one target set per line)::
     ["http://example.org/Rennes", "http://example.org/Nantes"]
     {"id": "req-7", "targets": ["http://example.org/Guyana"]}
 
-Either form is accepted; bare lists get positional IDs.  The CLI front end
-is ``remi batch`` (:mod:`repro.cli`); programmatic callers use
-:meth:`BatchMiner.mine_many` / :meth:`BatchMiner.mine_one` directly.
+Either form is accepted; bare lists get positional IDs.  The stream may
+also interleave **update operations** — the KB mutates in place between
+the surrounding mining requests, and every derived cache follows through
+the epoch protocol of :mod:`repro.kb.epoch` (no rebuild, no restart)::
+
+    {"op": "add",    "triple": ["http://ex.org/s", "http://ex.org/p", "http://ex.org/o"]}
+    {"op": "delete", "triple": ["http://ex.org/s", "http://ex.org/p", "\"42\""]}
+
+Triple positions are bare IRI strings or N-Triples-syntax terms
+(``<iri>``, ``"literal"``, ``_:blank``); each update line yields one
+:class:`UpdateOutcome` record in the output, and mining requests after it
+are answered against the updated KB — bit-identical to a KB freshly built
+from the final triple set (pinned by ``tests/core/test_live_updates.py``).
+Programmatic callers use :meth:`BatchMiner.apply_update` /
+:meth:`BatchMiner.apply_updates` (the bulk path bumps the epoch once).
+
+The CLI front end is ``remi batch`` (:mod:`repro.cli`); programmatic
+callers use :meth:`BatchMiner.mine_many` / :meth:`BatchMiner.mine_one`
+directly.
 
 With ``workers > 1`` requests are answered concurrently from a thread
 pool.  Results stay deterministic: the matcher cache is thread-safe, the
 estimator's rank tables are computed from pure KB queries (a racy double
 compute yields the same values), and every request runs its own search.
+Updates are applied only between request chunks (never while requests are
+in flight), which :meth:`BatchMiner.mine_jsonl` guarantees by flushing
+pending requests before each update line.
 """
 
 from __future__ import annotations
@@ -47,7 +66,10 @@ from repro.core.remi import REMI
 from repro.core.results import MiningResult
 from repro.expressions.verbalize import Verbalizer
 from repro.kb.base import BaseKnowledgeBase
+from repro.kb.epoch import CacheCoherence, EpochWatcher
+from repro.kb.ntriples import NTriplesParseError, parse_term
 from repro.kb.terms import IRI, Term
+from repro.kb.triples import Triple
 
 
 class BatchRequestError(ValueError):
@@ -106,6 +128,84 @@ class BatchOutcome:
         return record
 
 
+@dataclass
+class UpdateOutcome:
+    """The answer to one JSONL update operation.
+
+    Mirrors :class:`BatchOutcome` so a mixed request/update stream maps
+    one input line to one output record, in order.
+    """
+
+    id: str
+    op: str
+    triple: Tuple[str, ...]
+    applied: bool = False
+    #: The KB epoch after this operation (what subsequent requests see).
+    epoch: int = 0
+    error: Optional[str] = None
+
+    def to_json(self, verbalizer: Optional[Verbalizer] = None) -> Dict:
+        record: Dict = {"id": self.id, "op": self.op, "triple": list(self.triple)}
+        if self.error is not None:
+            record["error"] = self.error
+            return record
+        record["applied"] = self.applied
+        record["epoch"] = self.epoch
+        return record
+
+
+#: JSONL update verbs (``"discard"`` is accepted as an alias of delete
+#: programmatically, but the wire protocol uses these two).
+UPDATE_OPS = ("add", "delete")
+
+
+def _parse_update_term(raw: str, index: int):
+    """One triple position: a bare IRI string, or N-Triples syntax for
+    literals (``"v"``, with optional ``@lang`` / ``^^<dt>``), IRIs in
+    angle brackets and blank nodes (``_:b``)."""
+    if raw.startswith(("<", '"', "_:")):
+        try:
+            return parse_term(raw, index)
+        except NTriplesParseError as exc:
+            raise BatchRequestError(f"line {index}: bad term {raw!r} ({exc})") from exc
+    # Bare strings get the same junk guard as the N-Triples path: an
+    # empty or whitespace-bearing "IRI" is a pasted statement or typo,
+    # and applying it would mutate the KB with a phantom term.
+    if not raw or any(ch.isspace() for ch in raw):
+        raise BatchRequestError(f"line {index}: bad IRI {raw!r}")
+    return IRI(raw)
+
+
+def parse_update(payload: Dict, index: int) -> Tuple[str, str, Triple]:
+    """Parse an ``{"op": ..., "triple": [s, p, o]}`` payload.
+
+    Returns ``(id, op, triple)``; raises :class:`BatchRequestError` on a
+    malformed operation.
+    """
+    op = payload.get("op")
+    if op not in UPDATE_OPS:
+        raise BatchRequestError(
+            f"line {index}: unknown op {op!r}; use " + " or ".join(map(repr, UPDATE_OPS))
+        )
+    raw = payload.get("triple")
+    if (
+        not isinstance(raw, list)
+        or len(raw) != 3
+        or not all(isinstance(part, str) for part in raw)
+    ):
+        raise BatchRequestError(
+            f"line {index}: 'triple' must be a [subject, predicate, object] list of strings"
+        )
+    update_id = str(payload.get("id", index))
+    terms = [_parse_update_term(part, index) for part in raw]
+    triple = Triple(*terms)
+    try:
+        triple.validate()
+    except TypeError as exc:
+        raise BatchRequestError(f"line {index}: {exc}") from exc
+    return update_id, op, triple
+
+
 def parse_request(line: str, index: int) -> BatchRequest:
     """Parse one JSON line into a :class:`BatchRequest`.
 
@@ -116,6 +216,11 @@ def parse_request(line: str, index: int) -> BatchRequest:
         payload = json.loads(line)
     except json.JSONDecodeError as exc:
         raise BatchRequestError(f"line {index}: invalid JSON ({exc})") from exc
+    return request_from_payload(payload, index)
+
+
+def request_from_payload(payload, index: int) -> BatchRequest:
+    """Build a :class:`BatchRequest` from decoded JSON (list or object)."""
     if isinstance(payload, list):
         request_id, raw_targets = str(index), payload
     elif isinstance(payload, dict):
@@ -186,14 +291,16 @@ class BatchMiner:
         self.miner = miner_class(kb, prominence=prominence, config=config)
         self.workers = workers
         self.requests_served = 0
+        self.updates_applied = 0
         self.errors = 0
         # Counter updates are load/add/store; workers > 1 would lose
         # increments without this lock.
         self._counter_lock = threading.Lock()
-        #: Known-entity set, computed once per batch miner.  Scanning the
-        #: KB per request would dwarf small mining calls; batch serving
-        #: assumes the KB is read-only while requests are in flight.
-        self._known: Optional[frozenset] = None
+        #: Known-entity set, built on first use and repaired per epoch.
+        #: Scanning the KB per request would dwarf small mining calls;
+        #: updates between request chunks repair it incrementally.
+        self._known: Optional[set] = None
+        self._known_watch: Optional[EpochWatcher] = None
 
     # ------------------------------------------------------------------
 
@@ -205,7 +312,48 @@ class BatchMiner:
         """
         _ = self.miner.prominent_entities
         self.miner.prominence.predicate_rank(next(iter(self.kb.predicates()), IRI("urn:none")))
-        self._known = frozenset(self.kb.entities())
+        self._known_entities()
+
+    def _known_entities(self) -> set:
+        """The entity set requests are validated against, epoch-coherent.
+
+        Incremental repair per mutation when the KB's log covers the gap
+        (adds insert the triple's IRIs; deletes evict terms whose last
+        fact went away), full rescan otherwise.  Double-checked: the
+        steady-state path (set built, epoch unchanged) is lock-free so
+        concurrent workers never contend here; only first use and the
+        stale path take the lock.
+        """
+        known = self._known
+        watch = self._known_watch
+        if known is not None and watch is not None and watch.seen == self.kb.epoch:
+            return known
+        with self._counter_lock:
+            if self._known is None:
+                self._known = set(self.kb.entities())
+                self._known_watch = EpochWatcher(self.kb)
+                return self._known
+            watch = self._known_watch
+            assert watch is not None
+            if watch.seen != self.kb.epoch:
+                watch.absorb(self._repair_known, self._rescan_known)
+            return self._known
+
+    def _repair_known(self, changes) -> bool:
+        known = self._known
+        assert known is not None
+        for op, triple in changes:
+            for term in (triple.subject, triple.object):
+                if not isinstance(term, IRI):
+                    continue
+                if op == "add":
+                    known.add(term)
+                elif self.kb.term_frequency(term) == 0:
+                    known.discard(term)
+        return True
+
+    def _rescan_known(self) -> None:
+        self._known = set(self.kb.entities())
 
     def mine_one(self, request: BatchRequest) -> BatchOutcome:
         """Answer a single request; errors become per-request outcomes."""
@@ -213,9 +361,7 @@ class BatchMiner:
             with self._counter_lock:
                 self.errors += 1
             return BatchOutcome(request=request, error="empty target set")
-        if self._known is None:
-            self._known = frozenset(self.kb.entities())
-        known = self._known
+        known = self._known_entities()
         unknown = [t for t in request.targets if t not in known]
         if unknown:
             with self._counter_lock:
@@ -252,43 +398,170 @@ class BatchMiner:
         with ThreadPoolExecutor(max_workers=self.workers) as pool:
             return list(pool.map(self.mine_one, normalized))
 
-    def mine_jsonl(self, lines: Iterable[str]) -> List[BatchOutcome]:
-        """Parse a JSON-lines stream and answer it, one outcome per record.
+    # ------------------------------------------------------------------
+    # live updates
+    # ------------------------------------------------------------------
 
-        Malformed lines become error outcomes in place, so output order
-        matches input order even when some lines cannot be parsed.
+    def apply_update(
+        self, op: str, triple: Triple, update_id: str = "-"
+    ) -> UpdateOutcome:
+        """Apply one mutation to the resident KB, between requests.
+
+        Must not run concurrently with in-flight mining requests (the
+        JSONL path flushes pending requests first); derived caches follow
+        lazily through the epoch protocol, so the next request simply
+        sees the new KB state.
         """
-        parse_errors: Dict[int, BatchOutcome] = {}
-        good: List[Tuple[int, BatchRequest]] = []
-        position = 0
+        try:
+            if op == "add":
+                applied = self.kb.add(triple)
+            elif op in ("delete", "discard"):
+                applied = self.kb.discard(triple)
+            else:
+                raise ValueError(f"unknown op {op!r}; use 'add' or 'delete'")
+        except (TypeError, ValueError) as exc:
+            self.errors += 1
+            return UpdateOutcome(
+                id=update_id,
+                op=str(op),
+                triple=tuple(str(part) for part in triple),
+                error=str(exc),
+            )
+        self.updates_applied += applied
+        return UpdateOutcome(
+            id=update_id,
+            op=op,
+            triple=tuple(str(part) for part in triple),
+            applied=bool(applied),
+            epoch=self.kb.epoch,
+        )
+
+    def apply_updates(self, operations: Iterable[Tuple[str, Triple]]) -> int:
+        """Bulk mutation through :meth:`~repro.kb.base.BaseKnowledgeBase.mutate_many`:
+        the whole batch bumps the epoch once, so derived caches pay a
+        single invalidation.  Returns the number of effective operations.
+
+        Every op is validated BEFORE anything applies — a bad verb or an
+        RDF-invalid triple rejects the whole batch up front, so the KB
+        and the ``updates_applied`` counter can never disagree about a
+        half-applied batch.
+        """
+        ops = list(operations)
+        for op, triple in ops:
+            if op not in ("add", "delete", "discard"):
+                raise ValueError(f"unknown op {op!r}; use 'add' or 'delete'")
+            if op == "add":
+                triple.validate()
+        applied = self.kb.mutate_many(ops)
+        self.updates_applied += applied
+        return applied
+
+    def serve_jsonl(
+        self, lines: Iterable[str]
+    ) -> Iterator[Union[BatchOutcome, UpdateOutcome]]:
+        """Stream outcomes for a JSON-lines request/update stream.
+
+        One output record per input line, in input order, yielded as soon
+        as each record is decided — so a long-lived producer piping lines
+        in sees responses (and KB mutations) immediately, not at EOF.
+        With ``workers == 1`` every request is answered as soon as its
+        line is read — an interactive request/response producer never
+        blocks.  With ``workers > 1`` runs of consecutive requests are
+        buffered and answered concurrently; any other line — an update
+        op or malformed input — flushes the pending run first, so no
+        request races a mutation and order is preserved.  Malformed
+        lines become error records in place; update lines become
+        :class:`UpdateOutcome` records.
+        """
+        pending: List[BatchRequest] = []
+
+        def flush() -> List[BatchOutcome]:
+            if not pending:
+                return []
+            outcomes = self.mine_many(list(pending))
+            pending.clear()
+            return outcomes
+
         for index, line in enumerate(lines, start=1):
             stripped = line.strip()
             if not stripped or stripped.startswith("#"):
                 continue
             try:
-                good.append((position, parse_request(stripped, index)))
-            except BatchRequestError as exc:
+                payload = json.loads(stripped)
+            except json.JSONDecodeError as exc:
+                yield from flush()
                 self.errors += 1
                 bad = BatchRequest(id=str(index), targets=())
-                parse_errors[position] = BatchOutcome(request=bad, error=str(exc))
-            position += 1
-        mined = self.mine_many(request for _, request in good)
-        merged: List[Optional[BatchOutcome]] = [None] * position
-        for outcome_position, outcome in parse_errors.items():
-            merged[outcome_position] = outcome
-        for (outcome_position, _), outcome in zip(good, mined):
-            merged[outcome_position] = outcome
-        return [o for o in merged if o is not None]
+                yield BatchOutcome(
+                    request=bad, error=f"line {index}: invalid JSON ({exc})"
+                )
+                continue
+            if isinstance(payload, dict) and "op" in payload:
+                yield from flush()  # barrier: no request races the mutation
+                try:
+                    update_id, op, triple = parse_update(payload, index)
+                except BatchRequestError as exc:
+                    self.errors += 1
+                    yield UpdateOutcome(
+                        id=str(payload.get("id", index)),
+                        op=str(payload.get("op")),
+                        triple=(),
+                        error=str(exc),
+                    )
+                    continue
+                yield self.apply_update(op, triple, update_id)
+                continue
+            try:
+                pending.append(request_from_payload(payload, index))
+            except BatchRequestError as exc:
+                yield from flush()
+                self.errors += 1
+                bad = BatchRequest(id=str(index), targets=())
+                yield BatchOutcome(request=bad, error=str(exc))
+                continue
+            if self.workers == 1:
+                # Buffering only buys anything when requests can run
+                # concurrently; answer immediately so an interactive
+                # producer that waits for each response never deadlocks.
+                yield from flush()
+        yield from flush()
+
+    def mine_jsonl(
+        self, lines: Iterable[str]
+    ) -> List[Union[BatchOutcome, UpdateOutcome]]:
+        """:meth:`serve_jsonl`, materialized (for whole-file callers)."""
+        return list(self.serve_jsonl(lines))
 
     # ------------------------------------------------------------------
+
+    def coherence(self) -> CacheCoherence:
+        """Merged epoch-invalidation telemetry across every derived cache
+        this miner serves from (matcher LRU, prominence, estimator and
+        scorer rank tables, candidate memos, known-entity set)."""
+        miner = self.miner
+        merged = CacheCoherence()
+        merged.merge(miner.matcher.coherence)
+        merged.merge(miner.estimator.coherence)
+        merged.merge(miner.engine.coherence)
+        merged.merge(miner.engine.scorer.coherence)
+        prominence_coherence = getattr(miner.prominence, "coherence", None)
+        if prominence_coherence is not None:
+            merged.merge(prominence_coherence)
+        merged.merge(miner._prominent_watch.coherence)
+        if self._known_watch is not None:
+            merged.merge(self._known_watch.coherence)
+        return merged
 
     def summary(self) -> Dict:
         """Aggregate serving statistics (cache reuse is the whole point)."""
         cache = self.miner.matcher.cache_stats
         return {
             "requests_served": self.requests_served,
+            "updates_applied": self.updates_applied,
             "errors": self.errors,
             "backend": type(self.kb).__name__,
+            "epoch": self.kb.epoch,
             "matcher_cache": cache,
             "engine": self.miner.engine.table_stats(),
+            "coherence": self.coherence().to_dict(),
         }

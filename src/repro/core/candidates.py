@@ -37,9 +37,14 @@ functions in :mod:`repro.core.enumerate` — by the differential harness in
 ``tests/core/test_candidate_engine.py`` (candidate sets and Ĉ values
 bit-identical on both backends).
 
-The engine's memos (admissible predicates, term kinds, per-hub tail
-lists, per-hub pair sets, rank tables) assume a read-only KB, like every
-other serving cache; call :meth:`clear_caches` after mutating it.
+The engine's memos are epoch-coherent: every :meth:`CandidateEngine.candidates`
+call checks the KB epoch (:mod:`repro.kb.epoch`) and absorbs any mutation
+before serving — Ĉ-bearing memos clear coarsely (one triple can move any
+conditional rank), while the per-hub tail/pair memos repair incrementally
+when the KB's mutation log still covers the gap (only touched hubs drop).
+The term-identity memos (admissible predicates, term kinds, decoded
+atoms) survive mutations untouched: interned IDs are never reused, so
+they can never go stale.  No manual cache management is needed.
 """
 
 from __future__ import annotations
@@ -75,6 +80,7 @@ from repro.expressions.atoms import ROOT, Atom, Y
 from repro.expressions.matching import Matcher
 from repro.expressions.subgraph import Shape, SubgraphExpression
 from repro.kb.base import BaseKnowledgeBase
+from repro.kb.epoch import CacheCoherence, EpochWatcher
 from repro.kb.terms import Term
 
 #: A scored queue entry: (subgraph expression, Ĉ in bits).
@@ -194,6 +200,7 @@ class CandidateEngine:
             Dict[tuple, Tuple[SubgraphExpression, float, tuple]], ...
         ] = ({}, {}, {}, {}, {})
         self.se_memo_limit = 1 << 20  # entries across shapes; cleared when exceeded
+        self._watch = EpochWatcher(kb)
 
     # ------------------------------------------------------------------
     # public API
@@ -210,6 +217,7 @@ class CandidateEngine:
         stats = stats if stats is not None else SearchStats()
         if not targets:
             raise ValueError("need at least one target entity")
+        self._sync()
         t0 = time.perf_counter()
         if self.id_space:
             cand = self._intersected_ids(targets, stats)
@@ -240,6 +248,7 @@ class CandidateEngine:
         stats = stats if stats is not None else SearchStats()
         if not targets:
             raise ValueError("need at least one target entity")
+        self._sync()
         if self.id_space:
             return set(self._decode(self._intersected_ids(targets, stats)))
         return set(self._common_term_space(targets, stats))
@@ -253,7 +262,13 @@ class CandidateEngine:
         return stats
 
     def clear_caches(self) -> None:
-        """Drop every KB-derived memo and rank table (after mutation)."""
+        """Drop EVERY memo and rank table — the full manual reset.
+
+        Mutation coherence does not need this any more (the epoch guard
+        in :meth:`candidates`/:meth:`common` absorbs KB updates
+        automatically, keeping the term-identity memos that cannot go
+        stale); it remains for tests and for reclaiming memory.
+        """
         self._admit.clear()
         self._kinds.clear()
         self._pred_values.clear()
@@ -267,6 +282,55 @@ class CandidateEngine:
         for memo in self._se_memos:
             memo.clear()
         self.scorer.clear_tables()
+
+    # ------------------------------------------------------------------
+    # epoch coherence
+    # ------------------------------------------------------------------
+
+    def _sync(self) -> None:
+        """Absorb KB mutations before serving a queue.
+
+        Ĉ-bearing memos (scored candidates, predicate ranks, prominent
+        IDs) clear coarsely — one triple can shift any conditional rank.
+        The per-hub tail/pair memos are keyed by the mutated subject, so
+        when the KB's bounded mutation log covers the gap only the
+        touched hubs are dropped (a "repair", even though the Ĉ memos
+        still clear within it); the term-identity memos (``_admit``,
+        ``_kinds``, decoded atoms) are stable under mutation because
+        interned IDs are never reused.  The scorer's tables self-sync
+        through their own watcher.
+        """
+        watch = self._watch
+        if watch.seen != self.kb.epoch:
+            watch.absorb(self._repair_memos, self._drop_kb_memos)
+
+    def _drop_complexity_memos(self) -> None:
+        for memo in self._se_memos:
+            memo.clear()
+        self._pred_ranks.clear()
+        self._prominent_memo = None
+
+    def _repair_memos(self, changes) -> bool:
+        if not self.id_space:
+            return False
+        self._drop_complexity_memos()
+        term_id = self.kb.term_id  # type: ignore[attr-defined]
+        touched = {term_id(triple.subject) for _, triple in changes}
+        touched.discard(None)
+        for hub_id in touched:
+            self._tails_memo.pop(hub_id, None)
+            self._hub_pairs_memo.pop(hub_id, None)
+        return True
+
+    def _drop_kb_memos(self) -> None:
+        self._drop_complexity_memos()
+        self._tails_memo.clear()
+        self._hub_pairs_memo.clear()
+
+    @property
+    def coherence(self) -> CacheCoherence:
+        """Epoch-invalidation telemetry for the engine's memos."""
+        return self._watch.coherence
 
     # ------------------------------------------------------------------
     # Term-space scoring (phase 2): per-SE estimator, optional fan-out
@@ -498,7 +562,8 @@ class CandidateEngine:
         if target_id is None:
             cand.clear()  # never interned ⇒ satisfies nothing
             return
-        objects = self.kb.objects_ids  # type: ignore[attr-defined]
+        # Live views: every result is consumed within this call.
+        objects = self.kb.objects_ids_view  # type: ignore[attr-defined]
 
         if cand.singles:
             cand.singles = {c for c in cand.singles if c[1] in objects(target_id, c[0])}

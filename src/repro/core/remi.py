@@ -41,6 +41,7 @@ from repro.core.results import MiningResult, SearchStats
 from repro.expressions.expression import Expression
 from repro.expressions.matching import Matcher
 from repro.expressions.subgraph import SubgraphExpression
+from repro.kb.epoch import EpochWatcher
 from repro.kb.store import KnowledgeBase
 from repro.kb.terms import Term
 
@@ -86,6 +87,7 @@ class REMI:
         self.estimator = estimator or ComplexityEstimator(kb, self.prominence, mode=mode)
         self.matcher = matcher or Matcher(kb)
         self._prominent: Optional[FrozenSet[Term]] = None
+        self._prominent_watch = EpochWatcher(kb)
         #: The shared candidate pipeline (Alg. 1 lines 1–2).  Its memos
         #: and rank tables live as long as the miner, so batch serving
         #: amortizes them across requests.
@@ -102,13 +104,20 @@ class REMI:
         """Ĉ-scoring fan-out width; P-REMI overrides (§3.5.2)."""
         return 1
 
+    def _drop_prominent(self) -> None:
+        self._prominent = None
+
     # ------------------------------------------------------------------
     # queue construction (Alg. 1 lines 1-2)
     # ------------------------------------------------------------------
 
     @property
     def prominent_entities(self) -> FrozenSet[Term]:
-        """The top-5 % prominence cutoff set of §3.5.2 (lazily computed)."""
+        """The top-5 % prominence cutoff set of §3.5.2 (lazily computed,
+        recomputed when the KB mutates — prominence shifts can move
+        entities across the cutoff)."""
+        if self._prominent_watch.seen != self.kb.epoch:
+            self._prominent_watch.absorb(None, self._drop_prominent)
         if self._prominent is None:
             cutoff = self.config.prominent_object_cutoff
             if cutoff is None:

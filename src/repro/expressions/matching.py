@@ -41,7 +41,8 @@ from repro.expressions.atoms import Atom, Variable
 from repro.expressions.expression import Expression
 from repro.expressions.subgraph import Shape, SubgraphExpression
 from repro.kb.base import BaseKnowledgeBase
-from repro.kb.cache import LRUCache
+from repro.kb.cache import MISSING, LRUCache
+from repro.kb.epoch import CacheCoherence, EpochWatcher
 from repro.kb.terms import Term
 
 Assignment = Dict[Variable, Term]
@@ -78,6 +79,10 @@ class Matcher:
 
     The LRU cache, all set algebra, and the RE test operate on the raw
     representation.
+
+    The cache is epoch-coherent: it records the KB epoch its entries were
+    computed at and clears itself when the KB mutates (no manual
+    ``clear``/rebuild needed — see :mod:`repro.kb.epoch`).
     """
 
     def __init__(self, kb: BaseKnowledgeBase, cache_size: int = 65536):
@@ -87,13 +92,16 @@ class Matcher:
         self._cache: LRUCache[SubgraphExpression, Any] = LRUCache(cache_size)
         self.evaluations = 0  # SE evaluations that actually hit the KB
         self._targets_memo: Optional[Tuple[Any, Any]] = None
+        #: Epoch guard: cached bindings are valid only for the KB state
+        #: they were computed against; any mutation drops them lazily.
+        self._watch = EpochWatcher(kb)
         self._mask_space = bool(getattr(kb, "supports_id_queries", False))
         if self._mask_space:
             self._encode = kb.term_id  # type: ignore[attr-defined]
             self._decode = kb.decode_mask  # type: ignore[attr-defined]
             self._subjects_mask = kb.subjects_mask  # type: ignore[attr-defined]
-            self._subjects_ids = kb.subjects_ids  # type: ignore[attr-defined]
-            self._objects = kb.objects_ids  # type: ignore[attr-defined]
+            self._subjects_ids = kb.subjects_ids_view  # type: ignore[attr-defined]
+            self._objects = kb.objects_ids_view  # type: ignore[attr-defined]
             self._subject_count = kb.subject_count_ids  # type: ignore[attr-defined]
             self._subject_object_items_ids = kb.subject_object_items_ids  # type: ignore[attr-defined]
             self._empty: Any = 0
@@ -105,12 +113,31 @@ class Matcher:
             self._subject_object_items = kb.subject_object_items
             self._empty = _EMPTY
 
+    def _sync(self) -> None:
+        """Drop cached bindings built at an older KB epoch (coarse: a
+        single triple can change any expression's binding set, so there
+        is no per-key repair worth doing here).  One int compare when the
+        KB has not moved."""
+        watch = self._watch
+        if watch.seen != self.kb.epoch:
+            watch.absorb(None, self._drop_cached_bindings)
+
+    def _drop_cached_bindings(self) -> None:
+        self._cache.clear()
+        self._targets_memo = None
+
+    @property
+    def coherence(self) -> CacheCoherence:
+        """Epoch-invalidation telemetry for this matcher's cache."""
+        return self._watch.coherence
+
     # ------------------------------------------------------------------
     # subgraph expressions
     # ------------------------------------------------------------------
 
     def bindings(self, se: SubgraphExpression) -> FrozenSet[Term]:
         """All bindings of the root variable for *se* (cached, decoded)."""
+        self._sync()
         return self._decode(self._raw_bindings(se))
 
     def _raw_bindings(self, se: SubgraphExpression) -> Any:
@@ -239,11 +266,12 @@ class Matcher:
 
     def holds_for(self, se: SubgraphExpression, entity: Term) -> bool:
         """Does *entity* satisfy *se*?  Cheaper than computing all bindings."""
+        self._sync()
         x = self._encode(entity)
         if x is None:
             return False
-        cached = self._cache.get(se)
-        if cached is not None:
+        cached = self._cache.get(se, MISSING)
+        if cached is not MISSING:
             if self._mask_space:
                 return bool(cached >> x & 1)
             return x in cached
@@ -296,6 +324,7 @@ class Matcher:
         independent and intersection of per-conjunct root bindings is the
         exact semantics, no cross-conjunct join required.
         """
+        self._sync()
         return self._decode(self._raw_expression_bindings(expression))
 
     def _raw_expression_bindings(self, expression: Expression) -> Any:
@@ -338,6 +367,7 @@ class Matcher:
         """
         if expression.is_top:
             return False
+        self._sync()
         raw_targets = self._encode_targets(targets)
         if raw_targets is None:
             return False
@@ -345,8 +375,8 @@ class Matcher:
         result: Optional[Any] = None
         pending = None
         for se in expression.conjuncts:
-            cached = self._cache.get(se)
-            if cached is None:
+            cached = self._cache.get(se, MISSING)
+            if cached is MISSING:
                 if pending is None:
                     pending = [se]
                 else:

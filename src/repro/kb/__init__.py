@@ -17,11 +17,14 @@ This package implements everything REMI needs from its data layer:
   standing in for the HDT files the paper uses (§3.5.1);
 * inverse-predicate materialization for prominent objects
   (:mod:`repro.kb.inverse`, §2.1/§4);
-* a least-recently-used query cache (:mod:`repro.kb.cache`, §3.5.2).
+* a least-recently-used query cache (:mod:`repro.kb.cache`, §3.5.2);
+* the mutation-epoch coherence protocol derived caches use to stay
+  correct under live KB updates (:mod:`repro.kb.epoch`).
 """
 
 from repro.kb.base import BaseKnowledgeBase
-from repro.kb.cache import LRUCache
+from repro.kb.cache import MISSING, LRUCache
+from repro.kb.epoch import CacheCoherence, EpochWatcher
 from repro.kb.hdt import load_hdt, save_hdt
 from repro.kb.interned import InternedKnowledgeBase
 from repro.kb.interner import TermInterner
@@ -31,6 +34,7 @@ from repro.kb.ntriples import (
     NTriplesParseError,
     parse_ntriples,
     parse_ntriples_file,
+    parse_term,
     serialize_ntriples,
     write_ntriples_file,
 )
@@ -42,11 +46,14 @@ __all__ = [
     "IRI",
     "BaseKnowledgeBase",
     "BlankNode",
+    "CacheCoherence",
     "EX",
+    "EpochWatcher",
     "InternedKnowledgeBase",
     "KnowledgeBase",
     "LRUCache",
     "Literal",
+    "MISSING",
     "NTriplesParseError",
     "Namespace",
     "RDF",
@@ -61,6 +68,7 @@ __all__ = [
     "materialize_inverses",
     "parse_ntriples",
     "parse_ntriples_file",
+    "parse_term",
     "save_hdt",
     "serialize_ntriples",
     "write_ntriples_file",

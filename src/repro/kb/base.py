@@ -35,18 +35,38 @@ the batch Ĉ scorer (:class:`~repro.complexity.batch.QueueScorer`):
 * vocabulary scans — ``object_ids_of_predicate`` / ``predicate_ids_of``
   (the rank-table and co-occurrence builders).
 
-All of these return live read-only views or dense IDs; decoding to
+The ID-space accessors follow the same safe-vs-view split as the
+term-space API: the plain names (``subjects_ids``, ``objects_ids``,
+``object_ids_of_predicate``, ``predicate_ids_of``) return **fresh
+containers** a caller may hold across mutations, while the ``*_ids_view``
+variants (and the ``*_items_ids`` iterators) may return live internal
+sets that a concurrent ``add``/``discard`` mutates in place — they are
+strictly for consume-immediately hot paths.  Decoding to
 :class:`~repro.kb.terms.Term` happens once at the API boundary.
+
+**Mutation epochs.**  Every backend carries a monotonically increasing
+:attr:`epoch`, bumped by each *effective* ``add``/``discard`` (no-ops do
+not bump) and exactly once by the bulk paths (:meth:`mutate_many`,
+:meth:`add_all` — and therefore construction).  Derived
+caches (matcher LRU, rank tables, candidate memos) record the epoch they
+were built at and lazily self-invalidate — see :mod:`repro.kb.epoch`.  A
+bounded mutation log backs :meth:`changes_since` so cheap caches can
+repair incrementally instead of rebuilding.
 """
 
 from __future__ import annotations
 
 import abc
-from collections import Counter
-from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
+from collections import Counter, deque
+from typing import Deque, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.kb.terms import IRI, Term
 from repro.kb.triples import Triple
+
+#: How many mutations the per-KB log retains for incremental cache repair.
+#: A watcher that fell further behind gets ``None`` from
+#: :meth:`BaseKnowledgeBase.changes_since` and must invalidate coarsely.
+MUTATION_LOG_LIMIT = 1024
 
 
 class BaseKnowledgeBase(abc.ABC):
@@ -58,6 +78,22 @@ class BaseKnowledgeBase(abc.ABC):
     #: docstring); the matcher then evaluates its plans entirely in ID space.
     supports_id_queries: bool = False
 
+    #: The mutation epoch: bumped by every effective ``add``/``discard``
+    #: (once per :meth:`mutate_many` batch).  Read-only for callers — a
+    #: plain attribute (not a property) so the staleness guard on query
+    #: hot paths is a single attribute load.
+    epoch: int = 0
+
+    #: True while :meth:`mutate_many` holds the per-op bump back.
+    _epoch_hold: bool = False
+
+    #: Bounded log of recent mutations, stamped with the epoch at which
+    #: they became visible; lazily created on first mutation.
+    _mutation_log: Optional[Deque[Tuple[int, str, Triple]]] = None
+
+    #: ``changes_since(e)`` is complete only for ``e >= _log_floor``.
+    _log_floor: int = 0
+
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
@@ -67,12 +103,104 @@ class BaseKnowledgeBase(abc.ABC):
         """Insert *triple*; returns True if it was not already present."""
 
     def add_all(self, triples: Iterable[Triple]) -> int:
-        """Insert many triples; returns how many were new."""
-        return sum(1 for t in triples if self.add(t))
+        """Insert many triples as ONE epoch step; returns how many were new.
+
+        The bulk-insert sibling of :meth:`mutate_many`: construction and
+        data loads bump the epoch once for the whole batch instead of
+        once per triple.
+        """
+        return self.mutate_many(("add", t) for t in triples)
 
     @abc.abstractmethod
     def discard(self, triple: Triple) -> bool:
         """Remove *triple* if present; returns True if it was removed."""
+
+    def mutate_many(self, operations: Iterable[Tuple[str, Triple]]) -> int:
+        """Apply ``("add" | "delete", triple)`` ops, bumping the epoch ONCE.
+
+        The bulk path for update-heavy callers: derived caches see a
+        single epoch step for the whole batch, so a thousand-triple load
+        costs one lazy invalidation instead of a thousand.  Returns the
+        number of *effective* operations (inserts that were new, deletes
+        that removed something); the epoch does not move when nothing
+        changed.  Nests safely (an inner bulk call folds into the outer
+        epoch step).
+        """
+        changed = 0
+        held_before = self._epoch_hold
+        self._epoch_hold = True
+        try:
+            for op, triple in operations:
+                if op == "add":
+                    changed += self.add(triple)
+                elif op in ("delete", "discard"):
+                    changed += self.discard(triple)
+                else:
+                    raise ValueError(
+                        f"unknown mutation op {op!r}; use 'add' or 'delete'"
+                    )
+        finally:
+            # Bump in the finally so a batch that fails halfway still
+            # publishes the ops it DID apply (they are logged at this
+            # epoch) instead of leaving caches silently incoherent.
+            self._epoch_hold = held_before
+            if changed and not held_before:
+                self.epoch += 1
+        return changed
+
+    def _note_mutation(self, op: str, triple: Triple) -> None:
+        """Record an effective mutation: bump the epoch and log the change.
+
+        Backends call this from ``add``/``discard`` *after* the store
+        changed.  Under :meth:`mutate_many` the bump is deferred (the log
+        entry is stamped with the epoch the batch will land on).
+        """
+        if self._epoch_hold:
+            stamp = self.epoch + 1
+        else:
+            self.epoch += 1
+            stamp = self.epoch
+        if self._log_floor >= stamp:
+            # The current (held) batch already overflowed the log: its
+            # epoch can never be replayed by changes_since, so the rest
+            # of the batch skips the append/pop churn — this is what
+            # keeps a million-triple add_all load cheap.
+            return
+        log = self._mutation_log
+        if log is None:
+            log = self._mutation_log = deque()
+        log.append((stamp, op, triple))
+        if len(log) > MUTATION_LOG_LIMIT:
+            dropped_stamp, _, _ = log.popleft()
+            # Epoch dropped_stamp may now be partially logged: coverage
+            # is complete only strictly past it.
+            self._log_floor = dropped_stamp
+
+    def changes_since(self, epoch: int) -> Optional[List[Tuple[str, Triple]]]:
+        """The ``(op, triple)`` mutations applied after *epoch*, in order.
+
+        Returns ``None`` when the bounded log no longer covers the span
+        (the caller fell more than :data:`MUTATION_LOG_LIMIT` mutations
+        behind) — invalidate coarsely in that case.  Returns ``[]`` when
+        *epoch* is current.
+        """
+        if epoch >= self.epoch:
+            return []
+        if epoch < self._log_floor:
+            return None
+        log = self._mutation_log
+        if log is None:
+            return None
+        # Stamps are appended in nondecreasing order, so scan from the
+        # right and stop at the first already-seen entry: a watcher one
+        # epoch behind pays O(changes), not O(log capacity).
+        changes: List[Tuple[str, Triple]] = []
+        for stamp, op, triple in reversed(log):
+            if stamp <= epoch:
+                break
+            changes.append((op, triple))
+        changes.reverse()
+        return changes
 
     # ------------------------------------------------------------------
     # pattern matching (the atom-binding API)

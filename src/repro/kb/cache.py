@@ -18,7 +18,23 @@ from typing import Callable, Generic, Hashable, Optional, TypeVar
 K = TypeVar("K", bound=Hashable)
 V = TypeVar("V")
 
-_MISSING = object()
+
+class _Missing:
+    """Sentinel type for :data:`MISSING` (its repr aids debugging)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<MISSING>"
+
+
+#: Public miss sentinel: ``cache.get(key, MISSING) is MISSING`` is the
+#: only probe that cannot confuse a cached ``None`` (or any other falsy
+#: value) with an absent key.  :meth:`LRUCache.get_or_compute` and the
+#: matcher's cache probes use it end-to-end.
+MISSING = _Missing()
+
+_MISSING = MISSING  # backward-compatible module-private alias
 
 
 class LRUCache(Generic[K, V]):
@@ -40,9 +56,17 @@ class LRUCache(Generic[K, V]):
         self.misses = 0
 
     def get(self, key: K, default: Optional[V] = None) -> Optional[V]:
+        """The cached value, or *default* on a miss.
+
+        With the default ``default=None`` a cached ``None`` is
+        indistinguishable from a miss at the call site (the hit/miss
+        counters are still exact either way); callers that cache
+        legitimately-``None`` results must pass :data:`MISSING` as the
+        default and compare with ``is``.
+        """
         with self._lock:
-            value = self._data.get(key, _MISSING)
-            if value is _MISSING:
+            value = self._data.get(key, MISSING)
+            if value is MISSING:
                 self.misses += 1
                 return default
             self._data.move_to_end(key)
@@ -64,8 +88,8 @@ class LRUCache(Generic[K, V]):
         same key may compute twice; results must therefore be deterministic
         (they are: KB queries are pure).
         """
-        value = self.get(key, _MISSING)  # type: ignore[arg-type]
-        if value is not _MISSING:
+        value = self.get(key, MISSING)  # type: ignore[arg-type]
+        if value is not MISSING:
             return value  # type: ignore[return-value]
         result = compute()
         self.put(key, result)

@@ -1,0 +1,168 @@
+"""KB mutation epochs: keeping derived caches coherent under updates.
+
+REMI's speed comes from §3.5.2-style caching — the matcher's LRU, the
+prominence rankings, the estimator's conditional rank tables, the
+candidate engine's ID-space memos.  All of that state is *derived from the
+KB*, and a resident serving deployment (the ROADMAP's north star) mutates
+the KB while those caches are live.  Rather than asking every caller to
+remember a ``clear_caches()`` incantation, the KB itself carries a
+monotonically increasing **epoch** (:attr:`~repro.kb.base.BaseKnowledgeBase.epoch`)
+that every successful ``add``/``discard`` bumps, and each derived cache
+records the epoch it was built at and lazily self-invalidates when it
+observes a newer one.
+
+Two invalidation granularities exist:
+
+* **coarse** — drop the whole cache and rebuild on demand (the matcher
+  LRU, rank tables: a single triple can shift every conditional rank);
+* **incremental** — repair only the touched keys, using the KB's bounded
+  mutation log (:meth:`~repro.kb.base.BaseKnowledgeBase.changes_since`).
+  This is worth it for caches keyed by a locality the mutation names
+  directly: the interned backend's per-``(p, o)`` bitmask cache, the
+  candidate engine's per-hub tail/pair memos, the frequency-prominence
+  counter.
+
+:class:`EpochWatcher` packages the check (one int compare on the hot
+path) and :class:`CacheCoherence` accumulates the serving telemetry —
+epochs observed, coarse invalidations, incremental repairs, rebuild time
+— that :meth:`repro.core.batch.BatchMiner.summary` reports.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.kb.triples import Triple
+
+#: A logged mutation: ``("add" | "delete", triple)``.
+Change = Tuple[str, Triple]
+
+
+@dataclass
+class CacheCoherence:
+    """Telemetry for one (or many, via :meth:`merge`) epoch-watched caches."""
+
+    #: How many times the watcher observed the KB at a new epoch.
+    epochs_seen: int = 0
+    #: Coarse cache clears (the whole derived structure dropped).
+    invalidations: int = 0
+    #: Incremental per-key repairs (touched keys dropped, rest kept).
+    repairs: int = 0
+    #: Time spent clearing/repairing/eagerly rebuilding derived state.
+    rebuild_seconds: float = 0.0
+
+    def merge(self, other: "CacheCoherence") -> "CacheCoherence":
+        """Accumulate *other* into this summary (returns self)."""
+        self.epochs_seen += other.epochs_seen
+        self.invalidations += other.invalidations
+        self.repairs += other.repairs
+        self.rebuild_seconds += other.rebuild_seconds
+        return self
+
+    def to_dict(self) -> Dict:
+        return {
+            "epochs_seen": self.epochs_seen,
+            "invalidations": self.invalidations,
+            "repairs": self.repairs,
+            "rebuild_seconds": round(self.rebuild_seconds, 6),
+        }
+
+
+class EpochWatcher:
+    """Tracks the KB epoch one derived cache was built against.
+
+    The owning cache keeps a watcher and, at the top of each public entry
+    point, runs the cheap guard followed by :meth:`absorb` on the rare
+    stale path::
+
+        if self._watch.seen != self.kb.epoch:
+            self._watch.absorb(self._repair, self._rebuild)
+
+    ``seen`` is a plain attribute and ``epoch`` a plain int, so the
+    not-stale case costs one attribute load and one int compare — keep
+    that guard inline in the hot path; :meth:`absorb` owns the timing and
+    telemetry of the stale path so consumers cannot drift.
+    """
+
+    __slots__ = ("kb", "seen", "coherence", "_lock")
+
+    def __init__(self, kb):
+        self.kb = kb
+        self.seen: int = kb.epoch
+        self.coherence = CacheCoherence()
+        self._lock = threading.Lock()
+
+    def stale(self) -> bool:
+        """Has the KB moved past the recorded epoch?  (Does not advance.)"""
+        return self.kb.epoch != self.seen
+
+    def absorb(
+        self,
+        repair: Optional[Callable[[List[Change]], bool]],
+        rebuild: Callable[[], None],
+    ) -> None:
+        """Bring the owning cache up to the current epoch.
+
+        When the KB's mutation log covers the gap and *repair* accepts it
+        (returns True), the step counts as an incremental repair;
+        otherwise *rebuild* runs and counts as a coarse invalidation.
+        No-op when nothing changed.  Owns the timing and the coherence
+        counters so every consumer reports them identically.
+
+        ``seen`` advances only after the repair/rebuild completed: a
+        rebuild that raises leaves the watcher stale, so a caller that
+        survives the exception retries (instead of silently serving
+        pre-mutation state).  A repair that raises falls back to a full
+        rebuild before re-raising, since its partial effects may be
+        internally inconsistent; *rebuild* must therefore recompute from
+        the KB alone, valid from any starting state (all of ours do).
+
+        Thread-safe: the stale path is locked (double-checked), so when
+        several worker threads observe a new epoch at once — the first
+        requests after an update barrier — exactly one applies the
+        repair.  A double-applied *repair* would corrupt non-idempotent
+        state like the frequency counters; the not-stale fast path stays
+        lock-free.
+        """
+        if self.kb.epoch == self.seen:
+            return
+        with self._lock:
+            self._absorb_locked(repair, rebuild)
+
+    def _absorb_locked(
+        self,
+        repair: Optional[Callable[[List[Change]], bool]],
+        rebuild: Callable[[], None],
+    ) -> None:
+        current = self.kb.epoch
+        if current == self.seen:
+            return  # another thread absorbed this epoch while we waited
+        t0 = time.perf_counter()
+        # Coarse watchers (repair=None) never look at the log — skip the
+        # O(gap) changes_since materialization entirely.
+        changes = self.kb.changes_since(self.seen) if repair is not None else None
+        repaired = False
+        if changes is not None:
+            assert repair is not None
+            try:
+                repaired = bool(repair(changes))
+            except BaseException:
+                rebuild()  # restore a clean slate, coherent with `current`
+                self.seen = current
+                self.coherence.epochs_seen += 1
+                self.coherence.invalidations += 1
+                raise
+        if repaired:
+            self.coherence.repairs += 1
+        else:
+            rebuild()
+            self.coherence.invalidations += 1
+        self.seen = current
+        self.coherence.epochs_seen += 1
+        self.coherence.rebuild_seconds += time.perf_counter() - t0
+
+    def __repr__(self) -> str:
+        return f"EpochWatcher(seen={self.seen}, current={self.kb.epoch})"

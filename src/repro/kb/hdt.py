@@ -231,12 +231,15 @@ def loads_hdt(data: bytes, name: str = "kb") -> KnowledgeBase:
         raise HDTFormatError("section sizes do not match payload length")
     terms, pos = _decode_dictionary(data, pos)
     id_triples, pos = _decode_triples(data, pos)
+    def decoded():
+        for s, p, o in id_triples:
+            predicate = terms[p]
+            if not isinstance(predicate, IRI):
+                raise HDTFormatError("predicate ID does not reference an IRI")
+            yield Triple(terms[s], predicate, terms[o])
+
     kb = KnowledgeBase(name=name)
-    for s, p, o in id_triples:
-        predicate = terms[p]
-        if not isinstance(predicate, IRI):
-            raise HDTFormatError("predicate ID does not reference an IRI")
-        kb.add(Triple(terms[s], predicate, terms[o]))
+    kb.add_all(decoded())  # bulk path: the whole load is one epoch step
     return kb
 
 

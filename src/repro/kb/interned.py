@@ -14,8 +14,10 @@ in, terms out, with decoding at the boundary.  On top of it sits the
 ID-space API the matcher consumes directly (``supports_id_queries``):
 
 * :meth:`term_id` / :meth:`term_of_id` / :meth:`decode_terms` — the codec;
-* :meth:`subjects_ids` / :meth:`objects_ids` — atom bindings as live
-  (read-only!) ``set[int]`` adjacency;
+* :meth:`subjects_ids` / :meth:`objects_ids` — atom bindings as FRESH
+  ``set[int]`` copies (safe to hold across mutation), with
+  :meth:`subjects_ids_view` / :meth:`objects_ids_view` as the live
+  read-only variants for consume-immediately hot paths;
 * :meth:`subject_count_ids` / :meth:`subject_object_items_ids` — the
   closed-shape scan accessors;
 * :meth:`subjects_mask` / :meth:`decode_mask` / :meth:`mask_of_ids` —
@@ -30,8 +32,16 @@ technique of HDT and the decision-diagram literature.  Masks are built
 lazily per ``(predicate, object)`` key from the set indexes and cached;
 mutation invalidates only the touched keys.
 
-The interner only grows: discarding triples leaves IDs allocated.  Pass a
-shared interner to run several stores over one dictionary.
+The interner only grows: discarding triples leaves IDs allocated (mask
+width and :meth:`InternedKnowledgeBase.term_count` include those dead IDs
+by design; :meth:`InternedKnowledgeBase.live_term_count` and the
+index-driven accessors skip them).  Pass a shared interner to run several
+stores over one dictionary.
+
+Mutation coherence: every effective ``add``/``discard`` bumps the KB
+:attr:`~repro.kb.base.BaseKnowledgeBase.epoch` (see :mod:`repro.kb.epoch`);
+the bitmask cache repairs itself per touched ``(p, o)`` key, everything
+derived outside the store watches the epoch.
 """
 
 from __future__ import annotations
@@ -124,6 +134,7 @@ class InternedKnowledgeBase(BaseKnowledgeBase):
         self._size += 1
         if self._pos_masks:
             self._pos_masks.pop((pi, oi), None)
+        self._note_mutation("add", triple)
         return True
 
     def discard(self, triple: Triple) -> bool:
@@ -145,6 +156,7 @@ class InternedKnowledgeBase(BaseKnowledgeBase):
         self._prune(self._ops, oi, pi)
         self._size -= 1
         self._pos_masks.pop((pi, oi), None)
+        self._note_mutation("delete", triple)
         return True
 
     @staticmethod
@@ -159,11 +171,28 @@ class InternedKnowledgeBase(BaseKnowledgeBase):
     # ------------------------------------------------------------------
 
     def subjects_ids(self, predicate_id: int, object_id: int) -> Set[int]:
-        """IDs of ``s`` in ``p(s, o)`` — a live internal set, read-only."""
-        return self._pos.get(predicate_id, {}).get(object_id, _EMPTY)  # type: ignore[return-value]
+        """IDs of ``s`` in ``p(s, o)`` — a FRESH set, safe across mutation.
+
+        The safe accessor of the mutation-facing contract (same split PR 1
+        gave :meth:`objects`/:meth:`subjects`): the caller may hold or
+        mutate the result while the store changes underneath.  Hot paths
+        that consume the bindings immediately use
+        :meth:`subjects_ids_view` and skip the copy.
+        """
+        return set(self._pos.get(predicate_id, {}).get(object_id, _EMPTY))
 
     def objects_ids(self, subject_id: int, predicate_id: int) -> Set[int]:
-        """IDs of ``o`` in ``p(s, o)`` — a live internal set, read-only."""
+        """IDs of ``o`` in ``p(s, o)`` — a FRESH set, safe across mutation."""
+        return set(self._spo.get(subject_id, {}).get(predicate_id, _EMPTY))
+
+    def subjects_ids_view(self, predicate_id: int, object_id: int) -> Set[int]:
+        """Live internal ``subjects`` ID set — read-only, never mutate, do
+        not hold across an ``add``/``discard``."""
+        return self._pos.get(predicate_id, {}).get(object_id, _EMPTY)  # type: ignore[return-value]
+
+    def objects_ids_view(self, subject_id: int, predicate_id: int) -> Set[int]:
+        """Live internal ``objects`` ID set — read-only, never mutate, do
+        not hold across an ``add``/``discard``."""
         return self._spo.get(subject_id, {}).get(predicate_id, _EMPTY)  # type: ignore[return-value]
 
     def subject_count_ids(self, predicate_id: int) -> int:
@@ -173,11 +202,16 @@ class InternedKnowledgeBase(BaseKnowledgeBase):
     def subject_object_items_ids(
         self, predicate_id: int
     ) -> Iterator[Tuple[int, Set[int]]]:
-        """``(subject_id, object_ids)`` groups; the sets are read-only views."""
+        """``(subject_id, object_ids)`` groups; the sets are read-only views
+        and the iterator must be exhausted before any mutation."""
         return iter(self._pso.get(predicate_id, {}).items())
 
-    def object_ids_of_predicate(self, predicate_id: int) -> Iterable[int]:
-        """The distinct object IDs under *predicate_id* (read-only view)."""
+    def object_ids_of_predicate(self, predicate_id: int) -> Set[int]:
+        """The distinct object IDs under *predicate_id* — a fresh set."""
+        return set(self._pos.get(predicate_id, {}))
+
+    def object_ids_of_predicate_view(self, predicate_id: int) -> Iterable[int]:
+        """Like :meth:`object_ids_of_predicate`, as a live read-only view."""
         return self._pos.get(predicate_id, {}).keys()
 
     def predicate_object_items_ids(
@@ -187,14 +221,19 @@ class InternedKnowledgeBase(BaseKnowledgeBase):
 
         The entity-neighbourhood accessor of the candidate pipeline
         (:mod:`repro.core.candidates`): one SPO row, in insertion order,
-        with the object sets as read-only views.  Iteration order matches
+        with the object sets as read-only views (exhaust the iterator
+        before mutating).  Iteration order matches
         :meth:`predicate_object_pairs` exactly, which the enumeration
         engine relies on for bit-identical candidate sets.
         """
         return iter(self._spo.get(subject_id, {}).items())
 
-    def predicate_ids_of(self, subject_id: int) -> Iterable[int]:
-        """The predicate IDs of *subject_id*'s facts (read-only view)."""
+    def predicate_ids_of(self, subject_id: int) -> Set[int]:
+        """The predicate IDs of *subject_id*'s facts — a fresh set."""
+        return set(self._spo.get(subject_id, {}))
+
+    def predicate_ids_of_view(self, subject_id: int) -> Iterable[int]:
+        """Like :meth:`predicate_ids_of`, as a live read-only view."""
         return self._spo.get(subject_id, {}).keys()
 
     # ------------------------------------------------------------------
@@ -202,8 +241,28 @@ class InternedKnowledgeBase(BaseKnowledgeBase):
     # ------------------------------------------------------------------
 
     def term_count(self) -> int:
-        """Number of interned terms = the bit width of binding masks."""
+        """Number of interned terms = the bit width of binding masks.
+
+        Deliberately counts DEAD terms too (terms whose every fact was
+        discarded): IDs are never reclaimed, so the mask width must cover
+        the whole dictionary.  Use :meth:`live_term_count` for the number
+        of terms the triple store actually references.
+        """
         return len(self._terms)
+
+    def live_term_count(self) -> int:
+        """Interned terms with at least one occurrence in the store.
+
+        After deletes the interner stays inflated (IDs are stable, never
+        reused); the index-driven accessors (:meth:`entities`,
+        :meth:`term_frequencies`, :meth:`predicates`) already skip dead
+        terms, and this is the matching count — it equals
+        ``term_count()`` exactly when nothing was ever fully removed.
+        """
+        live = set(self._spo)
+        live.update(self._ops)
+        live.update(self._pso)
+        return len(live)
 
     @staticmethod
     def mask_of_ids(ids: Iterable[int]) -> int:
@@ -494,6 +553,7 @@ class InternedKnowledgeBase(BaseKnowledgeBase):
             "subjects": len(self._spo),
             "entities": len(self.entities()),
             "interned_terms": len(self._interner),
+            "live_terms": self.live_term_count(),
         }
 
     def __repr__(self) -> str:

@@ -178,6 +178,23 @@ def _unescape(raw: str, scanner: _LineScanner) -> str:
     return "".join(out)
 
 
+def parse_term(text: str, line_no: int = 1) -> Term:
+    """Parse a SINGLE N-Triples term — ``<iri>``, ``"literal"`` (with
+    optional ``@lang`` / ``^^<dt>``) or ``_:blank``.
+
+    The whole string must be one term: trailing text raises
+    :class:`NTriplesParseError` (a silently-truncated parse would let a
+    pasted statement masquerade as its first term).  Used by the batch
+    protocol's update operations (:mod:`repro.core.batch`).
+    """
+    scanner = _LineScanner(text, line_no)
+    term = scanner.read_term()
+    scanner.skip_ws()
+    if not scanner.at_end():
+        raise scanner.error("trailing text after term")
+    return term
+
+
 def parse_ntriples(text: str) -> list[Triple]:
     """Parse N-Triples *text* into a list of triples (comments/blank lines ok)."""
     return list(iter_ntriples(text.splitlines()))

@@ -75,11 +75,8 @@ class KnowledgeBase(BaseKnowledgeBase):
         self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
         self._ops.setdefault(o, {}).setdefault(p, set()).add(s)
         self._size += 1
+        self._note_mutation("add", triple)
         return True
-
-    def add_all(self, triples: Iterable[Triple]) -> int:
-        """Insert many triples; returns how many were new."""
-        return sum(1 for t in triples if self.add(t))
 
     def discard(self, triple: Triple) -> bool:
         """Remove *triple* if present; returns True if it was removed."""
@@ -96,6 +93,7 @@ class KnowledgeBase(BaseKnowledgeBase):
         self._ops[o][p].discard(s)
         self._prune(self._ops, o, p)
         self._size -= 1
+        self._note_mutation("delete", triple)
         return True
 
     def _prune(self, index: dict, a: Term, b: Term) -> None:

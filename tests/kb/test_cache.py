@@ -1,4 +1,4 @@
-"""LRU cache tests: eviction, stats, thread safety."""
+"""LRU cache tests: eviction, stats, sentinel semantics, thread safety."""
 
 import threading
 
@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.kb.cache import LRUCache
+from repro.kb.cache import MISSING, LRUCache
 
 
 class TestBasics:
@@ -95,6 +95,29 @@ class TestGetOrCompute:
         for _ in range(2):
             assert cache.get_or_compute("k", lambda: calls.append(1) or frozenset()) == frozenset()
         assert calls == [1]
+
+    def test_cached_none_is_not_a_miss(self):
+        # Regression: a cached None must hit, not recompute forever.
+        cache = LRUCache(capacity=2)
+        calls = []
+        for _ in range(3):
+            assert cache.get_or_compute("k", lambda: calls.append(1)) is None
+        assert calls == [1]
+        assert cache.hits == 2 and cache.misses == 1
+
+    def test_missing_sentinel_distinguishes_cached_none(self):
+        cache = LRUCache(capacity=2)
+        cache.put("none", None)
+        assert cache.get("none", MISSING) is None  # hit: the cached value
+        assert cache.get("absent", MISSING) is MISSING  # genuine miss
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_counters_exact_with_cached_none(self):
+        cache = LRUCache(capacity=4)
+        cache.put("none", None)
+        for _ in range(5):
+            cache.get("none")
+        assert cache.hits == 5 and cache.misses == 0
 
 
 def test_thread_safety_smoke():

@@ -1,0 +1,268 @@
+"""Mutation semantics on both backends: epochs, round-trips, hygiene.
+
+Property-style add/discard round-trips over seeded random operation
+sequences, checked against a shadow ``set[Triple]`` model:
+
+* store contents, ``__len__`` and ``__contains__`` agree with the model;
+* the four indexes stay pruned (``_prune`` never leaves empty rows);
+* the epoch moves exactly on effective mutations (once per
+  ``mutate_many`` batch), and ``changes_since`` replays the gap;
+* the interned backend's bitmask cache and ``*_ids`` accessors stay
+  correct (the safe accessors return copies, the views stay live);
+* the interner's dead-ID accounting (``live_term_count`` vs
+  ``term_count``) and the index-driven accessors agree with a KB freshly
+  built from the surviving triples.
+"""
+
+import random
+
+import pytest
+
+from repro.kb.base import MUTATION_LOG_LIMIT
+from repro.kb.epoch import EpochWatcher
+from repro.kb.interned import InternedKnowledgeBase
+from repro.kb.namespaces import EX
+from repro.kb.store import KnowledgeBase
+from repro.kb.terms import BlankNode, Literal
+from repro.kb.triples import Triple
+
+pytestmark = pytest.mark.mutation
+
+BACKENDS = [KnowledgeBase, InternedKnowledgeBase]
+BACKEND_IDS = ["hash", "interned"]
+
+N_SEQUENCES = 50
+
+
+def _vocabulary(rng: random.Random):
+    entities = [EX[f"e{i}"] for i in range(rng.randint(4, 8))]
+    predicates = [EX[f"p{i}"] for i in range(rng.randint(2, 4))]
+    objects = entities + [Literal("red"), Literal("42"), BlankNode("b0")]
+    subjects = entities + [BlankNode("b0")]
+    return subjects, predicates, objects
+
+
+def _random_triple(rng: random.Random, subjects, predicates, objects) -> Triple:
+    return Triple(rng.choice(subjects), rng.choice(predicates), rng.choice(objects))
+
+
+def _assert_pruned(kb) -> None:
+    """No index may keep an empty inner set or an empty middle dict."""
+    for index in (kb._spo, kb._pso, kb._pos, kb._ops):
+        for outer, inner in index.items():
+            assert inner, f"empty row left for {outer!r}"
+            for key, leaf in inner.items():
+                assert leaf, f"empty leaf left for {outer!r}/{key!r}"
+
+
+@pytest.mark.parametrize("backend", BACKENDS, ids=BACKEND_IDS)
+def test_add_discard_round_trips_match_shadow_model(backend):
+    for seed in range(N_SEQUENCES):
+        rng = random.Random(seed)
+        subjects, predicates, objects = _vocabulary(rng)
+        kb = backend()
+        shadow: set = set()
+        for _ in range(rng.randint(20, 60)):
+            triple = _random_triple(rng, subjects, predicates, objects)
+            if rng.random() < 0.6:
+                assert kb.add(triple) == (triple not in shadow)
+                shadow.add(triple)
+            else:
+                assert kb.discard(triple) == (triple in shadow)
+                shadow.discard(triple)
+        assert set(kb.triples()) == shadow
+        assert len(kb) == len(shadow)
+        for triple in shadow:
+            assert triple in kb
+        _assert_pruned(kb)
+        # Index-driven accessors agree with a freshly built store.
+        fresh = backend(shadow)
+        assert kb.entities() == fresh.entities()
+        assert kb.predicates() == fresh.predicates()
+        assert kb.term_frequencies() == fresh.term_frequencies()
+        assert kb.entity_frequencies() == fresh.entity_frequencies()
+
+
+@pytest.mark.parametrize("backend", BACKENDS, ids=BACKEND_IDS)
+def test_epoch_bumps_only_on_effective_mutations(backend):
+    kb = backend()
+    t = Triple(EX.a, EX.p, EX.b)
+    start = kb.epoch
+    assert kb.add(t) and kb.epoch == start + 1
+    assert not kb.add(t) and kb.epoch == start + 1  # duplicate: no bump
+    assert kb.discard(t) and kb.epoch == start + 2
+    assert not kb.discard(t) and kb.epoch == start + 2  # absent: no bump
+
+
+@pytest.mark.parametrize("backend", BACKENDS, ids=BACKEND_IDS)
+def test_mutate_many_bumps_once(backend):
+    kb = backend([Triple(EX.a, EX.p, EX.b)])
+    start = kb.epoch
+    applied = kb.mutate_many(
+        [
+            ("add", Triple(EX.c, EX.p, EX.d)),
+            ("add", Triple(EX.c, EX.p, EX.d)),  # duplicate: ineffective
+            ("delete", Triple(EX.a, EX.p, EX.b)),
+            ("delete", Triple(EX.x, EX.p, EX.y)),  # absent: ineffective
+        ]
+    )
+    assert applied == 2
+    assert kb.epoch == start + 1
+    # An all-ineffective batch does not move the epoch at all.
+    assert kb.mutate_many([("add", Triple(EX.c, EX.p, EX.d))]) == 0
+    assert kb.epoch == start + 1
+    with pytest.raises(ValueError):
+        kb.mutate_many([("frobnicate", Triple(EX.a, EX.p, EX.b))])
+
+
+@pytest.mark.parametrize("backend", BACKENDS, ids=BACKEND_IDS)
+def test_changes_since_replays_the_gap(backend):
+    kb = backend([Triple(EX.a, EX.p, EX.b)])
+    seen = kb.epoch
+    kb.add(Triple(EX.c, EX.p, EX.d))
+    kb.discard(Triple(EX.a, EX.p, EX.b))
+    changes = kb.changes_since(seen)
+    assert changes == [
+        ("add", Triple(EX.c, EX.p, EX.d)),
+        ("delete", Triple(EX.a, EX.p, EX.b)),
+    ]
+    assert kb.changes_since(kb.epoch) == []
+
+
+@pytest.mark.parametrize("backend", BACKENDS, ids=BACKEND_IDS)
+def test_changes_since_returns_none_past_log_capacity(backend):
+    kb = backend()
+    seen = kb.epoch
+    for i in range(MUTATION_LOG_LIMIT + 10):
+        kb.add(Triple(EX[f"s{i}"], EX.p, EX.o))
+    assert kb.changes_since(seen) is None  # fell off the bounded log
+    recent = kb.epoch - 5
+    changes = kb.changes_since(recent)
+    assert changes is not None and len(changes) == 5
+
+
+@pytest.mark.parametrize("backend", BACKENDS, ids=BACKEND_IDS)
+def test_bulk_batch_overflowing_log_goes_coarse_then_logging_resumes(backend):
+    kb = backend()
+    seen = kb.epoch
+    kb.add_all(
+        Triple(EX[f"s{i}"], EX.p, EX.o) for i in range(MUTATION_LOG_LIMIT + 200)
+    )
+    assert kb.epoch == seen + 1  # one epoch step for the whole load
+    assert kb.changes_since(seen) is None  # overflowed epoch: coarse only
+    # Logging stopped once the batch overflowed (no useless churn)...
+    assert len(kb._mutation_log) <= MUTATION_LOG_LIMIT
+    # ...and resumes for mutations after the batch.
+    seen = kb.epoch
+    kb.add(Triple(EX.x, EX.p, EX.y))
+    assert kb.changes_since(seen) == [("add", Triple(EX.x, EX.p, EX.y))]
+
+
+def test_absorb_failed_rebuild_leaves_watcher_stale_for_retry():
+    kb = InternedKnowledgeBase([Triple(EX.a, EX.p, EX.b)])
+    watch = EpochWatcher(kb)
+    kb.add(Triple(EX.c, EX.p, EX.d))
+    calls = []
+
+    def bad_rebuild():
+        calls.append("bad")
+        raise RuntimeError("boom")
+
+    with pytest.raises(RuntimeError):
+        watch.absorb(None, bad_rebuild)
+    assert watch.stale()  # not marked coherent: the next call retries
+    watch.absorb(None, lambda: calls.append("good"))
+    assert not watch.stale()
+    assert calls == ["bad", "good"]
+    assert watch.coherence.invalidations == 1  # only the successful one
+
+
+def test_absorb_failed_repair_falls_back_to_rebuild():
+    kb = InternedKnowledgeBase([Triple(EX.a, EX.p, EX.b)])
+    watch = EpochWatcher(kb)
+    kb.add(Triple(EX.c, EX.p, EX.d))
+    calls = []
+
+    def bad_repair(changes):
+        calls.append("repair")
+        raise RuntimeError("half-applied")
+
+    with pytest.raises(RuntimeError):
+        watch.absorb(bad_repair, lambda: calls.append("rebuild"))
+    # The fallback rebuild restored a clean slate coherent with the KB.
+    assert calls == ["repair", "rebuild"]
+    assert not watch.stale()
+    assert watch.coherence.invalidations == 1 and watch.coherence.repairs == 0
+
+
+def test_interned_safe_ids_accessors_return_copies():
+    kb = InternedKnowledgeBase([Triple(EX.a, EX.p, EX.b), Triple(EX.c, EX.p, EX.b)])
+    p, b, a = kb.term_id(EX.p), kb.term_id(EX.b), kb.term_id(EX.a)
+    held = kb.subjects_ids(p, b)
+    assert held == {kb.term_id(EX.a), kb.term_id(EX.c)}
+    kb.discard(Triple(EX.a, EX.p, EX.b))
+    # The held copy is a stable snapshot; the view reflects the store.
+    assert a in held
+    assert a not in kb.subjects_ids_view(p, b)
+    # Mutating the copy cannot corrupt the index.
+    held.clear()
+    assert kb.subjects_ids(p, b) == {kb.term_id(EX.c)}
+    # Same contract for the other safe accessors.
+    objs = kb.objects_ids(kb.term_id(EX.c), p)
+    objs.add(999)
+    assert kb.objects_ids(kb.term_id(EX.c), p) == {b}
+    pred_ids = kb.predicate_ids_of(kb.term_id(EX.c))
+    pred_ids.add(999)
+    assert kb.predicate_ids_of(kb.term_id(EX.c)) == {p}
+    obj_ids = kb.object_ids_of_predicate(p)
+    obj_ids.add(999)
+    assert kb.object_ids_of_predicate(p) == {b}
+
+
+def test_interned_mask_cache_repairs_per_key():
+    rng = random.Random(13)
+    subjects, predicates, objects = _vocabulary(rng)
+    kb = InternedKnowledgeBase()
+    shadow: set = set()
+    for step in range(120):
+        triple = _random_triple(rng, subjects, predicates, objects)
+        if rng.random() < 0.6:
+            kb.add(triple)
+            shadow.add(triple)
+        else:
+            kb.discard(triple)
+            shadow.discard(triple)
+        # Exercise the lazy mask cache, then verify it against the index.
+        p_id = kb.term_id(triple.predicate)
+        o_id = kb.term_id(triple.object)
+        if p_id is not None and o_id is not None:
+            mask = kb.subjects_mask(p_id, o_id)
+            assert mask == kb.mask_of_ids(kb.subjects_ids_view(p_id, o_id))
+            assert kb.decode_mask(mask) == frozenset(
+                t.subject for t in shadow
+                if t.predicate == triple.predicate and t.object == triple.object
+            )
+
+
+def test_interner_dead_ids_are_accounted():
+    kb = InternedKnowledgeBase(
+        [Triple(EX.a, EX.p, EX.b), Triple(EX.c, EX.q, EX.d)]
+    )
+    full_terms = kb.term_count()
+    assert kb.live_term_count() == full_terms
+    # Fully remove EX.c / EX.q / EX.d from the store.
+    kb.discard(Triple(EX.c, EX.q, EX.d))
+    assert kb.term_count() == full_terms  # IDs are never reclaimed (mask width)
+    assert kb.live_term_count() == full_terms - 3
+    stats = kb.stats()
+    assert stats["interned_terms"] == full_terms
+    assert stats["live_terms"] == full_terms - 3
+    # Derived accessors skip the dead terms entirely.
+    assert EX.c not in kb.entities() and EX.d not in kb.entities()
+    assert EX.q not in kb.predicates()
+    assert EX.c not in kb.term_frequencies()
+    assert kb.term_frequency(EX.c) == 0
+    # ...and agree with a KB freshly built from the surviving triples.
+    fresh = InternedKnowledgeBase(kb.triples())
+    assert kb.entities() == fresh.entities()
+    assert kb.term_frequencies() == fresh.term_frequencies()
