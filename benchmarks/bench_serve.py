@@ -1,0 +1,212 @@
+"""Benchmark smoke: sustained ``remi serve`` throughput under concurrency.
+
+The question behind the service tentpole: one resident
+:class:`~repro.service.MiningService` behind the NDJSON-over-TCP server —
+what request rate does it sustain as concurrent clients scale from 1 to
+4 to 16, with a realistic 1:50 update:query mix churning the KB under
+the shared caches the whole time?
+
+For each client count the bench opens that many loopback connections,
+pushes the same total number of mine requests through them (round-robin
+over sampled entity sets; every 50th request becomes a paired
+add/delete update burst from one of the clients), and records sustained
+req/s plus the server-side coherence telemetry.  A final differential
+spot check pins a post-churn answer to a cold miner on the same triples,
+and the run fails hard on any reported cache-coherence violation.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --out BENCH_serve.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.config import MinerConfig  # noqa: E402
+from repro.core.remi import REMI  # noqa: E402
+from repro.datasets import dbpedia_like  # noqa: E402
+from repro.kb.interned import InternedKnowledgeBase  # noqa: E402
+from repro.kb.terms import IRI  # noqa: E402
+from repro.service import MineRequest, MiningServer, MiningService, ServiceConfig  # noqa: E402
+
+CLASSES = ("Person", "Settlement", "Album", "Film", "Organization")
+UPDATE_EVERY = 50  # the 1:50 update:query mix
+
+
+def sample_entity_sets(generated, count, seed):
+    """Table 4 sampling: 1/2/3 same-class entities in 50/30/20 % proportions."""
+    rng = random.Random(seed)
+    frequencies = generated.kb.entity_frequencies()
+    pools = {
+        cls: sorted(generated.instances_of(cls), key=lambda e: -frequencies[e])[:30]
+        for cls in CLASSES
+    }
+    sets = []
+    for _ in range(count):
+        cls = rng.choice(CLASSES)
+        size = rng.choices((1, 2, 3), weights=(0.5, 0.3, 0.2))[0]
+        sets.append([str(e) for e in rng.sample(pools[cls], min(size, len(pools[cls])))])
+    return sets
+
+
+async def _client_session(port, requests, tag):
+    """One connection answering its share of the stream.  Update entries
+    are ``("update", op, triple)``; everything else is a target list."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    ok = 0
+    for index, entry in enumerate(requests):
+        if entry[0] == "update":
+            _, op, triple = entry
+            payload = {"type": "update", "id": f"{tag}-{index}", "op": op, "triple": triple}
+        else:
+            payload = {"type": "mine", "id": f"{tag}-{index}", "targets": entry[1]}
+        writer.write(json.dumps(payload).encode() + b"\n")
+        await writer.drain()
+        line = await asyncio.wait_for(reader.readline(), timeout=120)
+        record = json.loads(line)
+        if not record["ok"]:
+            raise RuntimeError(f"server error: {record['error']}")
+        ok += 1
+    writer.close()
+    return ok
+
+
+def _coherence_delta(current, previous):
+    """Tier-local coherence numbers: the service (and its counters) lives
+    across tiers, so each row subtracts the previous tier's totals."""
+    delta = {k: current[k] - previous.get(k, 0) for k in current}
+    delta["rebuild_seconds"] = round(delta["rebuild_seconds"], 6)
+    return delta
+
+
+async def run_tier(service, clients, entity_sets, requests_total, churn_pool, seed):
+    """One concurrency tier: *clients* connections, *requests_total*
+    requests split round-robin, every ``UPDATE_EVERY``-th request a
+    paired add/delete burst (KB returns to its initial state, so every
+    tier answers the same ground truth)."""
+    rng = random.Random(seed)
+    streams = [[] for _ in range(clients)]
+    for position in range(requests_total):
+        stream = streams[position % clients]
+        if position and position % UPDATE_EVERY == 0:
+            triple = rng.choice(churn_pool)
+            wire = [t.n3() for t in triple]
+            stream.append(("update", "delete", wire))
+            stream.append(("update", "add", wire))
+        stream.append(("mine", rng.choice(entity_sets)))
+
+    before = service.summary()
+    server = MiningServer(service, port=0, pool_workers=max(4, clients), max_pending=64)
+    await server.start()
+    started = time.perf_counter()
+    answered = await asyncio.gather(
+        *(_client_session(server.port, stream, f"c{i}") for i, stream in enumerate(streams))
+    )
+    elapsed = time.perf_counter() - started
+    summary = service.summary()
+    await server.drain()
+    mined = requests_total
+    return {
+        "clients": clients,
+        "requests": mined,
+        "updates_applied": summary["updates_applied"] - before["updates_applied"],
+        "seconds": round(elapsed, 4),
+        "requests_per_second": round(mined / elapsed, 2) if elapsed else None,
+        "answered": sum(answered),
+        "epoch": summary["epoch"],
+        "coherence": _coherence_delta(summary["coherence"], before["coherence"]),
+    }
+
+
+def differential_check(service, entity_sets, timeout) -> bool:
+    """Post-churn: the resident service answers like a cold miner."""
+    kb = service.kb
+    cold = REMI(
+        InternedKnowledgeBase(kb.triples(), name=kb.name),
+        config=MinerConfig(timeout_seconds=timeout),
+    )
+    for targets in entity_sets:
+        response = service.mine(MineRequest(id="diff", targets=tuple(targets)))
+        expected = cold.mine([IRI(t) for t in targets])
+        body = response.result
+        expr = body.get("expression")
+        bits = body.get("complexity_bits")
+        cold_expr = repr(expected.expression) if expected.found else None
+        cold_bits = expected.complexity if expected.found else None
+        if body["found"] != expected.found or expr != cold_expr or bits != cold_bits:
+            print(
+                f"DIVERGENCE on {targets}: {expr} ({bits}) != {cold_expr} ({cold_bits})",
+                file=sys.stderr,
+            )
+            return False
+    return True
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_serve.json")
+    parser.add_argument("--scale", type=float, default=0.6, help="KB scale factor")
+    parser.add_argument("--requests", type=int, default=90, help="requests per tier")
+    parser.add_argument("--timeout", type=float, default=10.0, help="per-request timeout")
+    parser.add_argument("--tiers", default="1,4,16", help="comma-separated client counts")
+    args = parser.parse_args(argv)
+
+    generated = dbpedia_like(scale=args.scale, seed=42)
+    kb = InternedKnowledgeBase(generated.kb.triples(), name=generated.kb.name)
+    entity_sets = sample_entity_sets(generated, 24, seed=23)
+    churn_pool = sorted(kb.triples(), key=lambda t: t.n3())[:200]
+    service = MiningService(
+        kb,
+        ServiceConfig(miner_config=MinerConfig(timeout_seconds=args.timeout)),
+    )
+    service.warm_up()
+
+    rows = []
+    for tier in (int(t) for t in args.tiers.split(",")):
+        row = asyncio.run(
+            run_tier(service, tier, entity_sets, args.requests, churn_pool, seed=tier)
+        )
+        rows.append(row)
+        print(
+            f"clients={row['clients']:3d}  {row['requests_per_second']:>8} req/s  "
+            f"updates={row['updates_applied']:3d}  "
+            f"invalidations={row['coherence']['invalidations']}"
+        )
+
+    ok = differential_check(service, entity_sets[:5], args.timeout)
+    # Absolute lifetime count, not a re-summed per-tier figure.
+    violations = service.summary()["coherence"]["violations"]
+    base = rows[0]["requests_per_second"] or 0.0
+    top = rows[-1]["requests_per_second"] or 0.0
+    payload = {
+        "benchmark": "serve-concurrent-clients",
+        "python": platform.python_version(),
+        "scale": args.scale,
+        "facts": len(kb),
+        "update_mix": f"1:{UPDATE_EVERY}",
+        "tiers": rows,
+        "speedup_16_over_1": round(top / base, 3) if base else None,
+        "coherence_violations": violations,
+        "differential_check": "ok" if ok else "DIVERGED",
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(
+        f"16-client vs 1-client throughput: {payload['speedup_16_over_1']} "
+        f"(violations: {violations}, differential check: "
+        f"{'ok' if ok else 'DIVERGED'}) -> {args.out}"
+    )
+    return 0 if ok and violations == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

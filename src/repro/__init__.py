@@ -42,6 +42,17 @@ from repro.expressions import (
     Variable,
     Verbalizer,
 )
+from repro.registry import ESTIMATORS, KB_BACKENDS, MINERS, PROMINENCE, Registry, RegistryError
+from repro.service import (
+    DescribeRequest,
+    MineRequest,
+    MiningServer,
+    MiningService,
+    Response,
+    ServiceConfig,
+    StatsRequest,
+    UpdateRequest,
+)
 from repro.kb import (
     EX,
     IRI,
@@ -67,11 +78,25 @@ __all__ = [
     "Atom",
     "BlankNode",
     "ComplexityEstimator",
+    "DescribeRequest",
+    "ESTIMATORS",
     "EX",
     "Expression",
     "FrequencyProminence",
     "IRI",
+    "KB_BACKENDS",
     "KnowledgeBase",
+    "MINERS",
+    "MineRequest",
+    "MiningServer",
+    "MiningService",
+    "PROMINENCE",
+    "Registry",
+    "RegistryError",
+    "Response",
+    "ServiceConfig",
+    "StatsRequest",
+    "UpdateRequest",
     "LanguageBias",
     "Literal",
     "Matcher",

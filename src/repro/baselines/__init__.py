@@ -11,9 +11,121 @@ The related-work algorithms REMI is positioned against:
 
 Both operate in the standard language bias (bound atoms on the root
 variable only), exactly as §5 describes the prior art.
+
+So the baselines can be served through the same front door as REMI
+(:data:`repro.registry.MINERS` keys ``full-brevity`` and
+``incremental``), :class:`FullBrevityAdapter` and
+:class:`IncrementalAdapter` wrap them in the miner protocol: REMI's
+constructor signature and :class:`~repro.core.results.MiningResult`
+returns, with Ĉ scored post-hoc by a shared estimator so outcomes stay
+comparable across miners.
 """
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Sequence, Union
 
 from repro.baselines.full_brevity import FullBrevityMiner
 from repro.baselines.incremental import IncrementalMiner
+from repro.core.results import MiningResult, SearchStats
+from repro.kb.terms import Term
 
-__all__ = ["FullBrevityMiner", "IncrementalMiner"]
+
+class _BaselineAdapter:
+    """The miner-protocol shell around one §5 baseline.
+
+    Mirrors enough of REMI's surface for :class:`~repro.core.batch.BatchMiner`
+    and the service façade to treat a baseline as just another registry
+    entry: same constructor keywords (extra ones the baseline cannot
+    honour are accepted and ignored), a ``matcher``/``estimator`` pair
+    for cache sharing and telemetry, and ``mine()`` returning a
+    :class:`~repro.core.results.MiningResult` whose ``complexity`` is the
+    Ĉ of the baseline's answer (∞ when it found none) — baselines do not
+    *optimize* Ĉ, but scoring their output makes runs comparable.
+    """
+
+    def __init__(
+        self,
+        kb,
+        prominence: Union[str, "object"] = "fr",
+        mode: str = "exact",
+        config=None,
+        matcher=None,
+        estimator=None,
+    ):
+        from repro.core.config import MinerConfig
+        from repro.core.remi import resolve_prominence
+        from repro.expressions.matching import Matcher
+        from repro.kb.epoch import EpochWatcher
+        from repro.registry import ESTIMATORS
+
+        self.kb = kb
+        self.config = config or MinerConfig()
+        self.prominence = resolve_prominence(kb, prominence)
+        self.matcher = matcher or Matcher(kb)
+        self.estimator = estimator or ESTIMATORS.create(mode, kb, self.prominence)
+        self._impl = self._build()
+        # The wrapped baseline may snapshot KB-derived state at build time
+        # (IncrementalMiner freezes its predicate preference order), so it
+        # is rebuilt whenever the KB mutates — same epoch protocol as
+        # every other derived cache.
+        self._watch = EpochWatcher(kb)
+
+    def _build(self):
+        raise NotImplementedError
+
+    def _rebuild_impl(self) -> None:
+        self._impl = self._build()
+
+    def mine(
+        self, targets: Sequence[Term], collect_encountered: bool = False
+    ) -> MiningResult:
+        if self._watch.seen != self.kb.epoch:
+            self._watch.absorb(None, self._rebuild_impl)
+        stats = SearchStats()
+        started = time.perf_counter()
+        expression = self._impl.mine(list(targets))
+        complexity = math.inf
+        if expression is not None:
+            complexity = sum(self.estimator.complexity(se) for se in expression)
+        stats.total_seconds = time.perf_counter() - started
+        encountered = (
+            [(expression, complexity)]
+            if collect_encountered and expression is not None
+            else []
+        )
+        return MiningResult(
+            targets=tuple(targets),
+            expression=expression,
+            complexity=complexity,
+            stats=stats,
+            encountered=encountered,
+        )
+
+
+class FullBrevityAdapter(_BaselineAdapter):
+    """Dale's Full Brevity behind the ``full-brevity`` registry key."""
+
+    def _build(self) -> FullBrevityMiner:
+        return FullBrevityMiner(
+            self.kb,
+            timeout_seconds=self.config.timeout_seconds,
+            matcher=self.matcher,
+        )
+
+
+class IncrementalAdapter(_BaselineAdapter):
+    """Reiter & Dale's Incremental Algorithm behind ``incremental``."""
+
+    def _build(self) -> IncrementalMiner:
+        return IncrementalMiner(self.kb, matcher=self.matcher)
+
+
+__all__ = [
+    "FullBrevityAdapter",
+    "FullBrevityMiner",
+    "IncrementalAdapter",
+    "IncrementalMiner",
+]

@@ -1,24 +1,30 @@
-"""Command-line interface.
+"""Command-line interface — a thin client of :class:`repro.service.MiningService`.
 
-Four subcommands::
+Five subcommands::
 
     remi generate --kind dbpedia --scale 1.0 --out kb.hdt     # build a KB
     remi mine kb.hdt <entity-iri> [<entity-iri> ...]          # mine an RE
     remi batch kb.hdt requests.jsonl                          # many targets
+    remi serve kb.hdt --port 8757                             # network server
     remi stats kb.hdt                                         # KB statistics
 
+Every mining subcommand builds the same :class:`~repro.service.ServiceConfig`
+(backend / miner / prominence resolved through the plugin registries of
+:mod:`repro.registry`) and talks to the same façade — the CLI adds only
+argument parsing and printing.
+
 ``mine`` prints the winning referring expression, its Ĉ in bits, the NL
-verbalization and the search statistics.  ``batch`` reads target sets as
-JSON lines (``["iri", ...]`` or ``{"id": ..., "targets": [...]}``) and
-writes one JSON result per line, sharing the prominence ranking and the
-matcher cache across all requests.  The stream may interleave live KB
-updates — ``{"op": "add"|"delete", "triple": [s, p, o]}`` — which mutate
-the resident KB in place; later requests are served against the updated
-state with every derived cache kept coherent automatically (the epoch
-protocol of :mod:`repro.kb.epoch`).  Input KBs may be RHDT binaries
-(``.hdt``) or N-Triples text (anything else); ``--backend`` picks the
-storage backend (``interned`` dictionary-encodes terms to integer IDs —
-the faster choice for mining workloads).
+verbalization and the search statistics; ``--json`` emits the same
+versioned response envelope the service returns on the wire instead.
+``batch`` streams the JSONL request/update protocol
+(:mod:`repro.core.batch`) — one JSON record per input line, malformed
+lines becoming structured per-line error records
+(``{"code", "reason", "line"}``); the exit code is non-zero only on I/O
+failure, never for per-line errors.  ``serve`` starts the concurrent
+NDJSON-over-TCP server (:mod:`repro.service.server`).  Input KBs may be
+RHDT binaries (``.hdt``) or N-Triples text (anything else); ``--backend``
+picks the storage backend (``interned`` dictionary-encodes terms to
+integer IDs — the faster choice for mining workloads).
 """
 
 from __future__ import annotations
@@ -26,40 +32,55 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from pathlib import Path
 from typing import List, Optional
 
-from repro.core.batch import BatchMiner
 from repro.core.config import LanguageBias, MinerConfig
-from repro.core.parallel import PREMI
-from repro.core.remi import REMI
-from repro.expressions.verbalize import Verbalizer
-from repro.kb.base import BaseKnowledgeBase
-from repro.kb.hdt import load_hdt, save_hdt
-from repro.kb.interned import InternedKnowledgeBase
-from repro.kb.ntriples import parse_ntriples_file, write_ntriples_file
-from repro.kb.store import KnowledgeBase
-from repro.kb.terms import IRI
+from repro.registry import KB_BACKENDS, MINERS, PROMINENCE
+from repro.service import (
+    MineRequest,
+    MiningService,
+    ServiceConfig,
+    StatsRequest,
+    load_kb,
+)
 
-#: The storage backends selectable via ``--backend``.
-BACKENDS = {
-    "hash": KnowledgeBase,
-    "interned": InternedKnowledgeBase,
-}
+#: Deprecation shim: the old module-level backend table now IS the
+#: registry (same keys, same classes via ``BACKENDS.get(name)``).
+BACKENDS = KB_BACKENDS
 
 
-def _load_kb(path: str, backend: str = "hash") -> BaseKnowledgeBase:
-    backend_class = BACKENDS[backend]
-    if path.endswith(".hdt"):
-        loaded = load_hdt(path)
-        if backend_class is KnowledgeBase:
-            return loaded
-        return backend_class(loaded.triples(), name=loaded.name)
-    return backend_class(parse_ntriples_file(path), name=Path(path).stem)
+def _load_kb(path: str, backend: str = "hash"):
+    """Deprecated alias of :func:`repro.service.load_kb`."""
+    return load_kb(path, backend)
+
+
+def _service_config(args: argparse.Namespace) -> ServiceConfig:
+    """The one place CLI flags become a validated service config."""
+    miner = getattr(args, "miner", None)
+    if getattr(args, "parallel", False):
+        if miner not in (None, "premi"):
+            raise SystemExit(f"--parallel conflicts with --miner {miner}")
+        miner = "premi"
+    return ServiceConfig(
+        backend=args.backend,
+        miner=miner or "remi",
+        prominence=args.prominence,
+        workers=getattr(args, "workers", 1),
+        miner_config=MinerConfig(
+            language=(
+                LanguageBias.STANDARD
+                if getattr(args, "standard", False)
+                else LanguageBias.REMI
+            ),
+            timeout_seconds=getattr(args, "timeout", None),
+        ),
+    )
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
     from repro.datasets import dbpedia_like, wikidata_like
+    from repro.kb.hdt import save_hdt
+    from repro.kb.ntriples import write_ntriples_file
 
     if args.kind == "dbpedia":
         generated = dbpedia_like(scale=args.scale, seed=args.seed)
@@ -79,57 +100,51 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    kb = _load_kb(args.kb, args.backend)
-    for key, value in kb.stats().items():
+    service = MiningService.from_path(
+        args.kb, ServiceConfig(backend=args.backend)
+    )
+    response = service.stats(StatsRequest(id="stats"))
+    if args.json:
+        print(json.dumps(response.to_json(), ensure_ascii=False))
+        return 0
+    for key, value in response.result["kb"].items():
         print(f"{key:12s} {value}")
     return 0
 
 
 def _cmd_mine(args: argparse.Namespace) -> int:
-    kb = _load_kb(args.kb, args.backend)
-    targets = [IRI(value) for value in args.entities]
-    known = kb.entities()
-    unknown = [t for t in targets if t not in known]
-    if unknown:
-        print(f"unknown entities: {', '.join(str(u) for u in unknown)}", file=sys.stderr)
-        return 2
-    config = MinerConfig(
-        language=LanguageBias.STANDARD if args.standard else LanguageBias.REMI,
-        timeout_seconds=args.timeout,
+    service = MiningService.from_path(args.kb, _service_config(args))
+    request = MineRequest(
+        id="cli", targets=tuple(args.entities), verbalize=True
     )
-    miner_class = PREMI if args.parallel else REMI
-    miner = miner_class(kb, prominence=args.prominence, config=config)
-    result = miner.mine(targets)
-    if not result.found:
+    response = service.mine(request)
+    if args.json:
+        print(json.dumps(response.to_json(), ensure_ascii=False))
+        if not response.ok:
+            return 2
+        return 0 if response.result["found"] else 1
+    if not response.ok:
+        print(response.error, file=sys.stderr)
+        return 2
+    result = response.result
+    if not result["found"]:
         print("no referring expression exists for these entities")
         return 1
-    verbalizer = Verbalizer(kb)
-    print(f"expression : {result.expression!r}")
-    print(f"complexity : {result.complexity:.2f} bits")
-    print(f"verbalized : {verbalizer.expression(result.expression)}")
-    stats = result.stats
+    print(f"expression : {result['expression']}")
+    print(f"complexity : {result['complexity_bits']:.2f} bits")
+    print(f"verbalized : {result['verbalized']}")
+    stats = result["stats"]
     print(
-        f"search     : {stats.candidates} candidates, {stats.nodes_visited} nodes, "
-        f"{stats.re_tests} RE tests, {stats.total_seconds * 1000:.1f} ms"
-        + (" (timed out)" if stats.timed_out else "")
+        f"search     : {stats['candidates']} candidates, {stats['nodes_visited']} nodes, "
+        f"{stats['re_tests']} RE tests, {stats['total_seconds'] * 1000:.1f} ms"
+        + (" (timed out)" if stats["timed_out"] else "")
     )
     return 0
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
-    kb = _load_kb(args.kb, args.backend)
-    config = MinerConfig(
-        language=LanguageBias.STANDARD if args.standard else LanguageBias.REMI,
-        timeout_seconds=args.timeout,
-    )
-    miner = BatchMiner(
-        kb,
-        prominence=args.prominence,
-        config=config,
-        parallel=args.parallel,
-        workers=args.workers,
-    )
-    verbalizer = Verbalizer(kb) if args.verbalize else None
+    service = MiningService.from_path(args.kb, _service_config(args))
+    verbalizer = service.verbalizer if args.verbalize else None
     if args.requests == "-":
         # Stream from stdin.  With the default --workers 1 every line is
         # answered (and every update applied) as soon as it arrives, so
@@ -140,6 +155,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         lines = iter(sys.stdin)
     else:
         try:
+            from pathlib import Path
+
             lines = iter(Path(args.requests).read_text(encoding="utf-8").splitlines())
         except OSError as exc:
             print(f"cannot read requests file: {exc}", file=sys.stderr)
@@ -150,15 +167,74 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print(f"cannot write output file: {exc}", file=sys.stderr)
         return 2
     try:
-        for outcome in miner.serve_jsonl(lines):
+        for outcome in service.serve_jsonl(lines):
             print(json.dumps(outcome.to_json(verbalizer), ensure_ascii=False), file=out)
             out.flush()
+    except OSError as exc:
+        print(f"I/O failure while streaming results: {exc}", file=sys.stderr)
+        return 2
     finally:
         if out is not sys.stdout:
             out.close()
     if args.summary:
-        print(json.dumps(miner.summary()), file=sys.stderr)
-    return 0 if miner.errors == 0 else 1
+        print(json.dumps(service.summary()), file=sys.stderr)
+    # Per-line request errors are structured records on the output
+    # stream, not process failures: exit 0 unless I/O actually broke.
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.server import run_server
+
+    service = MiningService.from_path(args.kb, _service_config(args))
+    if args.warm_up:
+        service.warm_up()
+
+    def ready(address) -> None:
+        host, port = address
+        print(f"remi serve: listening on {host}:{port}", file=sys.stderr, flush=True)
+
+    try:
+        asyncio.run(
+            run_server(
+                service,
+                host=args.host,
+                port=args.port,
+                pool_workers=args.pool,
+                max_pending=args.max_pending,
+                ready=ready,
+            )
+        )
+    except KeyboardInterrupt:
+        print("remi serve: interrupted, draining", file=sys.stderr)
+    print("remi serve: drained, bye", file=sys.stderr)
+    return 0
+
+
+def _add_miner_flags(parser: argparse.ArgumentParser, default_backend: str) -> None:
+    """The flags every mining subcommand shares (one spelling, one place)."""
+    parser.add_argument(
+        "--backend",
+        choices=sorted(KB_BACKENDS.names()),
+        default=default_backend,
+        help="storage backend (plugin registry key)",
+    )
+    parser.add_argument(
+        "--miner",
+        choices=sorted(MINERS.names()),
+        default=None,
+        help="mining algorithm (default: remi)",
+    )
+    parser.add_argument(
+        "--prominence", choices=sorted(PROMINENCE.names()), default="fr"
+    )
+    parser.add_argument("--standard", action="store_true", help="standard language bias")
+    parser.add_argument(
+        "--parallel", action="store_true", help="deprecated alias for --miner premi"
+    )
+    parser.add_argument("--timeout", type=float, default=None, help="seconds per request")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -177,17 +253,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     stats = subparsers.add_parser("stats", help="print KB statistics")
     stats.add_argument("kb", help="KB file (.hdt or N-Triples)")
-    stats.add_argument("--backend", choices=sorted(BACKENDS), default="hash")
+    stats.add_argument("--backend", choices=sorted(KB_BACKENDS.names()), default="hash")
+    stats.add_argument(
+        "--json", action="store_true", help="emit the service response envelope"
+    )
     stats.set_defaults(func=_cmd_stats)
 
     mine = subparsers.add_parser("mine", help="mine a referring expression")
     mine.add_argument("kb", help="KB file (.hdt or N-Triples)")
     mine.add_argument("entities", nargs="+", help="target entity IRIs")
-    mine.add_argument("--backend", choices=sorted(BACKENDS), default="hash")
-    mine.add_argument("--prominence", choices=("fr", "pr"), default="fr")
-    mine.add_argument("--standard", action="store_true", help="standard language bias")
-    mine.add_argument("--parallel", action="store_true", help="use P-REMI")
-    mine.add_argument("--timeout", type=float, default=None, help="seconds")
+    _add_miner_flags(mine, default_backend="hash")
+    mine.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the versioned service response envelope instead of text",
+    )
     mine.set_defaults(func=_cmd_mine)
 
     batch = subparsers.add_parser(
@@ -200,10 +280,7 @@ def build_parser() -> argparse.ArgumentParser:
         "requests",
         help="JSON-lines requests/updates file, or - for stdin",
     )
-    batch.add_argument("--backend", choices=sorted(BACKENDS), default="interned")
-    batch.add_argument("--prominence", choices=("fr", "pr"), default="fr")
-    batch.add_argument("--standard", action="store_true", help="standard language bias")
-    batch.add_argument("--parallel", action="store_true", help="use P-REMI per request")
+    _add_miner_flags(batch, default_backend="interned")
     batch.add_argument(
         "--workers",
         type=int,
@@ -211,13 +288,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="concurrent requests (N>1 buffers request runs; keep 1 for "
         "interactive per-line streaming from stdin)",
     )
-    batch.add_argument("--timeout", type=float, default=None, help="seconds per request")
     batch.add_argument("--verbalize", action="store_true", help="include NL rendering")
     batch.add_argument("--out", default=None, help="output file (default: stdout)")
     batch.add_argument(
         "--summary", action="store_true", help="print serving stats to stderr"
     )
     batch.set_defaults(func=_cmd_batch)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve concurrent clients over NDJSON-on-TCP "
+        "(mine/describe/update/stats envelopes)",
+    )
+    serve.add_argument("kb", help="KB file (.hdt or N-Triples)")
+    _add_miner_flags(serve, default_backend="interned")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8757, help="0 = ephemeral")
+    serve.add_argument(
+        "--pool", type=int, default=4, help="mining worker threads (bounded pool)"
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=32,
+        help="in-flight request bound before the server stops reading (backpressure)",
+    )
+    serve.add_argument(
+        "--warm-up",
+        action="store_true",
+        help="build shared KB-derived state before accepting traffic",
+    )
+    serve.set_defaults(func=_cmd_serve, workers=1)
     return parser
 
 

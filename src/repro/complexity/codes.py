@@ -357,3 +357,20 @@ class ComplexityEstimator:
     def __repr__(self) -> str:
         name = getattr(self.prominence, "name", "?")
         return f"ComplexityEstimator(prominence={name}, mode={self.mode})"
+
+
+# ----------------------------------------------------------------------
+# registry factories (the ``exact`` / ``powerlaw`` entries of
+# :data:`repro.registry.ESTIMATORS` — custom estimators register their
+# own factory with the same ``(kb, prominence, **kwargs)`` signature)
+# ----------------------------------------------------------------------
+
+
+def exact_estimator(kb: KnowledgeBase, prominence: Prominence, **kwargs) -> ComplexityEstimator:
+    """Ĉ with exact conditional rankings (the paper's default)."""
+    return ComplexityEstimator(kb, prominence, mode="exact", **kwargs)
+
+
+def powerlaw_estimator(kb: KnowledgeBase, prominence: Prominence, **kwargs) -> ComplexityEstimator:
+    """Ĉ with Eq. 1 power-law compression for conditional object ranks."""
+    return ComplexityEstimator(kb, prominence, mode="powerlaw", **kwargs)

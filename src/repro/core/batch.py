@@ -62,14 +62,22 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import MinerConfig
-from repro.core.remi import REMI
-from repro.core.results import MiningResult
+from repro.core.results import MiningResult, SearchStats
 from repro.expressions.verbalize import Verbalizer
 from repro.kb.base import BaseKnowledgeBase
 from repro.kb.epoch import CacheCoherence, EpochWatcher
 from repro.kb.ntriples import NTriplesParseError, parse_term
 from repro.kb.terms import IRI, Term
 from repro.kb.triples import Triple
+from repro.registry import MINERS
+
+#: Uniform machine-readable error codes, shared with the service
+#: envelopes (:mod:`repro.service.envelopes`) so every layer reports
+#: failures the same way.
+ERR_BAD_REQUEST = "bad_request"
+ERR_UNKNOWN_ENTITY = "unknown_entity"
+ERR_BAD_UPDATE = "bad_update"
+ERR_INTERNAL = "internal"
 
 
 class BatchRequestError(ValueError):
@@ -96,11 +104,21 @@ class BatchOutcome:
     request: BatchRequest
     result: Optional[MiningResult] = None
     error: Optional[str] = None
+    #: Machine-readable failure class (one of the ``ERR_*`` constants).
+    error_code: str = ERR_BAD_REQUEST
+    #: 1-based input line the failure was read from (JSONL streams only).
+    line: Optional[int] = None
     seconds: float = 0.0
 
     @property
     def found(self) -> bool:
         return self.result is not None and self.result.found
+
+    def error_json(self) -> Optional[Dict]:
+        """The uniform structured error object (None on success)."""
+        if self.error is None:
+            return None
+        return _error_json(self.error_code, self.error, self.line)
 
     def to_json(self, verbalizer: Optional[Verbalizer] = None) -> Dict:
         """A JSON-serializable record, one per output line of ``remi batch``."""
@@ -109,7 +127,7 @@ class BatchOutcome:
             "targets": [str(t) for t in self.request.targets],
         }
         if self.error is not None:
-            record["error"] = self.error
+            record["error"] = self.error_json()
             return record
         assert self.result is not None
         record["found"] = self.result.found
@@ -119,12 +137,7 @@ class BatchOutcome:
             record["complexity_bits"] = self.result.complexity
             if verbalizer is not None:
                 record["verbalized"] = verbalizer.expression(self.result.expression)
-        stats = self.result.stats
-        record["stats"] = {
-            "candidates": stats.candidates,
-            "re_tests": stats.re_tests,
-            "timed_out": stats.timed_out,
-        }
+        record["stats"] = self.result.stats.to_json()
         return record
 
 
@@ -143,15 +156,32 @@ class UpdateOutcome:
     #: The KB epoch after this operation (what subsequent requests see).
     epoch: int = 0
     error: Optional[str] = None
+    error_code: str = ERR_BAD_UPDATE
+    line: Optional[int] = None
+
+    def error_json(self) -> Optional[Dict]:
+        if self.error is None:
+            return None
+        return _error_json(self.error_code, self.error, self.line)
 
     def to_json(self, verbalizer: Optional[Verbalizer] = None) -> Dict:
         record: Dict = {"id": self.id, "op": self.op, "triple": list(self.triple)}
         if self.error is not None:
-            record["error"] = self.error
+            record["error"] = self.error_json()
             return record
         record["applied"] = self.applied
         record["epoch"] = self.epoch
         return record
+
+
+def _error_json(code: str, reason: str, line: Optional[int]) -> Dict:
+    """The one shape every error takes on the wire: ``code`` classifies,
+    ``reason`` explains, ``line`` (when present) points at the offending
+    input line of a JSONL stream."""
+    record: Dict = {"code": code, "reason": reason}
+    if line is not None:
+        record["line"] = line
+    return record
 
 
 #: JSONL update verbs (``"discard"`` is accepted as an alias of delete
@@ -159,21 +189,39 @@ class UpdateOutcome:
 UPDATE_OPS = ("add", "delete")
 
 
-def _parse_update_term(raw: str, index: int):
+def _parse_update_term(raw: str, context: str, line_no: int = 1):
     """One triple position: a bare IRI string, or N-Triples syntax for
     literals (``"v"``, with optional ``@lang`` / ``^^<dt>``), IRIs in
     angle brackets and blank nodes (``_:b``)."""
     if raw.startswith(("<", '"', "_:")):
         try:
-            return parse_term(raw, index)
+            return parse_term(raw, line_no)
         except NTriplesParseError as exc:
-            raise BatchRequestError(f"line {index}: bad term {raw!r} ({exc})") from exc
+            raise BatchRequestError(f"{context}: bad term {raw!r} ({exc})") from exc
     # Bare strings get the same junk guard as the N-Triples path: an
     # empty or whitespace-bearing "IRI" is a pasted statement or typo,
     # and applying it would mutate the KB with a phantom term.
     if not raw or any(ch.isspace() for ch in raw):
-        raise BatchRequestError(f"line {index}: bad IRI {raw!r}")
+        raise BatchRequestError(f"{context}: bad IRI {raw!r}")
     return IRI(raw)
+
+
+def parse_update_triple(
+    raw: Sequence[str], context: str = "update", line_no: int = 1
+) -> Triple:
+    """Three wire strings → a validated :class:`~repro.kb.triples.Triple`.
+
+    The term syntax of the JSONL update protocol (bare IRIs or N-Triples
+    terms); *context* prefixes error messages (``"line 7"`` in streams).
+    Raises :class:`BatchRequestError` on any malformed position.
+    """
+    terms = [_parse_update_term(part, context, line_no) for part in raw]
+    triple = Triple(*terms)
+    try:
+        triple.validate()
+    except TypeError as exc:
+        raise BatchRequestError(f"{context}: {exc}") from exc
+    return triple
 
 
 def parse_update(payload: Dict, index: int) -> Tuple[str, str, Triple]:
@@ -182,10 +230,11 @@ def parse_update(payload: Dict, index: int) -> Tuple[str, str, Triple]:
     Returns ``(id, op, triple)``; raises :class:`BatchRequestError` on a
     malformed operation.
     """
+    context = f"line {index}"
     op = payload.get("op")
     if op not in UPDATE_OPS:
         raise BatchRequestError(
-            f"line {index}: unknown op {op!r}; use " + " or ".join(map(repr, UPDATE_OPS))
+            f"{context}: unknown op {op!r}; use " + " or ".join(map(repr, UPDATE_OPS))
         )
     raw = payload.get("triple")
     if (
@@ -194,16 +243,10 @@ def parse_update(payload: Dict, index: int) -> Tuple[str, str, Triple]:
         or not all(isinstance(part, str) for part in raw)
     ):
         raise BatchRequestError(
-            f"line {index}: 'triple' must be a [subject, predicate, object] list of strings"
+            f"{context}: 'triple' must be a [subject, predicate, object] list of strings"
         )
     update_id = str(payload.get("id", index))
-    terms = [_parse_update_term(part, index) for part in raw]
-    triple = Triple(*terms)
-    try:
-        triple.validate()
-    except TypeError as exc:
-        raise BatchRequestError(f"line {index}: {exc}") from exc
-    return update_id, op, triple
+    return update_id, op, parse_update_triple(raw, context, line_no=index)
 
 
 def parse_request(line: str, index: int) -> BatchRequest:
@@ -260,12 +303,19 @@ class BatchMiner:
         interned backend is the intended production choice — see
         ``benchmarks/bench_interned.py`` for the measured ratio.
     prominence, config:
-        Forwarded to :class:`~repro.core.remi.REMI`; one miner instance
-        (and thus one prominence ranking, estimator and matcher cache) is
-        shared by every request.
+        Forwarded to the miner; one miner instance (and thus one
+        prominence ranking, estimator and matcher cache) is shared by
+        every request.
+    miner:
+        Registry key of the mining algorithm (:data:`repro.registry.MINERS`:
+        ``"remi"``, ``"premi"``, the baselines, or anything registered
+        late).  Default ``"remi"``.
+    mode:
+        Registry key of the complexity estimator
+        (:data:`repro.registry.ESTIMATORS`), forwarded to the miner.
     parallel:
-        Use :class:`~repro.core.parallel.PREMI` per request (intra-request
-        parallelism).
+        Deprecated alias for ``miner="premi"`` (intra-request
+        parallelism); kept so pre-service callers keep working.
     workers:
         Number of concurrent requests (inter-request parallelism).  The
         default of 1 answers requests in order on the calling thread.
@@ -278,21 +328,30 @@ class BatchMiner:
         config: Optional[MinerConfig] = None,
         parallel: bool = False,
         workers: int = 1,
+        miner: Optional[str] = None,
+        mode: str = "exact",
     ):
         if workers < 1:
             raise ValueError(f"workers must be ≥ 1, got {workers}")
-        if parallel:
-            from repro.core.parallel import PREMI
-
-            miner_class = PREMI
-        else:
-            miner_class = REMI
+        if miner is None:
+            miner = "premi" if parallel else "remi"
+        elif parallel and miner != "premi":
+            raise ValueError(
+                f"parallel=True conflicts with miner={miner!r}; "
+                "pass miner='premi' (parallel is a deprecated alias)"
+            )
         self.kb = kb
-        self.miner = miner_class(kb, prominence=prominence, config=config)
+        self.miner_name = miner
+        self.miner = MINERS.create(
+            miner, kb, prominence=prominence, mode=mode, config=config
+        )
         self.workers = workers
         self.requests_served = 0
         self.updates_applied = 0
         self.errors = 0
+        #: Serving-lifetime totals of every answered request's SearchStats
+        #: (machine-readable via :meth:`summary`).
+        self.search_stats = SearchStats()
         # Counter updates are load/add/store; workers > 1 would lose
         # increments without this lock.
         self._counter_lock = threading.Lock()
@@ -309,8 +368,9 @@ class BatchMiner:
 
         Touches the prominence ranking, the prominent-entity cutoff set and
         the known-entity set so the first request does not pay for them.
+        (Registry miners without a cutoff set — the baselines — skip it.)
         """
-        _ = self.miner.prominent_entities
+        _ = getattr(self.miner, "prominent_entities", None)
         self.miner.prominence.predicate_rank(next(iter(self.kb.predicates()), IRI("urn:none")))
         self._known_entities()
 
@@ -369,6 +429,7 @@ class BatchMiner:
             return BatchOutcome(
                 request=request,
                 error="unknown entities: " + ", ".join(str(u) for u in unknown),
+                error_code=ERR_UNKNOWN_ENTITY,
             )
         started = time.perf_counter()
         result = self.miner.mine(request.targets)
@@ -377,6 +438,7 @@ class BatchMiner:
         )
         with self._counter_lock:
             self.requests_served += 1
+            self.search_stats.accumulate(result.stats)
         return outcome
 
     def mine_many(
@@ -493,7 +555,9 @@ class BatchMiner:
                 self.errors += 1
                 bad = BatchRequest(id=str(index), targets=())
                 yield BatchOutcome(
-                    request=bad, error=f"line {index}: invalid JSON ({exc})"
+                    request=bad,
+                    error=f"line {index}: invalid JSON ({exc})",
+                    line=index,
                 )
                 continue
             if isinstance(payload, dict) and "op" in payload:
@@ -507,6 +571,7 @@ class BatchMiner:
                         op=str(payload.get("op")),
                         triple=(),
                         error=str(exc),
+                        line=index,
                     )
                     continue
                 yield self.apply_update(op, triple, update_id)
@@ -517,7 +582,7 @@ class BatchMiner:
                 yield from flush()
                 self.errors += 1
                 bad = BatchRequest(id=str(index), targets=())
-                yield BatchOutcome(request=bad, error=str(exc))
+                yield BatchOutcome(request=bad, error=str(exc), line=index)
                 continue
             if self.workers == 1:
                 # Buffering only buys anything when requests can run
@@ -537,17 +602,28 @@ class BatchMiner:
     def coherence(self) -> CacheCoherence:
         """Merged epoch-invalidation telemetry across every derived cache
         this miner serves from (matcher LRU, prominence, estimator and
-        scorer rank tables, candidate memos, known-entity set)."""
+        scorer rank tables, candidate memos, known-entity set).  Registry
+        miners without some component — the baselines have no candidate
+        engine — contribute what they have."""
         miner = self.miner
         merged = CacheCoherence()
         merged.merge(miner.matcher.coherence)
-        merged.merge(miner.estimator.coherence)
-        merged.merge(miner.engine.coherence)
-        merged.merge(miner.engine.scorer.coherence)
+        estimator = getattr(miner, "estimator", None)
+        if estimator is not None:
+            merged.merge(estimator.coherence)
+        engine = getattr(miner, "engine", None)
+        if engine is not None:
+            merged.merge(engine.coherence)
+            merged.merge(engine.scorer.coherence)
         prominence_coherence = getattr(miner.prominence, "coherence", None)
         if prominence_coherence is not None:
             merged.merge(prominence_coherence)
-        merged.merge(miner._prominent_watch.coherence)
+        prominent_watch = getattr(miner, "_prominent_watch", None)
+        if prominent_watch is not None:
+            merged.merge(prominent_watch.coherence)
+        adapter_watch = getattr(miner, "_watch", None)  # baseline adapters
+        if adapter_watch is not None:
+            merged.merge(adapter_watch.coherence)
         if self._known_watch is not None:
             merged.merge(self._known_watch.coherence)
         return merged
@@ -555,13 +631,16 @@ class BatchMiner:
     def summary(self) -> Dict:
         """Aggregate serving statistics (cache reuse is the whole point)."""
         cache = self.miner.matcher.cache_stats
+        engine = getattr(self.miner, "engine", None)
         return {
             "requests_served": self.requests_served,
             "updates_applied": self.updates_applied,
             "errors": self.errors,
             "backend": type(self.kb).__name__,
+            "miner": self.miner_name,
             "epoch": self.kb.epoch,
             "matcher_cache": cache,
-            "engine": self.miner.engine.table_stats(),
+            "engine": engine.table_stats() if engine is not None else {},
             "coherence": self.coherence().to_dict(),
+            "search_stats": self.search_stats.to_json(),
         }

@@ -14,8 +14,8 @@ bench can turn them off one at a time.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import FrozenSet, Optional
+from dataclasses import dataclass, field, fields
+from typing import Dict, FrozenSet, Optional
 
 from repro.kb.namespaces import RDF_TYPE, RDFS_LABEL
 from repro.kb.terms import IRI
@@ -119,6 +119,49 @@ class MinerConfig:
     def paper_default(cls, **overrides) -> "MinerConfig":
         """REMI's published configuration (Table 1 bias, all heuristics on)."""
         return cls(**overrides)
+
+    def to_json(self) -> Dict:
+        """The wire form used by :class:`repro.service.ServiceConfig`.
+
+        Enums become their ``value`` strings and the excluded-predicate
+        set a sorted IRI list, so the dict is JSON-serializable and
+        :meth:`from_json` restores an equal config.
+        """
+        return {
+            "language": self.language.value,
+            "max_atoms": self.max_atoms,
+            "prune_blank_single_atoms": self.prune_blank_single_atoms,
+            "prominent_object_cutoff": self.prominent_object_cutoff,
+            "max_star_pairs": self.max_star_pairs,
+            "exclude_predicates": sorted(str(p) for p in self.exclude_predicates),
+            "include_type_atoms": self.include_type_atoms,
+            "include_inverse_atoms": self.include_inverse_atoms,
+            "search": self.search.value,
+            "side_pruning": self.side_pruning,
+            "depth_pruning": self.depth_pruning,
+            "bound_pruning": self.bound_pruning,
+            "timeout_seconds": self.timeout_seconds,
+            "num_threads": self.num_threads,
+        }
+
+    @classmethod
+    def from_json(cls, record: Dict) -> "MinerConfig":
+        """Rebuild from :meth:`to_json` output; unknown keys rejected so a
+        typo on the wire fails loudly instead of silently defaulting."""
+        names = {spec.name for spec in fields(cls)}
+        unknown = set(record) - names
+        if unknown:
+            raise ValueError(f"unknown MinerConfig fields: {sorted(unknown)}")
+        decoded = dict(record)
+        if "language" in decoded:
+            decoded["language"] = LanguageBias(decoded["language"])
+        if "search" in decoded:
+            decoded["search"] = SearchStrategy(decoded["search"])
+        if "exclude_predicates" in decoded:
+            decoded["exclude_predicates"] = frozenset(
+                IRI(p) for p in decoded["exclude_predicates"]
+            )
+        return cls(**decoded)
 
     def is_excluded(self, predicate: IRI) -> bool:
         if predicate in self.exclude_predicates:

@@ -30,11 +30,8 @@ import time
 from typing import FrozenSet, List, Optional, Sequence, Tuple, Union
 
 from repro.complexity.codes import ComplexityEstimator
-from repro.complexity.ranking import (
-    FrequencyProminence,
-    PageRankProminence,
-    Prominence,
-)
+from repro.complexity.ranking import Prominence
+from repro.registry import ESTIMATORS, PROMINENCE
 from repro.core.candidates import CandidateEngine, ScoredSE
 from repro.core.config import MinerConfig, SearchStrategy
 from repro.core.results import MiningResult, SearchStats
@@ -51,13 +48,10 @@ __all__ = ["REMI", "ScoredSE", "resolve_prominence"]
 def resolve_prominence(
     kb: KnowledgeBase, prominence: Union[str, Prominence]
 ) -> Prominence:
-    """Accepts ``"fr"``, ``"pr"`` or a prebuilt model."""
+    """Accepts a registry key (``"fr"``, ``"pr"``, or any provider
+    registered in :data:`repro.registry.PROMINENCE`) or a prebuilt model."""
     if isinstance(prominence, str):
-        if prominence == "fr":
-            return FrequencyProminence(kb)
-        if prominence == "pr":
-            return PageRankProminence(kb)
-        raise ValueError(f"unknown prominence {prominence!r}; use 'fr' or 'pr'")
+        return PROMINENCE.create(prominence, kb)
     return prominence
 
 
@@ -84,7 +78,9 @@ class REMI:
         self.kb = kb
         self.config = config or MinerConfig()
         self.prominence = resolve_prominence(kb, prominence)
-        self.estimator = estimator or ComplexityEstimator(kb, self.prominence, mode=mode)
+        # ``mode`` is a key of the ESTIMATORS registry ("exact",
+        # "powerlaw", or a custom factory registered by the caller).
+        self.estimator = estimator or ESTIMATORS.create(mode, kb, self.prominence)
         self.matcher = matcher or Matcher(kb)
         self._prominent: Optional[FrozenSet[Term]] = None
         self._prominent_watch = EpochWatcher(kb)

@@ -10,8 +10,8 @@ and the §4.2.2 phase-split experiment (queue-build vs search time).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import dataclass, field, fields
+from typing import Dict, List, Optional, Tuple
 
 from repro.expressions.expression import Expression
 
@@ -55,6 +55,29 @@ class SearchStats:
             return 0.0
         return self.sort_seconds / self.total_seconds
 
+    def to_json(self) -> Dict:
+        """Every counter and timing as a JSON-serializable dict.
+
+        The wire form of server telemetry: one key per dataclass field
+        (timings rounded to µs so records are stable across dumps), and
+        :meth:`from_json` restores an equal instance — round-trip pinned
+        by ``tests/core/test_results.py``.
+        """
+        record: Dict = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            record[spec.name] = round(value, 6) if isinstance(value, float) else value
+        return record
+
+    @classmethod
+    def from_json(cls, record: Dict) -> "SearchStats":
+        """Rebuild from :meth:`to_json` output (unknown keys rejected)."""
+        names = {spec.name for spec in fields(cls)}
+        unknown = set(record) - names
+        if unknown:
+            raise ValueError(f"unknown SearchStats fields: {sorted(unknown)}")
+        return cls(**record)
+
     def merge(self, other: "SearchStats") -> None:
         """Accumulate counters from a worker thread's local stats."""
         self.nodes_visited += other.nodes_visited
@@ -67,6 +90,25 @@ class SearchStats:
         self.roots_skipped += other.roots_skipped
         self.timed_out = self.timed_out or other.timed_out
         self.peak_stack_depth = max(self.peak_stack_depth, other.peak_stack_depth)
+
+    def accumulate(self, other: "SearchStats") -> None:
+        """Fold a whole run's stats into a serving-lifetime total.
+
+        Unlike :meth:`merge` (worker threads of ONE run, where queue-build
+        counters belong to the parent) this also sums the queue-build
+        counters and the phase timings — what
+        :meth:`repro.core.batch.BatchMiner.summary` reports across requests.
+        """
+        self.merge(other)
+        self.candidates += other.candidates
+        self.enumerated += other.enumerated
+        self.intersected_out += other.intersected_out
+        self.scored += other.scored
+        self.enumerate_seconds += other.enumerate_seconds
+        self.complexity_seconds += other.complexity_seconds
+        self.sort_seconds += other.sort_seconds
+        self.search_seconds += other.search_seconds
+        self.total_seconds += other.total_seconds
 
 
 @dataclass

@@ -51,6 +51,10 @@ class CacheCoherence:
     invalidations: int = 0
     #: Incremental per-key repairs (touched keys dropped, rest kept).
     repairs: int = 0
+    #: Coherence violations: a repair raised mid-way and the cache had to
+    #: be rebuilt from scratch to restore consistency.  A healthy serving
+    #: session reports zero; the ``remi serve`` smoke test pins that.
+    violations: int = 0
     #: Time spent clearing/repairing/eagerly rebuilding derived state.
     rebuild_seconds: float = 0.0
 
@@ -59,6 +63,7 @@ class CacheCoherence:
         self.epochs_seen += other.epochs_seen
         self.invalidations += other.invalidations
         self.repairs += other.repairs
+        self.violations += other.violations
         self.rebuild_seconds += other.rebuild_seconds
         return self
 
@@ -67,6 +72,7 @@ class CacheCoherence:
             "epochs_seen": self.epochs_seen,
             "invalidations": self.invalidations,
             "repairs": self.repairs,
+            "violations": self.violations,
             "rebuild_seconds": round(self.rebuild_seconds, 6),
         }
 
@@ -154,6 +160,7 @@ class EpochWatcher:
                 self.seen = current
                 self.coherence.epochs_seen += 1
                 self.coherence.invalidations += 1
+                self.coherence.violations += 1
                 raise
         if repaired:
             self.coherence.repairs += 1

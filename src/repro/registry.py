@@ -1,0 +1,204 @@
+"""String-keyed plugin registries: the extension points of the service layer.
+
+Every place the system used to hard-code a choice behind an ``if``/``elif``
+ladder or a module-level dict — the ``BACKENDS`` table in :mod:`repro.cli`,
+the ``miner_class`` switch in :mod:`repro.core.batch`, the prominence
+resolution in :mod:`repro.core.remi`, the estimator-mode check in
+:mod:`repro.complexity.codes` — now resolves through a :class:`Registry`.
+Four registries cover the pluggable axes of a mining deployment:
+
+* :data:`KB_BACKENDS` — triple-store implementations (``hash``,
+  ``interned``);
+* :data:`MINERS` — mining algorithms (``remi``, ``premi``, and the
+  §4.1.2 baselines ``full-brevity`` / ``incremental``);
+* :data:`PROMINENCE` — prominence models behind Ĉ (``fr``, ``pr``);
+* :data:`ESTIMATORS` — complexity-estimation modes (``exact``,
+  ``powerlaw``).
+
+Built-ins are registered **lazily** (module path + attribute, resolved on
+first use) so this module imports nothing from the rest of the package —
+any layer may depend on it without cycles, and importing the registry
+costs nothing until a plugin is actually constructed.  Third-party code
+registers eagerly::
+
+    from repro.registry import PROMINENCE
+
+    @PROMINENCE.register("degree")
+    class DegreeProminence:
+        ...
+
+    REMI(kb, prominence="degree")   # resolves through the registry
+
+Unknown keys raise :class:`RegistryError` naming every available plugin,
+so a typo on the CLI or the wire reads as a menu, not a stack trace.
+"""
+
+from __future__ import annotations
+
+import importlib
+import threading
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
+
+
+class RegistryError(KeyError, ValueError):
+    """An unknown plugin key; the message lists what IS registered.
+
+    Subclasses both :class:`KeyError` (it is a failed lookup) and
+    :class:`ValueError` (callers that passed the key as a parameter —
+    and the pre-registry code paths — catch it as a bad value)."""
+
+    def __init__(self, kind: str, name: str, available) -> None:
+        self.kind = kind
+        self.name = name
+        self.available = tuple(available)
+        listing = ", ".join(repr(a) for a in self.available) or "<none>"
+        super().__init__(f"unknown {kind} {name!r}; available: {listing}")
+
+    def __str__(self) -> str:  # KeyError quotes its arg; we want the message
+        return self.args[0]
+
+
+class Registry:
+    """One named axis of pluggable implementations.
+
+    Entries are factories — anything callable that builds the plugin
+    (usually the class itself).  :meth:`register` adds one eagerly (and
+    doubles as a class decorator); :meth:`register_lazy` records a
+    ``module:attr`` spec imported on first :meth:`get`, which is how the
+    built-ins avoid import cycles.  Late registration is first-class:
+    a key may be added (or, with ``replace=True``, overridden) at any
+    point and is visible to every subsequent lookup.
+    """
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._factories: Dict[str, Callable[..., Any]] = {}
+        self._lazy: Dict[str, Tuple[str, str]] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        factory: Optional[Callable[..., Any]] = None,
+        *,
+        replace: bool = False,
+    ):
+        """Register *factory* under *name*; usable as a decorator."""
+
+        def _add(target: Callable[..., Any]) -> Callable[..., Any]:
+            if not callable(target):
+                raise TypeError(f"{self.kind} factory for {name!r} must be callable")
+            with self._lock:
+                if not replace and name in self:
+                    raise ValueError(
+                        f"{self.kind} {name!r} is already registered; "
+                        "pass replace=True to override"
+                    )
+                self._factories[name] = target
+                self._lazy.pop(name, None)
+            return target
+
+        if factory is None:
+            return _add
+        return _add(factory)
+
+    def register_lazy(
+        self, name: str, module: str, attr: str, *, replace: bool = False
+    ) -> None:
+        """Register a ``module.attr`` spec resolved on first lookup."""
+        with self._lock:
+            if not replace and name in self:
+                raise ValueError(f"{self.kind} {name!r} is already registered")
+            self._lazy[name] = (module, attr)
+            self._factories.pop(name, None)
+
+    def unregister(self, name: str) -> None:
+        with self._lock:
+            found = self._factories.pop(name, None) or self._lazy.pop(name, None)
+        if found is None:
+            raise RegistryError(self.kind, name, self.names())
+
+    # ------------------------------------------------------------------
+
+    def get(self, name: str) -> Callable[..., Any]:
+        """The factory registered under *name* (resolving lazy specs)."""
+        factory = self._factories.get(name)
+        if factory is not None:
+            return factory
+        spec = self._lazy.get(name)
+        if spec is None:
+            raise RegistryError(self.kind, name, self.names())
+        module, attr = spec
+        resolved = getattr(importlib.import_module(module), attr)
+        with self._lock:
+            # A concurrent resolver got the same attribute; either wins.
+            self._factories.setdefault(name, resolved)
+            self._lazy.pop(name, None)
+        return self._factories[name]
+
+    def create(self, name: str, *args, **kwargs) -> Any:
+        """Instantiate the plugin registered under *name*."""
+        return self.get(name)(*args, **kwargs)
+
+    def names(self):
+        """Sorted keys — the menu :class:`RegistryError` prints."""
+        with self._lock:
+            return sorted(set(self._factories) | set(self._lazy))
+
+    def __getitem__(self, name: str) -> Callable[..., Any]:
+        """Dict-style lookup (``KB_BACKENDS["interned"]``) — the read
+        contract of the table this registry replaced.  Raises
+        :class:`RegistryError`, which is a :class:`KeyError`."""
+        return self.get(name)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._factories or name in self._lazy
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(set(self._factories) | set(self._lazy))
+
+    def __repr__(self) -> str:
+        return f"Registry({self.kind!r}, {self.names()})"
+
+
+# ----------------------------------------------------------------------
+# the four built-in axes
+# ----------------------------------------------------------------------
+
+#: Triple-store backends, keyed as on the CLI's ``--backend``.
+KB_BACKENDS = Registry("KB backend")
+KB_BACKENDS.register_lazy("hash", "repro.kb.store", "KnowledgeBase")
+KB_BACKENDS.register_lazy("interned", "repro.kb.interned", "InternedKnowledgeBase")
+
+#: Mining algorithms.  Factories share the REMI construction protocol:
+#: ``factory(kb, prominence=..., mode=..., config=...)`` returning an
+#: object with ``.mine(targets) -> MiningResult``.
+MINERS = Registry("miner")
+MINERS.register_lazy("remi", "repro.core.remi", "REMI")
+MINERS.register_lazy("premi", "repro.core.parallel", "PREMI")
+MINERS.register_lazy("full-brevity", "repro.baselines", "FullBrevityAdapter")
+MINERS.register_lazy("incremental", "repro.baselines", "IncrementalAdapter")
+
+#: Prominence models (the ``fr`` / ``pr`` of Ĉfr and Ĉpr).
+PROMINENCE = Registry("prominence provider")
+PROMINENCE.register_lazy("fr", "repro.complexity.ranking", "FrequencyProminence")
+PROMINENCE.register_lazy("pr", "repro.complexity.ranking", "PageRankProminence")
+
+#: Complexity-estimation modes of :class:`~repro.complexity.codes.ComplexityEstimator`.
+ESTIMATORS = Registry("complexity estimator")
+ESTIMATORS.register_lazy("exact", "repro.complexity.codes", "exact_estimator")
+ESTIMATORS.register_lazy("powerlaw", "repro.complexity.codes", "powerlaw_estimator")
+
+__all__ = [
+    "ESTIMATORS",
+    "KB_BACKENDS",
+    "MINERS",
+    "PROMINENCE",
+    "Registry",
+    "RegistryError",
+]

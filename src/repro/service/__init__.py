@@ -1,0 +1,66 @@
+"""``repro.service`` — the single public API of the mining system.
+
+Four layers, one front door:
+
+* :mod:`repro.service.envelopes` — the typed request/response vocabulary
+  (``MineRequest`` … ``StatsRequest`` → a versioned ``Response`` with
+  uniform error objects);
+* :mod:`repro.service.config` — :class:`ServiceConfig`, the validated
+  construction surface that subsumes the scattered constructor kwargs;
+* :mod:`repro.service.facade` — :class:`MiningService`, which owns the
+  resident KB + shared :class:`~repro.core.batch.BatchMiner` and answers
+  envelopes bit-identically to direct miner calls;
+* :mod:`repro.service.server` — the concurrent ``remi serve``
+  NDJSON-over-TCP layer (bounded worker pool, update barrier,
+  backpressure, graceful drain).
+
+The plugin registries the service resolves its names through live in
+:mod:`repro.registry` (KB backends, miners, prominence providers,
+complexity estimators) and are re-exported here for convenience.
+"""
+
+from repro.registry import (
+    ESTIMATORS,
+    KB_BACKENDS,
+    MINERS,
+    PROMINENCE,
+    Registry,
+    RegistryError,
+)
+from repro.service.config import ServiceConfig
+from repro.service.envelopes import (
+    DescribeRequest,
+    EnvelopeError,
+    MineRequest,
+    PROTOCOL_VERSION,
+    Request,
+    Response,
+    StatsRequest,
+    UpdateRequest,
+    parse_request,
+)
+from repro.service.facade import MiningService, load_kb
+from repro.service.server import MiningServer, run_server
+
+__all__ = [
+    "DescribeRequest",
+    "ESTIMATORS",
+    "EnvelopeError",
+    "KB_BACKENDS",
+    "MINERS",
+    "MineRequest",
+    "MiningServer",
+    "MiningService",
+    "PROMINENCE",
+    "PROTOCOL_VERSION",
+    "Registry",
+    "RegistryError",
+    "Request",
+    "Response",
+    "ServiceConfig",
+    "StatsRequest",
+    "UpdateRequest",
+    "load_kb",
+    "parse_request",
+    "run_server",
+]

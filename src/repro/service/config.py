@@ -1,0 +1,121 @@
+"""Validated service configuration: one object instead of scattered kwargs.
+
+Before the façade existed, standing up a miner meant threading the same
+half-dozen choices — backend, miner class, prominence, estimator mode,
+language bias, timeout, worker count — through three different
+constructors with three different spellings.  :class:`ServiceConfig`
+names each choice once, validates every registry key at construction
+time (a typo fails with the list of available plugins, not deep inside a
+request), and builds the matching :class:`~repro.core.config.MinerConfig`.
+
+All fields have production-sensible defaults::
+
+    ServiceConfig()                          # interned backend, REMI, Ĉfr
+    ServiceConfig(miner="premi", workers=4)  # parallel miner, 4 concurrent requests
+    ServiceConfig.from_json({"backend": "hash", "prominence": "pr"})
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict
+
+from repro.core.config import LanguageBias, MinerConfig
+from repro.registry import ESTIMATORS, KB_BACKENDS, MINERS, PROMINENCE, RegistryError
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Every knob of a :class:`~repro.service.facade.MiningService`.
+
+    Attributes
+    ----------
+    backend:
+        :data:`~repro.registry.KB_BACKENDS` key used when the service
+        loads a KB from a file (``interned`` is the production choice).
+    miner:
+        :data:`~repro.registry.MINERS` key (``remi``, ``premi``,
+        ``full-brevity``, ``incremental``, or a late-registered plugin).
+    prominence:
+        :data:`~repro.registry.PROMINENCE` key (``fr`` / ``pr``).
+    estimator:
+        :data:`~repro.registry.ESTIMATORS` key (``exact`` / ``powerlaw``).
+    workers:
+        Concurrent requests served by the shared
+        :class:`~repro.core.batch.BatchMiner` / the network layer's
+        worker pool.
+    verbalize:
+        Include NL verbalizations in mine responses by default.
+    miner_config:
+        The full :class:`~repro.core.config.MinerConfig`; the common
+        overrides (language bias, timeout) have wire-level shorthands in
+        :meth:`from_json`.
+    """
+
+    backend: str = "interned"
+    miner: str = "remi"
+    prominence: str = "fr"
+    estimator: str = "exact"
+    workers: int = 1
+    verbalize: bool = False
+    miner_config: MinerConfig = field(default_factory=MinerConfig)
+
+    def __post_init__(self) -> None:
+        for registry, key in (
+            (KB_BACKENDS, self.backend),
+            (MINERS, self.miner),
+            (PROMINENCE, self.prominence),
+            (ESTIMATORS, self.estimator),
+        ):
+            if key not in registry:
+                raise RegistryError(registry.kind, key, registry.names())
+        if self.workers < 1:
+            raise ValueError(f"workers must be ≥ 1, got {self.workers}")
+
+    def with_(self, **overrides) -> "ServiceConfig":
+        """A copy with *overrides* applied (validation re-runs)."""
+        return replace(self, **overrides)
+
+    # ------------------------------------------------------------------
+    # wire form
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> Dict:
+        record = {
+            "backend": self.backend,
+            "miner": self.miner,
+            "prominence": self.prominence,
+            "estimator": self.estimator,
+            "workers": self.workers,
+            "verbalize": self.verbalize,
+            "miner_config": self.miner_config.to_json(),
+        }
+        return record
+
+    @classmethod
+    def from_json(cls, record: Dict) -> "ServiceConfig":
+        """Rebuild from :meth:`to_json` output, accepting two shorthands
+        (``language``, ``timeout_seconds``) that fold into the nested
+        miner config — the shapes the CLI flags produce."""
+        decoded = dict(record)
+        miner_config = decoded.pop("miner_config", None)
+        config = (
+            MinerConfig.from_json(miner_config)
+            if miner_config is not None
+            else MinerConfig()
+        )
+        shorthand = {}
+        if "language" in decoded:
+            shorthand["language"] = LanguageBias(decoded.pop("language"))
+        if "timeout_seconds" in decoded:
+            shorthand["timeout_seconds"] = decoded.pop("timeout_seconds")
+        if shorthand:
+            config = replace(config, **shorthand)
+        names = {spec.name for spec in fields(cls)}
+        unknown = set(decoded) - names
+        if unknown:
+            raise ValueError(f"unknown ServiceConfig fields: {sorted(unknown)}")
+        return cls(miner_config=config, **decoded)
+
+
+__all__ = ["ServiceConfig"]

@@ -1,0 +1,263 @@
+"""Typed request/response envelopes: the wire vocabulary of the service.
+
+Every way into the miner — ``remi mine --json``, ``remi serve``, the
+:class:`~repro.service.facade.MiningService` façade — speaks the same
+four request types and returns the same versioned :class:`Response`:
+
+* :class:`MineRequest` — mine the Ĉ-minimal RE for a target set;
+* :class:`DescribeRequest` — mine and return only the NL verbalization;
+* :class:`UpdateRequest` — mutate the resident KB (``add``/``delete``);
+* :class:`StatsRequest` — KB statistics plus serving telemetry.
+
+On the wire a request is one JSON object with a ``type`` field::
+
+    {"type": "mine", "id": "q1", "targets": ["http://ex.org/Rennes"], "verbalize": true}
+    {"type": "update", "op": "add", "triple": ["s", "p", "o"]}
+    {"type": "stats"}
+
+For continuity with the ``remi batch`` JSONL protocol the ``type`` field
+may be omitted: a bare list or an object with ``targets`` parses as a
+mine request, an object with ``op`` as an update — so an existing batch
+request file replays against ``remi serve`` unchanged.
+
+Responses are versioned envelopes with uniform error objects::
+
+    {"v": 1, "id": "q1", "kind": "mine", "ok": true, "seconds": 0.004,
+     "result": {"found": true, "expression": "...", "complexity_bits": 5.17,
+                "stats": {...}}}
+    {"v": 1, "id": "q2", "kind": "mine", "ok": false,
+     "error": {"code": "unknown_entity", "reason": "unknown entities: ..."}}
+
+The error object is exactly the shape ``remi batch`` emits per line
+(``code`` / ``reason`` / optional ``line``), so one client-side error
+handler covers both surfaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple, Union
+
+from repro.core.batch import (
+    ERR_BAD_REQUEST,
+    ERR_BAD_UPDATE,
+    ERR_INTERNAL,
+    ERR_UNKNOWN_ENTITY,
+    UPDATE_OPS,
+    _error_json,
+)
+
+#: The wire-protocol version stamped on every response (bump on any
+#: breaking change to the envelope shape).
+PROTOCOL_VERSION = 1
+
+
+class EnvelopeError(ValueError):
+    """A payload that cannot be parsed into a typed request."""
+
+    def __init__(self, message: str, code: str = ERR_BAD_REQUEST):
+        super().__init__(message)
+        self.code = code
+
+
+@dataclass(frozen=True)
+class MineRequest:
+    """Mine the Ĉ-minimal referring expression for *targets*."""
+
+    targets: Tuple[str, ...]
+    id: str = "-"
+    verbalize: bool = False
+    kind = "mine"
+
+
+@dataclass(frozen=True)
+class DescribeRequest:
+    """Mine and verbalize; the response carries only the NL rendering
+    (plus the raw expression for callers that want both)."""
+
+    targets: Tuple[str, ...]
+    id: str = "-"
+    kind = "describe"
+
+
+@dataclass(frozen=True)
+class UpdateRequest:
+    """Mutate the resident KB.  ``triple`` positions are bare IRI strings
+    or N-Triples syntax, exactly as in the ``remi batch`` protocol."""
+
+    op: str
+    triple: Tuple[str, str, str]
+    id: str = "-"
+    kind = "update"
+
+
+@dataclass(frozen=True)
+class StatsRequest:
+    """KB statistics and serving telemetry."""
+
+    id: str = "-"
+    kind = "stats"
+
+
+Request = Union[MineRequest, DescribeRequest, UpdateRequest, StatsRequest]
+
+#: ``type`` strings accepted on the wire, in dispatch order.
+REQUEST_TYPES = ("mine", "describe", "update", "stats")
+
+
+def _targets_from(payload: Dict, context: str) -> Tuple[str, ...]:
+    raw = payload.get("targets")
+    if not isinstance(raw, list) or not all(isinstance(t, str) for t in raw):
+        raise EnvelopeError(f"{context}: 'targets' must be a list of IRI strings")
+    if not raw:
+        raise EnvelopeError(f"{context}: empty target set")
+    return tuple(raw)
+
+
+def parse_request(payload, *, line: Optional[int] = None) -> Request:
+    """Decoded JSON → a typed request (raises :class:`EnvelopeError`).
+
+    *line*, when given, prefixes error messages with the input position —
+    the NDJSON server and JSONL files pass it so parse failures point at
+    the offending line.
+    """
+    context = f"line {line}" if line is not None else "request"
+    if isinstance(payload, list):  # legacy batch form: bare target list
+        payload = {"type": "mine", "targets": payload}
+    if not isinstance(payload, dict):
+        raise EnvelopeError(
+            f"{context}: expected a JSON object or list, got {type(payload).__name__}"
+        )
+    kind = payload.get("type")
+    if kind is None:  # legacy batch forms without a type tag
+        kind = "update" if "op" in payload else "mine"
+    if kind not in REQUEST_TYPES:
+        raise EnvelopeError(
+            f"{context}: unknown request type {kind!r}; "
+            "use " + ", ".join(map(repr, REQUEST_TYPES))
+        )
+    request_id = str(payload.get("id", line if line is not None else "-"))
+    if kind == "stats":
+        return StatsRequest(id=request_id)
+    if kind == "update":
+        op = payload.get("op")
+        if op not in UPDATE_OPS:
+            raise EnvelopeError(
+                f"{context}: unknown op {op!r}; use "
+                + " or ".join(map(repr, UPDATE_OPS)),
+                code=ERR_BAD_UPDATE,
+            )
+        triple = payload.get("triple")
+        if (
+            not isinstance(triple, list)
+            or len(triple) != 3
+            or not all(isinstance(part, str) for part in triple)
+        ):
+            raise EnvelopeError(
+                f"{context}: 'triple' must be a [subject, predicate, object] "
+                "list of strings",
+                code=ERR_BAD_UPDATE,
+            )
+        return UpdateRequest(id=request_id, op=op, triple=tuple(triple))
+    targets = _targets_from(payload, context)
+    if kind == "describe":
+        return DescribeRequest(id=request_id, targets=targets)
+    return MineRequest(
+        id=request_id, targets=targets, verbalize=bool(payload.get("verbalize", False))
+    )
+
+
+@dataclass
+class Response:
+    """The one envelope every service call returns.
+
+    ``ok`` distinguishes the two bodies: ``result`` (the kind-specific
+    payload) when the call succeeded, ``error`` (the uniform
+    code/reason/line object) when it did not.  ``version`` pins the
+    protocol so clients can reject envelopes they do not understand.
+    """
+
+    id: str
+    kind: str
+    ok: bool
+    result: Dict = field(default_factory=dict)
+    error_code: Optional[str] = None
+    error: Optional[str] = None
+    line: Optional[int] = None
+    seconds: float = 0.0
+    version: int = PROTOCOL_VERSION
+
+    @classmethod
+    def success(cls, request, result: Dict, seconds: float = 0.0) -> "Response":
+        return cls(
+            id=request.id, kind=request.kind, ok=True, result=result, seconds=seconds
+        )
+
+    @classmethod
+    def failure(
+        cls,
+        request_id: str,
+        kind: str,
+        reason: str,
+        code: str = ERR_BAD_REQUEST,
+        line: Optional[int] = None,
+    ) -> "Response":
+        return cls(
+            id=request_id, kind=kind, ok=False,
+            error=reason, error_code=code, line=line,
+        )
+
+    def to_json(self) -> Dict:
+        record: Dict = {"v": self.version, "id": self.id, "kind": self.kind, "ok": self.ok}
+        if self.ok:
+            record["seconds"] = round(self.seconds, 6)
+            record["result"] = self.result
+        else:
+            assert self.error is not None and self.error_code is not None
+            record["error"] = _error_json(self.error_code, self.error, self.line)
+        return record
+
+    @classmethod
+    def from_json(cls, record: Dict) -> "Response":
+        """Rebuild from :meth:`to_json` output (client-side convenience)."""
+        version = record.get("v")
+        if version != PROTOCOL_VERSION:
+            raise EnvelopeError(f"unsupported envelope version {version!r}")
+        base = dict(
+            id=str(record.get("id", "-")),
+            kind=str(record.get("kind", "?")),
+            version=version,
+        )
+        if record.get("ok"):
+            return cls(
+                ok=True,
+                result=record.get("result", {}),
+                seconds=float(record.get("seconds", 0.0)),
+                **base,
+            )
+        error = record.get("error") or {}
+        return cls(
+            ok=False,
+            error=error.get("reason", "unknown error"),
+            error_code=error.get("code", ERR_INTERNAL),
+            line=error.get("line"),
+            **base,
+        )
+
+
+__all__ = [
+    "ERR_BAD_REQUEST",
+    "ERR_BAD_UPDATE",
+    "ERR_INTERNAL",
+    "ERR_UNKNOWN_ENTITY",
+    "DescribeRequest",
+    "EnvelopeError",
+    "MineRequest",
+    "PROTOCOL_VERSION",
+    "REQUEST_TYPES",
+    "Request",
+    "Response",
+    "StatsRequest",
+    "UpdateRequest",
+    "parse_request",
+]

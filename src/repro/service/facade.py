@@ -1,0 +1,301 @@
+"""The one front door: :class:`MiningService`.
+
+Every surface — the CLI subcommands, the ``remi serve`` network layer,
+programmatic embedders — goes through this façade.  It owns exactly one
+resident KB and one shared :class:`~repro.core.batch.BatchMiner` (built
+from a validated :class:`~repro.service.config.ServiceConfig` through
+the plugin registries), accepts the typed requests of
+:mod:`repro.service.envelopes`, and returns versioned
+:class:`~repro.service.envelopes.Response` envelopes with uniform error
+objects.
+
+Responses are **bit-identical** to calling the underlying miner
+directly — the façade adds no post-processing, only the envelope — which
+the seeded differential suite in ``tests/service/test_service.py`` pins
+across 50 KBs × both backends.
+
+>>> from repro.service import MineRequest, MiningService, ServiceConfig
+>>> service = MiningService(kb, ServiceConfig(miner="premi"))
+>>> response = service.mine(MineRequest(id="q1", targets=(str(rennes),)))
+>>> response.ok, response.result["expression"]
+
+Thread safety matches the miner underneath: concurrent ``mine`` /
+``describe`` / ``stats`` calls are safe; ``update`` must not overlap
+in-flight mining (the network layer enforces that barrier, exactly like
+:meth:`~repro.core.batch.BatchMiner.serve_jsonl` does for streams).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, Optional, Union
+
+from repro.core.batch import (
+    BatchMiner,
+    BatchOutcome,
+    BatchRequest,
+    BatchRequestError,
+    ERR_BAD_UPDATE,
+    ERR_INTERNAL,
+    UpdateOutcome,
+    parse_update_triple,
+)
+from repro.expressions.verbalize import Verbalizer
+from repro.kb.base import BaseKnowledgeBase
+from repro.kb.terms import IRI
+from repro.registry import KB_BACKENDS
+from repro.service.config import ServiceConfig
+from repro.service.envelopes import (
+    DescribeRequest,
+    EnvelopeError,
+    MineRequest,
+    Request,
+    Response,
+    StatsRequest,
+    UpdateRequest,
+    parse_request,
+)
+
+
+def load_kb(path: Union[str, Path], backend: str = "interned") -> BaseKnowledgeBase:
+    """Load a KB file into the named registry backend.
+
+    RHDT binaries (``.hdt``) and N-Triples text (anything else) are
+    auto-detected, exactly as the CLI always did — this is that logic,
+    promoted to the service layer so every entry point shares it.
+    """
+    path = str(path)
+    backend_class = KB_BACKENDS.get(backend)
+    if path.endswith(".hdt"):
+        from repro.kb.hdt import load_hdt
+
+        loaded = load_hdt(path)
+        if type(loaded) is backend_class:
+            return loaded
+        return backend_class(loaded.triples(), name=loaded.name)
+    from repro.kb.ntriples import parse_ntriples_file
+
+    return backend_class(parse_ntriples_file(path), name=Path(path).stem)
+
+
+class MiningService:
+    """Typed façade over one resident KB and its shared mining substrate.
+
+    Parameters
+    ----------
+    kb:
+        The resident knowledge base (any registry backend instance).
+    config:
+        A validated :class:`~repro.service.config.ServiceConfig`;
+        defaults throughout.
+    """
+
+    def __init__(self, kb: BaseKnowledgeBase, config: Optional[ServiceConfig] = None):
+        self.config = config or ServiceConfig()
+        self.kb = kb
+        self.verbalizer = Verbalizer(kb)
+        self._started = time.time()
+        # The mining substrate (prominence ranking, estimator, candidate
+        # engine) is expensive to build and useless to a stats-only
+        # caller, so it materializes on first mining use.
+        self._batch: Optional[BatchMiner] = None
+        self._batch_lock = threading.Lock()
+
+    @property
+    def batch(self) -> BatchMiner:
+        """The shared :class:`~repro.core.batch.BatchMiner`, built on
+        first use (double-checked, so concurrent server workers build it
+        exactly once)."""
+        miner = self._batch
+        if miner is not None:
+            return miner
+        with self._batch_lock:
+            if self._batch is None:
+                self._batch = BatchMiner(
+                    self.kb,
+                    prominence=self.config.prominence,
+                    config=self.config.miner_config,
+                    workers=self.config.workers,
+                    miner=self.config.miner,
+                    mode=self.config.estimator,
+                )
+            return self._batch
+
+    @classmethod
+    def from_path(
+        cls, path: Union[str, Path], config: Optional[ServiceConfig] = None
+    ) -> "MiningService":
+        """Build a service from a KB file, backend chosen by the config."""
+        config = config or ServiceConfig()
+        return cls(load_kb(path, config.backend), config)
+
+    def warm_up(self) -> None:
+        """Build the shared KB-derived state before the first request."""
+        self.batch.warm_up()
+
+    # ------------------------------------------------------------------
+    # typed endpoints
+    # ------------------------------------------------------------------
+
+    def mine(self, request: MineRequest) -> Response:
+        """The Ĉ-minimal RE for the request's targets (or a typed error)."""
+        outcome = self.batch.mine_one(self._batch_request(request))
+        return self._mine_response(request, outcome, verbalize=self._verbalize(request))
+
+    def describe(self, request: DescribeRequest) -> Response:
+        """Mine and verbalize; the result leads with the NL rendering."""
+        outcome = self.batch.mine_one(self._batch_request(request))
+        if outcome.error is not None:
+            return self._outcome_failure(request, outcome)
+        assert outcome.result is not None
+        result: Dict = {"found": outcome.result.found}
+        if outcome.result.found:
+            result["verbalized"] = self.verbalizer.expression(outcome.result.expression)
+            result["expression"] = repr(outcome.result.expression)
+            result["complexity_bits"] = outcome.result.complexity
+        return Response.success(request, result, seconds=outcome.seconds)
+
+    def update(self, request: UpdateRequest) -> Response:
+        """Apply one KB mutation.  Callers must not overlap this with
+        in-flight mining — the server's update barrier guarantees it."""
+        started = time.perf_counter()
+        try:
+            triple = parse_update_triple(request.triple, context="update")
+        except BatchRequestError as exc:
+            self.batch.errors += 1
+            return Response.failure(request.id, request.kind, str(exc), ERR_BAD_UPDATE)
+        outcome = self.batch.apply_update(request.op, triple, request.id)
+        if outcome.error is not None:
+            return Response.failure(
+                request.id, request.kind, outcome.error, outcome.error_code
+            )
+        return Response.success(
+            request,
+            {
+                "op": outcome.op,
+                "triple": list(outcome.triple),
+                "applied": outcome.applied,
+                "epoch": outcome.epoch,
+            },
+            seconds=time.perf_counter() - started,
+        )
+
+    def stats(self, request: StatsRequest) -> Response:
+        """KB statistics, serving telemetry and the resolved config.
+
+        ``serving`` appears once traffic has built the mining substrate;
+        a stats-only caller (``remi stats``) never pays for prominence
+        rankings it will not use.
+        """
+        started = time.perf_counter()
+        result = {
+            "kb": dict(self.kb.stats()),
+            "config": self.config.to_json(),
+            "uptime_seconds": round(time.time() - self._started, 3),
+        }
+        if self._batch is not None:
+            result["serving"] = self._batch.summary()
+        return Response.success(request, result, seconds=time.perf_counter() - started)
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def handle(self, request: Request) -> Response:
+        """Route a typed request to its endpoint; unexpected exceptions
+        become uniform ``internal`` error envelopes instead of tearing
+        down the caller's stream."""
+        try:
+            if isinstance(request, MineRequest):
+                return self.mine(request)
+            if isinstance(request, DescribeRequest):
+                return self.describe(request)
+            if isinstance(request, UpdateRequest):
+                return self.update(request)
+            if isinstance(request, StatsRequest):
+                return self.stats(request)
+        except Exception as exc:  # noqa: BLE001 — uniform error envelope
+            return Response.failure(
+                request.id, request.kind, f"{type(exc).__name__}: {exc}", ERR_INTERNAL
+            )
+        return Response.failure(
+            "-", "?", f"unsupported request type {type(request).__name__}"
+        )
+
+    def handle_json(self, payload, *, line: Optional[int] = None) -> Dict:
+        """Decoded JSON in, envelope dict out — the wire-level entry the
+        server and ``remi mine --json`` share."""
+        try:
+            request = parse_request(payload, line=line)
+        except EnvelopeError as exc:
+            request_id = (
+                str(payload.get("id", line if line is not None else "-"))
+                if isinstance(payload, dict)
+                else str(line if line is not None else "-")
+            )
+            return Response.failure(
+                request_id, "?", str(exc), exc.code, line=line
+            ).to_json()
+        return self.handle(request).to_json()
+
+    # ------------------------------------------------------------------
+    # streaming (the legacy JSONL surface of ``remi batch``)
+    # ------------------------------------------------------------------
+
+    def serve_jsonl(
+        self, lines: Iterable[str]
+    ) -> Iterator[Union[BatchOutcome, UpdateOutcome]]:
+        """The ``remi batch`` stream protocol, unchanged — one outcome
+        record per input line, updates applied under a flush barrier.
+        Exposed here so the CLI is a thin client of the façade."""
+        return self.batch.serve_jsonl(lines)
+
+    def summary(self) -> Dict:
+        return self.batch.summary()
+
+    # ------------------------------------------------------------------
+
+    def _verbalize(self, request: MineRequest) -> bool:
+        return bool(request.verbalize or self.config.verbalize)
+
+    @staticmethod
+    def _batch_request(request: Union[MineRequest, DescribeRequest]) -> BatchRequest:
+        return BatchRequest(
+            id=request.id, targets=tuple(IRI(t) for t in request.targets)
+        )
+
+    def _outcome_failure(self, request, outcome: BatchOutcome) -> Response:
+        assert outcome.error is not None
+        return Response.failure(
+            request.id, request.kind, outcome.error, outcome.error_code, outcome.line
+        )
+
+    def _mine_response(
+        self, request: MineRequest, outcome: BatchOutcome, verbalize: bool
+    ) -> Response:
+        if outcome.error is not None:
+            return self._outcome_failure(request, outcome)
+        assert outcome.result is not None
+        mining = outcome.result
+        result: Dict = {
+            "targets": [str(t) for t in outcome.request.targets],
+            "found": mining.found,
+        }
+        if mining.found:
+            result["expression"] = repr(mining.expression)
+            result["complexity_bits"] = mining.complexity
+            if verbalize:
+                result["verbalized"] = self.verbalizer.expression(mining.expression)
+        result["stats"] = mining.stats.to_json()
+        return Response.success(request, result, seconds=outcome.seconds)
+
+    def __repr__(self) -> str:
+        return (
+            f"MiningService(kb={type(self.kb).__name__}({len(self.kb)}), "
+            f"miner={self.config.miner!r}, backend={self.config.backend!r})"
+        )
+
+
+__all__ = ["MiningService", "load_kb"]

@@ -1,0 +1,343 @@
+"""``remi serve``: the concurrent NDJSON-over-TCP network layer.
+
+One resident :class:`~repro.service.facade.MiningService` serves many
+concurrent clients.  The wire protocol is newline-delimited JSON both
+ways: each client line is one envelope request
+(:mod:`repro.service.envelopes` — including the untyped ``remi batch``
+legacy forms), each server line one versioned response.  Responses
+stream back as soon as each request completes, so a slow mine does not
+head-of-line-block a fast one — clients correlate by ``id``.
+
+Concurrency model (the serve_jsonl semantics, lifted to sockets):
+
+* **bounded worker pool** — mining runs on a fixed
+  :class:`~concurrent.futures.ThreadPoolExecutor`; the asyncio loop only
+  parses, schedules and writes.
+* **update barrier** — queries overlap each other; an update waits for
+  every in-flight query (across ALL connections) to drain, applies
+  exclusively, then traffic resumes.  Same-connection ordering is
+  stricter: an update also flushes that connection's own pending
+  queries first, so a client that sends ``mine, update, mine`` observes
+  the second mine against the mutated KB — exactly like
+  :meth:`~repro.core.batch.BatchMiner.serve_jsonl`.
+* **backpressure** — at most ``max_pending`` requests may be in flight;
+  beyond that the server stops reading sockets, which TCP propagates to
+  the clients.
+* **graceful drain** — a ``{"type": "shutdown"}`` line (or
+  :meth:`MiningServer.drain`, or SIGINT on the CLI) stops accepting,
+  lets every in-flight request finish and answer, then closes.
+
+Run it::
+
+    remi serve kb.hdt --port 8757 --pool 4
+
+or in-process (the test/bench harness does this)::
+
+    server = MiningServer(MiningService(kb), port=0)
+    await server.start()            # port 0 → ephemeral, see server.port
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+from concurrent.futures import ThreadPoolExecutor
+from functools import partial
+from typing import Dict, Optional, Set
+
+from repro.core.batch import ERR_BAD_REQUEST
+from repro.service.envelopes import PROTOCOL_VERSION, Response
+from repro.service.facade import MiningService
+
+
+class _UpdateBarrier:
+    """An async readers-writer gate: queries share, updates are exclusive.
+
+    Writer-preferring — once an update is waiting, new queries queue
+    behind it — so a steady query stream cannot starve mutations.
+    """
+
+    def __init__(self) -> None:
+        self._cond = asyncio.Condition()
+        self._active_queries = 0
+        self._updating = False
+        self._waiting_updates = 0
+
+    @contextlib.asynccontextmanager
+    async def query(self):
+        async with self._cond:
+            while self._updating or self._waiting_updates:
+                await self._cond.wait()
+            self._active_queries += 1
+        try:
+            yield
+        finally:
+            async with self._cond:
+                self._active_queries -= 1
+                self._cond.notify_all()
+
+    @contextlib.asynccontextmanager
+    async def update(self):
+        async with self._cond:
+            self._waiting_updates += 1
+            try:
+                while self._updating or self._active_queries:
+                    await self._cond.wait()
+                self._updating = True
+            finally:
+                self._waiting_updates -= 1
+        try:
+            yield
+        finally:
+            async with self._cond:
+                self._updating = False
+                self._cond.notify_all()
+
+
+class MiningServer:
+    """A concurrent NDJSON-over-TCP front end for one :class:`MiningService`.
+
+    Parameters
+    ----------
+    service:
+        The façade all requests route through.
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port (read it back
+        from :attr:`port` after :meth:`start`).
+    pool_workers:
+        Threads in the mining pool — the request-level parallelism.
+    max_pending:
+        In-flight request bound; beyond it the server stops reading
+        sockets (backpressure).
+    """
+
+    def __init__(
+        self,
+        service: MiningService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        pool_workers: int = 4,
+        max_pending: int = 32,
+    ):
+        if pool_workers < 1:
+            raise ValueError(f"pool_workers must be ≥ 1, got {pool_workers}")
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be ≥ 1, got {max_pending}")
+        self.service = service
+        self.host = host
+        self.port = port
+        self.pool_workers = pool_workers
+        self.max_pending = max_pending
+        self.requests_in_flight = 0
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._barrier = _UpdateBarrier()
+        self._inflight: Optional[asyncio.Semaphore] = None
+        self._connections: Set[asyncio.StreamWriter] = set()
+        self._conn_tasks: Set[asyncio.Task] = set()
+        self._request_tasks: Set[asyncio.Task] = set()
+        self._draining = False
+        self._done: Optional[asyncio.Event] = None
+
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and begin accepting; returns once listening."""
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.pool_workers, thread_name_prefix="remi-serve"
+        )
+        self._inflight = asyncio.Semaphore(self.max_pending)
+        self._done = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_until_drained(self) -> None:
+        """Block until a drain completes (shutdown request or :meth:`drain`)."""
+        assert self._done is not None, "call start() first"
+        await self._done.wait()
+
+    async def drain(self) -> None:
+        """Graceful stop: no new connections, in-flight requests finish
+        and answer, then sockets close and the pool shuts down."""
+        if self._draining:
+            await self.serve_until_drained()
+            return
+        self._draining = True
+        assert self._server is not None
+        self._server.close()
+        await self._server.wait_closed()
+        # In-flight requests (on EVERY connection, not just the one that
+        # asked to shut down) finish and ANSWER before any socket closes
+        # — re-checked in a loop because a handler mid-read may schedule
+        # one more request while we wait.
+        while self._request_tasks:
+            await asyncio.gather(*list(self._request_tasks), return_exceptions=True)
+        # Idle connections sit blocked in readline(); closing their
+        # transport unblocks them so their handlers can flush and exit.
+        for writer in list(self._connections):
+            with contextlib.suppress(Exception):
+                writer.close()
+        current = asyncio.current_task()
+        pending = [t for t in self._conn_tasks if t is not current]
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        assert self._pool is not None
+        self._pool.shutdown(wait=True)
+        assert self._done is not None
+        self._done.set()
+
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        assert task is not None
+        self._conn_tasks.add(task)
+        self._connections.add(writer)
+        write_lock = asyncio.Lock()
+        pending: Set[asyncio.Task] = set()
+        line_no = 0
+        try:
+            while not self._draining:
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    break
+                if not line:
+                    break
+                line_no += 1
+                stripped = line.strip()
+                if not stripped or stripped.startswith(b"#"):
+                    continue
+                try:
+                    payload = json.loads(stripped)
+                except json.JSONDecodeError as exc:
+                    await self._send(
+                        writer,
+                        write_lock,
+                        Response.failure(
+                            str(line_no),
+                            "?",
+                            f"line {line_no}: invalid JSON ({exc})",
+                            ERR_BAD_REQUEST,
+                            line=line_no,
+                        ).to_json(),
+                    )
+                    continue
+                is_typed = isinstance(payload, dict)
+                kind = payload.get("type") if is_typed else None
+                if kind == "shutdown":
+                    await self._flush(pending)
+                    await self._send(
+                        writer,
+                        write_lock,
+                        {
+                            "v": PROTOCOL_VERSION,
+                            "id": str(payload.get("id", line_no)),
+                            "kind": "shutdown",
+                            "ok": True,
+                            "result": {"draining": True},
+                        },
+                    )
+                    asyncio.ensure_future(self.drain())
+                    break
+                if kind == "update" or (is_typed and kind is None and "op" in payload):
+                    # The update barrier: this connection's own queries
+                    # first (ordering), then global exclusivity.
+                    await self._flush(pending)
+                    async with self._barrier.update():
+                        record = await self._run(payload, line_no)
+                    await self._send(writer, write_lock, record)
+                    continue
+                assert self._inflight is not None
+                await self._inflight.acquire()  # backpressure: stop reading when full
+                self.requests_in_flight += 1
+                query = asyncio.ensure_future(
+                    self._answer_query(payload, line_no, writer, write_lock)
+                )
+                pending.add(query)
+                query.add_done_callback(pending.discard)
+                self._request_tasks.add(query)
+                query.add_done_callback(self._request_tasks.discard)
+            await self._flush(pending)
+        finally:
+            self._connections.discard(writer)
+            self._conn_tasks.discard(task)
+            with contextlib.suppress(Exception):
+                if not writer.is_closing():
+                    writer.close()
+
+    async def _answer_query(
+        self,
+        payload,
+        line_no: int,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        try:
+            async with self._barrier.query():
+                record = await self._run(payload, line_no)
+            await self._send(writer, write_lock, record)
+        finally:
+            self.requests_in_flight -= 1
+            assert self._inflight is not None
+            self._inflight.release()
+
+    async def _run(self, payload, line_no: int) -> Dict:
+        """Hand one decoded payload to the façade on the worker pool."""
+        loop = asyncio.get_running_loop()
+        assert self._pool is not None
+        return await loop.run_in_executor(
+            self._pool, partial(self.service.handle_json, payload, line=line_no)
+        )
+
+    @staticmethod
+    async def _flush(pending: Set[asyncio.Task]) -> None:
+        if pending:
+            await asyncio.gather(*list(pending), return_exceptions=True)
+
+    @staticmethod
+    async def _send(
+        writer: asyncio.StreamWriter, write_lock: asyncio.Lock, record: Dict
+    ) -> None:
+        data = json.dumps(record, ensure_ascii=False).encode("utf-8") + b"\n"
+        async with write_lock:  # responses from overlapping tasks must not interleave
+            if writer.is_closing():
+                return
+            writer.write(data)
+            with contextlib.suppress(ConnectionError):
+                await writer.drain()
+
+
+async def run_server(
+    service: MiningService,
+    host: str = "127.0.0.1",
+    port: int = 8757,
+    pool_workers: int = 4,
+    max_pending: int = 32,
+    ready=None,
+) -> None:
+    """Start a server and block until it drains (the CLI entry point).
+
+    *ready*, when given, is called once with the bound ``(host, port)`` —
+    the CLI prints the listening line from it so wrappers can wait for
+    readiness on stderr.
+    """
+    server = MiningServer(
+        service, host=host, port=port, pool_workers=pool_workers, max_pending=max_pending
+    )
+    await server.start()
+    if ready is not None:
+        ready((server.host, server.port))
+    try:
+        await server.serve_until_drained()
+    except asyncio.CancelledError:
+        await server.drain()
+        raise
+
+
+__all__ = ["MiningServer", "run_server"]

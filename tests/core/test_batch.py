@@ -171,15 +171,44 @@ class TestJsonl:
         assert record["stats"]["re_tests"] > 0
         json.dumps(record)  # must be serializable
 
-    def test_to_json_error_record(self, kb):
+    def test_to_json_error_record_is_structured(self, kb):
         outcome = BatchOutcome(
-            request=BatchRequest(id="x", targets=(EX.a,)), error="boom"
+            request=BatchRequest(id="x", targets=(EX.a,)), error="boom", line=7
         )
         assert outcome.to_json() == {
             "id": "x",
             "targets": [str(EX.a)],
-            "error": "boom",
+            "error": {"code": "bad_request", "reason": "boom", "line": 7},
         }
+
+    def test_error_record_line_omitted_outside_streams(self, kb):
+        outcome = BatchOutcome(
+            request=BatchRequest(id="x", targets=(EX.a,)), error="boom"
+        )
+        assert outcome.to_json()["error"] == {"code": "bad_request", "reason": "boom"}
+
+    def test_malformed_lines_mid_stream_carry_line_numbers(self, kb):
+        """Satellite pin: parse failures become structured per-line error
+        records (line number + reason) instead of raising out of the
+        stream, and later lines are still served."""
+        lines = [
+            json.dumps([str(EX.Rennes)]),
+            "{broken json",
+            json.dumps({"no": "targets"}),
+            json.dumps({"op": "upsert", "triple": ["a", "b", "c"]}),
+            json.dumps([str(EX.Nantes)]),
+        ]
+        miner = BatchMiner(kb)
+        records = [o.to_json() for o in miner.serve_jsonl(lines)]
+        assert len(records) == 5
+        assert "error" not in records[0] and "error" not in records[4]
+        for position, (record, code) in enumerate(
+            zip(records[1:4], ("bad_request", "bad_request", "bad_update")), start=2
+        ):
+            assert record["error"]["line"] == position
+            assert record["error"]["code"] == code
+            assert isinstance(record["error"]["reason"], str)
+        assert records[4]["found"] is not None  # stream kept serving
 
     def test_summary(self, kb):
         miner = BatchMiner(kb)

@@ -49,3 +49,32 @@ class TestMiningResult:
     def test_repr_compact(self):
         result = MiningResult(targets=(EX.a,), expression=None)
         assert "∅" in repr(result)
+
+
+class TestStatsJson:
+    def test_round_trip_preserves_every_field(self):
+        stats = SearchStats(
+            candidates=4, enumerated=9, intersected_out=2, scored=7,
+            nodes_visited=11, re_tests=6, solutions_seen=1, bound_prunes=3,
+            roots_explored=2, timed_out=True, total_seconds=0.5,
+            peak_stack_depth=4,
+        )
+        assert SearchStats.from_json(stats.to_json()) == stats
+
+    def test_to_json_rounds_timings_stably(self):
+        stats = SearchStats(total_seconds=0.123456789)
+        assert stats.to_json()["total_seconds"] == 0.123457
+
+    def test_from_json_rejects_unknown_fields(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            SearchStats.from_json({"warp_factor": 9})
+
+    def test_accumulate_sums_queue_build_counters_too(self):
+        total = SearchStats()
+        total.accumulate(SearchStats(candidates=3, re_tests=2, enumerate_seconds=0.5))
+        total.accumulate(SearchStats(candidates=4, re_tests=1, enumerate_seconds=0.25))
+        assert total.candidates == 7
+        assert total.re_tests == 3
+        assert total.enumerate_seconds == 0.75

@@ -67,6 +67,34 @@ class TestMine:
         ]
         assert main(args) in (0, 1)
 
+    def test_json_flag_emits_service_envelope(self, kb_file, capsys):
+        entity = "http://wikidata.example.org/entity/City_0"
+        code_text = main(["mine", str(kb_file), entity])
+        text_out = capsys.readouterr().out
+        code_json = main(["mine", str(kb_file), entity, "--json"])
+        json_out = capsys.readouterr().out
+        assert code_json == code_text
+        envelope = json.loads(json_out)
+        assert envelope["v"] == 1 and envelope["kind"] == "mine"
+        assert envelope["ok"] is True
+        result = envelope["result"]
+        if code_text == 0:
+            # The envelope carries the same expression and verbalization
+            # the text format printed.
+            assert result["expression"] in text_out
+            assert result["verbalized"] in text_out
+            assert f"{result['complexity_bits']:.2f} bits" in text_out
+            assert result["stats"]["re_tests"] > 0
+        else:
+            assert result["found"] is False
+
+    def test_json_flag_unknown_entity_error_envelope(self, kb_file, capsys):
+        code = main(["mine", str(kb_file), "http://nope.example.org/X", "--json"])
+        assert code == 2
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["ok"] is False
+        assert envelope["error"]["code"] == "unknown_entity"
+
     def test_interned_backend_same_output(self, kb_file, capsys):
         entity = "http://wikidata.example.org/entity/City_0"
         code_hash = main(["mine", str(kb_file), entity])
@@ -111,8 +139,16 @@ class TestBatch:
             assert "found" in record and "stats" in record
         summary = json.loads(captured.err.strip().splitlines()[-1])
         assert summary["requests_served"] == 2
+        # --summary telemetry is machine-readable: the aggregate
+        # SearchStats round-trips through its JSON form.
+        from repro.core.results import SearchStats
 
-    def test_batch_reports_errors_and_exit_code(self, kb_file, tmp_path, capsys):
+        totals = SearchStats.from_json(summary["search_stats"])
+        assert totals.re_tests > 0 and totals.candidates > 0
+
+    def test_batch_reports_errors_but_exits_zero(self, kb_file, tmp_path, capsys):
+        """Per-line errors are structured records on the output stream;
+        the process fails (exit 2) only on I/O problems."""
         requests = self._requests_file(
             tmp_path,
             [
@@ -123,10 +159,16 @@ class TestBatch:
         )
         code = main(["batch", str(kb_file), str(requests)])
         captured = capsys.readouterr()
-        assert code == 1
+        assert code == 0
         records = [json.loads(line) for line in captured.out.strip().splitlines()]
         assert len(records) == 3
-        assert "error" in records[1] and "error" in records[2]
+        assert records[1]["error"]["line"] == 2
+        assert records[1]["error"]["code"] == "bad_request"
+        assert records[2]["error"]["code"] == "unknown_entity"
+
+    def test_batch_unreadable_requests_file_exits_nonzero(self, kb_file, tmp_path):
+        code = main(["batch", str(kb_file), str(tmp_path / "missing.jsonl")])
+        assert code == 2
 
     def test_batch_out_file_and_hash_backend(self, kb_file, tmp_path):
         requests = self._requests_file(
