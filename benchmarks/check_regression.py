@@ -1,0 +1,123 @@
+"""Guard the perf trajectory: fail CI when a key benchmark ratio regresses.
+
+The CI benches emit ``BENCH_*.json`` artifacts every run, and the
+committed baselines live in ``benchmarks/results/``.  This script compares
+a fresh artifact against its baseline on the *ratio* metrics only —
+speedups and retention factors are machine-relative, so they transfer
+across runners where absolute seconds would not — and exits non-zero when
+one falls more than the tolerance below the committed value.
+
+Usage::
+
+    python benchmarks/check_regression.py BENCH_pipeline.json
+    python benchmarks/check_regression.py BENCH_serve.json --tolerance 0.4
+    python benchmarks/check_regression.py BENCH_*.json        # any mix
+
+Each payload's ``benchmark`` field selects the guarded keys (see
+:data:`GUARDS`).  Re-record a baseline by copying a representative fresh
+artifact over ``benchmarks/results/BENCH_<name>.json`` — deliberately a
+manual step, so the trajectory only moves when a human (or a PR review)
+decides the new numbers are the new normal.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: benchmark name -> {ratio key: tolerance override or None (use --tolerance)}.
+#: A key may be absent from old baselines (a bench gained a metric); absent
+#: baseline keys are skipped with a notice rather than failed, so adding a
+#: metric never requires regenerating every baseline at once.
+GUARDS = {
+    # Pipeline speedups are ratios of two measured runs and move with the
+    # runner's cache/turbo behaviour; the committed baselines come from
+    # one machine, so the floor sits wider than the default 20 % (a real
+    # kernel regression drops these toward 1.0, far below any floor).
+    "candidate-pipeline-phase-split": {
+        "overall_kernel_speedup": 0.35,
+        "overall_id_speedup_vs_seed": 0.35,
+    },
+    "interned-vs-hash-backend": {
+        "overall_interned_speedup": None,
+    },
+    "live-updates-steady-state": {
+        "throughput_retained_at_heaviest_mix": None,
+    },
+    # Wall-clock concurrency scaling is the noisiest ratio we track; the
+    # default tolerance would flap on shared runners.
+    "serve-concurrent-clients": {
+        "speedup_16_over_1": 0.5,
+    },
+}
+
+
+def check_file(fresh_path: Path, baseline_dir: Path, tolerance: float) -> int:
+    fresh = json.loads(fresh_path.read_text(encoding="utf-8"))
+    name = fresh.get("benchmark")
+    guards = GUARDS.get(name)
+    if guards is None:
+        print(f"{fresh_path}: no guard configured for benchmark {name!r} — skipped")
+        return 0
+    baseline_path = baseline_dir / fresh_path.name
+    if not baseline_path.exists():
+        print(f"{fresh_path}: no committed baseline at {baseline_path} — skipped")
+        return 0
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    failures = 0
+    for key, override in guards.items():
+        allowed_drop = tolerance if override is None else override
+        base_value = baseline.get(key)
+        if base_value is None:
+            print(f"{fresh_path}: baseline lacks {key!r} (older recording) — skipped")
+            continue
+        fresh_value = fresh.get(key)
+        if fresh_value is None:
+            print(f"{fresh_path}: FRESH run lacks {key!r} — failing")
+            failures += 1
+            continue
+        floor = base_value * (1.0 - allowed_drop)
+        verdict = "ok" if fresh_value >= floor else "REGRESSED"
+        print(
+            f"{fresh_path}: {key} = {fresh_value:.3f} "
+            f"(baseline {base_value:.3f}, floor {floor:.3f}) {verdict}"
+        )
+        if fresh_value < floor:
+            failures += 1
+        elif base_value and fresh_value > base_value * (1.0 + allowed_drop):
+            print(
+                f"{fresh_path}: note — {key} improved well past the baseline; "
+                f"consider re-recording benchmarks/results/{fresh_path.name}"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", nargs="+", help="fresh BENCH_*.json artifacts")
+    parser.add_argument(
+        "--baseline-dir",
+        default=str(Path(__file__).parent / "results"),
+        help="directory of committed baselines (default: benchmarks/results)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="allowed fractional drop below the baseline ratio (default 0.2)",
+    )
+    args = parser.parse_args(argv)
+    baseline_dir = Path(args.baseline_dir)
+    failures = 0
+    for path in args.fresh:
+        failures += check_file(Path(path), baseline_dir, args.tolerance)
+    if failures:
+        print(f"{failures} guarded ratio(s) regressed beyond tolerance", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,17 @@ and friends), and ranks are computed with the same tie-aware ranking, so
 the scores are bit-identical to ``estimator.complexity`` — pinned by the
 differential harness in ``tests/core/test_candidate_engine.py``.
 
+**Kernel mode** (the default where available) goes two steps further:
+tables are built *decode-free* — the prominence model scores interned IDs
+directly (``entity_score_ids`` / ``predicate_score_ids``) wherever it can
+— and each rank is precompiled to its code length at build time
+(:func:`~repro.complexity.codes.log2_rank_table`), so the scoring loop is
+two dict probes and a float add per conditional code, with no ``log2``
+per probe.  Tables build lazily on first probe (no pre-pass over the
+plans); the candidate engine's inline loop grabs the single-plan scorer
+via :meth:`QueueScorer.plan_scorer`.  ``use_kernel=False`` keeps the
+original per-probe rank tables as the differential/A-B reference.
+
 Tables persist for the scorer's lifetime: a :class:`~repro.core.batch.BatchMiner`
 holds one scorer (through its engine) and amortizes them across every
 request in the batch.  Concurrent use is safe the same way the estimator
@@ -45,6 +56,7 @@ from repro.complexity.codes import (
     _tie_aware_ranks,
     co_occurring_predicate_ids,
     joinable_predicate_ids,
+    log2_rank_table,
     tail_candidate_ids,
 )
 from repro.expressions.subgraph import Shape, SubgraphExpression
@@ -63,18 +75,31 @@ class QueueScorer:
     are the whole point.
     """
 
-    def __init__(self, estimator: ComplexityEstimator):
+    def __init__(self, estimator: ComplexityEstimator, use_kernel: Optional[bool] = None):
         self.estimator = estimator
         kb = estimator.kb
         self.id_mode = bool(
             estimator.mode == "exact" and getattr(kb, "supports_id_queries", False)
         )
+        #: Kernel scoring (default where available): conditional tables
+        #: hold *precompiled code lengths* (:func:`~repro.complexity.codes.log2_rank_table`)
+        #: and are built decode-free from ID-space prominence scores
+        #: (``entity_score_ids`` / ``predicate_score_ids``) when the
+        #: prominence model provides them.  ``use_kernel=False`` keeps the
+        #: per-probe rank tables — the differential/A-B reference path.
+        self.kernel_mode = self.id_mode and use_kernel is not False
         # Conditional rank tables, keyed by interned IDs (ID mode only).
         self._pred_bits: Dict[int, float] = {}
         self._object_ranks: Dict[int, Dict[int, int]] = {}
         self._join_ranks: Dict[int, Dict[int, int]] = {}
         self._closed_ranks: Dict[int, Dict[int, int]] = {}
         self._tail_ranks: Dict[Tuple[int, int], Dict[int, int]] = {}
+        # Kernel-mode tables: (bits_by_id, default_bits) per context key.
+        _BitsTable = Tuple[Dict[int, float], float]
+        self._object_bits: Dict[int, _BitsTable] = {}
+        self._join_bits: Dict[int, _BitsTable] = {}
+        self._closed_bits: Dict[int, _BitsTable] = {}
+        self._tail_bits: Dict[Tuple[int, int], _BitsTable] = {}
         self._watch = EpochWatcher(kb)
 
     # ------------------------------------------------------------------
@@ -127,8 +152,14 @@ class QueueScorer:
             complexity = self.estimator.complexity
             return [complexity(se) for se in ses]
         self._sync()
-        self._ensure_tables(plans)
-        score_plan = self._score_plan
+        if self.kernel_mode:
+            # No pre-pass: the kernel scorer builds a missing table the
+            # first time a plan probes it (KeyError path), so the common
+            # warm case is a straight scan over the plans.
+            score_plan = self._score_plan_kernel
+        else:
+            self._ensure_tables(plans)
+            score_plan = self._score_plan
         if ses is None:
             if any(plan is None for plan in plans):
                 raise ValueError("ses is required when any plan is None")
@@ -138,14 +169,33 @@ class QueueScorer:
             for se, plan in zip(ses, plans)
         ]
 
+    def plan_scorer(self):
+        """An epoch-synced single-plan scorer for inline loops.
+
+        Kernel mode only: returns the bound ``plan -> Ĉ bits`` scorer the
+        candidate engine calls once per cold queue miss, with the epoch
+        check hoisted to this call (the engine's own guard brackets the
+        whole queue build).  Tables build on first probe, so there is no
+        pre-pass over the plans.
+        """
+        if not self.kernel_mode:
+            raise RuntimeError("plan_scorer() requires kernel mode; use score_plans()")
+        self._sync()
+        return self._score_plan_kernel
+
     def table_stats(self) -> Dict[str, int]:
-        """How many conditional rankings are resident (serving telemetry)."""
+        """How many conditional rankings are resident (serving telemetry).
+
+        Per instance only one family is populated — rank tables in the
+        legacy path, code-length tables in kernel mode — so the sums
+        report "rankings resident" uniformly across both.
+        """
         return {
             "predicate_bits": len(self._pred_bits),
-            "object_rank_tables": len(self._object_ranks),
-            "join_rank_tables": len(self._join_ranks),
-            "closed_rank_tables": len(self._closed_ranks),
-            "tail_rank_tables": len(self._tail_ranks),
+            "object_rank_tables": len(self._object_ranks) + len(self._object_bits),
+            "join_rank_tables": len(self._join_ranks) + len(self._join_bits),
+            "closed_rank_tables": len(self._closed_ranks) + len(self._closed_bits),
+            "tail_rank_tables": len(self._tail_ranks) + len(self._tail_bits),
         }
 
     def clear_tables(self) -> None:
@@ -159,6 +209,10 @@ class QueueScorer:
         self._join_ranks.clear()
         self._closed_ranks.clear()
         self._tail_ranks.clear()
+        self._object_bits.clear()
+        self._join_bits.clear()
+        self._closed_bits.clear()
+        self._tail_bits.clear()
 
     # ------------------------------------------------------------------
     # phase 1: group by shape and anchor, encode to ID plans
@@ -210,66 +264,99 @@ class QueueScorer:
     # ------------------------------------------------------------------
 
     def _ensure_tables(self, plans: Sequence[Optional[tuple]]) -> None:
+        """Legacy-path pre-pass (kernel mode builds on first probe)."""
+        object_tables = self._object_ranks
+        join_tables = self._join_ranks
+        closed_tables = self._closed_ranks
+        tail_tables = self._tail_ranks
         for plan in plans:
             if plan is None:
                 continue
             tag = plan[0]
             if tag == PLAN_SINGLE:
                 self._ensure_pred_bits(plan[1])
-                self._ensure_object_ranks(plan[1])
+                if plan[1] not in object_tables:
+                    self._build_object_table(plan[1], object_tables)
             elif tag == PLAN_PATH:
                 self._ensure_pred_bits(plan[1])
-                self._ensure_join_ranks(plan[1])
-                self._ensure_tail_ranks(plan[1], plan[2])
+                if plan[1] not in join_tables:
+                    self._build_join_table(plan[1], join_tables)
+                if (plan[1], plan[2]) not in tail_tables:
+                    self._build_tail_table(plan[1], plan[2], tail_tables)
             elif tag == PLAN_STAR:
                 self._ensure_pred_bits(plan[1])
-                self._ensure_join_ranks(plan[1])
-                self._ensure_tail_ranks(plan[1], plan[2])
-                self._ensure_tail_ranks(plan[1], plan[4])
+                if plan[1] not in join_tables:
+                    self._build_join_table(plan[1], join_tables)
+                if (plan[1], plan[2]) not in tail_tables:
+                    self._build_tail_table(plan[1], plan[2], tail_tables)
+                if (plan[1], plan[4]) not in tail_tables:
+                    self._build_tail_table(plan[1], plan[4], tail_tables)
             else:
                 self._ensure_pred_bits(plan[1])
-                self._ensure_closed_ranks(plan[1])
+                if plan[1] not in closed_tables:
+                    self._build_closed_table(plan[1], closed_tables)
 
     def _rank_entity_ids(self, ids) -> Dict[int, int]:
+        """Tie-aware prominence ranks for an entity-ID candidate set.
+
+        Kernel mode asks the prominence model for ID-space scores first
+        (``entity_score_ids``, e.g. frequency counts straight off the
+        interned indexes) and decodes only when the model has no ID path
+        (PageRank) — the resulting ranks are identical either way, the
+        scores being the same floats.
+        """
+        ids = set(ids)
+        prominence = self.estimator.prominence
+        if self.kernel_mode:
+            score_ids = getattr(prominence, "entity_score_ids", None)
+            scores = score_ids(ids) if score_ids is not None else None
+            if scores is not None:
+                return _tie_aware_ranks(ids, scores.__getitem__)
         term = self.estimator.kb.term_of_id  # type: ignore[attr-defined]
-        score = self.estimator.prominence.entity_score
-        return _tie_aware_ranks(set(ids), lambda i: score(term(i)))
+        score = prominence.entity_score
+        return _tie_aware_ranks(ids, lambda i: score(term(i)))
 
     def _rank_predicate_ids(self, ids) -> Dict[int, int]:
+        ids = set(ids)
+        prominence = self.estimator.prominence
+        if self.kernel_mode:
+            score_ids = getattr(prominence, "predicate_score_ids", None)
+            scores = score_ids(ids) if score_ids is not None else None
+            if scores is not None:
+                return _tie_aware_ranks(ids, scores.__getitem__)
         term = self.estimator.kb.term_of_id  # type: ignore[attr-defined]
-        score = self.estimator.prominence.predicate_score
-        return _tie_aware_ranks(set(ids), lambda i: score(term(i)))
+        score = prominence.predicate_score
+        return _tie_aware_ranks(ids, lambda i: score(term(i)))
+
+    def _compiled(self, ranks: Dict[int, int]):
+        """Rank table → kernel form (precompiled code lengths) if enabled."""
+        return log2_rank_table(ranks) if self.kernel_mode else ranks
 
     def _ensure_pred_bits(self, p_id: int) -> None:
         if p_id not in self._pred_bits:
             predicate = self.estimator.kb.term_of_id(p_id)  # type: ignore[attr-defined]
             self._pred_bits[p_id] = self.estimator.predicate_bits(predicate)
 
-    def _ensure_object_ranks(self, p_id: int) -> None:
-        if p_id not in self._object_ranks:
-            kb = self.estimator.kb
-            self._object_ranks[p_id] = self._rank_entity_ids(
-                kb.object_ids_of_predicate_view(p_id)  # type: ignore[attr-defined]
-            )
+    def _build_object_table(self, p_id: int, tables: Dict) -> None:
+        kb = self.estimator.kb
+        tables[p_id] = self._compiled(
+            self._rank_entity_ids(kb.object_ids_of_predicate_view(p_id))  # type: ignore[attr-defined]
+        )
 
-    def _ensure_join_ranks(self, p0_id: int) -> None:
-        if p0_id not in self._join_ranks:
-            self._join_ranks[p0_id] = self._rank_predicate_ids(
-                joinable_predicate_ids(self.estimator.kb, p0_id)
-            )
+    def _build_join_table(self, p0_id: int, tables: Dict) -> None:
+        tables[p0_id] = self._compiled(
+            self._rank_predicate_ids(joinable_predicate_ids(self.estimator.kb, p0_id))
+        )
 
-    def _ensure_closed_ranks(self, anchor_id: int) -> None:
-        if anchor_id not in self._closed_ranks:
-            self._closed_ranks[anchor_id] = self._rank_predicate_ids(
-                co_occurring_predicate_ids(self.estimator.kb, anchor_id)
-            )
+    def _build_closed_table(self, anchor_id: int, tables: Dict) -> None:
+        tables[anchor_id] = self._compiled(
+            self._rank_predicate_ids(co_occurring_predicate_ids(self.estimator.kb, anchor_id))
+        )
 
-    def _ensure_tail_ranks(self, p0_id: int, p1_id: int) -> None:
-        key = (p0_id, p1_id)
-        if key not in self._tail_ranks:
-            self._tail_ranks[key] = self._rank_entity_ids(
-                tail_candidate_ids(self.estimator.kb, p0_id, p1_id)
-            )
+    def _build_tail_table(self, p0_id: int, p1_id: int, tables: Dict) -> None:
+        tables[(p0_id, p1_id)] = self._compiled(
+            self._rank_entity_ids(tail_candidate_ids(self.estimator.kb, p0_id, p1_id))
+        )
 
     # ------------------------------------------------------------------
     # phase 3: one pass over the queue
@@ -307,6 +394,70 @@ class QueueScorer:
             bits += _log2_rank(closed.get(p, len(closed) + 1))
         return bits
 
+    def _score_plan_kernel(self, plan: tuple) -> float:
+        """One queue entry against the precompiled code-length tables.
+
+        Same additive formula as :meth:`_score_plan`, but every probe is
+        ``table.get(id, default)`` — no ``log2``, no ``max``, no rank
+        arithmetic in the loop.  The floats are bit-identical because the
+        tables precompiled the very expression the per-probe path
+        evaluates (see :func:`~repro.complexity.codes.log2_rank_table`).
+        Missing tables surface as ``KeyError`` and are built on the spot
+        — the cold path of a warm-by-design loop.
+        """
+        try:
+            tag = plan[0]
+            pred_bits = self._pred_bits
+            if tag == PLAN_SINGLE:
+                _, p, o = plan
+                table, default = self._object_bits[p]
+                return pred_bits[p] + table.get(o, default)
+            if tag == PLAN_PATH:
+                _, p0, p1, o = plan
+                join, join_default = self._join_bits[p0]
+                tail, tail_default = self._tail_bits[(p0, p1)]
+                return (
+                    pred_bits[p0]
+                    + join.get(p1, join_default)
+                    + tail.get(o, tail_default)
+                )
+            if tag == PLAN_STAR:
+                _, p0, p1, o1, p2, o2 = plan
+                join, join_default = self._join_bits[p0]
+                bits = pred_bits[p0]
+                for p, o in ((p1, o1), (p2, o2)):
+                    tail, tail_default = self._tail_bits[(p0, p)]
+                    bits += join.get(p, join_default)
+                    bits += tail.get(o, tail_default)
+                return bits
+            anchor = plan[1]
+            closed, closed_default = self._closed_bits[anchor]
+            bits = pred_bits[anchor]
+            for p in plan[2:]:
+                bits += closed.get(p, closed_default)
+            return bits
+        except KeyError:
+            self._build_missing(plan)
+            return self._score_plan_kernel(plan)
+
+    def _build_missing(self, plan: tuple) -> None:
+        """Materialize every table *plan* needs (kernel-mode cold path)."""
+        tag = plan[0]
+        self._ensure_pred_bits(plan[1])
+        if tag == PLAN_SINGLE:
+            if plan[1] not in self._object_bits:
+                self._build_object_table(plan[1], self._object_bits)
+        elif tag in (PLAN_PATH, PLAN_STAR):
+            if plan[1] not in self._join_bits:
+                self._build_join_table(plan[1], self._join_bits)
+            if (plan[1], plan[2]) not in self._tail_bits:
+                self._build_tail_table(plan[1], plan[2], self._tail_bits)
+            if tag == PLAN_STAR and (plan[1], plan[4]) not in self._tail_bits:
+                self._build_tail_table(plan[1], plan[4], self._tail_bits)
+        else:
+            if plan[1] not in self._closed_bits:
+                self._build_closed_table(plan[1], self._closed_bits)
+
     def __repr__(self) -> str:
-        mode = "id" if self.id_mode else "fallback"
+        mode = "kernel" if self.kernel_mode else ("id" if self.id_mode else "fallback")
         return f"QueueScorer(mode={mode}, estimator={self.estimator!r})"

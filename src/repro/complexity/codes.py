@@ -94,6 +94,23 @@ def tail_candidate_ids(kb: KnowledgeBase, p0_id: int, p1_id: int) -> "set[int]":
     return candidate_ids
 
 
+def log2_rank_table(ranks: dict) -> "Tuple[Dict[int, float], float]":
+    """A rank table precompiled to code lengths: ``(bits_by_key, default)``.
+
+    The batch scorer's kernel mode probes conditional tables hundreds of
+    thousands of times per queue; applying :func:`_log2_rank` once per
+    *table entry* at build time (instead of once per *probe*) keeps the
+    scoring loop to two dict gets and a float add.  ``default`` is the
+    out-of-table code ``log2(len + 1)`` — the same float
+    ``ranks.get(key, len + 1)`` would have produced, so scores stay
+    bit-identical to the per-probe path.
+    """
+    return (
+        {key: _log2_rank(rank) for key, rank in ranks.items()},
+        _log2_rank(len(ranks) + 1),
+    )
+
+
 def _tie_aware_ranks(items, score) -> dict:
     """Descending-score ranks where a tie group shares its *last* position.
 

@@ -62,6 +62,9 @@ class _BaseProminence:
         self.kb = kb
         self._predicate_ranks: Optional[Dict[IRI, int]] = None
         self._predicate_scores: Dict[IRI, float] = {}
+        #: ID-keyed twin of ``_predicate_scores`` (the decode-free path);
+        #: repaired/cleared in lockstep with it.
+        self._predicate_scores_by_id: Dict[int, float] = {}
         self._watch = EpochWatcher(kb)
 
     # -- epoch coherence ------------------------------------------------
@@ -77,13 +80,19 @@ class _BaseProminence:
         """Incrementally absorb *changes*; returns False to force a full
         rebuild.  Fact counts move only for the touched predicates; the
         global rank table can shift anywhere, so it always re-derives."""
+        term_id = getattr(self.kb, "term_id", None)
         for _, triple in changes:
             self._predicate_scores.pop(triple.predicate, None)
+            if term_id is not None:
+                p_id = term_id(triple.predicate)
+                if p_id is not None:
+                    self._predicate_scores_by_id.pop(p_id, None)
         self._predicate_ranks = None
         return True
 
     def _rebuild(self) -> None:
         self._predicate_scores.clear()
+        self._predicate_scores_by_id.clear()
         self._predicate_ranks = None
 
     @property
@@ -112,6 +121,36 @@ class _BaseProminence:
             # Unknown predicate: rank just past the known vocabulary.
             return len(self._predicate_ranks) + 1
         return rank
+
+    def predicate_score_ids(self, ids: Iterable[int]) -> Optional[Dict[int, float]]:
+        """:meth:`predicate_score` for interned IDs, without decoding.
+
+        The base model scores predicates by fact count (fr), which
+        dictionary-encoded backends answer in ID space
+        (:meth:`~repro.kb.interned.InternedKnowledgeBase.predicate_fact_count_id`)
+        — the batch scorer builds whole conditional rank tables from this
+        with zero term round-trips.  Returns ``None`` on backends without
+        ID queries, and on subclasses that override
+        :meth:`predicate_score` (e.g. exogenous scores): the ID path must
+        produce the very floats the term path would, so any custom scorer
+        forces the per-term fallback."""
+        if type(self).predicate_score is not _BaseProminence.predicate_score:
+            return None
+        count = getattr(self.kb, "predicate_fact_count_id", None)
+        if count is None:
+            return None
+        self._sync()
+        # A fact count is a full per-predicate index scan, and popular
+        # predicates recur in most join/closed tables — memoize per ID
+        # (the twin of the term path's ``_predicate_scores``).
+        memo = self._predicate_scores_by_id
+        out = {}
+        for i in ids:
+            score = memo.get(i)
+            if score is None:
+                score = memo[i] = float(count(i))
+            out[i] = score
+        return out
 
     def top_entities(self, fraction: float) -> frozenset:
         """The top *fraction* of entities by this prominence (for pruning §3.5.2)."""
@@ -161,6 +200,26 @@ class FrequencyProminence(_BaseProminence):
         if cached is not None:
             return float(cached)
         return 0.0  # absent from every index position
+
+    def entity_score_ids(self, ids: Iterable[int]) -> Optional[Dict[int, float]]:
+        """:meth:`entity_score` for interned IDs, without decoding.
+
+        Frequency prominence only needs occurrence counts, which the
+        dictionary-encoded backends answer directly in ID space
+        (:meth:`~repro.kb.interned.InternedKnowledgeBase.term_frequency_id`)
+        — scores are identical floats to the term path, pinned by the
+        rank-table differentials.  ``None`` on backends without ID
+        queries and on subclasses overriding :meth:`entity_score` (the ID
+        path must match the term path float for float); PageRank
+        prominence has no ID path at all (its scores live on terms), so
+        the scorer falls back to decoding there."""
+        if type(self).entity_score is not FrequencyProminence.entity_score:
+            return None
+        frequency = getattr(self.kb, "term_frequency_id", None)
+        if frequency is None:
+            return None
+        self._sync()
+        return {i: float(frequency(i)) for i in ids}
 
     def __repr__(self) -> str:
         return f"FrequencyProminence(kb={self.kb.name!r})"

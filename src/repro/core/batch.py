@@ -615,6 +615,9 @@ class BatchMiner:
         if engine is not None:
             merged.merge(engine.coherence)
             merged.merge(engine.scorer.coherence)
+        masks = getattr(getattr(miner, "kb", None), "masks", None)  # shared IdSet store
+        if masks is not None:
+            merged.merge(masks.coherence)
         prominence_coherence = getattr(miner.prominence, "coherence", None)
         if prominence_coherence is not None:
             merged.merge(prominence_coherence)

@@ -14,15 +14,24 @@ Two interchangeable execution paths produce bit-identical queues:
   Candidates exist as plain ``int`` tuples until they survive
   intersection: neighbourhoods, second-hop tails, closed-pair
   co-occurrence and the §3.5.2 prominence/blank-node prunes all run over
-  ``set[int]`` adjacency views, and the cross-target intersection tests
-  each candidate against per-target satisfaction sets (memoized per-hub
-  ``(p, o)`` pair sets) instead of per-expression
-  ``matcher.holds_for`` probes.  Only the survivors are decoded into
-  :class:`~repro.expressions.subgraph.SubgraphExpression` objects, which
-  are then scored in one pass by the batch scorer
-  (:class:`~repro.complexity.batch.QueueScorer`, ID-keyed rank tables).
-  This is the "compile the symbolic problem into dense integer
-  structures" move the interned matcher already made for Alg. 2.
+  ``set[int]`` adjacency views.  In the default **kernel** flavour
+  (``use_kernel=True`` where available) the cross-target intersection is
+  pure set algebra over the KB's shared
+  :class:`~repro.kb.idset.MaskStore` — a candidate survives a target iff
+  the right adaptive :class:`~repro.kb.idset.IdSet` intersections are
+  non-empty (e.g. a path ``p0(x,y) ∧ p1(y,I)`` iff
+  ``objects(t, p0) ∩ subjects(p1, I) ≠ ∅``) — and scoring runs against
+  the scorer's precompiled code-length tables, with queue entries decoded
+  into :class:`~repro.expressions.subgraph.SubgraphExpression` objects
+  *lazily*: only the entries the search (or any other consumer) actually
+  touches are materialized, once per distinct candidate per engine
+  (:class:`CandidateQueue`).  With ``use_kernel=False`` the engine runs
+  the original per-element path — per-target satisfaction sets (memoized
+  per-hub ``(p, o)`` pair sets), eager decode, per-probe rank tables —
+  kept as the differential and A/B reference (see
+  ``benchmarks/bench_pipeline.py --ab``).  Both flavours are the
+  "compile the symbolic problem into dense integer structures" move the
+  interned matcher already made for Alg. 2.
 
 * **Term space** (hash backend, or ``use_id_space=False``) — exactly the
   seed behaviour: :func:`~repro.core.enumerate.subgraph_expressions` on
@@ -52,11 +61,13 @@ from __future__ import annotations
 import time
 from concurrent.futures import ThreadPoolExecutor
 from itertools import combinations
+from operator import itemgetter
 from typing import (
     Callable,
     Dict,
     FrozenSet,
     Iterable,
+    Iterator,
     List,
     Optional,
     Sequence,
@@ -94,6 +105,72 @@ def _entry_key(entry: Tuple[SubgraphExpression, float, tuple]) -> Tuple[float, t
     """Alg. 1 line 2 order: (Ĉ bits, canonical SE key) — the key is
     memoized per candidate, so repeat requests never rebuild it."""
     return (entry[1], entry[2])
+
+
+#: Kernel queue records are ``[Ĉ bits, SE sort key, decoded SE | None,
+#: shape index, ID key]`` — same Alg. 1 line 2 order, first two fields.
+_kernel_entry_key = itemgetter(0, 1)
+
+
+class CandidateQueue(Sequence):
+    """The sorted queue with decode-on-touch entries (the kernel path).
+
+    Behaves as a ``Sequence[ScoredSE]`` — the search indexes and iterates
+    it exactly like the eager list — but a queue entry's
+    :class:`~repro.expressions.subgraph.SubgraphExpression` is only
+    materialized the first time that entry is *touched*.  REMI's search
+    typically consumes a short, Ĉ-cheap prefix of a queue tens of
+    thousands deep (bound pruning cuts the rest), so most entries never
+    pay the decode; the ones that do share it process-wide, because the
+    decoded SE is written back into the engine's cross-request memo
+    record.  This is the "decode only the survivors that reach the
+    response boundary" half of the mask-native pipeline.
+    """
+
+    __slots__ = ("_entries", "_pairs", "_decode")
+
+    def __init__(self, entries: List[list], decode: Callable[[list], SubgraphExpression]):
+        self._entries = entries
+        #: Decoded ``(se, bits)`` pairs, filled per index on first touch.
+        self._pairs: List[Optional[ScoredSE]] = [None] * len(entries)
+        self._decode = decode
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self._entries)))]
+        pair = self._pairs[index]
+        if pair is None:
+            rec = self._entries[index]
+            se = rec[2]
+            if se is None:
+                se = self._decode(rec)
+            pair = (se, rec[0])
+            self._pairs[index] = pair
+        return pair
+
+    def __iter__(self) -> Iterator[ScoredSE]:
+        for i in range(len(self._entries)):
+            yield self[i]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (CandidateQueue, list, tuple)):
+            return len(self) == len(other) and all(
+                a == b for a, b in zip(self, other)
+            )
+        return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment]
+
+    @property
+    def decoded_count(self) -> int:
+        """How many entries have been materialized so far (telemetry)."""
+        return sum(1 for rec in self._entries if rec[2] is not None)
+
+    def __repr__(self) -> str:
+        return f"CandidateQueue(len={len(self._entries)}, decoded={self.decoded_count})"
 
 
 class _IdCandidates:
@@ -148,6 +225,11 @@ class CandidateEngine:
         Force a path; ``None`` auto-selects (ID space iff the backend
         supports it).  The benchmark uses ``False`` to measure the
         Term-space baseline on the same backend.
+    use_kernel:
+        Force the ID-space flavour; ``None`` auto-selects (kernel iff the
+        backend exposes a :class:`~repro.kb.idset.MaskStore`).  ``False``
+        pins the original per-element set path — the A/B and differential
+        reference of ``bench_pipeline.py --ab``.
     """
 
     def __init__(
@@ -159,6 +241,7 @@ class CandidateEngine:
         prominent: Union[None, FrozenSet[Term], Callable[[], FrozenSet[Term]]] = None,
         score_threads: int = 1,
         use_id_space: Optional[bool] = None,
+        use_kernel: Optional[bool] = None,
     ):
         self.kb = kb
         self.config = config or MinerConfig()
@@ -176,7 +259,16 @@ class CandidateEngine:
         self.score_threads = score_threads
         supports_ids = bool(getattr(kb, "supports_id_queries", False))
         self.id_space = supports_ids if use_id_space is None else (use_id_space and supports_ids)
-        self.scorer = QueueScorer(estimator)
+        has_masks = self.id_space and hasattr(kb, "masks")
+        wants_kernel = has_masks if use_kernel is None else (use_kernel and has_masks)
+        self.scorer = QueueScorer(estimator, use_kernel=wants_kernel)
+        #: Mask-native intersection needs only ``kb.masks`` — it stays on
+        #: even when scoring cannot go kernel (below).
+        self.kernel_intersect = wants_kernel
+        #: Kernel scoring + lazy decode additionally need the scorer's
+        #: plan tables (powerlaw estimators score per SE, which needs the
+        #: decoded expressions — they take the eager path).
+        self.kernel = wants_kernel and self.scorer.kernel_mode
         # Read-only-KB memos (ID space), keyed by stable interned IDs.
         self._admit: Dict[int, bool] = {}
         self._kinds: Dict[int, int] = {}
@@ -208,25 +300,35 @@ class CandidateEngine:
 
     def candidates(
         self, targets: Sequence[Term], stats: Optional[SearchStats] = None
-    ) -> List[ScoredSE]:
+    ) -> Sequence[ScoredSE]:
         """The sorted priority queue of common subgraph expressions.
 
         Fills the per-phase counters (``enumerated`` / ``intersected_out``
-        / ``scored``) and timings on *stats*.
+        / ``scored``) and timings on *stats*.  On the kernel path the
+        result is a :class:`CandidateQueue` (lazy decode); otherwise a
+        plain list — both index and iterate as ``(SE, Ĉ bits)`` pairs.
         """
         stats = stats if stats is not None else SearchStats()
         if not targets:
             raise ValueError("need at least one target entity")
         self._sync()
         t0 = time.perf_counter()
+        scored: Sequence[ScoredSE]
         if self.id_space:
             cand = self._intersected_ids(targets, stats)
             t1 = time.perf_counter()
-            entries = self._materialize(cand)
-            stats.scored += len(entries)
-            t2 = time.perf_counter()
-            entries.sort(key=_entry_key)
-            scored = [(se, bits) for se, bits, _ in entries]
+            if self.kernel:
+                entries = self._score_kernel(cand)
+                stats.scored += len(entries)
+                t2 = time.perf_counter()
+                entries.sort(key=_kernel_entry_key)
+                scored = CandidateQueue(entries, self._decode_entry)
+            else:
+                entries = self._materialize(cand)
+                stats.scored += len(entries)
+                t2 = time.perf_counter()
+                entries.sort(key=_entry_key)
+                scored = [(se, bits) for se, bits, _ in entries]
         else:
             survivors = list(self._common_term_space(targets, stats))
             t1 = time.perf_counter()
@@ -259,6 +361,9 @@ class CandidateEngine:
         stats["hub_tail_memos"] = len(self._tails_memo)
         stats["hub_pair_memos"] = len(self._hub_pairs_memo)
         stats["candidate_memos"] = sum(len(m) for m in self._se_memos)
+        if self.kernel_intersect:
+            for family, count in self.kb.masks.stats().items():  # type: ignore[attr-defined]
+                stats[f"mask_{family}"] = count
         return stats
 
     def clear_caches(self) -> None:
@@ -364,10 +469,12 @@ class CandidateEngine:
         stats.enumerated += enumerated
         others = [t for t in targets if t != seed]
         if others:
+            t_intersect = time.perf_counter()
             holds_for = self.matcher.holds_for
             expressions = {
                 se for se in expressions if all(holds_for(se, t) for t in others)
             }
+            stats.intersect_seconds += time.perf_counter() - t_intersect
         stats.intersected_out += enumerated - len(expressions)
         return expressions
 
@@ -383,12 +490,19 @@ class CandidateEngine:
         cand = self._enumerate_ids(kb.term_id(seed))  # type: ignore[attr-defined]
         enumerated = cand.total()
         stats.enumerated += enumerated
+        intersect = (
+            self._intersect_target_kernel
+            if self.kernel_intersect
+            else self._intersect_target
+        )
+        t_intersect = time.perf_counter()
         for t in targets:
             if t == seed:
                 continue
             if cand.total() == 0:
                 break
-            self._intersect_target(cand, kb.term_id(t))  # type: ignore[attr-defined]
+            intersect(cand, kb.term_id(t))  # type: ignore[attr-defined]
+        stats.intersect_seconds += time.perf_counter() - t_intersect
         stats.intersected_out += enumerated - cand.total()
         return cand
 
@@ -621,6 +735,74 @@ class CandidateEngine:
                     surviving_closed.add((pa, pb, pc))
             cand.closed3 = surviving_closed
 
+    def _intersect_target_kernel(
+        self, cand: _IdCandidates, target_id: Optional[int]
+    ) -> None:
+        """:meth:`_intersect_target` as pure kernel set algebra.
+
+        Every satisfaction test is an :class:`~repro.kb.idset.IdSet`
+        intersection over the KB's shared
+        :class:`~repro.kb.idset.MaskStore` — the same cached binding sets
+        the matcher's plans read, amortized across targets, shapes and
+        requests (the legacy path instead unions per-hub pair sets per
+        target).  The algebra per shape, for target ``t``:
+
+        * single ``p(x, I)``          — ``I ∈ objects(t, p)``;
+        * path ``p0(x,y) ∧ p1(y,I)``  — ``objects(t, p0) ∩ subjects(p1, I) ≠ ∅``;
+        * star                        — ``objects(t, p0) ∩ subjects(p1, I1) ∩ subjects(p2, I2) ≠ ∅``;
+        * closed 2/3                  — ``objects(t, pa) ∩ objects(t, pb) [∩ objects(t, pc)] ≠ ∅``.
+
+        The per-candidate tests run on the entries' cached *bitmask* form:
+        one big-int AND per intersection, no per-candidate set or IdSet
+        allocation (singles stay direct adjacency probes — a one-element
+        membership test has nothing to gain from algebra).
+        """
+        if target_id is None:
+            cand.clear()  # never interned ⇒ satisfies nothing
+            return
+        store = self.kb.masks  # type: ignore[attr-defined]
+        store.sync()
+        smask = store.subjects_mask_synced
+        omask = store.objects_mask_synced
+        # The target's object masks recur across shapes — memoize per call.
+        tmask_cache: Dict[int, int] = {}
+
+        def tmask(p_id: int) -> int:
+            mask = tmask_cache.get(p_id)
+            if mask is None:
+                mask = omask(target_id, p_id)
+                tmask_cache[p_id] = mask
+            return mask
+
+        if cand.singles:
+            objects_view = self.kb.objects_ids_view  # type: ignore[attr-defined]
+            cand.singles = {
+                c for c in cand.singles if c[1] in objects_view(target_id, c[0])
+            }
+
+        if cand.paths:
+            cand.paths = {c for c in cand.paths if tmask(c[0]) & smask(c[1], c[2])}
+
+        if cand.stars:
+            surviving_stars: Set[Tuple[int, Tuple[int, int], Tuple[int, int]]] = set()
+            add = surviving_stars.add
+            for c in cand.stars:
+                hubs = tmask(c[0]) & smask(*c[1])
+                if hubs and hubs & smask(*c[2]):
+                    add(c)
+            cand.stars = surviving_stars
+
+        if cand.closed2:
+            cand.closed2 = {c for c in cand.closed2 if tmask(c[0]) & tmask(c[1])}
+
+        if cand.closed3:
+            surviving_closed: Set[Tuple[int, int, int]] = set()
+            for c in cand.closed3:
+                shared = tmask(c[0]) & tmask(c[1])
+                if shared and shared & tmask(c[2]):
+                    surviving_closed.add(c)
+            cand.closed3 = surviving_closed
+
     # -- decoding (the API boundary) -------------------------------------
 
     def _decode(self, cand: _IdCandidates) -> List[SubgraphExpression]:
@@ -675,6 +857,25 @@ class CandidateEngine:
             self._star_atoms[key] = entry
         return entry
 
+    def _evict_if_needed(self) -> None:
+        """Bound the cross-request memos (shared by both ID flavours)."""
+        occupancy = (
+            sum(len(m) for m in self._se_memos)
+            + len(self._hub_pairs_memo)
+            + len(self._tails_memo)
+        )
+        if occupancy > self.se_memo_limit:
+            for m in self._se_memos:
+                m.clear()
+            self._root_atoms.clear()
+            self._bound_atoms.clear()
+            self._star_atoms.clear()
+            # The per-hub memos asymptotically duplicate the SPO index;
+            # they must not outlive the eviction that bounds everything
+            # else, or a long request stream grows RSS without bound.
+            self._hub_pairs_memo.clear()
+            self._tails_memo.clear()
+
     def _materialize(
         self, cand: _IdCandidates
     ) -> List[Tuple[SubgraphExpression, float, tuple]]:
@@ -685,22 +886,7 @@ class CandidateEngine:
         are skipped — and are planned in ID space (no re-encoding) and
         batch-scored against the shared rank tables in one pass."""
         memos = self._se_memos
-        occupancy = (
-            sum(len(m) for m in memos)
-            + len(self._hub_pairs_memo)
-            + len(self._tails_memo)
-        )
-        if occupancy > self.se_memo_limit:
-            for m in memos:
-                m.clear()
-            self._root_atoms.clear()
-            self._bound_atoms.clear()
-            self._star_atoms.clear()
-            # The per-hub memos asymptotically duplicate the SPO index;
-            # they must not outlive the eviction that bounds everything
-            # else, or a long request stream grows RSS without bound.
-            self._hub_pairs_memo.clear()
-            self._tails_memo.clear()
+        self._evict_if_needed()
         out: List[Tuple[SubgraphExpression, float, tuple]] = []
         append = out.append
         # (memo, key, decoded SE, SE sort key, scoring plan) per miss.
@@ -784,6 +970,139 @@ class CandidateEngine:
                 append(entry)
         return out
 
+    # -- kernel scoring: plan + key only, decode deferred -----------------
+
+    def _score_kernel(self, cand: _IdCandidates) -> List[list]:
+        """Queue records for every survivor, decode-free.
+
+        The kernel twin of :meth:`_materialize`: misses compute only what
+        ordering and scoring need — the canonical SE sort key (from the
+        memoized atom keys) and the scoring plan, batch-scored against
+        the scorer's precompiled code-length tables.  No
+        ``SubgraphExpression`` is constructed here; records carry
+        ``(shape, ID key)`` and :meth:`_decode_entry` materializes the SE
+        the first time a consumer touches the entry
+        (:class:`CandidateQueue`), writing it back into the shared memo
+        so repeat requests and re-touches get it for one dict probe.
+
+        Record layout (also the sort key, fields 0–1):
+        ``[Ĉ bits, SE sort key, SE | None, shape index, ID key]``.
+        """
+        self._evict_if_needed()
+        memos = self._se_memos
+        out: List[list] = []
+        append = out.append
+        # Misses score inline (tables build on first probe inside the
+        # scorer) — no deferred-miss list, no second pass.  The atom-key
+        # memos are inlined as direct dict probes: the methods repeat the
+        # same dict get behind a call frame, and this loop runs hundreds
+        # of thousands of times per cold queue.  Memo entries are
+        # non-empty tuples, so `or` safely falls through to the builder.
+        score = self.scorer.plan_scorer()
+        root_atoms = self._root_atoms
+        star_atoms = self._star_atoms
+        bound_atoms = self._bound_atoms
+
+        memo = memos[0]
+        get = memo.get
+        for key in cand.singles:
+            rec = get(key)
+            if rec is None:
+                atom_key = (bound_atoms.get(key) or self._bound_atom(*key))[1]
+                rec = [score((PLAN_SINGLE,) + key), (atom_key,), None, 0, key]
+                memo[key] = rec
+            append(rec)
+
+        memo = memos[1]
+        get = memo.get
+        for key in cand.paths:
+            rec = get(key)
+            if rec is None:
+                p0 = key[0]
+                tail = key[1], key[2]
+                hop_key = (root_atoms.get(p0) or self._root_atom(p0))[1]
+                tail_key = (star_atoms.get(tail) or self._star_atom(*tail))[1]
+                rec = [score((PLAN_PATH,) + key), (hop_key, tail_key), None, 1, key]
+                memo[key] = rec
+            append(rec)
+
+        memo = memos[2]
+        get = memo.get
+        for key in cand.stars:
+            rec = get(key)
+            if rec is None:
+                p0, a1, a2 = key
+                hop_key = (root_atoms.get(p0) or self._root_atom(p0))[1]
+                k1 = (star_atoms.get(a1) or self._star_atom(*a1))[1]
+                k2 = (star_atoms.get(a2) or self._star_atom(*a2))[1]
+                # Canonical star order on the cached atom keys; the plan
+                # follows it so the float summation stays bit-identical
+                # to the estimator's (same reasoning as _materialize).
+                if k2 < k1:
+                    k1, k2 = k2, k1
+                    plan = (PLAN_STAR, p0) + a2 + a1
+                else:
+                    plan = (PLAN_STAR, p0) + a1 + a2
+                rec = [score(plan), (hop_key, k1, k2), None, 2, key]
+                memo[key] = rec
+            append(rec)
+
+        pred_rank = self._pred_rank
+        root_atom = self._root_atom
+        for memo, keys, shape_index in ((memos[3], cand.closed2, 3), (memos[4], cand.closed3, 4)):
+            get = memo.get
+            for key in keys:
+                rec = get(key)
+                if rec is None:
+                    # The key is predicate-value-sorted == the canonical
+                    # atom order; the stable rank sort is therefore the
+                    # estimator's anchor selection exactly.
+                    se_key = tuple(root_atom(p)[1] for p in key)
+                    plan = (PLAN_CLOSED,) + tuple(sorted(key, key=pred_rank))
+                    rec = [score(plan), se_key, None, shape_index, key]
+                    memo[key] = rec
+                append(rec)
+        return out
+
+    def _decode_entry(self, rec: list) -> SubgraphExpression:
+        """Materialize a kernel queue record's SE (the response boundary).
+
+        Rebuilt from the memoized atoms — in canonical order, decided on
+        the cached atom sort keys, identical to what the eager path's
+        constructors produce — and written back into the record, which
+        lives in the cross-request memo: one decode per distinct
+        candidate per engine, no matter how many queues it appears in.
+        """
+        shape_index, key = rec[3], rec[4]
+        if shape_index == 0:
+            se = SubgraphExpression(
+                Shape.SINGLE_ATOM, (self._bound_atom(key[0], key[1])[0],)
+            )
+        elif shape_index == 1:
+            se = SubgraphExpression(
+                Shape.PATH,
+                (self._root_atom(key[0])[0], self._star_atom(key[1], key[2])[0]),
+            )
+        elif shape_index == 2:
+            p0, (p1, o1), (p2, o2) = key
+            a1, k1 = self._star_atom(p1, o1)
+            a2, k2 = self._star_atom(p2, o2)
+            if k2 < k1:
+                a1, a2 = a2, a1
+            se = SubgraphExpression(Shape.PATH_STAR, (self._root_atom(p0)[0], a1, a2))
+        else:
+            shape = Shape.CLOSED_2 if shape_index == 3 else Shape.CLOSED_3
+            se = SubgraphExpression(shape, tuple(self._root_atom(p)[0] for p in key))
+        rec[2] = se
+        return se
+
     def __repr__(self) -> str:
-        path = "id-space" if self.id_space else "term-space"
+        if not self.id_space:
+            path = "term-space"
+        elif self.kernel:
+            path = "id-kernel"
+        elif self.kernel_intersect:
+            path = "id-kernel-intersect"  # mask intersection, eager scoring
+        else:
+            path = "id-set"
         return f"CandidateEngine(path={path}, kb={self.kb.name!r})"

@@ -192,7 +192,7 @@ class PREMI(REMI):
             thread.join()
 
         for local in thread_stats:
-            stats.merge(local)
+            stats.accumulate(local, queue_phases=False)
         stats.search_seconds = time.perf_counter() - search_start
         stats.total_seconds = time.perf_counter() - started
 

@@ -124,7 +124,7 @@ class REMI:
 
     def candidates(
         self, targets: Sequence[Term], stats: Optional[SearchStats] = None
-    ) -> List[ScoredSE]:
+    ) -> Sequence[ScoredSE]:
         """The sorted priority queue of common subgraph expressions.
 
         A thin wrapper over :class:`~repro.core.candidates.CandidateEngine`,
@@ -194,7 +194,7 @@ class _Search:
     def __init__(
         self,
         miner: REMI,
-        queue: List[ScoredSE],
+        queue: Sequence[ScoredSE],
         targets: FrozenSet[Term],
         stats: SearchStats,
         deadline: Optional[float],
@@ -266,7 +266,7 @@ class _Search:
         self,
         prefix: Tuple[SubgraphExpression, ...],
         prefix_c: float,
-        rest: List[ScoredSE],
+        rest: Sequence[ScoredSE],
         start: int,
         depth: int,
         tested_prefix: bool,
@@ -275,8 +275,8 @@ class _Search:
         from index *start* on; returns True if any RE exists in this
         subtree (used by Alg. 1 line 8).
 
-        *rest* is the SHARED scored queue — recursion passes the same list
-        with a moved start index.  Re-slicing (``rest[i + 1:]``) would copy
+        *rest* is the SHARED scored queue — recursion passes the same
+        sequence with a moved start index.  Re-slicing (``rest[i + 1:]``) would copy
         O(n) entries at every recursion level, O(n²) per root subtree.
         """
         self.stats.peak_stack_depth = max(self.stats.peak_stack_depth, depth)

@@ -27,6 +27,10 @@ class SearchStats:
     enumerated: int = 0
     intersected_out: int = 0
     scored: int = 0
+    #: Time inside the cross-target intersection alone — a *sub-timing* of
+    #: ``enumerate_seconds`` (which covers Alg. 1 line 1 end to end), split
+    #: out so the kernel-vs-set benchmark can report the phases separately.
+    intersect_seconds: float = 0.0
     nodes_visited: int = 0
     re_tests: int = 0
     solutions_seen: int = 0
@@ -78,8 +82,25 @@ class SearchStats:
             raise ValueError(f"unknown SearchStats fields: {sorted(unknown)}")
         return cls(**record)
 
-    def merge(self, other: "SearchStats") -> None:
-        """Accumulate counters from a worker thread's local stats."""
+    def accumulate(self, other: "SearchStats", *, queue_phases: bool = True) -> None:
+        """Fold *other* into this record — THE aggregation method.
+
+        Two callers exist, distinguished by ``queue_phases``:
+
+        * ``True`` (default) — fold a whole run into a serving-lifetime
+          total (what :meth:`repro.core.batch.BatchMiner.summary` reports
+          across requests): every counter and phase timing sums;
+          ``timed_out`` ORs and ``peak_stack_depth`` takes the max.
+        * ``False`` — fold a worker thread's local stats into its parent
+          run (P-REMI's fan-out): the queue-build counters and timings
+          (``candidates``/``enumerated``/``intersected_out``/``scored``
+          and all ``*_seconds``) already belong to the parent, which
+          built the one shared queue, so only the search-side counters
+          sum.
+
+        The legacy :meth:`merge` spelling of the ``False`` case remains
+        as a deprecated alias.
+        """
         self.nodes_visited += other.nodes_visited
         self.re_tests += other.re_tests
         self.solutions_seen += other.solutions_seen
@@ -90,25 +111,30 @@ class SearchStats:
         self.roots_skipped += other.roots_skipped
         self.timed_out = self.timed_out or other.timed_out
         self.peak_stack_depth = max(self.peak_stack_depth, other.peak_stack_depth)
-
-    def accumulate(self, other: "SearchStats") -> None:
-        """Fold a whole run's stats into a serving-lifetime total.
-
-        Unlike :meth:`merge` (worker threads of ONE run, where queue-build
-        counters belong to the parent) this also sums the queue-build
-        counters and the phase timings — what
-        :meth:`repro.core.batch.BatchMiner.summary` reports across requests.
-        """
-        self.merge(other)
+        if not queue_phases:
+            return
         self.candidates += other.candidates
         self.enumerated += other.enumerated
         self.intersected_out += other.intersected_out
         self.scored += other.scored
         self.enumerate_seconds += other.enumerate_seconds
+        self.intersect_seconds += other.intersect_seconds
         self.complexity_seconds += other.complexity_seconds
         self.sort_seconds += other.sort_seconds
         self.search_seconds += other.search_seconds
         self.total_seconds += other.total_seconds
+
+    def merge(self, other: "SearchStats") -> None:
+        """Deprecated alias for ``accumulate(other, queue_phases=False)``."""
+        import warnings
+
+        warnings.warn(
+            "SearchStats.merge() is deprecated; use "
+            "accumulate(other, queue_phases=False)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.accumulate(other, queue_phases=False)
 
 
 @dataclass

@@ -37,6 +37,9 @@ from typing import (
     Tuple,
 )
 
+# Bit-level primitives (lowest-set-bit iteration, mask building) live in
+# the shared kernel: see :mod:`repro.kb.idset`.
+
 from repro.expressions.atoms import Atom, Variable
 from repro.expressions.expression import Expression
 from repro.expressions.subgraph import Shape, SubgraphExpression
@@ -52,14 +55,6 @@ _EMPTY: frozenset = frozenset()
 
 def _identity(term: Term) -> Term:
     return term
-
-
-def _iter_bits(mask: int) -> Iterator[int]:
-    """The set bit positions of *mask*, ascending."""
-    while mask:
-        low = mask & -mask
-        yield low.bit_length() - 1
-        mask ^= low
 
 
 class Matcher:

@@ -1,0 +1,440 @@
+"""The shared compact-ID-set kernel: one home for REMI's set algebra.
+
+Every hot phase of the mining pipeline — the matcher's Table 1 plans, the
+candidate engine's cross-target intersections, the batch scorer's
+conditional rank tables — is set algebra over *dense integer IDs* (the
+HDT/decision-diagram technique the interned backend is built on).  Before
+this module each consumer carried its own fragment of that algebra: the
+matcher had a private lowest-set-bit iterator, the interned store a
+private per-``(p, o)`` bitmask cache, the candidate engine per-hub pair
+memos.  :mod:`repro.kb.idset` is the one kernel they all share:
+
+* :func:`iter_bits` / :func:`mask_of_ids` / :func:`decode_bits` — the
+  bit-twiddling primitives (previously duplicated in
+  ``expressions/matching.py`` and ``kb/interned.py``);
+* :class:`IdSet` — an **adaptive** immutable ID set: a ``frozenset[int]``
+  below the density threshold, a big-int bitmask above it.  Intersection,
+  union, subset, disjointness and membership pick the cheapest algorithm
+  for the operand representations; cardinality is ``int.bit_count()`` on
+  the dense side (never "build a set just to ``len()`` it");
+* :class:`MaskStore` — the per-KB, epoch-coherent cache of atom-binding
+  ``IdSet``\\ s, keyed like the POS/SPO indexes.  The matcher, the
+  candidate engine and the batch scorer all read the *same* store, so a
+  mask built for one consumer is a cache hit for the next — and a KB
+  mutation invalidates exactly the touched keys, once, for everyone.
+
+Representation threshold
+------------------------
+
+A sparse set costs ~64 bytes per element; a dense mask costs
+``universe / 8`` bytes regardless of cardinality, but turns whole-set
+intersection / union / subset into single C-speed big-int operations.
+:data:`DENSE_DIVISOR` picks the crossover: a set goes dense when it holds
+at least ``universe // DENSE_DIVISOR`` IDs (and at least
+:data:`DENSE_MIN` — tiny universes gain nothing from masks).  Semantics
+never depend on the representation — the property suite in
+``tests/kb/test_idset.py`` drives random workloads across the threshold
+and differentially checks every operation against plain ``set[int]``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Sequence, Tuple
+
+from repro.kb.epoch import CacheCoherence, EpochWatcher
+
+__all__ = [
+    "DENSE_DIVISOR",
+    "DENSE_MIN",
+    "EMPTY_IDSET",
+    "IdSet",
+    "MaskStore",
+    "decode_bits",
+    "iter_bits",
+    "mask_of_ids",
+]
+
+#: A set goes dense when ``card * DENSE_DIVISOR >= universe`` — i.e. at a
+#: fill ratio of 1/256, where the mask's fixed ``universe/8`` bytes drop
+#: below the sparse set's ~64 bytes/element and big-int ops start winning.
+DENSE_DIVISOR = 256
+
+#: Never go dense below this cardinality: for tiny sets the frozenset
+#: probe beats the shift-and-test even at 100 % fill.
+DENSE_MIN = 8
+
+_EMPTY_FROZEN: FrozenSet[int] = frozenset()
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """The set bit positions of *mask*, ascending.
+
+    The lowest-set-bit trick (``mask & -mask``): each step isolates and
+    clears one bit, so the loop is O(popcount), not O(width).
+    """
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def mask_of_ids(ids: Iterable[int]) -> int:
+    """Bitmask with the bits of *ids* set.
+
+    Built through a bytearray (one pass + one ``int.from_bytes``);
+    repeated ``mask |= 1 << id`` would cost O(n · width) instead.
+    """
+    ids = ids if isinstance(ids, (set, frozenset, list, tuple)) else list(ids)
+    if not ids:
+        return 0
+    buf = bytearray((max(ids) >> 3) + 1)
+    for i in ids:
+        buf[i >> 3] |= 1 << (i & 7)
+    return int.from_bytes(buf, "little")
+
+
+def decode_bits(mask: int, table: Sequence) -> list:
+    """``[table[i] for each set bit i of mask]``, ascending bit order.
+
+    The decode boundary: *table* is typically the interner's id→term
+    list.  Kept beside :func:`iter_bits` so every consumer decodes the
+    same way (and none re-implements the bit loop).
+    """
+    out = []
+    append = out.append
+    while mask:
+        low = mask & -mask
+        append(table[low.bit_length() - 1])
+        mask ^= low
+    return out
+
+
+def _is_dense(card: int, universe: int) -> bool:
+    return card >= DENSE_MIN and card * DENSE_DIVISOR >= universe
+
+
+class IdSet:
+    """An immutable set of dense integer IDs with an adaptive layout.
+
+    Exactly one of the two slots holds the representation:
+
+    * ``ids`` — a ``frozenset[int]`` (sparse; ``mask`` lazily cached);
+    * ``mask`` — a big-int bitmask (dense; ``ids`` stays ``None``).
+
+    ``card`` is the cardinality, precomputed (``int.bit_count()`` on the
+    dense side).  Build instances with :meth:`from_ids` (adaptive) or
+    :meth:`from_mask`; the constructor is internal.
+
+    All operations are pure set semantics over the member IDs — the
+    representation is an implementation detail and never leaks into
+    results (two ``IdSet`` s with equal members compare equal even when
+    one is sparse and the other dense).
+    """
+
+    __slots__ = ("ids", "mask", "card")
+
+    def __init__(self, ids: Optional[FrozenSet[int]], mask: Optional[int], card: int):
+        self.ids = ids
+        self.mask = mask
+        self.card = card
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_ids(cls, ids: Iterable[int], universe: int) -> "IdSet":
+        """Adaptive build: dense iff the fill ratio crosses the threshold.
+
+        *universe* is the ID space width (``kb.term_count()``); it only
+        picks the representation, never the semantics.
+        """
+        frozen = ids if isinstance(ids, frozenset) else frozenset(ids)
+        card = len(frozen)
+        if card == 0:
+            return EMPTY_IDSET
+        if _is_dense(card, universe):
+            return cls(None, mask_of_ids(frozen), card)
+        return cls(frozen, None, card)
+
+    @classmethod
+    def from_mask(cls, mask: int) -> "IdSet":
+        """Wrap an existing bitmask (cardinality via ``bit_count``)."""
+        if not mask:
+            return EMPTY_IDSET
+        return cls(None, mask, mask.bit_count())
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+
+    def to_mask(self) -> int:
+        """The bitmask form (cached on sparse instances after first use)."""
+        mask = self.mask
+        if mask is None:
+            mask = mask_of_ids(self.ids)  # type: ignore[arg-type]
+            self.mask = mask
+        return mask
+
+    def to_frozenset(self) -> FrozenSet[int]:
+        """The ``frozenset[int]`` form (dense instances decode per call)."""
+        if self.ids is not None:
+            return self.ids
+        return frozenset(iter_bits(self.mask))  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    # set algebra
+    # ------------------------------------------------------------------
+
+    def __contains__(self, i: int) -> bool:
+        if self.ids is not None:
+            return i in self.ids
+        return bool(self.mask >> i & 1)  # type: ignore[operator]
+
+    def intersects(self, other: "IdSet") -> bool:
+        """``self ∩ other ≠ ∅`` without materializing the intersection."""
+        a_ids, b_ids = self.ids, other.ids
+        if a_ids is not None and b_ids is not None:
+            return not a_ids.isdisjoint(b_ids)
+        if a_ids is None and b_ids is None:
+            return bool(self.mask & other.mask)  # type: ignore[operator]
+        # Mixed: probe the sparse side's members against the mask.
+        if a_ids is None:
+            a_ids, mask = b_ids, self.mask
+        else:
+            mask = other.mask
+        for i in a_ids:  # type: ignore[union-attr]
+            if mask >> i & 1:  # type: ignore[operator]
+                return True
+        return False
+
+    def isdisjoint(self, other: "IdSet") -> bool:
+        return not self.intersects(other)
+
+    def intersection(self, other: "IdSet") -> "IdSet":
+        a_ids, b_ids = self.ids, other.ids
+        if a_ids is not None and b_ids is not None:
+            out = a_ids & b_ids
+            return IdSet(out, None, len(out)) if out else EMPTY_IDSET
+        if a_ids is None and b_ids is None:
+            return IdSet.from_mask(self.mask & other.mask)  # type: ignore[operator]
+        if a_ids is None:
+            a_ids, mask = b_ids, self.mask
+        else:
+            mask = other.mask
+        out = frozenset(i for i in a_ids if mask >> i & 1)  # type: ignore[union-attr, operator]
+        return IdSet(out, None, len(out)) if out else EMPTY_IDSET
+
+    __and__ = intersection
+
+    def union(self, other: "IdSet") -> "IdSet":
+        a_ids, b_ids = self.ids, other.ids
+        if a_ids is not None and b_ids is not None:
+            out = a_ids | b_ids
+            return IdSet(out, None, len(out)) if out else EMPTY_IDSET
+        # Any dense operand makes the union dense (it only grows).
+        return IdSet.from_mask(self.to_mask() | other.to_mask())
+
+    __or__ = union
+
+    def issubset(self, other: "IdSet") -> bool:
+        if self.card > other.card:
+            return False
+        a_ids, b_ids = self.ids, other.ids
+        if a_ids is not None and b_ids is not None:
+            return a_ids <= b_ids
+        if a_ids is not None:
+            mask = other.mask
+            return all(mask >> i & 1 for i in a_ids)  # type: ignore[operator]
+        # Dense ⊆ anything: one big-int test against the other's mask.
+        mask = self.mask
+        return mask & other.to_mask() == mask  # type: ignore[operator]
+
+    # ------------------------------------------------------------------
+    # protocol
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.card
+
+    def __bool__(self) -> bool:
+        return self.card > 0
+
+    def __iter__(self) -> Iterator[int]:
+        """Member IDs (ascending on dense instances, set order on sparse
+        ones — callers needing an order must sort, like with ``set``)."""
+        if self.ids is not None:
+            return iter(self.ids)
+        return iter_bits(self.mask)  # type: ignore[arg-type]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IdSet):
+            return NotImplemented
+        if self.card != other.card:
+            return False
+        if self.ids is not None and other.ids is not None:
+            return self.ids == other.ids
+        return self.to_mask() == other.to_mask()
+
+    __hash__ = None  # type: ignore[assignment]  # lazily-cached mask ⇒ keep unhashable
+
+    @property
+    def dense(self) -> bool:
+        """True when the resident representation is the bitmask."""
+        return self.ids is None
+
+    def __repr__(self) -> str:
+        kind = "dense" if self.dense else "sparse"
+        return f"IdSet({kind}, card={self.card})"
+
+
+#: The canonical empty set — shared, both representations resident.
+EMPTY_IDSET = IdSet(_EMPTY_FROZEN, 0, 0)
+
+
+class MaskStore:
+    """Per-KB cache of atom-binding :class:`IdSet`\\ s, epoch-coherent.
+
+    Two key families, mirroring the store indexes the bindings come from:
+
+    * ``subjects(p, o)`` — the bindings of ``s`` in ``p(s, o)`` (POS);
+    * ``objects(s, p)`` — the bindings of ``o`` in ``p(s, o)`` (SPO).
+
+    One store hangs off each dictionary-encoded KB
+    (:attr:`repro.kb.interned.InternedKnowledgeBase.masks`), and every
+    ID-space consumer — matcher plans, candidate-engine intersections,
+    scorer scans — shares it, so the caches amortize across consumers
+    *and* across requests.
+
+    Coherence: the store watches the KB epoch (:mod:`repro.kb.epoch`).
+    When the bounded mutation log covers the gap, only the touched
+    ``(p, o)`` / ``(s, p)`` keys drop (an incremental repair); otherwise
+    the whole store clears.  Entries are immutable ``IdSet`` s, so a
+    consumer may hold one across a mutation — it just describes the old
+    epoch, exactly like a fresh ``set`` copy would.
+    """
+
+    __slots__ = ("kb", "_subjects", "_objects", "_watch", "entry_limit")
+
+    def __init__(self, kb, entry_limit: int = 1 << 20):
+        if not getattr(kb, "supports_id_queries", False):
+            raise TypeError(f"MaskStore needs a dictionary-encoded backend, got {kb!r}")
+        self.kb = kb
+        self._subjects: Dict[Tuple[int, int], IdSet] = {}
+        self._objects: Dict[Tuple[int, int], IdSet] = {}
+        self._watch = EpochWatcher(kb)
+        #: Resident-entry cap across both families: the store would
+        #: otherwise asymptotically duplicate the POS/SPO indexes over a
+        #: long request stream (same RSS argument as the candidate
+        #: engine's memo eviction).  On overflow the store simply clears —
+        #: it is a cache of pure index scans, so correctness is untouched.
+        self.entry_limit = entry_limit
+
+    # ------------------------------------------------------------------
+    # epoch coherence
+    # ------------------------------------------------------------------
+
+    def sync(self) -> None:
+        """Absorb KB mutations (one int compare when nothing changed).
+
+        Public entry points call this; consumers batching many reads
+        under a KB they know is quiescent may call it once up front and
+        use the ``*_synced`` accessors.
+        """
+        watch = self._watch
+        if watch.seen != self.kb.epoch:
+            watch.absorb(self._repair, self._rebuild)
+
+    def _repair(self, changes) -> bool:
+        term_id = self.kb.term_id
+        subjects, objects = self._subjects, self._objects
+        for _, triple in changes:
+            s = term_id(triple.subject)
+            p = term_id(triple.predicate)
+            o = term_id(triple.object)
+            if s is None or p is None or o is None:
+                # A logged mutation always interned its terms; an unknown
+                # ID means the log cannot be trusted — rebuild.
+                return False
+            subjects.pop((p, o), None)
+            objects.pop((s, p), None)
+        return True
+
+    def _rebuild(self) -> None:
+        self._subjects.clear()
+        self._objects.clear()
+
+    @property
+    def coherence(self) -> CacheCoherence:
+        """Epoch-invalidation telemetry for the shared store."""
+        return self._watch.coherence
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+
+    def subjects(self, predicate_id: int, object_id: int) -> IdSet:
+        """The bindings of ``s`` in ``p(s, o)`` as a cached :class:`IdSet`."""
+        self.sync()
+        return self.subjects_synced(predicate_id, object_id)
+
+    def objects(self, subject_id: int, predicate_id: int) -> IdSet:
+        """The bindings of ``o`` in ``p(s, o)`` as a cached :class:`IdSet`."""
+        self.sync()
+        return self.objects_synced(subject_id, predicate_id)
+
+    def subjects_synced(self, predicate_id: int, object_id: int) -> IdSet:
+        """:meth:`subjects` minus the epoch check (caller ran :meth:`sync`)."""
+        key = (predicate_id, object_id)
+        entry = self._subjects.get(key)
+        if entry is None:
+            kb = self.kb
+            entry = IdSet.from_ids(
+                kb.subjects_ids_view(predicate_id, object_id), kb.term_count()
+            )
+            if len(self._subjects) + len(self._objects) >= self.entry_limit:
+                self._rebuild()
+            self._subjects[key] = entry
+        return entry
+
+    def objects_synced(self, subject_id: int, predicate_id: int) -> IdSet:
+        """:meth:`objects` minus the epoch check (caller ran :meth:`sync`)."""
+        key = (subject_id, predicate_id)
+        entry = self._objects.get(key)
+        if entry is None:
+            kb = self.kb
+            entry = IdSet.from_ids(
+                kb.objects_ids_view(subject_id, predicate_id), kb.term_count()
+            )
+            if len(self._subjects) + len(self._objects) >= self.entry_limit:
+                self._rebuild()
+            self._objects[key] = entry
+        return entry
+
+    def subjects_mask(self, predicate_id: int, object_id: int) -> int:
+        """The ``subjects`` bindings as a plain bitmask int (the matcher's
+        big-int algebra form; cached through the shared entry)."""
+        return self.subjects(predicate_id, object_id).to_mask()
+
+    def subjects_mask_synced(self, predicate_id: int, object_id: int) -> int:
+        """:meth:`subjects_mask` minus the epoch check — the candidate
+        engine's intersection loop calls this once per candidate, so the
+        guard is hoisted to one :meth:`sync` per target."""
+        return self.subjects_synced(predicate_id, object_id).to_mask()
+
+    def objects_mask_synced(self, subject_id: int, predicate_id: int) -> int:
+        """The ``objects`` bindings as a bitmask, epoch check hoisted."""
+        return self.objects_synced(subject_id, predicate_id).to_mask()
+
+    def stats(self) -> Dict[str, int]:
+        """Resident entries per family (serving telemetry)."""
+        return {
+            "subject_sets": len(self._subjects),
+            "object_sets": len(self._objects),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"MaskStore(kb={self.kb.name!r}, subjects={len(self._subjects)}, "
+            f"objects={len(self._objects)})"
+        )

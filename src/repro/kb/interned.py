@@ -28,9 +28,12 @@ The bitmask API is where dense IDs actually pay off: because IDs are dense,
 a binding set fits in ``#terms / 8`` bytes, and intersection / union /
 subset / equality over whole candidate sets become single C-speed big-int
 operations instead of per-element hash probes — the "compact ID set"
-technique of HDT and the decision-diagram literature.  Masks are built
-lazily per ``(predicate, object)`` key from the set indexes and cached;
-mutation invalidates only the touched keys.
+technique of HDT and the decision-diagram literature.  The set algebra
+itself lives in the shared kernel (:mod:`repro.kb.idset`): each interned
+store owns one :class:`~repro.kb.idset.MaskStore` (the :attr:`masks`
+property), the one epoch-coherent per-``(p, o)`` / per-``(s, p)`` cache of
+adaptive :class:`~repro.kb.idset.IdSet` bindings that the matcher, the
+candidate engine and the batch scorer all share.
 
 The interner only grows: discarding triples leaves IDs allocated (mask
 width and :meth:`InternedKnowledgeBase.term_count` include those dead IDs
@@ -50,6 +53,8 @@ from collections import Counter
 from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Set, Tuple
 
 from repro.kb.base import BaseKnowledgeBase
+from repro.kb.idset import MaskStore, decode_bits
+from repro.kb.idset import mask_of_ids as _kernel_mask_of_ids
 from repro.kb.interner import TermInterner
 from repro.kb.terms import IRI, Term
 from repro.kb.triples import Triple
@@ -89,9 +94,9 @@ class InternedKnowledgeBase(BaseKnowledgeBase):
         self._pos: _IdIndex = {}
         self._ops: _IdIndex = {}
         self._size = 0
-        # Lazy bitmask cache for the matcher's set-algebra hot path,
-        # keyed like the POS index.  Invalidated per key on mutation.
-        self._pos_masks: Dict[Tuple[int, int], int] = {}
+        # The shared set-algebra cache (kernel IdSets per (p, o) / (s, p)
+        # key), created lazily on first ID-space consumer.
+        self._masks: Optional[MaskStore] = None
         if triples is not None:
             self.add_all(triples)
 
@@ -132,8 +137,6 @@ class InternedKnowledgeBase(BaseKnowledgeBase):
         self._pos.setdefault(pi, {}).setdefault(oi, set()).add(si)
         self._ops.setdefault(oi, {}).setdefault(pi, set()).add(si)
         self._size += 1
-        if self._pos_masks:
-            self._pos_masks.pop((pi, oi), None)
         self._note_mutation("add", triple)
         return True
 
@@ -155,7 +158,6 @@ class InternedKnowledgeBase(BaseKnowledgeBase):
         self._ops[oi][pi].discard(si)
         self._prune(self._ops, oi, pi)
         self._size -= 1
-        self._pos_masks.pop((pi, oi), None)
         self._note_mutation("delete", triple)
         return True
 
@@ -264,44 +266,50 @@ class InternedKnowledgeBase(BaseKnowledgeBase):
         live.update(self._pso)
         return len(live)
 
-    @staticmethod
-    def mask_of_ids(ids: Iterable[int]) -> int:
-        """Bitmask with the bits of *ids* set.
+    #: Bitmask with the bits of *ids* set — re-exported from the kernel
+    #: (:func:`repro.kb.idset.mask_of_ids`) for API continuity.
+    mask_of_ids = staticmethod(_kernel_mask_of_ids)
 
-        Built through a bytearray (one pass + one ``int.from_bytes``);
-        repeated ``mask |= 1 << id`` would cost O(n · width) instead.
+    @property
+    def masks(self) -> MaskStore:
+        """The shared per-KB set-algebra cache (:mod:`repro.kb.idset`).
+
+        One epoch-coherent store of atom-binding :class:`~repro.kb.idset.IdSet`\\ s
+        per ``(p, o)`` / ``(s, p)`` key, shared by the matcher, the
+        candidate engine and the batch scorer (created lazily).
         """
-        ids = ids if isinstance(ids, (set, frozenset, list, tuple)) else list(ids)
-        if not ids:
-            return 0
-        buf = bytearray((max(ids) >> 3) + 1)
-        for i in ids:
-            buf[i >> 3] |= 1 << (i & 7)
-        return int.from_bytes(buf, "little")
+        store = self._masks
+        if store is None:
+            store = self._masks = MaskStore(self)
+        return store
 
     def subjects_mask(self, predicate_id: int, object_id: int) -> int:
         """Bitmask of ``s`` in ``p(s, o)``: bit *i* set ⟺ term *i* binds.
 
-        Built lazily from the POS index and cached per ``(p, o)`` key;
-        whole-set intersection/subset/equality on these masks are single
-        big-int operations.
+        Served from the shared :attr:`masks` store, so whole-set
+        intersection/subset/equality on these masks are single big-int
+        operations and the cache is one per KB, not one per consumer.
         """
-        key = (predicate_id, object_id)
-        mask = self._pos_masks.get(key)
-        if mask is None:
-            mask = self.mask_of_ids(self._pos.get(predicate_id, {}).get(object_id, _EMPTY))
-            self._pos_masks[key] = mask
-        return mask
+        return self.masks.subjects_mask(predicate_id, object_id)
 
     def decode_mask(self, mask: int) -> FrozenSet[Term]:
         """The terms behind a binding bitmask (the API boundary)."""
-        terms = self._terms
-        out = []
-        while mask:
-            low = mask & -mask
-            out.append(terms[low.bit_length() - 1])
-            mask ^= low
-        return frozenset(out)
+        return frozenset(decode_bits(mask, self._terms))
+
+    def term_frequency_id(self, term_id: int) -> int:
+        """:meth:`term_frequency` without the term round-trip: facts
+        mentioning *term_id* as subject or object (0 for dead IDs).
+
+        The decode-free scoring path of the batch scorer ranks whole
+        conditional candidate sets with this (frequency prominence only
+        needs the counts, never the terms)."""
+        as_subject = sum(len(v) for v in self._spo.get(term_id, {}).values())
+        as_object = sum(len(v) for v in self._ops.get(term_id, {}).values())
+        return as_subject + as_object
+
+    def predicate_fact_count_id(self, predicate_id: int) -> int:
+        """Facts under *predicate_id* — ``predicate_fact_count`` in ID space."""
+        return sum(len(v) for v in self._pso.get(predicate_id, {}).values())
 
     # ------------------------------------------------------------------
     # pattern matching (term-space API; decodes at the boundary)
@@ -506,9 +514,7 @@ class InternedKnowledgeBase(BaseKnowledgeBase):
         term_id = self._interner.id_of(term)
         if term_id is None:
             return 0
-        as_subject = sum(len(v) for v in self._spo.get(term_id, {}).values())
-        as_object = sum(len(v) for v in self._ops.get(term_id, {}).values())
-        return as_subject + as_object
+        return self.term_frequency_id(term_id)
 
     def object_frequencies(self, predicate: IRI) -> Counter:
         pi = self._interner.id_of(predicate)

@@ -84,7 +84,7 @@ class FacesSummarizer:
 
     def _score(self, feature: Feature) -> float:
         """Informativeness × popularity, the FACES ranking signal."""
-        carriers = len(self.kb.subjects(feature.predicate, feature.object))
+        carriers = self.kb.count(predicate=feature.predicate, obj=feature.object)
         informativeness = math.log(self._subject_count / max(1, carriers))
         popularity = math.log(1 + self.kb.term_frequency(feature.object))
         return informativeness * popularity

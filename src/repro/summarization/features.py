@@ -56,5 +56,10 @@ def entity_features(
 
 
 def feature_frequency(kb: KnowledgeBase, feature: Feature) -> int:
-    """How many entities carry this exact feature (its commonness)."""
-    return len(kb.subjects(feature.predicate, feature.object))
+    """How many entities carry this exact feature (its commonness).
+
+    ``count(predicate=, obj=)`` is the cardinality-only query: on every
+    backend it reads ``len()`` off the POS row — no binding set is
+    materialized and (on dictionary-encoded backends) no term is decoded.
+    """
+    return kb.count(predicate=feature.predicate, obj=feature.object)

@@ -86,7 +86,7 @@ class ExpertPanel:
         w_uniqueness = 1.0 - w_prominence
         base: List[Tuple[float, Feature]] = []
         for feature in features:
-            carriers = len(self.kb.subjects(feature.predicate, feature.object))
+            carriers = self.kb.count(predicate=feature.predicate, obj=feature.object)
             uniqueness = math.log(self._subject_count / max(1, carriers))
             prominence = math.log(1 + self.kb.term_frequency(feature.object))
             noise = rng.lognormvariate(0.0, 0.35)

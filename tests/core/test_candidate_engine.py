@@ -205,3 +205,37 @@ def test_engine_unknown_target_yields_empty_queue():
     engine = CandidateEngine(kb, config=FULL_CONFIG)
     assert engine.candidates([EX.ghost]) == []
     assert engine.candidates([EX.a, EX.ghost]) == []
+
+
+def test_kernel_equals_set_path_with_custom_prominence():
+    """Custom prominence models (overriding predicate/entity scoring)
+    must force the decode-free rank builders onto the per-term fallback:
+    kernel and set queues stay bit-identical even when scores are NOT the
+    backend's fact counts."""
+    from repro.extensions.exogenous import ExogenousProminence
+
+    rng = random.Random(99)
+    for seed in range(10):
+        rng.seed(seed)
+        kb = _random_kb(rng, InternedKnowledgeBase)
+        entities = sorted(kb.entities(), key=lambda t: t.sort_key())
+        predicates = sorted(kb.predicates(), key=lambda t: t.sort_key())
+        if not entities or not predicates:
+            continue
+        # Deliberately rank against fact-count order.
+        prominence = ExogenousProminence(
+            kb,
+            entity_scores={e: float(i + 1) for i, e in enumerate(entities)},
+            predicate_scores={p: float(len(predicates) - i) for i, p in enumerate(predicates)},
+        )
+        estimator = ComplexityEstimator(kb, prominence)
+        target_sets = _target_sets(rng, kb)
+        queues = {}
+        for use_kernel in (False, True):
+            engine = CandidateEngine(
+                kb, config=FULL_CONFIG, estimator=estimator, use_kernel=use_kernel
+            )
+            queues[use_kernel] = [
+                list(engine.candidates(targets)) for targets in target_sets
+            ]
+        assert queues[False] == queues[True]

@@ -2,6 +2,8 @@
 
 import math
 
+import pytest
+
 from repro.core.results import MiningResult, SearchStats
 from repro.expressions.expression import Expression
 from repro.expressions.subgraph import SubgraphExpression
@@ -28,11 +30,63 @@ class TestSearchStats:
     def test_merge_accumulates(self):
         a = SearchStats(nodes_visited=3, re_tests=5, peak_stack_depth=2)
         b = SearchStats(nodes_visited=4, re_tests=1, timed_out=True, peak_stack_depth=5)
-        a.merge(b)
+        with pytest.warns(DeprecationWarning, match="accumulate"):
+            a.merge(b)
         assert a.nodes_visited == 7
         assert a.re_tests == 6
         assert a.timed_out
         assert a.peak_stack_depth == 5
+
+    def test_worker_fold_keeps_queue_phases_with_parent(self):
+        """accumulate(queue_phases=False) — the worker-thread fold — must
+        leave the parent's queue-build counters and timings untouched
+        (they describe the one shared queue, not the workers)."""
+        parent = SearchStats(
+            candidates=7, enumerated=11, intersected_out=3, scored=7,
+            enumerate_seconds=0.5, intersect_seconds=0.1,
+            complexity_seconds=0.25, sort_seconds=0.125,
+        )
+        worker = SearchStats(
+            nodes_visited=9, re_tests=4, candidates=999, enumerated=999,
+            enumerate_seconds=99.0, intersect_seconds=99.0, total_seconds=99.0,
+        )
+        parent.accumulate(worker, queue_phases=False)
+        assert parent.nodes_visited == 9 and parent.re_tests == 4
+        assert parent.candidates == 7 and parent.enumerated == 11
+        assert parent.enumerate_seconds == 0.5
+        assert parent.intersect_seconds == 0.1
+        assert parent.total_seconds == 0.0
+
+    def test_lifetime_fold_sums_everything(self):
+        """The serving-summary fold (the default) sums every counter AND
+        every phase timing — the `--summary` totals regression guard."""
+        runs = [
+            SearchStats(
+                candidates=3, enumerated=10, intersected_out=2, scored=3,
+                nodes_visited=5, re_tests=2, enumerate_seconds=0.5,
+                intersect_seconds=0.25, complexity_seconds=0.125,
+                sort_seconds=0.0625, search_seconds=1.0, total_seconds=2.0,
+            ),
+            SearchStats(
+                candidates=4, enumerated=20, intersected_out=8, scored=4,
+                nodes_visited=7, re_tests=1, enumerate_seconds=0.25,
+                intersect_seconds=0.125, complexity_seconds=0.0625,
+                sort_seconds=0.03125, search_seconds=0.5, total_seconds=1.0,
+                timed_out=True, peak_stack_depth=4,
+            ),
+        ]
+        total = SearchStats()
+        for run in runs:
+            total.accumulate(run)
+        assert total.candidates == 7 and total.enumerated == 30
+        assert total.intersected_out == 10 and total.scored == 7
+        assert total.nodes_visited == 12 and total.re_tests == 3
+        assert total.enumerate_seconds == 0.75
+        assert total.intersect_seconds == 0.375
+        assert total.complexity_seconds == 0.1875
+        assert total.sort_seconds == 0.09375
+        assert total.search_seconds == 1.5 and total.total_seconds == 3.0
+        assert total.timed_out and total.peak_stack_depth == 4
 
 
 class TestMiningResult:

