@@ -18,6 +18,10 @@ Each payload's ``benchmark`` field selects the guarded keys (see
 artifact over ``benchmarks/results/BENCH_<name>.json`` — deliberately a
 manual step, so the trajectory only moves when a human (or a PR review)
 decides the new numbers are the new normal.
+
+A few keys additionally carry an **absolute floor** (see :data:`FLOORS`):
+a ratchet the fresh value must clear regardless of what any baseline
+says, so a quietly-regressed baseline can never lower the bar.
 """
 
 from __future__ import annotations
@@ -53,20 +57,57 @@ GUARDS = {
     },
 }
 
+#: benchmark name -> {ratio key: absolute floor}.  Unlike :data:`GUARDS`
+#: (relative to the committed baseline, so a bad baseline lowers the bar),
+#: these are ratchets: the FRESH value must clear the floor no matter what
+#: the baseline says, and re-recording a baseline can never lower them —
+#: raising a floor takes an explicit edit here.  The retained-throughput
+#: ratchet pins the MVCC snapshot-read path: before epoch snapshots the
+#: heaviest update mix kept ~42% of read-only throughput, with them the
+#: netted no-op epochs keep it at parity, and this floor makes sure that
+#: number only ever goes up.
+FLOORS = {
+    "live-updates-steady-state": {
+        "throughput_retained_at_heaviest_mix": 0.85,
+    },
+}
+
+
+def check_floors(fresh_path: Path, fresh: dict) -> int:
+    """The absolute ratchets: independent of any baseline file."""
+    floors = FLOORS.get(fresh.get("benchmark"))
+    if not floors:
+        return 0
+    failures = 0
+    for key, floor in floors.items():
+        fresh_value = fresh.get(key)
+        if fresh_value is None:
+            print(f"{fresh_path}: FRESH run lacks ratcheted {key!r} — failing")
+            failures += 1
+            continue
+        verdict = "ok" if fresh_value >= floor else "BELOW ABSOLUTE FLOOR"
+        print(
+            f"{fresh_path}: {key} = {fresh_value:.3f} "
+            f"(absolute floor {floor:.3f}) {verdict}"
+        )
+        if fresh_value < floor:
+            failures += 1
+    return failures
+
 
 def check_file(fresh_path: Path, baseline_dir: Path, tolerance: float) -> int:
     fresh = json.loads(fresh_path.read_text(encoding="utf-8"))
     name = fresh.get("benchmark")
+    failures = check_floors(fresh_path, fresh)
     guards = GUARDS.get(name)
     if guards is None:
         print(f"{fresh_path}: no guard configured for benchmark {name!r} — skipped")
-        return 0
+        return failures
     baseline_path = baseline_dir / fresh_path.name
     if not baseline_path.exists():
         print(f"{fresh_path}: no committed baseline at {baseline_path} — skipped")
-        return 0
+        return failures
     baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
-    failures = 0
     for key, override in guards.items():
         allowed_drop = tolerance if override is None else override
         base_value = baseline.get(key)

@@ -78,6 +78,12 @@ class BaseKnowledgeBase(abc.ABC):
     #: docstring); the matcher then evaluates its plans entirely in ID space.
     supports_id_queries: bool = False
 
+    #: True when the backend can produce immutable epoch views via
+    #: :meth:`at_epoch` — the MVCC read path of the serving layer.  The
+    #: hash backend stays False (it serves under the update barrier, the
+    #: differential reference for snapshot reads).
+    supports_snapshots: bool = False
+
     #: The mutation epoch: bumped by every effective ``add``/``discard``
     #: (once per :meth:`mutate_many` batch).  Read-only for callers — a
     #: plain attribute (not a property) so the staleness guard on query
@@ -175,6 +181,30 @@ class BaseKnowledgeBase(abc.ABC):
             # Epoch dropped_stamp may now be partially logged: coverage
             # is complete only strictly past it.
             self._log_floor = dropped_stamp
+
+    # ------------------------------------------------------------------
+    # epoch snapshots (MVCC reads)
+    # ------------------------------------------------------------------
+
+    def at_epoch(self) -> "BaseKnowledgeBase":
+        """An immutable view of the store at its current epoch.
+
+        Snapshot-capable backends (``supports_snapshots``) return a
+        frozen, structurally-shared epoch view that stays valid — and
+        bit-identical — while the live store keeps mutating; see
+        :mod:`repro.kb.snapshot`.  Must be called from the writer side
+        (or otherwise quiescent) — the serving layer's update barrier
+        guarantees that.  Backends without snapshot support raise
+        ``TypeError``; their callers keep the barrier/copy path.
+        """
+        raise TypeError(
+            f"{type(self).__name__} does not support epoch snapshots; "
+            "serve it under the update barrier instead"
+        )
+
+    def snapshot(self) -> "BaseKnowledgeBase":
+        """Alias for :meth:`at_epoch` (the serving layer's spelling)."""
+        return self.at_epoch()
 
     def changes_since(self, epoch: int) -> Optional[List[Tuple[str, Triple]]]:
         """The ``(op, triple)`` mutations applied after *epoch*, in order.

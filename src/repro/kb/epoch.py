@@ -41,6 +41,36 @@ from repro.kb.triples import Triple
 Change = Tuple[str, Triple]
 
 
+def net_changes(changes: List[Change]) -> List[Change]:
+    """Collapse a change sequence to its net per-triple effect.
+
+    The mutation log only records *effective* operations, so the ops on
+    one triple strictly alternate (add, delete, add, … or delete, add,
+    delete, …).  The triple's final state therefore differs from its
+    initial state iff the op count is odd — iff first op == last op —
+    and the net effect is then the last op.  A paired delete + re-add
+    (serving churn that restores content, the dominant pattern of
+    ``bench_live_updates``) nets to nothing, and an empty net means
+    every KB-derived value is still exactly right: watchers fast-forward
+    without touching their caches (see :meth:`EpochWatcher.absorb`).
+
+    Order of surviving entries follows each triple's first appearance;
+    consumers of incremental repair are order-insensitive within one
+    absorb (each triple appears at most once after netting).
+    """
+    first: Dict[Triple, str] = {}
+    last: Dict[Triple, str] = {}
+    order: List[Triple] = []
+    for op, triple in changes:
+        if triple not in first:
+            first[triple] = op
+            order.append(triple)
+        last[triple] = op
+    return [
+        (first[triple], triple) for triple in order if first[triple] == last[triple]
+    ]
+
+
 @dataclass
 class CacheCoherence:
     """Telemetry for one (or many, via :meth:`merge`) epoch-watched caches."""
@@ -51,6 +81,10 @@ class CacheCoherence:
     invalidations: int = 0
     #: Incremental per-key repairs (touched keys dropped, rest kept).
     repairs: int = 0
+    #: Epoch advances whose changes netted to nothing (paired delete +
+    #: re-add churn): the cache was provably still coherent and survived
+    #: untouched — the cheapest possible absorb.
+    noops: int = 0
     #: Coherence violations: a repair raised mid-way and the cache had to
     #: be rebuilt from scratch to restore consistency.  A healthy serving
     #: session reports zero; the ``remi serve`` smoke test pins that.
@@ -63,6 +97,7 @@ class CacheCoherence:
         self.epochs_seen += other.epochs_seen
         self.invalidations += other.invalidations
         self.repairs += other.repairs
+        self.noops += other.noops
         self.violations += other.violations
         self.rebuild_seconds += other.rebuild_seconds
         return self
@@ -72,6 +107,7 @@ class CacheCoherence:
             "epochs_seen": self.epochs_seen,
             "invalidations": self.invalidations,
             "repairs": self.repairs,
+            "noops": self.noops,
             "violations": self.violations,
             "rebuild_seconds": round(self.rebuild_seconds, 6),
         }
@@ -112,11 +148,14 @@ class EpochWatcher:
     ) -> None:
         """Bring the owning cache up to the current epoch.
 
-        When the KB's mutation log covers the gap and *repair* accepts it
-        (returns True), the step counts as an incremental repair;
-        otherwise *rebuild* runs and counts as a coarse invalidation.
-        No-op when nothing changed.  Owns the timing and the coherence
-        counters so every consumer reports them identically.
+        When the KB's mutation log covers the gap, the change list is
+        first collapsed with :func:`net_changes`; a gap that nets to
+        nothing fast-forwards ``seen`` with the cache untouched (counted
+        as a ``noop``).  A non-empty net that *repair* accepts (returns
+        True) counts as an incremental repair; otherwise *rebuild* runs
+        and counts as a coarse invalidation.  No-op when nothing
+        changed.  Owns the timing and the coherence counters so every
+        consumer reports them identically.
 
         ``seen`` advances only after the repair/rebuild completed: a
         rebuild that raises leaves the watcher stale, so a caller that
@@ -147,12 +186,24 @@ class EpochWatcher:
         if current == self.seen:
             return  # another thread absorbed this epoch while we waited
         t0 = time.perf_counter()
-        # Coarse watchers (repair=None) never look at the log — skip the
-        # O(gap) changes_since materialization entirely.
-        changes = self.kb.changes_since(self.seen) if repair is not None else None
-        repaired = False
+        # Coarse watchers materialize the log too: when the gap nets to
+        # nothing, even a whole-structure cache is provably still
+        # coherent, and dropping it would be the single biggest serving
+        # cost under paired delete/re-add churn.  The scan is bounded by
+        # the log capacity and only runs on the rare stale path.
+        changes = self.kb.changes_since(self.seen)
         if changes is not None:
-            assert repair is not None
+            changes = net_changes(changes)
+            if not changes:
+                # Content-neutral churn: every derived value is still
+                # exact — fast-forward without touching the cache.
+                self.seen = current
+                self.coherence.epochs_seen += 1
+                self.coherence.noops += 1
+                self.coherence.rebuild_seconds += time.perf_counter() - t0
+                return
+        repaired = False
+        if changes is not None and repair is not None:
             try:
                 repaired = bool(repair(changes))
             except BaseException:

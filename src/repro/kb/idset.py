@@ -330,6 +330,31 @@ class MaskStore:
         #: it is a cache of pure index scans, so correctness is untouched.
         self.entry_limit = entry_limit
 
+    @classmethod
+    def inherit(
+        cls,
+        kb,
+        parent: "MaskStore",
+        drop_subjects: Iterable[Tuple[int, int]] = (),
+        drop_objects: Iterable[Tuple[int, int]] = (),
+    ) -> "MaskStore":
+        """A store for *kb* seeded with *parent*'s resident pages.
+
+        The epoch-snapshot path (:mod:`repro.kb.snapshot`): entries are
+        immutable :class:`IdSet`\\ s, so a child view shares the parent's
+        pages structurally and only drops the ``(p, o)`` / ``(s, p)``
+        keys its producing delta touched.  *parent* must be coherent
+        with its own KB when called (the writer-side contract).
+        """
+        store = cls(kb, entry_limit=parent.entry_limit)
+        store._subjects.update(parent._subjects)
+        store._objects.update(parent._objects)
+        for key in drop_subjects:
+            store._subjects.pop(key, None)
+        for key in drop_objects:
+            store._objects.pop(key, None)
+        return store
+
     # ------------------------------------------------------------------
     # epoch coherence
     # ------------------------------------------------------------------

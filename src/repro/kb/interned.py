@@ -76,6 +76,7 @@ class InternedKnowledgeBase(BaseKnowledgeBase):
     """
 
     supports_id_queries = True
+    supports_snapshots = True
 
     def __init__(
         self,
@@ -97,6 +98,9 @@ class InternedKnowledgeBase(BaseKnowledgeBase):
         # The shared set-algebra cache (kernel IdSets per (p, o) / (s, p)
         # key), created lazily on first ID-space consumer.
         self._masks: Optional[MaskStore] = None
+        # The newest epoch view handed out by at_epoch(); the next
+        # snapshot derives from it copy-on-write (see repro.kb.snapshot).
+        self._snap_head = None
         if triples is not None:
             self.add_all(triples)
 
@@ -167,6 +171,45 @@ class InternedKnowledgeBase(BaseKnowledgeBase):
             del index[a][b]
             if not index[a]:
                 del index[a]
+
+    # ------------------------------------------------------------------
+    # epoch snapshots (MVCC reads)
+    # ------------------------------------------------------------------
+
+    def at_epoch(self):
+        """The immutable view of the store at its current epoch.
+
+        Copy-on-write: the previous head snapshot plus the netted
+        mutation-log gap produce the next view by replacing only touched
+        index rows (see :mod:`repro.kb.snapshot`); a gap the bounded log
+        no longer covers falls back to a full capture, and a gap that
+        nets to nothing (paired delete + re-add) reuses the head
+        outright.  Writer-side only — must not race a mutation; the
+        serving layer's update barrier guarantees that.  Repeated calls
+        at one epoch return the same object.
+        """
+        from repro.kb.epoch import net_changes
+        from repro.kb.snapshot import KbSnapshot
+
+        head = self._snap_head
+        if head is not None:
+            if head.epoch == self.epoch:
+                return head
+            changes = self.changes_since(head.epoch)
+            if changes is not None:
+                net = net_changes(changes)
+                if not net:
+                    # Content-neutral churn: the head still describes
+                    # the current state exactly (its epoch label lags,
+                    # which no reader observes — watchers born on a
+                    # snapshot never compare against the live epoch).
+                    return head
+                snap = KbSnapshot._advance(head, self, net)
+                self._snap_head = snap
+                return snap
+        snap = KbSnapshot._capture(self)
+        self._snap_head = snap
+        return snap
 
     # ------------------------------------------------------------------
     # ID-space atom bindings (the matcher's hot path)

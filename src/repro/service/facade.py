@@ -20,9 +20,18 @@ across 50 KBs × both backends.
 >>> response.ok, response.result["expression"]
 
 Thread safety matches the miner underneath: concurrent ``mine`` /
-``describe`` / ``stats`` calls are safe; ``update`` must not overlap
-in-flight mining (the network layer enforces that barrier, exactly like
-:meth:`~repro.core.batch.BatchMiner.serve_jsonl` does for streams).
+``describe`` / ``stats`` calls are safe.  Two write disciplines exist:
+
+* **barrier mode** (the default, and the only mode for backends without
+  snapshot support): ``update`` must not overlap in-flight mining — the
+  network layer enforces that barrier, exactly like
+  :meth:`~repro.core.batch.BatchMiner.serve_jsonl` does for streams;
+* **snapshot mode** (:meth:`MiningService.enable_snapshots`, MVCC):
+  reads serve from an immutable epoch session
+  (:class:`~repro.kb.snapshot.KbSnapshot` + the miner bound to it) and
+  never wait for writes; ``update`` calls still must not overlap *each
+  other* — each one mutates the live KB and atomically publishes the
+  next session before returning, so every client reads its own writes.
 """
 
 from __future__ import annotations
@@ -42,8 +51,10 @@ from repro.core.batch import (
     UpdateOutcome,
     parse_update_triple,
 )
+from repro.core.results import SearchStats
 from repro.expressions.verbalize import Verbalizer
 from repro.kb.base import BaseKnowledgeBase
+from repro.kb.epoch import CacheCoherence
 from repro.kb.terms import IRI
 from repro.registry import KB_BACKENDS
 from repro.service.config import ServiceConfig
@@ -80,6 +91,25 @@ def load_kb(path: Union[str, Path], backend: str = "interned") -> BaseKnowledgeB
     return backend_class(parse_ntriples_file(path), name=Path(path).stem)
 
 
+class _SnapshotSession:
+    """One immutable epoch view plus the read substrate bound to it.
+
+    Everything a mining request touches — the snapshot, its miner (with
+    matcher, estimator, candidate engine, prominence) and its verbalizer
+    — lives in one object, so a query that loaded the session attribute
+    keeps a fully consistent epoch even while an update publishes the
+    next session underneath it.  Sessions are immutable once published;
+    superseded ones die when their in-flight readers finish.
+    """
+
+    __slots__ = ("snapshot", "miner", "verbalizer")
+
+    def __init__(self, snapshot, miner: BatchMiner, verbalizer: Verbalizer):
+        self.snapshot = snapshot
+        self.miner = miner
+        self.verbalizer = verbalizer
+
+
 class MiningService:
     """Typed façade over one resident KB and its shared mining substrate.
 
@@ -102,6 +132,14 @@ class MiningService:
         # caller, so it materializes on first mining use.
         self._batch: Optional[BatchMiner] = None
         self._batch_lock = threading.Lock()
+        # MVCC snapshot reads (enable_snapshots): queries serve from an
+        # immutable epoch session; updates publish the next one.
+        self._session: Optional[_SnapshotSession] = None
+        self._session_lock = threading.Lock()
+        self._session_coherence = CacheCoherence()
+        self._retired_requests = 0
+        self._retired_errors = 0
+        self._retired_search = SearchStats()
 
     @property
     def batch(self) -> BatchMiner:
@@ -133,7 +171,96 @@ class MiningService:
 
     def warm_up(self) -> None:
         """Build the shared KB-derived state before the first request."""
+        session = self._session
+        if session is not None:
+            session.miner.warm_up()
+            return
         self.batch.warm_up()
+
+    # ------------------------------------------------------------------
+    # MVCC snapshot sessions (reads never wait for writes)
+    # ------------------------------------------------------------------
+
+    def enable_snapshots(self) -> bool:
+        """Serve reads from immutable epoch snapshots when the backend
+        supports them (``kb.supports_snapshots``).
+
+        Returns True when snapshot reads are on: ``mine``/``describe``
+        run against the session pinned at the epoch the request loaded,
+        so the network layer may drop its query-side update barrier —
+        updates only serialize against each other and publish the next
+        session.  Returns False (and changes nothing) on barrier-only
+        backends like the hash store, which remains the differential
+        reference for this path.
+        """
+        if not getattr(self.kb, "supports_snapshots", False):
+            return False
+        with self._session_lock:
+            if self._session is None:
+                self._session = self._build_session(self.kb.at_epoch())
+        return True
+
+    @property
+    def snapshot_reads(self) -> bool:
+        """True once :meth:`enable_snapshots` switched reads to sessions."""
+        return self._session is not None
+
+    def _build_session(self, snapshot) -> _SnapshotSession:
+        return _SnapshotSession(
+            snapshot,
+            BatchMiner(
+                snapshot,
+                prominence=self.config.prominence,
+                config=self.config.miner_config,
+                workers=self.config.workers,
+                miner=self.config.miner,
+                mode=self.config.estimator,
+            ),
+            Verbalizer(snapshot),
+        )
+
+    def _roll_session(self) -> None:
+        """Publish the epoch session for the KB's current state.
+
+        Called by the update path after a mutation applied (updates are
+        serialized by the caller, so the KB is quiescent here).  When
+        the mutation gap nets to nothing — paired delete + re-add churn
+        — ``at_epoch()`` returns the same head view and the warm session
+        survives with every cache intact; otherwise the next session is
+        built and the old one retires into the service-lifetime totals.
+        """
+        with self._session_lock:
+            session = self._session
+            if session is None:
+                return
+            started = time.perf_counter()
+            snapshot = self.kb.at_epoch()
+            coherence = self._session_coherence
+            coherence.epochs_seen += 1
+            if snapshot is session.snapshot:
+                coherence.noops += 1
+                return
+            self._retire_locked(session)
+            self._session = self._build_session(snapshot)
+            coherence.invalidations += 1
+            coherence.rebuild_seconds += time.perf_counter() - started
+
+    def _retire_locked(self, session: _SnapshotSession) -> None:
+        miner = session.miner
+        self._retired_requests += miner.requests_served
+        self._retired_errors += miner.errors
+        self._retired_search.accumulate(miner.search_stats)
+        self._session_coherence.merge(miner.coherence())
+
+    def _reader(self):
+        """The ``(miner, verbalizer)`` pair serving this read: the
+        current snapshot session when enabled, else the live substrate.
+        One attribute load — a concurrent session roll never splits a
+        request across epochs."""
+        session = self._session
+        if session is not None:
+            return session.miner, session.verbalizer
+        return self.batch, self.verbalizer
 
     # ------------------------------------------------------------------
     # typed endpoints
@@ -141,25 +268,32 @@ class MiningService:
 
     def mine(self, request: MineRequest) -> Response:
         """The Ĉ-minimal RE for the request's targets (or a typed error)."""
-        outcome = self.batch.mine_one(self._batch_request(request))
-        return self._mine_response(request, outcome, verbalize=self._verbalize(request))
+        miner, verbalizer = self._reader()
+        outcome = miner.mine_one(self._batch_request(request))
+        return self._mine_response(
+            request, outcome, verbalize=self._verbalize(request), verbalizer=verbalizer
+        )
 
     def describe(self, request: DescribeRequest) -> Response:
         """Mine and verbalize; the result leads with the NL rendering."""
-        outcome = self.batch.mine_one(self._batch_request(request))
+        miner, verbalizer = self._reader()
+        outcome = miner.mine_one(self._batch_request(request))
         if outcome.error is not None:
             return self._outcome_failure(request, outcome)
         assert outcome.result is not None
         result: Dict = {"found": outcome.result.found}
         if outcome.result.found:
-            result["verbalized"] = self.verbalizer.expression(outcome.result.expression)
+            result["verbalized"] = verbalizer.expression(outcome.result.expression)
             result["expression"] = repr(outcome.result.expression)
             result["complexity_bits"] = outcome.result.complexity
         return Response.success(request, result, seconds=outcome.seconds)
 
     def update(self, request: UpdateRequest) -> Response:
-        """Apply one KB mutation.  Callers must not overlap this with
-        in-flight mining — the server's update barrier guarantees it."""
+        """Apply one KB mutation.  Callers must serialize updates against
+        each other (the server's update barrier does); with snapshot
+        sessions enabled, reads keep flowing — the mutation lands on the
+        live KB and the next epoch session publishes atomically before
+        this returns, so the caller observes its own write."""
         started = time.perf_counter()
         try:
             triple = parse_update_triple(request.triple, context="update")
@@ -171,6 +305,8 @@ class MiningService:
             return Response.failure(
                 request.id, request.kind, outcome.error, outcome.error_code
             )
+        if outcome.applied:
+            self._roll_session()
         return Response.success(
             request,
             {
@@ -195,8 +331,8 @@ class MiningService:
             "config": self.config.to_json(),
             "uptime_seconds": round(time.time() - self._started, 3),
         }
-        if self._batch is not None:
-            result["serving"] = self._batch.summary()
+        if self._batch is not None or self._session is not None:
+            result["serving"] = self.summary()
         return Response.success(request, result, seconds=time.perf_counter() - started)
 
     # ------------------------------------------------------------------
@@ -253,7 +389,31 @@ class MiningService:
         return self.batch.serve_jsonl(lines)
 
     def summary(self) -> Dict:
-        return self.batch.summary()
+        """Serving telemetry; with snapshot sessions on, the numbers
+        aggregate across the current session, every retired session and
+        the live update substrate (one service, one report)."""
+        session = self._session
+        if session is None:
+            return self.batch.summary()
+        summary = session.miner.summary()
+        summary["backend"] = type(self.kb).__name__  # the live store
+        summary["epoch"] = self.kb.epoch
+        summary["snapshot_epoch"] = session.snapshot.epoch
+        summary["requests_served"] += self._retired_requests
+        summary["errors"] += self._retired_errors
+        search = SearchStats()
+        search.accumulate(self._retired_search)
+        search.accumulate(session.miner.search_stats)
+        summary["search_stats"] = search.to_json()
+        coherence = session.miner.coherence()
+        coherence.merge(self._session_coherence)
+        batch = self._batch
+        if batch is not None:
+            summary["updates_applied"] = batch.updates_applied
+            summary["errors"] += batch.errors
+            coherence.merge(batch.coherence())
+        summary["coherence"] = coherence.to_dict()
+        return summary
 
     # ------------------------------------------------------------------
 
@@ -273,7 +433,11 @@ class MiningService:
         )
 
     def _mine_response(
-        self, request: MineRequest, outcome: BatchOutcome, verbalize: bool
+        self,
+        request: MineRequest,
+        outcome: BatchOutcome,
+        verbalize: bool,
+        verbalizer: Optional[Verbalizer] = None,
     ) -> Response:
         if outcome.error is not None:
             return self._outcome_failure(request, outcome)
@@ -287,7 +451,9 @@ class MiningService:
             result["expression"] = repr(mining.expression)
             result["complexity_bits"] = mining.complexity
             if verbalize:
-                result["verbalized"] = self.verbalizer.expression(mining.expression)
+                result["verbalized"] = (verbalizer or self.verbalizer).expression(
+                    mining.expression
+                )
         result["stats"] = mining.stats.to_json()
         return Response.success(request, result, seconds=outcome.seconds)
 

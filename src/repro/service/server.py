@@ -8,24 +8,36 @@ legacy forms), each server line one versioned response.  Responses
 stream back as soon as each request completes, so a slow mine does not
 head-of-line-block a fast one — clients correlate by ``id``.
 
-Concurrency model (the serve_jsonl semantics, lifted to sockets):
+Concurrency model:
 
 * **bounded worker pool** — mining runs on a fixed
   :class:`~concurrent.futures.ThreadPoolExecutor`; the asyncio loop only
   parses, schedules and writes.
-* **update barrier** — queries overlap each other; an update waits for
-  every in-flight query (across ALL connections) to drain, applies
-  exclusively, then traffic resumes.  Same-connection ordering is
-  stricter: an update also flushes that connection's own pending
-  queries first, so a client that sends ``mine, update, mine`` observes
-  the second mine against the mutated KB — exactly like
+* **MVCC snapshot reads** (snapshot-capable backends, i.e. the interned
+  store): every query serves from the immutable epoch session it loaded
+  (:meth:`~repro.service.facade.MiningService.enable_snapshots`), so
+  **reads never wait for writes** and writes never wait for reads.  The
+  update barrier still serializes updates *against each other*; each
+  update mutates the live KB exclusively and publishes the next epoch
+  session before its response is written.
+* **barrier mode** (backends without snapshot support, i.e. the hash
+  store — the differential reference for the snapshot path): queries
+  overlap each other; an update waits for every in-flight query (across
+  ALL connections) to drain, applies exclusively, then traffic resumes.
+* **same-connection ordering** holds in both modes: an update flushes
+  that connection's own pending queries first and the next line is only
+  read after the update's response, so a client that sends ``mine,
+  update, mine`` observes the second mine against the mutated KB —
+  read-your-writes, exactly like
   :meth:`~repro.core.batch.BatchMiner.serve_jsonl`.
 * **backpressure** — at most ``max_pending`` requests may be in flight;
   beyond that the server stops reading sockets, which TCP propagates to
   the clients.
 * **graceful drain** — a ``{"type": "shutdown"}`` line (or
   :meth:`MiningServer.drain`, or SIGINT on the CLI) stops accepting,
-  lets every in-flight request finish and answer, then closes.
+  lets every in-flight request finish and answer, then closes.  The
+  drain task is held (never GC'd mid-flight); a drain failure is logged
+  and re-raised from :meth:`MiningServer.serve_until_drained`.
 
 Run it::
 
@@ -42,6 +54,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
+import logging
 from concurrent.futures import ThreadPoolExecutor
 from functools import partial
 from typing import Dict, Optional, Set
@@ -49,6 +62,8 @@ from typing import Dict, Optional, Set
 from repro.core.batch import ERR_BAD_REQUEST
 from repro.service.envelopes import PROTOCOL_VERSION, Response
 from repro.service.facade import MiningService
+
+_LOG = logging.getLogger(__name__)
 
 
 class _UpdateBarrier:
@@ -130,20 +145,31 @@ class MiningServer:
         self.pool_workers = pool_workers
         self.max_pending = max_pending
         self.requests_in_flight = 0
+        #: Responses that could not be delivered because the client had
+        #: already disconnected (the request still completed and its
+        #: accounting balanced — see :meth:`_send`).
+        self.responses_dropped = 0
         self._pool: Optional[ThreadPoolExecutor] = None
         self._server: Optional[asyncio.base_events.Server] = None
         self._barrier = _UpdateBarrier()
+        self._snapshot_reads = False
         self._inflight: Optional[asyncio.Semaphore] = None
         self._connections: Set[asyncio.StreamWriter] = set()
         self._conn_tasks: Set[asyncio.Task] = set()
         self._request_tasks: Set[asyncio.Task] = set()
         self._draining = False
         self._done: Optional[asyncio.Event] = None
+        self._drain_task: Optional[asyncio.Task] = None
+        self._drain_error: Optional[BaseException] = None
 
     # ------------------------------------------------------------------
 
     async def start(self) -> None:
         """Bind and begin accepting; returns once listening."""
+        # MVCC reads: on snapshot-capable backends the façade pins every
+        # query to an immutable epoch session and queries skip the
+        # barrier entirely (updates still serialize against each other).
+        self._snapshot_reads = self.service.enable_snapshots()
         self._pool = ThreadPoolExecutor(
             max_workers=self.pool_workers, thread_name_prefix="remi-serve"
         )
@@ -154,18 +180,44 @@ class MiningServer:
         )
         self.port = self._server.sockets[0].getsockname()[1]
 
+    @property
+    def snapshot_reads(self) -> bool:
+        """True when queries serve from epoch snapshots (no read barrier)."""
+        return self._snapshot_reads
+
     async def serve_until_drained(self) -> None:
-        """Block until a drain completes (shutdown request or :meth:`drain`)."""
+        """Block until a drain completes (shutdown request or :meth:`drain`).
+
+        Re-raises the failure when the drain itself broke — a swallowed
+        drain error would report a clean shutdown that never happened.
+        """
         assert self._done is not None, "call start() first"
         await self._done.wait()
+        if self._drain_error is not None:
+            raise self._drain_error
 
     async def drain(self) -> None:
         """Graceful stop: no new connections, in-flight requests finish
-        and answer, then sockets close and the pool shuts down."""
+        and answer, then sockets close and the pool shuts down.
+
+        Always releases :meth:`serve_until_drained` waiters — a failure
+        mid-drain is recorded (and re-raised, both here and there)
+        instead of leaving them blocked forever.
+        """
         if self._draining:
             await self.serve_until_drained()
             return
         self._draining = True
+        try:
+            await self._drain_inner()
+        except BaseException as exc:
+            self._drain_error = exc
+            raise
+        finally:
+            assert self._done is not None
+            self._done.set()
+
+    async def _drain_inner(self) -> None:
         assert self._server is not None
         self._server.close()
         await self._server.wait_closed()
@@ -186,8 +238,17 @@ class MiningServer:
             await asyncio.gather(*pending, return_exceptions=True)
         assert self._pool is not None
         self._pool.shutdown(wait=True)
-        assert self._done is not None
-        self._done.set()
+
+    def _log_drain_result(self, task: "asyncio.Task") -> None:
+        """Done-callback for the held shutdown-triggered drain task:
+        retrieves the exception (so the loop never warns about it being
+        unretrieved) and logs it; the stored ``_drain_error`` already
+        surfaces it to :meth:`serve_until_drained` callers."""
+        if task.cancelled():
+            return
+        exc = task.exception()
+        if exc is not None:
+            _LOG.error("graceful drain failed: %r", exc)
 
     # ------------------------------------------------------------------
 
@@ -243,7 +304,11 @@ class MiningServer:
                             "result": {"draining": True},
                         },
                     )
-                    asyncio.ensure_future(self.drain())
+                    # Hold the drain task: an untracked ensure_future can
+                    # be GC'd mid-flight and swallows any drain failure.
+                    task = asyncio.ensure_future(self.drain())
+                    self._drain_task = task
+                    task.add_done_callback(self._log_drain_result)
                     break
                 if kind == "update" or (is_typed and kind is None and "op" in payload):
                     # The update barrier: this connection's own queries
@@ -278,9 +343,18 @@ class MiningServer:
         writer: asyncio.StreamWriter,
         write_lock: asyncio.Lock,
     ) -> None:
+        # The balance of _handle_connection's acquire: exactly one
+        # release + decrement per admitted query, no matter what the
+        # handler or the socket does (the finally also covers a _send
+        # that raises because the client disconnected mid-reply).
         try:
-            async with self._barrier.query():
+            if self._snapshot_reads:
+                # MVCC: the query pins its epoch session inside the
+                # façade — no barrier, reads never wait for writes.
                 record = await self._run(payload, line_no)
+            else:
+                async with self._barrier.query():
+                    record = await self._run(payload, line_no)
             await self._send(writer, write_lock, record)
         finally:
             self.requests_in_flight -= 1
@@ -300,17 +374,27 @@ class MiningServer:
         if pending:
             await asyncio.gather(*list(pending), return_exceptions=True)
 
-    @staticmethod
     async def _send(
-        writer: asyncio.StreamWriter, write_lock: asyncio.Lock, record: Dict
+        self, writer: asyncio.StreamWriter, write_lock: asyncio.Lock, record: Dict
     ) -> None:
+        """Write one response line; a client gone mid-reply is normal.
+
+        Never raises for transport failures: the caller's accounting
+        (semaphore, in-flight counter) must settle exactly once whether
+        or not the response was deliverable, and a half-dead socket can
+        fail in ``write`` as well as in ``drain``.  Undeliverable
+        responses are counted in :attr:`responses_dropped`.
+        """
         data = json.dumps(record, ensure_ascii=False).encode("utf-8") + b"\n"
         async with write_lock:  # responses from overlapping tasks must not interleave
             if writer.is_closing():
+                self.responses_dropped += 1
                 return
-            writer.write(data)
-            with contextlib.suppress(ConnectionError):
+            try:
+                writer.write(data)
                 await writer.drain()
+            except (ConnectionError, RuntimeError, OSError):
+                self.responses_dropped += 1
 
 
 async def run_server(

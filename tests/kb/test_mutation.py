@@ -158,6 +158,105 @@ def test_bulk_batch_overflowing_log_goes_coarse_then_logging_resumes(backend):
     assert kb.changes_since(seen) == [("add", Triple(EX.x, EX.p, EX.y))]
 
 
+@pytest.mark.parametrize("backend", BACKENDS, ids=BACKEND_IDS)
+def test_changes_since_is_exact_at_the_log_floor(backend):
+    """``epoch == _log_floor`` is the last replayable epoch, and the
+    replay there is complete: every op stamped strictly after the floor,
+    in order, with the exact triples; one epoch older is coarse."""
+    kb = backend()
+    total = MUTATION_LOG_LIMIT + 10
+    for i in range(total):
+        kb.add(Triple(EX[f"s{i}"], EX.p, EX.o))
+    # Singles stamp epochs 1..total; the log keeps the newest LIMIT, so
+    # the floor is the stamp of the last dropped entry.
+    assert kb.epoch == total
+    assert kb._log_floor == total - MUTATION_LOG_LIMIT
+    floor = kb._log_floor
+    changes = kb.changes_since(floor)
+    assert changes is not None and len(changes) == MUTATION_LOG_LIMIT
+    assert changes == [
+        ("add", Triple(EX[f"s{i}"], EX.p, EX.o)) for i in range(floor, total)
+    ]
+    assert kb.changes_since(floor - 1) is None  # one older: coarse only
+
+
+@pytest.mark.parametrize("backend", BACKENDS, ids=BACKEND_IDS)
+def test_changes_since_future_epoch_is_empty(backend):
+    kb = backend([Triple(EX.a, EX.p, EX.b)])
+    assert kb.changes_since(kb.epoch + 3) == []
+
+
+@pytest.mark.parametrize("backend", BACKENDS, ids=BACKEND_IDS)
+def test_held_batch_overflowing_its_own_entries_pins_floor_to_the_batch(backend):
+    """A single ``mutate_many`` batch larger than the log pins the floor
+    to the batch's own stamp: its epoch is coarse, the current epoch
+    answers ``[]``, and the very next single mutation replays exactly."""
+    kb = backend([Triple(EX.seed, EX.p, EX.o)])
+    pre_batch = kb.epoch
+    kb.mutate_many(
+        ("add", Triple(EX[f"b{i}"], EX.p, EX.o))
+        for i in range(MUTATION_LOG_LIMIT + 5)
+    )
+    batch_epoch = kb.epoch
+    assert batch_epoch == pre_batch + 1
+    assert kb._log_floor == batch_epoch  # the batch dropped its own entries
+    assert kb.changes_since(batch_epoch) == []  # current epoch: nothing after
+    assert kb.changes_since(pre_batch) is None  # the batch itself: coarse
+    assert len(kb._mutation_log) <= MUTATION_LOG_LIMIT
+    # Logging resumed: the floor epoch is itself fully replayable.
+    kb.discard(Triple(EX.seed, EX.p, EX.o))
+    assert kb.changes_since(batch_epoch) == [
+        ("delete", Triple(EX.seed, EX.p, EX.o))
+    ]
+
+
+@pytest.mark.parametrize("backend", BACKENDS, ids=BACKEND_IDS)
+def test_small_batch_on_a_full_log_keeps_the_floor_replayable(backend):
+    """A batch that overflows *older* entries (not its own) lands the
+    floor on a dropped single's stamp, and the replay from there carries
+    the surviving singles plus the whole batch, in order."""
+    kb = backend()
+    for i in range(MUTATION_LOG_LIMIT):  # exactly fill the log
+        kb.add(Triple(EX[f"s{i}"], EX.p, EX.o))
+    assert kb._log_floor == 0
+    kb.mutate_many([("add", Triple(EX[f"late{i}"], EX.p, EX.o)) for i in range(3)])
+    # Appending 3 batch entries popped the 3 oldest singles (stamps 1-3).
+    assert kb._log_floor == 3
+    changes = kb.changes_since(3)
+    assert changes is not None
+    assert changes == [
+        ("add", Triple(EX[f"s{i}"], EX.p, EX.o))
+        for i in range(3, MUTATION_LOG_LIMIT)
+    ] + [("add", Triple(EX[f"late{i}"], EX.p, EX.o)) for i in range(3)]
+    assert kb.changes_since(2) is None
+
+
+def test_net_changes_collapses_content_neutral_churn():
+    """Ops on one triple strictly alternate, so the net effect exists
+    iff first == last op; paired delete+re-add vanishes entirely."""
+    from repro.kb.epoch import net_changes
+
+    t1 = Triple(EX.a, EX.p, EX.b)
+    t2 = Triple(EX.c, EX.p, EX.d)
+    assert net_changes([]) == []
+    assert net_changes([("add", t1)]) == [("add", t1)]
+    # A-B-A churn nets to nothing.
+    assert net_changes([("delete", t1), ("add", t1)]) == []
+    assert net_changes([("add", t2), ("delete", t2)]) == []
+    # Odd-length alternation keeps the last op, once.
+    assert net_changes([("delete", t1), ("add", t1), ("delete", t1)]) == [
+        ("delete", t1)
+    ]
+    # Mixed: surviving ops keep first-seen order, netted ones vanish.
+    assert net_changes(
+        [("delete", t1), ("add", t2), ("add", t1), ("delete", t2)]
+    ) == []
+    assert net_changes([("add", t2), ("delete", t1)]) == [
+        ("add", t2),
+        ("delete", t1),
+    ]
+
+
 def test_absorb_failed_rebuild_leaves_watcher_stale_for_retry():
     kb = InternedKnowledgeBase([Triple(EX.a, EX.p, EX.b)])
     watch = EpochWatcher(kb)

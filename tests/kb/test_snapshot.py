@@ -1,0 +1,193 @@
+"""Unit semantics of :class:`~repro.kb.snapshot.KbSnapshot` — the MVCC
+epoch views behind never-blocking reads.
+
+Pins the frozen-epoch contract (immutability, clamped interner
+high-water mark, ``at_epoch()`` idempotence), the copy-on-write
+derivation (structural sharing of untouched rows and mask pages, head
+reuse under content-neutral churn, full capture past the bounded log),
+and the differential guarantee the serving layer rides on: mining at a
+pinned snapshot is bit-identical to mining a fresh KB built from the
+snapshot's triples, before and after the live store mutates.
+"""
+
+import pytest
+
+from repro.kb.base import MUTATION_LOG_LIMIT
+from repro.kb.epoch import EpochWatcher
+from repro.kb.interned import InternedKnowledgeBase
+from repro.kb.namespaces import EX
+from repro.kb.snapshot import KbSnapshot
+from repro.kb.store import KnowledgeBase
+from repro.kb.triples import Triple
+
+pytestmark = pytest.mark.mutation
+
+
+def _scene() -> InternedKnowledgeBase:
+    return InternedKnowledgeBase(
+        [
+            Triple(EX.a, EX.knows, EX.b),
+            Triple(EX.b, EX.knows, EX.c),
+            Triple(EX.a, EX.likes, EX.c),
+            Triple(EX.c, EX.likes, EX.a),
+        ]
+    )
+
+
+def test_at_epoch_is_idempotent_and_cached():
+    kb = _scene()
+    snap = kb.at_epoch()
+    assert isinstance(snap, KbSnapshot)
+    assert snap.epoch == kb.epoch
+    assert kb.at_epoch() is snap  # same epoch -> same view
+    assert snap.at_epoch() is snap  # a view of a frozen epoch is itself
+    assert snap.snapshot() is snap
+
+
+def test_hash_backend_does_not_support_snapshots():
+    kb = KnowledgeBase([Triple(EX.a, EX.knows, EX.b)])
+    assert not kb.supports_snapshots
+    with pytest.raises(TypeError, match="does not support epoch snapshots"):
+        kb.at_epoch()
+
+
+def test_snapshot_is_immutable():
+    snap = _scene().at_epoch()
+    fact = Triple(EX.x, EX.knows, EX.y)
+    with pytest.raises(TypeError, match="immutable epoch view"):
+        snap.add(fact)
+    with pytest.raises(TypeError, match="immutable epoch view"):
+        snap.discard(Triple(EX.a, EX.knows, EX.b))
+    with pytest.raises(TypeError, match="immutable epoch view"):
+        snap.mutate_many([("add", fact)])
+    with pytest.raises(TypeError, match="immutable epoch view"):
+        snap.add_all([fact])
+    with pytest.raises(TypeError):
+        KbSnapshot([fact])  # never constructed directly
+
+
+def test_snapshot_content_survives_live_mutation():
+    kb = _scene()
+    snap = kb.at_epoch()
+    frozen = set(snap.triples())
+    kb.discard(Triple(EX.a, EX.knows, EX.b))
+    kb.add(Triple(EX.fresh, EX.knows, EX.a))
+    assert set(snap.triples()) == frozen
+    assert Triple(EX.a, EX.knows, EX.b) in snap
+    assert Triple(EX.fresh, EX.knows, EX.a) not in snap
+    assert len(snap) == len(frozen)
+
+
+def test_high_water_mark_hides_later_terms():
+    kb = _scene()
+    snap = kb.at_epoch()
+    hwm = snap.term_count()
+    kb.add(Triple(EX.newcomer, EX.knows, EX.a))
+    # The interner is shared and append-only; the snapshot clamps it.
+    assert kb.term_id(EX.newcomer) is not None
+    assert snap.term_id(EX.newcomer) is None
+    assert snap.term_count() == hwm
+    assert kb.term_count() > hwm
+    # Existing terms keep their IDs in both views.
+    assert snap.term_id(EX.a) == kb.term_id(EX.a)
+
+
+def test_advance_shares_untouched_rows_structurally():
+    kb = _scene()
+    first = kb.at_epoch()
+    kb.add(Triple(EX.a, EX.knows, EX.c))  # touches only subject-row a
+    second = kb.at_epoch()
+    assert second is not first and second.epoch == first.epoch + 1
+    b = kb.term_id(EX.b)
+    a = kb.term_id(EX.a)
+    # The untouched subject row is the same object; the touched one is not.
+    assert second._spo[b] is first._spo[b]
+    assert second._spo[a] is not first._spo[a]
+    assert set(second.triples()) == set(kb.triples())
+
+
+def test_content_neutral_churn_reuses_the_head():
+    kb = _scene()
+    head = kb.at_epoch()
+    fact = Triple(EX.a, EX.knows, EX.b)
+    kb.discard(fact)
+    kb.add(fact)  # A-B-A: nets to nothing
+    assert kb.epoch == head.epoch + 2
+    assert kb.at_epoch() is head
+
+
+def test_advance_drops_touched_mask_pages_and_shares_the_rest():
+    kb = _scene()
+    first = kb.at_epoch()
+    masks = first.masks
+    knows, likes = kb.term_id(EX.knows), kb.term_id(EX.likes)
+    a, b, c = kb.term_id(EX.a), kb.term_id(EX.b), kb.term_id(EX.c)
+    touched = masks.subjects(knows, b)  # page (knows, b): will be touched
+    kept = masks.subjects(likes, c)  # page (likes, c): untouched
+    assert touched.to_frozenset() == {a} and kept.to_frozenset() == {a}
+    kb.discard(Triple(EX.a, EX.knows, EX.b))
+    second = kb.at_epoch()
+    assert second._masks is not None
+    assert second.masks.subjects(likes, c) is kept  # page shared
+    assert second.masks.subjects(knows, b).to_frozenset() == frozenset()
+
+
+def test_full_capture_after_log_overflow():
+    kb = _scene()
+    head = kb.at_epoch()
+    kb.add_all(
+        Triple(EX[f"s{i}"], EX.knows, EX.o) for i in range(MUTATION_LOG_LIMIT + 50)
+    )
+    snap = kb.at_epoch()  # gap not replayable -> full capture
+    assert snap is not head and snap.epoch == kb.epoch
+    assert set(snap.triples()) == set(kb.triples())
+
+
+def test_watchers_on_a_snapshot_are_permanently_quiescent():
+    kb = _scene()
+    snap = kb.at_epoch()
+    watch = EpochWatcher(snap)
+    calls = []
+    kb.add(Triple(EX.x, EX.knows, EX.y))
+    # The snapshot's epoch never moves, so absorb never repairs/rebuilds.
+    watch.absorb(lambda changes: calls.append("repair"), lambda: calls.append("rebuild"))
+    assert calls == [] and watch.seen == snap.epoch
+    assert snap.changes_since(snap.epoch) == []
+    assert snap.changes_since(snap.epoch - 1) is None  # older: coarse
+
+
+def test_copy_returns_a_live_mutable_kb():
+    kb = _scene()
+    snap = kb.at_epoch()
+    clone = snap.copy()
+    assert type(clone) is InternedKnowledgeBase
+    assert set(clone.triples()) == set(snap.triples())
+    assert clone.add(Triple(EX.x, EX.knows, EX.y))  # mutable again
+    assert Triple(EX.x, EX.knows, EX.y) not in snap
+
+
+def test_stats_and_repr_identify_the_view():
+    kb = _scene()
+    snap = kb.at_epoch()
+    assert snap.stats()["snapshot_epoch"] == snap.epoch
+    assert "KbSnapshot" in repr(snap)
+
+
+def test_mining_at_a_snapshot_matches_a_fresh_build():
+    from repro.core.batch import BatchMiner, BatchRequest
+
+    kb = _scene()
+    snap = kb.at_epoch()
+    reference = InternedKnowledgeBase(list(snap.triples()))
+    kb.mutate_many(
+        [
+            ("delete", Triple(EX.a, EX.knows, EX.b)),
+            ("add", Triple(EX.d, EX.knows, EX.a)),
+        ]
+    )
+    request = BatchRequest(id="pin", targets=(EX.a,))
+    pinned = BatchMiner(snap).mine_one(request)
+    fresh = BatchMiner(reference).mine_one(request)
+    assert pinned.error is None and fresh.error is None
+    assert repr(pinned.result.expression) == repr(fresh.result.expression)
+    assert pinned.result.complexity == fresh.result.complexity

@@ -251,6 +251,155 @@ def test_drain_answers_other_connections_in_flight_requests():
     asyncio.run(scenario())
 
 
+def test_queries_do_not_wait_for_updates_on_snapshot_backend():
+    """The MVCC headline: with snapshot reads on, a mine completes while
+    an update is still holding the (writer-only) barrier."""
+
+    async def scenario():
+        import time as _time
+
+        service = MiningService(_interned_scene())
+        inner = service.handle_json
+
+        def slow_updates(payload, line=None):
+            record = inner(payload, line=line)
+            if record.get("kind") == "update":
+                _time.sleep(0.4)  # the update holds its barrier slot
+            return record
+
+        service.handle_json = slow_updates
+        server = await _start(service, pool_workers=2)
+        assert server.snapshot_reads  # interned backend -> MVCC mode
+
+        updater = await _Client.connect(server)
+        querier = await _Client.connect(server)
+        await updater.send(
+            {"type": "update", "id": "slow-u", "op": "add",
+             "triple": [str(EX.Quimper), str(EX.inRegion), str(EX.Bretagne)]}
+        )
+        await asyncio.sleep(0.05)  # let the update occupy a pool thread
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        record = await querier.ask(
+            {"type": "mine", "id": "fast-q", "targets": [str(EX.Rennes)]}
+        )
+        elapsed = loop.time() - started
+        assert record["ok"]
+        assert elapsed < 0.3, f"query waited for the update ({elapsed:.2f}s)"
+        updated = await updater.recv()
+        assert updated["ok"] and updated["result"]["applied"]
+        await server.drain()
+
+    asyncio.run(scenario())
+
+
+def test_hash_backend_stays_on_barrier_path():
+    """The differential reference: a backend without snapshot support
+    serves correctly through the classic query/update barrier."""
+
+    async def scenario():
+        service = MiningService(rennes_nantes_scene())
+        server = await _start(service, pool_workers=2)
+        assert not server.snapshot_reads
+
+        client = await _Client.connect(server)
+        before = await client.ask(
+            {"type": "mine", "id": "before", "targets": [str(EX.Rennes)]}
+        )
+        assert before["ok"]
+        updated = await client.ask(
+            {"type": "update", "id": "u", "op": "add",
+             "triple": [str(EX.Quimper), str(EX.inRegion), str(EX.Bretagne)]}
+        )
+        assert updated["ok"] and updated["result"]["applied"]
+        after = await client.ask(
+            {"type": "mine", "id": "after", "targets": [str(EX.Quimper)]}
+        )
+        assert after["ok"], after  # read-your-writes through the barrier
+        await client.close()
+        await server.drain()
+
+    asyncio.run(scenario())
+
+
+def test_client_disconnect_mid_reply_balances_accounting():
+    """Regression: a client that vanishes while its answer is being
+    computed must not leak the backpressure slot or break the in-flight
+    counter — and the server keeps serving everyone else."""
+
+    async def scenario():
+        import time as _time
+
+        service = MiningService(_interned_scene())
+        inner = service.handle_json
+
+        def slow_handle(payload, line=None):
+            record = inner(payload, line=line)
+            if record.get("kind") == "mine":
+                _time.sleep(0.2)  # client is gone before the reply is ready
+            return record
+
+        service.handle_json = slow_handle
+        server = await _start(service, pool_workers=2, max_pending=2)
+
+        ghost = await _Client.connect(server)
+        await ghost.send({"type": "mine", "id": "ghost", "targets": [str(EX.Rennes)]})
+        await asyncio.sleep(0.05)  # request admitted and on the pool
+        # A hard disconnect (RST, not FIN): the server's transport is
+        # torn down before the reply is ready, so _send must swallow it.
+        import socket as _socket
+        import struct as _struct
+
+        raw = ghost.writer.transport.get_extra_info("socket")
+        raw.setsockopt(
+            _socket.SOL_SOCKET, _socket.SO_LINGER, _struct.pack("ii", 1, 0)
+        )
+        await ghost.close()
+
+        # The slot comes back: a live client still gets served (this would
+        # hang at max_pending if the dead request leaked its semaphore).
+        survivor = await _Client.connect(server)
+        for round_no in range(3):
+            record = await survivor.ask(
+                {"type": "mine", "id": f"alive-{round_no}", "targets": [str(EX.Nantes)]}
+            )
+            assert record["ok"]
+        await survivor.close()
+        await server.drain()
+        assert server.requests_in_flight == 0
+        assert server.responses_dropped >= 1  # the ghost's reply, counted
+
+    asyncio.run(scenario())
+
+
+def test_drain_failure_is_logged_and_surfaced(caplog):
+    """A shutdown whose drain breaks must not vanish into a GC'd task:
+    the failure is logged AND re-raised from serve_until_drained()."""
+
+    async def scenario():
+        service = MiningService(_interned_scene())
+        server = await _start(service)
+        inner = server._drain_inner
+
+        async def broken_drain():
+            await inner()
+            raise RuntimeError("pool refused to shut down")
+
+        server._drain_inner = broken_drain
+        client = await _Client.connect(server)
+        await client.send({"type": "shutdown"})
+        assert (await client.recv())["ok"]  # the goodbye still answers
+        with pytest.raises(RuntimeError, match="pool refused to shut down"):
+            await server.serve_until_drained()
+        assert server._drain_task is not None
+        await asyncio.wait([server._drain_task])  # done-callback has run
+        assert server._drain_task.done()
+
+    with caplog.at_level("ERROR", logger="repro.service.server"):
+        asyncio.run(scenario())
+    assert any("graceful drain failed" in r.message for r in caplog.records)
+
+
 def test_invalid_server_parameters_rejected():
     service = MiningService(rennes_nantes_scene())
     with pytest.raises(ValueError):
