@@ -10,9 +10,18 @@ For each client count the bench opens that many loopback connections,
 pushes the same total number of mine requests through them (round-robin
 over sampled entity sets; every 50th request becomes a paired
 add/delete update burst from one of the clients), and records sustained
-req/s plus the server-side coherence telemetry.  A final differential
-spot check pins a post-churn answer to a cold miner on the same triples,
-and the run fails hard on any reported cache-coherence violation.
+req/s, per-request latency percentiles (p50/p95/p99) and the
+server-side coherence telemetry.  A final differential spot check pins
+a post-churn answer to a cold miner on the same triples, and the run
+fails hard on any reported cache-coherence violation.
+
+``--workers N`` puts the multi-process scale-out in the loop: one
+:class:`~repro.service.WorkerPool` of N epoch replicas serves every
+tier (started once, updates fanned in lock-step across tiers), and the
+differential check additionally pins a replica-served answer to the
+cold miner.  The payload records ``workers`` and ``cpu_count`` so the
+regression gate can tell a real scaling regression from a starved
+runner.
 
 Usage::
 
@@ -24,6 +33,8 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import math
+import os
 import platform
 import random
 import sys
@@ -37,7 +48,13 @@ from repro.core.remi import REMI  # noqa: E402
 from repro.datasets import dbpedia_like  # noqa: E402
 from repro.kb.interned import InternedKnowledgeBase  # noqa: E402
 from repro.kb.terms import IRI  # noqa: E402
-from repro.service import MineRequest, MiningServer, MiningService, ServiceConfig  # noqa: E402
+from repro.service import (  # noqa: E402
+    MineRequest,
+    MiningServer,
+    MiningService,
+    ServiceConfig,
+    WorkerPool,
+)
 
 CLASSES = ("Person", "Settlement", "Album", "Film", "Organization")
 UPDATE_EVERY = 50  # the 1:50 update:query mix
@@ -61,24 +78,45 @@ def sample_entity_sets(generated, count, seed):
 
 async def _client_session(port, requests, tag):
     """One connection answering its share of the stream.  Update entries
-    are ``("update", op, triple)``; everything else is a target list."""
+    are ``("update", op, triple)``; everything else is a target list.
+    Returns ``(answered, latencies)`` — one send→receive round-trip
+    measurement (seconds) per request."""
     reader, writer = await asyncio.open_connection("127.0.0.1", port)
     ok = 0
+    latencies = []
     for index, entry in enumerate(requests):
         if entry[0] == "update":
             _, op, triple = entry
             payload = {"type": "update", "id": f"{tag}-{index}", "op": op, "triple": triple}
         else:
             payload = {"type": "mine", "id": f"{tag}-{index}", "targets": entry[1]}
+        sent = time.perf_counter()
         writer.write(json.dumps(payload).encode() + b"\n")
         await writer.drain()
         line = await asyncio.wait_for(reader.readline(), timeout=120)
+        latencies.append(time.perf_counter() - sent)
         record = json.loads(line)
         if not record["ok"]:
             raise RuntimeError(f"server error: {record['error']}")
         ok += 1
     writer.close()
-    return ok
+    return ok, latencies
+
+
+def _percentile(sorted_values, q):
+    """Nearest-rank percentile of an ascending list (q in 0–100)."""
+    if not sorted_values:
+        return None
+    rank = max(1, math.ceil(q / 100.0 * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+def _latency_summary(latencies):
+    ordered = sorted(latencies)
+    return {
+        f"p{q}": round(_percentile(ordered, q) * 1000.0, 3)
+        for q in (50, 95, 99)
+    }
 
 
 def _coherence_delta(current, previous):
@@ -89,11 +127,13 @@ def _coherence_delta(current, previous):
     return delta
 
 
-async def run_tier(service, clients, entity_sets, requests_total, churn_pool, seed):
+async def run_tier(service, clients, entity_sets, requests_total, churn_pool, seed,
+                   pool=None):
     """One concurrency tier: *clients* connections, *requests_total*
     requests split round-robin, every ``UPDATE_EVERY``-th request a
     paired add/delete burst (KB returns to its initial state, so every
-    tier answers the same ground truth)."""
+    tier answers the same ground truth).  *pool* routes queries to
+    worker replicas; it is started once by the first tier and reused."""
     rng = random.Random(seed)
     streams = [[] for _ in range(clients)]
     for position in range(requests_total):
@@ -106,30 +146,35 @@ async def run_tier(service, clients, entity_sets, requests_total, churn_pool, se
         stream.append(("mine", rng.choice(entity_sets)))
 
     before = service.summary()
-    server = MiningServer(service, port=0, pool_workers=max(4, clients), max_pending=64)
+    server = MiningServer(
+        service, port=0, pool_workers=max(4, clients), max_pending=64, workers=pool
+    )
     await server.start()
     started = time.perf_counter()
-    answered = await asyncio.gather(
+    outcomes = await asyncio.gather(
         *(_client_session(server.port, stream, f"c{i}") for i, stream in enumerate(streams))
     )
     elapsed = time.perf_counter() - started
     summary = service.summary()
     await server.drain()
     mined = requests_total
+    latencies = [point for _, session in outcomes for point in session]
     return {
         "clients": clients,
         "requests": mined,
         "updates_applied": summary["updates_applied"] - before["updates_applied"],
         "seconds": round(elapsed, 4),
         "requests_per_second": round(mined / elapsed, 2) if elapsed else None,
-        "answered": sum(answered),
+        "latency_ms": _latency_summary(latencies),
+        "answered": sum(answered for answered, _ in outcomes),
         "epoch": summary["epoch"],
         "coherence": _coherence_delta(summary["coherence"], before["coherence"]),
     }
 
 
-def differential_check(service, entity_sets, timeout) -> bool:
-    """Post-churn: the resident service answers like a cold miner."""
+def differential_check(service, entity_sets, timeout, pool=None) -> bool:
+    """Post-churn: the resident service answers like a cold miner — and
+    so does every worker replica, when a pool is in the loop."""
     kb = service.kb
     cold = REMI(
         InternedKnowledgeBase(kb.triples(), name=kb.name),
@@ -149,6 +194,26 @@ def differential_check(service, entity_sets, timeout) -> bool:
                 file=sys.stderr,
             )
             return False
+        if pool is not None:
+            for worker in range(pool.count):
+                record = asyncio.run(
+                    pool.request(
+                        {"type": "mine", "id": f"diff-w{worker}", "targets": targets},
+                        worker=worker,
+                    )
+                )
+                replica = record["result"]
+                if (
+                    replica["found"] != expected.found
+                    or replica.get("expression") != cold_expr
+                    or replica.get("complexity_bits") != cold_bits
+                ):
+                    print(
+                        f"REPLICA {worker} DIVERGENCE on {targets}: "
+                        f"{replica.get('expression')} != {cold_expr}",
+                        file=sys.stderr,
+                    )
+                    return False
     return True
 
 
@@ -159,31 +224,43 @@ def main(argv=None) -> int:
     parser.add_argument("--requests", type=int, default=90, help="requests per tier")
     parser.add_argument("--timeout", type=float, default=10.0, help="per-request timeout")
     parser.add_argument("--tiers", default="1,4,16", help="comma-separated client counts")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker-process replicas routing the queries (0 = in-process)",
+    )
     args = parser.parse_args(argv)
 
     generated = dbpedia_like(scale=args.scale, seed=42)
     kb = InternedKnowledgeBase(generated.kb.triples(), name=generated.kb.name)
     entity_sets = sample_entity_sets(generated, 24, seed=23)
     churn_pool = sorted(kb.triples(), key=lambda t: t.n3())[:200]
-    service = MiningService(
-        kb,
-        ServiceConfig(miner_config=MinerConfig(timeout_seconds=args.timeout)),
-    )
+    config = ServiceConfig(miner_config=MinerConfig(timeout_seconds=args.timeout))
+    service = MiningService(kb, config)
     service.warm_up()
+    pool = WorkerPool(kb, config=config, count=args.workers) if args.workers else None
 
-    rows = []
-    for tier in (int(t) for t in args.tiers.split(",")):
-        row = asyncio.run(
-            run_tier(service, tier, entity_sets, args.requests, churn_pool, seed=tier)
-        )
-        rows.append(row)
-        print(
-            f"clients={row['clients']:3d}  {row['requests_per_second']:>8} req/s  "
-            f"updates={row['updates_applied']:3d}  "
-            f"invalidations={row['coherence']['invalidations']}"
-        )
+    try:
+        rows = []
+        for tier in (int(t) for t in args.tiers.split(",")):
+            row = asyncio.run(
+                run_tier(service, tier, entity_sets, args.requests, churn_pool,
+                         seed=tier, pool=pool)
+            )
+            rows.append(row)
+            print(
+                f"clients={row['clients']:3d}  {row['requests_per_second']:>8} req/s  "
+                f"p50={row['latency_ms']['p50']:>8} ms  "
+                f"p99={row['latency_ms']['p99']:>8} ms  "
+                f"updates={row['updates_applied']:3d}  "
+                f"invalidations={row['coherence']['invalidations']}"
+            )
 
-    ok = differential_check(service, entity_sets[:5], args.timeout)
+        ok = differential_check(service, entity_sets[:5], args.timeout, pool=pool)
+    finally:
+        if pool is not None:
+            pool.stop()
     # Absolute lifetime count, not a re-summed per-tier figure.
     violations = service.summary()["coherence"]["violations"]
     base = rows[0]["requests_per_second"] or 0.0
@@ -191,6 +268,8 @@ def main(argv=None) -> int:
     payload = {
         "benchmark": "serve-concurrent-clients",
         "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "workers": args.workers,
         "scale": args.scale,
         "facts": len(kb),
         "update_mix": f"1:{UPDATE_EVERY}",

@@ -101,6 +101,14 @@ async def main() -> int:
     parser.add_argument(
         "--shutdown", action="store_true", help="drain the server when done"
     )
+    parser.add_argument(
+        "--expect-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fail unless the server reports N live worker replicas, "
+        "all at the serving epoch (multi-process smoke check)",
+    )
     args = parser.parse_args()
 
     workers = [
@@ -121,6 +129,24 @@ async def main() -> int:
     if coherence["violations"] != 0:
         print("FAIL: cache-coherence violations reported", file=sys.stderr)
         return 1
+    if args.expect_workers is not None:
+        pool = stats["result"].get("server", {}).get("workers")
+        if pool is None:
+            print("FAIL: server reports no worker pool", file=sys.stderr)
+            return 1
+        replicas = pool["per_worker"]
+        lagging = [w for w in replicas if w["epoch"] != serving["epoch"]]
+        print(f"workers={pool['alive']}/{pool['count']} "
+              f"epochs={[w['epoch'] for w in replicas]} "
+              f"fanned={pool['updates_fanned']} resyncs={pool['resyncs']}")
+        if pool["alive"] != args.expect_workers:
+            print(f"FAIL: expected {args.expect_workers} live workers, "
+                  f"got {pool['alive']}", file=sys.stderr)
+            return 1
+        if lagging:
+            print(f"FAIL: replicas behind the serving epoch: {lagging}",
+                  file=sys.stderr)
+            return 1
     if args.shutdown:
         goodbye = await admin.ask({"type": "shutdown"})
         assert goodbye["ok"], goodbye

@@ -21,7 +21,10 @@ versioned response envelope the service returns on the wire instead.
 lines becoming structured per-line error records
 (``{"code", "reason", "line"}``); the exit code is non-zero only on I/O
 failure, never for per-line errors.  ``serve`` starts the concurrent
-NDJSON-over-TCP server (:mod:`repro.service.server`).  Input KBs may be
+NDJSON-over-TCP server (:mod:`repro.service.server`); ``--workers N``
+scales it out to N worker processes, each holding an epoch replica of
+the KB (:mod:`repro.service.workers`), with ``--workers 0`` keeping the
+single-process reference behaviour.  Input KBs may be
 RHDT binaries (``.hdt``) or N-Triples text (anything else); ``--backend``
 picks the storage backend (``interned`` dictionary-encodes terms to
 integer IDs — the faster choice for mining workloads).
@@ -188,13 +191,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.service.server import run_server
 
-    service = MiningService.from_path(args.kb, _service_config(args))
+    config = _service_config(args)
+    service = MiningService.from_path(args.kb, config)
     if args.warm_up:
         service.warm_up()
+
+    pool = None
+    if args.replicas:
+        from repro.service.workers import WorkerPool
+
+        if not getattr(service.kb, "supports_id_queries", False):
+            print(
+                "remi serve: --workers needs the interned backend "
+                "(replicas ship as dictionary-encoded wire images)",
+                file=sys.stderr,
+            )
+            return 2
+        pool = WorkerPool(
+            service.kb, config=config, count=args.replicas, warm_up=args.warm_up
+        )
 
     def ready(address) -> None:
         host, port = address
         print(f"remi serve: listening on {host}:{port}", file=sys.stderr, flush=True)
+
+    def summary(telemetry) -> None:
+        print(
+            f"remi serve: summary {json.dumps(telemetry, ensure_ascii=False)}",
+            file=sys.stderr,
+            flush=True,
+        )
 
     try:
         asyncio.run(
@@ -205,10 +231,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 pool_workers=args.pool,
                 max_pending=args.max_pending,
                 ready=ready,
+                workers=pool,
+                on_summary=summary,
             )
         )
     except KeyboardInterrupt:
         print("remi serve: interrupted, draining", file=sys.stderr)
+    finally:
+        if pool is not None:
+            pool.stop()
     print("remi serve: drained, bye", file=sys.stderr)
     return 0
 
@@ -317,6 +348,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--warm-up",
         action="store_true",
         help="build shared KB-derived state before accepting traffic",
+    )
+    serve.add_argument(
+        "--workers",
+        dest="replicas",
+        type=int,
+        default=0,
+        metavar="N",
+        help="worker processes, each holding an epoch replica of the KB "
+        "(0 = answer everything in-process; the differential reference)",
     )
     serve.set_defaults(func=_cmd_serve, workers=1)
     return parser

@@ -19,7 +19,10 @@ This package implements everything REMI needs from its data layer:
   (:mod:`repro.kb.inverse`, §2.1/§4);
 * a least-recently-used query cache (:mod:`repro.kb.cache`, §3.5.2);
 * the mutation-epoch coherence protocol derived caches use to stay
-  correct under live KB updates (:mod:`repro.kb.epoch`).
+  correct under live KB updates (:mod:`repro.kb.epoch`);
+* wire serialization of a dictionary-encoded store — interner, index
+  triples, epoch and MaskStore pages — for shipping epoch replicas to
+  worker processes (:mod:`repro.kb.wire`).
 """
 
 from repro.kb.base import BaseKnowledgeBase
@@ -41,6 +44,7 @@ from repro.kb.ntriples import (
 from repro.kb.store import KnowledgeBase
 from repro.kb.terms import IRI, BlankNode, Literal, Term
 from repro.kb.triples import Triple
+from repro.kb.wire import WireError, kb_from_bytes, kb_to_bytes
 
 __all__ = [
     "IRI",
@@ -61,9 +65,12 @@ __all__ = [
     "Term",
     "TermInterner",
     "Triple",
+    "WireError",
     "XSD",
     "inverse_predicate",
     "is_inverse",
+    "kb_from_bytes",
+    "kb_to_bytes",
     "load_hdt",
     "materialize_inverses",
     "parse_ntriples",

@@ -12,7 +12,11 @@ Four layers, one front door:
   envelopes bit-identically to direct miner calls;
 * :mod:`repro.service.server` — the concurrent ``remi serve``
   NDJSON-over-TCP layer (bounded worker pool, update barrier,
-  backpressure, graceful drain).
+  backpressure, graceful drain);
+* :mod:`repro.service.workers` — :class:`WorkerPool`, the multi-process
+  scale-out: N spawned processes each holding an epoch replica of the
+  KB (rehydrated via :mod:`repro.kb.wire`); the server routes queries
+  to replicas and fans updates to all of them in epoch lock-step.
 
 The plugin registries the service resolves its names through live in
 :mod:`repro.registry` (KB backends, miners, prominence providers,
@@ -41,6 +45,7 @@ from repro.service.envelopes import (
 )
 from repro.service.facade import MiningService, load_kb
 from repro.service.server import MiningServer, run_server
+from repro.service.workers import WorkerPool, WorkerPoolError
 
 __all__ = [
     "DescribeRequest",
@@ -60,6 +65,8 @@ __all__ = [
     "ServiceConfig",
     "StatsRequest",
     "UpdateRequest",
+    "WorkerPool",
+    "WorkerPoolError",
     "load_kb",
     "parse_request",
     "run_server",

@@ -13,6 +13,16 @@ Concurrency model:
 * **bounded worker pool** — mining runs on a fixed
   :class:`~concurrent.futures.ThreadPoolExecutor`; the asyncio loop only
   parses, schedules and writes.
+* **router mode** (``remi serve --workers N``): a
+  :class:`~repro.service.workers.WorkerPool` of N spawned processes each
+  holds an epoch replica of the KB (rehydrated from
+  :mod:`repro.kb.wire` bytes).  ``mine``/``describe`` dispatch to any
+  replica — true multi-core scaling, the GIL no longer serializes
+  mining — while updates apply to the router's authoritative KB under
+  the barrier and then fan to every replica in epoch lock-step before
+  the response is written (read-your-writes holds across processes).
+  ``--workers 0`` keeps the single-process path below as the
+  bit-identical differential reference.
 * **MVCC snapshot reads** (snapshot-capable backends, i.e. the interned
   store): every query serves from the immutable epoch session it loaded
   (:meth:`~repro.service.facade.MiningService.enable_snapshots`), so
@@ -62,6 +72,7 @@ from typing import Dict, Optional, Set
 from repro.core.batch import ERR_BAD_REQUEST
 from repro.service.envelopes import PROTOCOL_VERSION, Response
 from repro.service.facade import MiningService
+from repro.service.workers import WorkerPool, WorkerPoolError
 
 _LOG = logging.getLogger(__name__)
 
@@ -69,8 +80,14 @@ _LOG = logging.getLogger(__name__)
 class _UpdateBarrier:
     """An async readers-writer gate: queries share, updates are exclusive.
 
-    Writer-preferring — once an update is waiting, new queries queue
-    behind it — so a steady query stream cannot starve mutations.
+    Writer-preferring and cancellation-safe: the moment an update is
+    *queued* (not merely active), new ``query()`` entrants hold at the
+    gate, so a steady query stream cannot starve mutations — the writer
+    only waits for the queries that were already in flight when it
+    arrived.  A queued writer that gets cancelled (client gone, timeout)
+    re-opens the gate on its way out; without that wake-up, queries
+    blocked on the writer's presence would sleep forever once no active
+    reader remains to notify them.
     """
 
     def __init__(self) -> None:
@@ -82,6 +99,8 @@ class _UpdateBarrier:
     @contextlib.asynccontextmanager
     async def query(self):
         async with self._cond:
+            # Writer preference: block behind QUEUED updates too, not
+            # just the active one.
             while self._updating or self._waiting_updates:
                 await self._cond.wait()
             self._active_queries += 1
@@ -102,6 +121,13 @@ class _UpdateBarrier:
                 self._updating = True
             finally:
                 self._waiting_updates -= 1
+                if not self._updating:
+                    # Cancelled while queued: the gate this writer was
+                    # holding closed must re-open, and no active reader
+                    # or writer may remain to do it later.  (On the
+                    # success path _updating is True — ours or another
+                    # writer's — and that writer's exit notifies.)
+                    self._cond.notify_all()
         try:
             yield
         finally:
@@ -125,6 +151,16 @@ class MiningServer:
     max_pending:
         In-flight request bound; beyond it the server stops reading
         sockets (backpressure).
+    workers:
+        An optional :class:`~repro.service.workers.WorkerPool` of
+        process replicas — router mode.  ``mine``/``describe`` requests
+        dispatch to a replica (falling back to the local façade when the
+        pool is unusable); applied updates fan to every replica inside
+        the update barrier, before the update's response is written.
+        The pool's lifecycle belongs to its creator: :meth:`start`
+        starts it (idempotent), but :meth:`drain` never stops it, so one
+        pool can outlive several servers (the bench reuses one across
+        tiers).
     """
 
     def __init__(
@@ -134,6 +170,7 @@ class MiningServer:
         port: int = 0,
         pool_workers: int = 4,
         max_pending: int = 32,
+        workers: Optional[WorkerPool] = None,
     ):
         if pool_workers < 1:
             raise ValueError(f"pool_workers must be ≥ 1, got {pool_workers}")
@@ -149,6 +186,7 @@ class MiningServer:
         #: already disconnected (the request still completed and its
         #: accounting balanced — see :meth:`_send`).
         self.responses_dropped = 0
+        self._workers = workers
         self._pool: Optional[ThreadPoolExecutor] = None
         self._server: Optional[asyncio.base_events.Server] = None
         self._barrier = _UpdateBarrier()
@@ -170,6 +208,12 @@ class MiningServer:
         # query to an immutable epoch session and queries skip the
         # barrier entirely (updates still serialize against each other).
         self._snapshot_reads = self.service.enable_snapshots()
+        if self._workers is not None:
+            # Spawning replicas blocks on process startup + wire
+            # rehydration; keep the loop responsive while they come up.
+            await asyncio.get_running_loop().run_in_executor(
+                None, self._workers.start
+            )
         self._pool = ThreadPoolExecutor(
             max_workers=self.pool_workers, thread_name_prefix="remi-serve"
         )
@@ -184,6 +228,24 @@ class MiningServer:
     def snapshot_reads(self) -> bool:
         """True when queries serve from epoch snapshots (no read barrier)."""
         return self._snapshot_reads
+
+    @property
+    def workers(self) -> Optional[WorkerPool]:
+        """The process-replica pool when running in router mode."""
+        return self._workers
+
+    def telemetry(self) -> Dict:
+        """Serving counters for the ``stats`` envelope and the CLI's
+        shutdown summary: delivery accounting plus, in router mode, the
+        pool's fan-out/epoch numbers."""
+        info: Dict = {
+            "responses_dropped": self.responses_dropped,
+            "requests_in_flight": self.requests_in_flight,
+            "snapshot_reads": self._snapshot_reads,
+        }
+        if self._workers is not None:
+            info["workers"] = self._workers.stats()
+        return info
 
     async def serve_until_drained(self) -> None:
         """Block until a drain completes (shutdown request or :meth:`drain`).
@@ -312,10 +374,15 @@ class MiningServer:
                     break
                 if kind == "update" or (is_typed and kind is None and "op" in payload):
                     # The update barrier: this connection's own queries
-                    # first (ordering), then global exclusivity.
+                    # first (ordering), then global exclusivity.  In
+                    # router mode the fan-out happens INSIDE the barrier
+                    # and before the response: when the client reads the
+                    # update's ack, every replica has applied it —
+                    # read-your-writes holds across processes.
                     await self._flush(pending)
                     async with self._barrier.update():
                         record = await self._run(payload, line_no)
+                        await self._fan_out(payload, line_no, record)
                     await self._send(writer, write_lock, record)
                     continue
                 assert self._inflight is not None
@@ -351,10 +418,10 @@ class MiningServer:
             if self._snapshot_reads:
                 # MVCC: the query pins its epoch session inside the
                 # façade — no barrier, reads never wait for writes.
-                record = await self._run(payload, line_no)
+                record = await self._dispatch(payload, line_no)
             else:
                 async with self._barrier.query():
-                    record = await self._run(payload, line_no)
+                    record = await self._dispatch(payload, line_no)
             await self._send(writer, write_lock, record)
         finally:
             self.requests_in_flight -= 1
@@ -368,6 +435,60 @@ class MiningServer:
         return await loop.run_in_executor(
             self._pool, partial(self.service.handle_json, payload, line=line_no)
         )
+
+    @staticmethod
+    def _routes_to_replica(payload) -> bool:
+        """Whether a query payload may be served by a worker replica.
+
+        Mirrors :func:`~repro.service.envelopes.parse_request`'s legacy
+        dispatch: a bare list and a typeless dict without ``op`` are
+        mine requests; updates and stats stay on the router (updates
+        mutate the authoritative KB, stats report router telemetry)."""
+        if isinstance(payload, list):
+            return True
+        if not isinstance(payload, dict):
+            return False  # malformed; the local façade shapes the error
+        kind = payload.get("type")
+        if kind is None:
+            return "op" not in payload
+        return kind in ("mine", "describe")
+
+    async def _dispatch(self, payload, line_no: int) -> Dict:
+        """Route one query: replica in router mode, local façade
+        otherwise — and always local when the pool cannot answer (every
+        replica dead), so scale-out never costs availability."""
+        if self._workers is not None and self._routes_to_replica(payload):
+            try:
+                return await self._workers.request(payload, line_no)
+            except WorkerPoolError as exc:
+                _LOG.warning("worker pool unavailable (%s); serving locally", exc)
+        record = await self._run(payload, line_no)
+        if (
+            isinstance(payload, dict)
+            and payload.get("type") == "stats"
+            and record.get("ok")
+        ):
+            # Serving telemetry rides on the stats envelope: delivery
+            # accounting plus the pool's per-replica epochs in router
+            # mode (how the smoke client checks fan-out landed).
+            record.setdefault("result", {})["server"] = self.telemetry()
+        return record
+
+    async def _fan_out(self, payload, line_no: int, record: Dict) -> None:
+        """Replicate one applied update to every worker, inside the
+        caller's barrier hold.  No-op outside router mode, for failed
+        updates, and for ineffective ones (content unchanged ⇒ replicas
+        already exact; the router's epoch did not move either)."""
+        if self._workers is None or not record.get("ok"):
+            return
+        if not record.get("result", {}).get("applied"):
+            return
+        try:
+            await self._workers.broadcast_update(
+                payload, line_no, expect_epoch=self.service.kb.epoch
+            )
+        except WorkerPoolError as exc:
+            _LOG.warning("update fan-out failed (%s)", exc)
 
     @staticmethod
     async def _flush(pending: Set[asyncio.Task]) -> None:
@@ -404,15 +525,26 @@ async def run_server(
     pool_workers: int = 4,
     max_pending: int = 32,
     ready=None,
+    workers: Optional[WorkerPool] = None,
+    on_summary=None,
 ) -> None:
     """Start a server and block until it drains (the CLI entry point).
 
     *ready*, when given, is called once with the bound ``(host, port)`` —
     the CLI prints the listening line from it so wrappers can wait for
-    readiness on stderr.
+    readiness on stderr.  *workers* routes queries to a process-replica
+    pool (see :class:`MiningServer`); its lifecycle stays with the
+    caller.  *on_summary*, when given, receives the server's final
+    :meth:`~MiningServer.telemetry` after the drain — even a failed one
+    — so the CLI can print the shutdown summary.
     """
     server = MiningServer(
-        service, host=host, port=port, pool_workers=pool_workers, max_pending=max_pending
+        service,
+        host=host,
+        port=port,
+        pool_workers=pool_workers,
+        max_pending=max_pending,
+        workers=workers,
     )
     await server.start()
     if ready is not None:
@@ -422,6 +554,9 @@ async def run_server(
     except asyncio.CancelledError:
         await server.drain()
         raise
+    finally:
+        if on_summary is not None:
+            on_summary(server.telemetry())
 
 
 __all__ = ["MiningServer", "run_server"]

@@ -1,0 +1,491 @@
+"""Multi-process scale-out: epoch-replicated mining workers.
+
+The GIL caps the single-process server at roughly one core no matter how
+many threads the pool holds — BENCH_serve.json before this layer records
+16 concurrent clients getting *half* the throughput of one.  The fix is
+the classic replicated-read topology: the asyncio front door becomes a
+**router**, and mining runs in N worker *processes*, each holding a full
+replica of the dictionary-encoded KB rehydrated once from
+:mod:`repro.kb.wire` bytes (no N-Triples/HDT re-parse, same dense term
+IDs, same epoch).
+
+Consistency protocol (epoch lock-step):
+
+* every replica starts from the router KB's wire image, so router and
+  replicas share the epoch counter's *meaning*: one applied single-op
+  update bumps each copy by exactly one;
+* queries (``mine``/``describe``) dispatch to any live replica — least
+  in-flight first — and the reply carries the replica's epoch back as
+  telemetry;
+* updates are applied to the router's authoritative KB first (under the
+  server's update barrier), then **fanned to every replica**, which
+  replays the same envelope through its own façade and rolls its own
+  MVCC snapshot session, exactly as the in-process server does;
+* after the fan-out the router compares every ack epoch against its own.
+  A replica that diverged (crashed mid-apply, missed a delta) is
+  **resynced** wholesale from fresh wire bytes — the barrier guarantees
+  the KB is quiescent, so the image is exact — and the event is counted
+  in :attr:`WorkerPool.resyncs` (a healthy run reports zero).
+
+Each replica owns one duplex :func:`multiprocessing.Pipe`; the parent
+side serializes access per replica with a thread lock and runs the
+blocking send/recv round on a small dedicated thread pool, so the
+asyncio loop never blocks.  Workers are ``spawn``\\ ed, not forked: the
+router is a threaded asyncio process, and a fork would duplicate its
+locks mid-flight — spawn also forces the wire path, which is the point.
+
+The pool does not own the router's KB and never mutates it; the caller
+that created the pool stops it (:meth:`WorkerPool.stop`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional
+
+from repro.service.config import ServiceConfig
+
+#: Fork would clone the router's threads' locks in unknown states; spawn
+#: gives each worker a clean interpreter that imports this module fresh.
+_SPAWN = multiprocessing.get_context("spawn")
+
+#: Pipe failures that mean "this replica is gone", not "bad request".
+_PIPE_ERRORS = (EOFError, BrokenPipeError, ConnectionError, OSError)
+
+
+class WorkerPoolError(RuntimeError):
+    """The pool cannot serve: no live replicas, or not started."""
+
+
+def _worker_main(conn, wire_data: bytes, config_json: Dict, worker_id: int, warm: bool) -> None:
+    """A worker process: one KB replica behind one message loop.
+
+    Runs in the spawned child.  Rehydrates the wire image into a live
+    :class:`~repro.kb.interned.InternedKnowledgeBase`, fronts it with its
+    own :class:`~repro.service.facade.MiningService` in MVCC snapshot
+    mode (reads pin epoch sessions; replayed updates roll the session —
+    the same discipline as the in-process server), then answers framed
+    messages until told to stop or the pipe dies.
+    """
+    from repro.kb.wire import kb_from_bytes
+    from repro.service.facade import MiningService
+
+    def build(data: bytes):
+        kb = kb_from_bytes(data)
+        service = MiningService(kb, ServiceConfig.from_json(config_json))
+        service.enable_snapshots()
+        if warm:
+            service.warm_up()
+        return kb, service
+
+    kb, service = build(wire_data)
+    requests = 0
+    conn.send(
+        {"kind": "ready", "worker": worker_id, "pid": os.getpid(), "epoch": kb.epoch}
+    )
+    while True:
+        try:
+            message = conn.recv()
+        except _PIPE_ERRORS:
+            break
+        kind = message.get("kind")
+        if kind == "stop":
+            conn.send(
+                {
+                    "kind": "stopped",
+                    "worker": worker_id,
+                    "epoch": kb.epoch,
+                    "requests": requests,
+                }
+            )
+            break
+        if kind == "request":
+            record = service.handle_json(message["payload"], line=message.get("line"))
+            requests += 1
+            conn.send(
+                {
+                    "kind": "response",
+                    "worker": worker_id,
+                    "epoch": kb.epoch,
+                    "requests": requests,
+                    "record": record,
+                }
+            )
+        elif kind == "load":
+            # Full resync: replace the replica wholesale (divergence
+            # recovery; the router serialized a quiescent KB).
+            kb, service = build(message["wire"])
+            conn.send({"kind": "loaded", "worker": worker_id, "epoch": kb.epoch})
+        elif kind == "ping":
+            conn.send(
+                {
+                    "kind": "pong",
+                    "worker": worker_id,
+                    "epoch": kb.epoch,
+                    "requests": requests,
+                }
+            )
+        else:
+            conn.send(
+                {
+                    "kind": "error",
+                    "worker": worker_id,
+                    "epoch": kb.epoch,
+                    "reason": f"unknown message kind {kind!r}",
+                }
+            )
+    conn.close()
+
+
+class _Replica:
+    """Parent-side handle of one worker process."""
+
+    __slots__ = (
+        "index",
+        "process",
+        "conn",
+        "lock",
+        "alive",
+        "pid",
+        "epoch",
+        "requests",
+        "in_flight",
+    )
+
+    def __init__(self, index: int, process, conn):
+        self.index = index
+        self.process = process
+        self.conn = conn
+        #: Serializes the pipe: strictly one in-flight round per replica,
+        #: so every recv is the reply to this thread's send.
+        self.lock = threading.Lock()
+        self.alive = True
+        self.pid: Optional[int] = None
+        self.epoch = 0
+        #: Last-acked replica epoch and lifetime requests, as seen by the
+        #: router (refreshed on every reply — the stats surface).
+        self.requests = 0
+        self.in_flight = 0
+
+
+class WorkerPool:
+    """N spawned KB replicas behind an async dispatch/fan-out surface.
+
+    Parameters
+    ----------
+    kb:
+        The router's authoritative dictionary-encoded KB; its wire image
+        seeds every replica.
+    config:
+        The :class:`~repro.service.ServiceConfig` each replica builds its
+        façade from (defaults match the router's service).
+    count:
+        Number of worker processes (≥ 1).
+    warm_up:
+        Build each replica's mining substrate before it reports ready.
+    start_timeout:
+        Seconds to wait for each replica's ready handshake.
+    """
+
+    def __init__(
+        self,
+        kb,
+        config: Optional[ServiceConfig] = None,
+        count: int = 2,
+        warm_up: bool = False,
+        start_timeout: float = 120.0,
+    ):
+        if count < 1:
+            raise ValueError(f"worker count must be ≥ 1, got {count}")
+        if not getattr(kb, "supports_id_queries", False):
+            raise WorkerPoolError(
+                "multi-process serving needs a dictionary-encoded backend "
+                f"(wire serialization), got {type(kb).__name__}"
+            )
+        self.kb = kb
+        self.config = config or ServiceConfig()
+        self.count = count
+        self.warm_up = warm_up
+        self.start_timeout = start_timeout
+        self._replicas: List[_Replica] = []
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._started = False
+        self._stopped = False
+        #: Fan-out telemetry (the stats envelope's replica-drift view).
+        self.updates_fanned = 0
+        self.resyncs = 0
+        self.requests_dispatched = 0
+        self.last_fanout_lag_seconds = 0.0
+        self.max_fanout_lag_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the replicas and wait for every ready handshake.
+
+        Idempotent; blocking (call before the event loop runs, or via an
+        executor).  Raises :class:`WorkerPoolError` when a worker fails
+        to come up — a half-started pool is stopped before the raise.
+        """
+        if self._started:
+            return
+        from repro.kb.wire import kb_to_bytes
+
+        wire = kb_to_bytes(self.kb)
+        config_json = self.config.to_json()
+        try:
+            for index in range(self.count):
+                parent_conn, child_conn = _SPAWN.Pipe()
+                process = _SPAWN.Process(
+                    target=_worker_main,
+                    args=(child_conn, wire, config_json, index, self.warm_up),
+                    name=f"remi-worker-{index}",
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                self._replicas.append(_Replica(index, process, parent_conn))
+            for replica in self._replicas:
+                if not replica.conn.poll(self.start_timeout):
+                    raise WorkerPoolError(
+                        f"worker {replica.index} did not report ready within "
+                        f"{self.start_timeout}s"
+                    )
+                message = replica.conn.recv()
+                if message.get("kind") != "ready":
+                    raise WorkerPoolError(
+                        f"worker {replica.index} sent {message!r} instead of ready"
+                    )
+                replica.pid = message.get("pid")
+                replica.epoch = message.get("epoch", 0)
+                if replica.epoch != self.kb.epoch:
+                    raise WorkerPoolError(
+                        f"worker {replica.index} rehydrated at epoch "
+                        f"{replica.epoch}, router is at {self.kb.epoch}"
+                    )
+        except BaseException:
+            self._started = True  # let stop() tear down what spawned
+            self.stop()
+            raise
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(4, 2 * self.count), thread_name_prefix="remi-fanout"
+        )
+        self._started = True
+
+    def stop(self) -> None:
+        """Stop every replica and reap the processes.  Idempotent."""
+        if self._stopped:
+            return
+        self._stopped = True
+        for replica in self._replicas:
+            if replica.alive:
+                try:
+                    with replica.lock:
+                        replica.conn.send({"kind": "stop"})
+                        if replica.conn.poll(5.0):
+                            ack = replica.conn.recv()
+                            if ack.get("kind") == "stopped":
+                                replica.epoch = ack.get("epoch", replica.epoch)
+                                replica.requests = ack.get(
+                                    "requests", replica.requests
+                                )
+                except _PIPE_ERRORS:
+                    pass
+            replica.alive = False
+            try:
+                replica.conn.close()
+            except OSError:
+                pass
+            replica.process.join(timeout=10.0)
+            if replica.process.is_alive():
+                replica.process.terminate()
+                replica.process.join(timeout=5.0)
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    @property
+    def live_count(self) -> int:
+        return sum(1 for r in self._replicas if r.alive)
+
+    def _require_started(self) -> None:
+        if not self._started or self._stopped:
+            raise WorkerPoolError("worker pool is not running")
+
+    def _pick(self, worker: Optional[int]) -> _Replica:
+        if worker is not None:
+            replica = self._replicas[worker]
+            if not replica.alive:
+                raise WorkerPoolError(f"worker {worker} is dead")
+            return replica
+        live = [r for r in self._replicas if r.alive]
+        if not live:
+            raise WorkerPoolError("no live workers")
+        return min(live, key=lambda r: (r.in_flight, r.index))
+
+    def _roundtrip(self, replica: _Replica, message: Dict) -> Dict:
+        """One framed send/recv on *replica*'s pipe (blocking; executor)."""
+        with replica.lock:
+            replica.conn.send(message)
+            return replica.conn.recv()
+
+    def _mark_dead(self, replica: _Replica) -> None:
+        replica.alive = False
+        try:
+            replica.conn.close()
+        except OSError:
+            pass
+
+    async def _round(self, replica: _Replica, message: Dict) -> Dict:
+        """Run one round on the fan-out executor; marks dead on pipe loss."""
+        loop = asyncio.get_running_loop()
+        replica.in_flight += 1
+        try:
+            reply = await loop.run_in_executor(
+                self._executor, self._roundtrip, replica, message
+            )
+        except _PIPE_ERRORS as exc:
+            self._mark_dead(replica)
+            raise WorkerPoolError(
+                f"worker {replica.index} died mid-request: {exc!r}"
+            ) from exc
+        finally:
+            replica.in_flight -= 1
+        replica.epoch = reply.get("epoch", replica.epoch)
+        replica.requests = reply.get("requests", replica.requests + 1)
+        return reply
+
+    async def request(self, payload, line: Optional[int] = None, worker: Optional[int] = None) -> Dict:
+        """Answer one query envelope on a replica; returns the envelope dict.
+
+        Dispatches least-in-flight-first (or to the pinned *worker* —
+        the differential tests interrogate specific replicas).  A replica
+        dying mid-request is retried once on another; with none left the
+        call raises :class:`WorkerPoolError` and the server wraps it.
+        """
+        self._require_started()
+        message = {"kind": "request", "payload": payload, "line": line}
+        for attempt in (0, 1):
+            replica = self._pick(worker)
+            try:
+                reply = await self._round(replica, message)
+            except WorkerPoolError:
+                if worker is not None or attempt or not self.live_count:
+                    raise
+                continue
+            self.requests_dispatched += 1
+            return reply["record"]
+        raise WorkerPoolError("no live workers")  # pragma: no cover
+
+    async def broadcast_update(
+        self, payload, line: Optional[int] = None, expect_epoch: Optional[int] = None
+    ) -> List[Dict]:
+        """Replay one applied update envelope on EVERY live replica.
+
+        Must run under the server's update barrier (the router KB — and
+        therefore the expected epoch — is frozen while replicas apply).
+        Waits for all acks, records the fan-out lag, then verifies each
+        replica landed on *expect_epoch*; a mismatch triggers a full wire
+        resync of that replica so drift never outlives the update that
+        caused it.
+        """
+        self._require_started()
+        message = {"kind": "request", "payload": payload, "line": line}
+        live = [r for r in self._replicas if r.alive]
+        if not live:
+            raise WorkerPoolError("no live workers")
+        started = time.perf_counter()
+        results = await asyncio.gather(
+            *(self._round(replica, message) for replica in live),
+            return_exceptions=True,
+        )
+        lag = time.perf_counter() - started
+        self.updates_fanned += 1
+        self.last_fanout_lag_seconds = lag
+        if lag > self.max_fanout_lag_seconds:
+            self.max_fanout_lag_seconds = lag
+        acks: List[Dict] = []
+        for replica, result in zip(live, results):
+            if isinstance(result, BaseException):
+                continue  # _round already marked it dead
+            acks.append(result["record"])
+            if expect_epoch is not None and replica.epoch != expect_epoch:
+                await self._resync(replica, expect_epoch)
+        return acks
+
+    async def _resync(self, replica: _Replica, expect_epoch: int) -> None:
+        """Reload *replica* from a fresh wire image of the router KB."""
+        from repro.kb.wire import kb_to_bytes
+
+        self.resyncs += 1
+        wire = kb_to_bytes(self.kb)
+        try:
+            reply = await self._round(replica, {"kind": "load", "wire": wire})
+        except WorkerPoolError:
+            return  # dead is dead; queries route around it
+        if reply.get("kind") != "loaded" or replica.epoch != expect_epoch:
+            self._mark_dead(replica)
+
+    async def ping(self) -> List[Dict]:
+        """Refresh every live replica's epoch/requests telemetry."""
+        self._require_started()
+        live = [r for r in self._replicas if r.alive]
+        results = await asyncio.gather(
+            *(self._round(replica, {"kind": "ping"}) for replica in live),
+            return_exceptions=True,
+        )
+        return [r for r in results if not isinstance(r, BaseException)]
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict:
+        """The replica-drift view surfaced in the stats envelope."""
+        return {
+            "count": self.count,
+            "alive": self.live_count,
+            "requests_dispatched": self.requests_dispatched,
+            "updates_fanned": self.updates_fanned,
+            "resyncs": self.resyncs,
+            "last_fanout_lag_seconds": round(self.last_fanout_lag_seconds, 6),
+            "max_fanout_lag_seconds": round(self.max_fanout_lag_seconds, 6),
+            "per_worker": [
+                {
+                    "worker": r.index,
+                    "pid": r.pid,
+                    "alive": r.alive,
+                    "epoch": r.epoch,
+                    "requests": r.requests,
+                    "in_flight": r.in_flight,
+                }
+                for r in self._replicas
+            ],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkerPool(count={self.count}, alive={self.live_count}, "
+            f"epoch={self.kb.epoch})"
+        )
+
+
+__all__ = ["WorkerPool", "WorkerPoolError"]

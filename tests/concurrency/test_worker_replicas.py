@@ -1,0 +1,107 @@
+"""Process-replica differential: the multi-process acceptance pin.
+
+Extends the snapshot-isolation differential pattern across process
+boundaries: seeded KBs take interleaved add/delete update batches on
+the router's authoritative store, each applied update fans to a pool of
+worker replicas — and after every batch, EACH replica (pinned
+explicitly, not load-balanced) answers mine/describe bit-identically to
+a cold miner service built from the mutated triples, with its epoch
+equal to the router's.
+
+Fewer seeds than the thread suite (process spawn is the dominant cost);
+runs under the ``concurrency`` marker with its own CI step.
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.kb.interned import InternedKnowledgeBase
+from repro.kb.namespaces import EX
+from repro.kb.terms import BlankNode, Literal
+from repro.kb.triples import Triple
+from repro.service import MiningService, WorkerPool
+
+pytestmark = pytest.mark.concurrency
+
+N_KBS = 6
+WORKERS = 2
+BATCHES = 4
+
+
+def _random_kb(rng: random.Random):
+    entities = [EX[f"e{i}"] for i in range(rng.randint(4, 9))]
+    predicates = [EX[f"p{i}"] for i in range(rng.randint(2, 4))]
+    objects = entities + [Literal("red"), Literal("42"), BlankNode("b0")]
+    kb = InternedKnowledgeBase(name="replica-diff")
+    for _ in range(rng.randint(10, 32)):
+        kb.add(Triple(rng.choice(entities), rng.choice(predicates), rng.choice(objects)))
+    return kb, entities, predicates, objects
+
+
+def _scrub(value):
+    if isinstance(value, dict):
+        return {
+            k: _scrub(v)
+            for k, v in value.items()
+            if k != "seconds" and not k.endswith("_seconds")
+        }
+    if isinstance(value, list):
+        return [_scrub(v) for v in value]
+    return value
+
+
+def _update_payloads(rng, kb, entities, predicates, objects):
+    """One batch of single-op update envelopes: deletes of resident rows
+    and adds that may grow the interner mid-flight."""
+    payloads = []
+    existing = sorted(kb.triples(), key=lambda t: t.n3())
+    for triple in rng.sample(existing, min(rng.randint(1, 3), len(existing))):
+        payloads.append({"type": "update", "id": "d", "op": "delete",
+                         "triple": [t.n3() for t in triple]})
+    for i in range(rng.randint(1, 3)):
+        triple = Triple(
+            rng.choice(entities),
+            rng.choice(predicates),
+            rng.choice(objects + [EX[f"fresh{rng.randint(0, 999)}"]]),
+        )
+        payloads.append({"type": "update", "id": "a", "op": "add",
+                         "triple": [t.n3() for t in triple]})
+    return payloads
+
+
+def test_replicas_track_updates_bit_identically_to_cold_service():
+    async def drive(seed):
+        rng = random.Random(9100 + seed)
+        kb, entities, predicates, objects = _random_kb(rng)
+        service = MiningService(kb)
+        service.enable_snapshots()
+        with WorkerPool(kb, count=WORKERS) as pool:
+            for batch in range(BATCHES):
+                for payload in _update_payloads(rng, kb, entities, predicates, objects):
+                    record = service.handle_json(payload, line=batch)
+                    assert record["ok"], record
+                    if record["result"]["applied"]:
+                        await pool.broadcast_update(
+                            payload, line=batch, expect_epoch=kb.epoch
+                        )
+
+                stats = pool.stats()
+                assert stats["resyncs"] == 0, stats
+                assert [w["epoch"] for w in stats["per_worker"]] == [kb.epoch] * WORKERS
+
+                cold = MiningService(InternedKnowledgeBase(kb.triples(), name=kb.name))
+                present = sorted(kb.entities(), key=lambda t: t.sort_key())
+                picks = rng.sample(present, min(3, len(present)))
+                for index, entity in enumerate(picks):
+                    for kind in ("mine", "describe"):
+                        query = {"type": kind, "id": f"{kind}{batch}-{index}",
+                                 "targets": [str(entity)]}
+                        expected = _scrub(cold.handle_json(query, line=index))
+                        for worker in range(WORKERS):
+                            actual = await pool.request(query, line=index, worker=worker)
+                            assert _scrub(actual) == expected, (seed, batch, worker)
+
+    for seed in range(N_KBS):
+        asyncio.run(drive(seed))

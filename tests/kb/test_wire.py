@@ -1,0 +1,240 @@
+"""Wire serialization pin: a rehydrated replica IS the source store.
+
+The multi-process serving tentpole rides on :mod:`repro.kb.wire`
+round-trips being exact — same dense IDs (dead ones included), same
+index contents, same epoch, semantically identical MaskStore pages —
+and on a replica replaying the source's mutation log landing
+bit-identical to the mutated source.  Across 50 seeded KBs with
+interleaved delete/re-add churn, so the interner carries dead IDs and
+the mutation history is non-trivial.
+"""
+
+import json
+import random
+import zlib
+
+import pytest
+
+from repro.core.remi import REMI
+from repro.kb.epoch import net_changes
+from repro.kb.interned import InternedKnowledgeBase
+from repro.kb.namespaces import EX
+from repro.kb.store import KnowledgeBase
+from repro.kb.terms import BlankNode, Literal
+from repro.kb.triples import Triple
+from repro.kb.wire import (
+    WIRE_VERSION,
+    WireError,
+    kb_from_bytes,
+    kb_to_bytes,
+    kb_to_payload,
+    payload_to_kb,
+)
+
+N_KBS = 50
+
+
+def _random_kb(rng: random.Random):
+    """A seeded interned KB with churn history: deletions leave dead
+    interner IDs behind, which the wire format must preserve."""
+    entities = [EX[f"e{i}"] for i in range(rng.randint(4, 9))]
+    predicates = [EX[f"p{i}"] for i in range(rng.randint(2, 4))]
+    objects = entities + [Literal("red"), Literal("42"), BlankNode("b0")]
+    kb = InternedKnowledgeBase(name=f"wire{rng.random():.6f}")
+    for _ in range(rng.randint(10, 32)):
+        kb.add(Triple(rng.choice(entities), rng.choice(predicates), rng.choice(objects)))
+    # Delete a few rows so some terms may become index-orphaned (their
+    # IDs stay interned) and the epoch moves past the fact count.
+    existing = sorted(kb.triples(), key=lambda t: t.n3())
+    for triple in rng.sample(existing, min(rng.randint(1, 4), len(existing))):
+        kb.discard(triple)
+    kb.add(Triple(EX.late, predicates[0], entities[0]))
+    return kb, entities, predicates, objects
+
+
+def _assert_replica_equals(replica, kb):
+    assert len(replica) == len(kb)
+    assert set(replica.triples()) == set(kb.triples())
+    assert replica.epoch == kb.epoch
+    assert replica.name == kb.name
+    # Interner high-water mark: dead IDs included, and the NEXT interned
+    # term must land on the same ID on both sides.
+    assert replica.term_count() == kb.term_count()
+    probe = EX[f"probe{kb.epoch}"]
+    assert replica._interner.intern(probe) == kb._interner.intern(probe)
+
+
+def test_round_trip_across_seeded_kbs():
+    for seed in range(N_KBS):
+        rng = random.Random(4200 + seed)
+        kb, *_ = _random_kb(rng)
+        _assert_replica_equals(payload_to_kb(kb_to_payload(kb)), kb)
+        _assert_replica_equals(kb_from_bytes(kb_to_bytes(kb)), kb)
+
+
+def test_round_trip_preserves_dead_interner_ids():
+    """Interning and fully deleting a term must not shift later IDs on
+    the replica — that would desynchronize every future delta replay."""
+    kb = InternedKnowledgeBase(name="dead")
+    doomed = Triple(EX.doomed, EX.p, EX.also_doomed)
+    kb.add(doomed)
+    kb.discard(doomed)
+    kb.add(Triple(EX.survivor, EX.p, EX.other))
+    replica = kb_from_bytes(kb_to_bytes(kb))
+    assert replica.term_count() == kb.term_count()
+    assert replica._interner.intern(EX.doomed) == kb._interner.intern(EX.doomed)
+    assert replica._interner.intern(EX.fresh) == kb._interner.intern(EX.fresh)
+
+
+def test_round_trip_ships_mask_pages():
+    rng = random.Random(77)
+    kb, *_ = _random_kb(rng)
+    store = kb.masks
+    # Pages build lazily per lookup: warm one per (p, o) / (s, p) pair.
+    for si, by_pred in kb._spo.items():
+        for pi, objects in by_pred.items():
+            for oi in objects:
+                store.subjects(pi, oi)
+                store.objects(si, pi)
+    assert store._subjects and store._objects  # the warm-up populated pages
+    replica = kb_from_bytes(kb_to_bytes(kb))
+    rstore = replica._masks
+    assert rstore is not None, "mask pages should arrive pre-warmed"
+    assert set(rstore._subjects) == set(store._subjects)
+    assert set(rstore._objects) == set(store._objects)
+    for key, entry in store._subjects.items():
+        assert rstore._subjects[key] == entry  # IdSet.__eq__ is semantic
+    for key, entry in store._objects.items():
+        assert rstore._objects[key] == entry
+
+
+def test_round_trip_without_masks_leaves_cache_cold():
+    rng = random.Random(78)
+    kb, *_ = _random_kb(rng)
+    si, by_pred = next(iter(kb._spo.items()))
+    pi, objects = next(iter(by_pred.items()))
+    kb.masks.subjects(pi, next(iter(objects)))  # warm one page
+    replica = kb_from_bytes(kb_to_bytes(kb, include_masks=False))
+    assert replica._masks is None
+    _assert_replica_equals(replica, kb)
+
+
+def test_replica_log_floor_is_honest():
+    """A replica knows nothing before its serialization epoch: current
+    reads answer ``[]``, anything older answers ``None`` (rebuild)."""
+    rng = random.Random(79)
+    kb, *_ = _random_kb(rng)
+    assert kb.epoch > 0
+    replica = kb_from_bytes(kb_to_bytes(kb))
+    assert replica.changes_since(kb.epoch) == []
+    assert replica.changes_since(kb.epoch - 1) is None
+    assert replica.changes_since(0) is None
+
+
+def test_uncompressed_framing_round_trips():
+    rng = random.Random(80)
+    kb, *_ = _random_kb(rng)
+    raw = kb_to_bytes(kb, compress=False)
+    assert raw.startswith(b"REMIWIRE" + b"r")
+    _assert_replica_equals(kb_from_bytes(raw), kb)
+
+
+def test_hash_backend_is_rejected():
+    kb = KnowledgeBase([Triple(EX.a, EX.p, EX.b)])
+    with pytest.raises(WireError):
+        kb_to_payload(kb)
+
+
+def test_framing_and_payload_errors():
+    kb = InternedKnowledgeBase([Triple(EX.a, EX.p, EX.b)], name="tiny")
+    good = kb_to_bytes(kb)
+    with pytest.raises(WireError):
+        kb_from_bytes(b"NOTMAGIC" + good[8:])
+    with pytest.raises(WireError):
+        kb_from_bytes(b"REMIWIRE" + b"q" + good[9:])
+    with pytest.raises(WireError):
+        kb_from_bytes(b"REMIWIRE" + b"z" + b"\x00garbage")
+    with pytest.raises(WireError):
+        kb_from_bytes(b"REMIWIRE" + b"r" + b"{not json")
+    with pytest.raises(WireError):
+        payload_to_kb({"format": "something-else"})
+    payload = kb_to_payload(kb)
+    with pytest.raises(WireError):
+        payload_to_kb(dict(payload, v=WIRE_VERSION + 1))
+    with pytest.raises(WireError):
+        payload_to_kb(dict(payload, terms=payload["terms"] + [payload["terms"][0]]))
+    with pytest.raises(WireError):
+        payload_to_kb(dict(payload, triples=payload["triples"][:-1]))
+    with pytest.raises(WireError):
+        payload_to_kb(dict(payload, triples=[0, 1, 99]))
+    with pytest.raises(WireError):
+        payload_to_kb(dict(payload, triples=payload["triples"] * 2))
+    with pytest.raises(WireError):
+        payload_to_kb(dict(payload, facts=payload["facts"] + 1))
+
+
+def test_wire_bytes_are_debuggable_json():
+    """The format promise: no pickle, just zlib-wrapped JSON."""
+    kb = InternedKnowledgeBase([Triple(EX.a, EX.p, EX.b)], name="tiny")
+    data = kb_to_bytes(kb)
+    body = json.loads(zlib.decompress(data[9:]))
+    assert body["format"] == "remi-kb-wire"
+    assert body["facts"] == 1
+
+
+def test_delta_replay_stays_in_epoch_lock_step():
+    """The fan-out contract: a replica applying the same effective
+    single-op updates advances its epoch exactly as the source does."""
+    for seed in range(10):
+        rng = random.Random(5200 + seed)
+        kb, entities, predicates, objects = _random_kb(rng)
+        replica = kb_from_bytes(kb_to_bytes(kb))
+        for step in range(12):
+            triple = Triple(
+                rng.choice(entities),
+                rng.choice(predicates),
+                rng.choice(objects + [EX[f"fresh{step}"]]),
+            )
+            op = rng.choice(("add", "delete"))
+            if op == "add":
+                applied = kb.add(triple)
+                assert replica.add(triple) == applied
+            else:
+                applied = kb.discard(triple)
+                assert replica.discard(triple) == applied
+            assert replica.epoch == kb.epoch, (seed, step, op)
+        assert set(replica.triples()) == set(kb.triples())
+
+
+def test_net_changes_replay_lands_bit_identical():
+    """A replica that missed a window catches up by replaying the
+    source's netted delta and then answers mining queries identically
+    to a cold miner on the mutated source."""
+    for seed in range(10):
+        rng = random.Random(6200 + seed)
+        kb, entities, predicates, objects = _random_kb(rng)
+        replica = kb_from_bytes(kb_to_bytes(kb))
+        pinned = kb.epoch
+        for _ in range(rng.randint(2, 5)):
+            batch = [
+                ("add", Triple(rng.choice(entities), rng.choice(predicates),
+                               rng.choice(objects))),
+                ("delete", sorted(kb.triples(), key=lambda t: t.n3())[0]),
+                ("add", Triple(EX[f"late{rng.randint(0, 99)}"],
+                               rng.choice(predicates), rng.choice(entities))),
+            ]
+            kb.mutate_many(batch)
+        changes = kb.changes_since(pinned)
+        assert changes is not None
+        replica.mutate_many(net_changes(changes))
+        assert set(replica.triples()) == set(kb.triples())
+
+        cold = REMI(InternedKnowledgeBase(kb.triples(), name=kb.name))
+        warm = REMI(replica)
+        targets = sorted(kb.entities(), key=lambda t: t.sort_key())[:2]
+        expected = cold.mine(targets)
+        actual = warm.mine(targets)
+        assert actual.found == expected.found
+        if expected.found:
+            assert repr(actual.expression) == repr(expected.expression)
+            assert actual.complexity == expected.complexity

@@ -434,3 +434,92 @@ def test_update_barrier_excludes_queries():
         assert state["queries"] == 0 and state["updates"] == 0
 
     asyncio.run(scenario())
+
+
+def test_queued_update_blocks_new_query_entrants():
+    """Writer preference: once an update is QUEUED, a fresh query holds
+    at the gate until the writer has run — a steady query stream cannot
+    starve mutations."""
+
+    async def scenario():
+        barrier = _UpdateBarrier()
+        order = []
+        q1_hold = asyncio.Event()
+        q1_entered = asyncio.Event()
+
+        async def long_query():
+            async with barrier.query():
+                order.append("q1")
+                q1_entered.set()
+                await q1_hold.wait()
+
+        async def writer():
+            async with barrier.update():
+                order.append("update")
+
+        async def late_query():
+            async with barrier.query():
+                order.append("q2")
+
+        q1_task = asyncio.create_task(long_query())
+        await q1_entered.wait()
+        update_task = asyncio.create_task(writer())
+        for _ in range(5):  # writer reaches the gate and queues
+            await asyncio.sleep(0)
+        q2_task = asyncio.create_task(late_query())
+        for _ in range(5):
+            await asyncio.sleep(0)
+        assert "q2" not in order, "query jumped a queued writer"
+        q1_hold.set()
+        await asyncio.wait_for(asyncio.gather(q1_task, update_task, q2_task), 5)
+        assert order == ["q1", "update", "q2"]
+
+    asyncio.run(scenario())
+
+
+def test_cancelled_queued_writer_reopens_the_gate():
+    """Cancellation-safety regression: a queued writer that gets
+    cancelled must wake the queries it was gating.  Before the fix the
+    writer's exit decremented the waiting count without notifying, so a
+    query already parked behind it slept forever once no active reader
+    remained to notify on its behalf."""
+
+    async def scenario():
+        barrier = _UpdateBarrier()
+        q1_hold = asyncio.Event()
+        q1_entered = asyncio.Event()
+        q2_entered = asyncio.Event()
+
+        async def long_query():
+            async with barrier.query():
+                q1_entered.set()
+                await q1_hold.wait()
+
+        async def writer():
+            async with barrier.update():
+                raise AssertionError("cancelled writer must never run")
+
+        async def gated_query():
+            async with barrier.query():
+                q2_entered.set()
+
+        q1_task = asyncio.create_task(long_query())
+        await q1_entered.wait()
+        update_task = asyncio.create_task(writer())
+        for _ in range(5):
+            await asyncio.sleep(0)
+        q2_task = asyncio.create_task(gated_query())
+        for _ in range(5):
+            await asyncio.sleep(0)
+        assert not q2_entered.is_set(), "query jumped a queued writer"
+
+        update_task.cancel()
+        with pytest.raises(asyncio.CancelledError):
+            await update_task
+        # q1 is still mid-flight: the ONLY possible waker for q2 is the
+        # cancelled writer's exit path.
+        await asyncio.wait_for(q2_entered.wait(), 5)
+        q1_hold.set()
+        await asyncio.wait_for(asyncio.gather(q1_task, q2_task), 5)
+
+    asyncio.run(scenario())

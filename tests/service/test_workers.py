@@ -1,0 +1,194 @@
+"""Multi-process serving pin: worker replicas answer exactly like the
+router-local façade, and update fan-out keeps every replica in epoch
+lock-step.
+
+These tests spawn real processes (the pool refuses to fork a threaded
+parent), so they stay few and share small scene KBs; the wide seeded
+sweep lives in ``tests/concurrency/test_worker_replicas.py`` under the
+``concurrency`` marker.
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.datasets import rennes_nantes_scene
+from repro.kb.interned import InternedKnowledgeBase
+from repro.kb.namespaces import EX
+from repro.kb.store import KnowledgeBase
+from repro.kb.triples import Triple
+from repro.service import MiningServer, MiningService, WorkerPool, WorkerPoolError
+
+
+def _scrub(value):
+    """Drop timing from an envelope: everything else is pinned exact."""
+    if isinstance(value, dict):
+        return {
+            k: _scrub(v)
+            for k, v in value.items()
+            if k != "seconds" and not k.endswith("_seconds")
+        }
+    if isinstance(value, list):
+        return [_scrub(v) for v in value]
+    return value
+
+
+def _scene_kb():
+    return InternedKnowledgeBase(rennes_nantes_scene().triples(), name="scene")
+
+
+def test_pool_validates_inputs():
+    kb = _scene_kb()
+    with pytest.raises(ValueError):
+        WorkerPool(kb, count=0)
+    with pytest.raises(WorkerPoolError):
+        WorkerPool(KnowledgeBase([Triple(EX.a, EX.p, EX.b)]), count=1)
+    pool = WorkerPool(kb, count=1)
+    with pytest.raises(WorkerPoolError):
+        asyncio.run(pool.request({"type": "stats", "id": "x"}))  # not started
+
+
+def test_replicas_answer_bit_identically_and_follow_updates():
+    """The core differential: mine/describe records from a replica equal
+    the local façade's (timing excluded); an applied update broadcast
+    advances every replica to the router's epoch; queries after the
+    fan-out see the mutation."""
+    kb = _scene_kb()
+    service = MiningService(kb)
+    service.enable_snapshots()
+    rng = random.Random(11)
+    entities = sorted(kb.entities(), key=lambda t: t.sort_key())
+    targets = [str(rng.choice(entities)) for _ in range(4)]
+
+    async def scenario():
+        with WorkerPool(kb, count=2) as pool:
+            assert pool.live_count == 2
+            for worker in pool.stats()["per_worker"]:
+                assert worker["alive"] and worker["epoch"] == kb.epoch
+
+            for index, target in enumerate(targets):
+                for kind in ("mine", "describe"):
+                    payload = {"type": kind, "id": f"{kind}{index}",
+                               "targets": [target]}
+                    from_pool = await pool.request(payload, line=index)
+                    local = service.handle_json(payload, line=index)
+                    assert _scrub(from_pool) == _scrub(local)
+
+            update = {
+                "type": "update", "id": "u", "op": "add",
+                "triple": [EX.fresh.n3(), EX.linked_to.n3(), targets[0]],
+            }
+            record = service.handle_json(update, line=99)
+            assert record["ok"] and record["result"]["applied"]
+            await pool.broadcast_update(update, line=99, expect_epoch=kb.epoch)
+            stats = pool.stats()
+            assert stats["updates_fanned"] == 1
+            assert stats["resyncs"] == 0
+            assert [w["epoch"] for w in stats["per_worker"]] == [kb.epoch, kb.epoch]
+
+            probe = {"type": "describe", "id": "after", "targets": [str(EX.fresh)]}
+            assert _scrub(await pool.request(probe, line=100)) == _scrub(
+                service.handle_json(probe, line=100)
+            )
+
+    asyncio.run(scenario())
+
+
+def test_replica_divergence_triggers_wire_resync():
+    """A replica that missed an update (here: the router mutated without
+    broadcasting) acks the next fan-out at a stale epoch — the pool must
+    detect the mismatch and re-ship the full wire image."""
+    kb = _scene_kb()
+
+    async def scenario():
+        with WorkerPool(kb, count=2) as pool:
+            # Mutate behind the pool's back: replicas are now one behind.
+            kb.add(Triple(EX.sneaky, EX.p, EX.q))
+            update = {
+                "type": "update", "id": "u", "op": "add",
+                "triple": [EX.visible.n3(), EX.p.n3(), EX.q.n3()],
+            }
+            kb.add(Triple(EX.visible, EX.p, EX.q))
+            await pool.broadcast_update(update, line=1, expect_epoch=kb.epoch)
+            stats = pool.stats()
+            assert stats["resyncs"] == 2  # both replicas re-shipped
+            assert all(w["epoch"] == kb.epoch for w in stats["per_worker"])
+            # After the resync the replicas hold the sneaky triple too.
+            probe = {"type": "describe", "id": "p", "targets": [str(EX.sneaky)]}
+            for worker in range(pool.count):
+                record = await pool.request(probe, line=2, worker=worker)
+                assert record["ok"]
+
+    asyncio.run(scenario())
+
+
+def test_dead_replica_is_skipped_and_pool_degrades():
+    """Killing a worker process must not take the pool down: requests
+    retry on a surviving replica and the telemetry reports the loss."""
+    kb = _scene_kb()
+    target = str(sorted(kb.entities(), key=lambda t: t.sort_key())[0])
+
+    async def scenario():
+        with WorkerPool(kb, count=2) as pool:
+            victim = pool._replicas[0]
+            victim.process.kill()
+            victim.process.join(10)
+            payload = {"type": "mine", "id": "m", "targets": [target]}
+            for index in range(4):  # every request lands despite the corpse
+                record = await pool.request(payload, line=index)
+                assert record["ok"]
+            assert pool.live_count == 1
+            stats = pool.stats()
+            assert stats["alive"] == 1
+            assert sum(1 for w in stats["per_worker"] if not w["alive"]) == 1
+
+    asyncio.run(scenario())
+
+
+def test_server_routes_to_replicas_and_enriches_stats():
+    """Router mode end to end, in-process: queries dispatch to replicas,
+    updates fan out inside the barrier, and the stats envelope carries
+    the per-worker epochs the smoke client checks."""
+    kb = _scene_kb()
+    service = MiningService(kb)
+    target = str(sorted(kb.entities(), key=lambda t: t.sort_key())[0])
+
+    async def ask(reader, writer, payload):
+        import json
+
+        writer.write(json.dumps(payload).encode() + b"\n")
+        await writer.drain()
+        line = await asyncio.wait_for(reader.readline(), timeout=60)
+        return json.loads(line)
+
+    async def scenario():
+        with WorkerPool(kb, count=2) as pool:
+            server = MiningServer(service, port=0, workers=pool)
+            await server.start()
+            assert server.workers is pool
+            reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+
+            mined = await ask(reader, writer, {"type": "mine", "id": "m",
+                                               "targets": [target]})
+            assert mined["ok"]
+            update = {"type": "update", "id": "u", "op": "add",
+                      "triple": [EX.w.n3(), EX.p.n3(), EX.v.n3()]}
+            applied = await ask(reader, writer, update)
+            assert applied["ok"] and applied["result"]["applied"]
+
+            stats = await ask(reader, writer, {"type": "stats", "id": "s"})
+            info = stats["result"]["server"]
+            assert info["responses_dropped"] == 0
+            pool_info = info["workers"]
+            assert pool_info["alive"] == 2
+            assert pool_info["updates_fanned"] == 1
+            assert pool_info["resyncs"] == 0
+            assert all(w["epoch"] == kb.epoch for w in pool_info["per_worker"])
+            assert pool_info["requests_dispatched"] >= 1
+
+            writer.close()
+            await server.drain()
+            assert pool.live_count == 2  # drain never stops the caller's pool
+
+    asyncio.run(scenario())
