@@ -76,6 +76,7 @@ def _service_config(args: argparse.Namespace) -> ServiceConfig:
                 else LanguageBias.REMI
             ),
             timeout_seconds=getattr(args, "timeout", None),
+            top_k=getattr(args, "top_k", None),
         ),
     )
 
@@ -266,6 +267,16 @@ def _add_miner_flags(parser: argparse.ArgumentParser, default_backend: str) -> N
         "--parallel", action="store_true", help="deprecated alias for --miner premi"
     )
     parser.add_argument("--timeout", type=float, default=None, help="seconds per request")
+    parser.add_argument(
+        "--top-k",
+        dest="top_k",
+        type=int,
+        default=None,
+        metavar="K",
+        help="bounded best-first queue construction: build only the first-K "
+        "prefix of the candidate queue, deferring the rest until the search "
+        "needs it (identical results; default: exact full queue)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -57,6 +57,7 @@ from repro.complexity.codes import (
     co_occurring_predicate_ids,
     joinable_predicate_ids,
     log2_rank_table,
+    rank_table_floor,
     tail_candidate_ids,
 )
 from repro.expressions.subgraph import Shape, SubgraphExpression
@@ -65,6 +66,14 @@ from repro.expressions.subgraph import Shape, SubgraphExpression
 #: The candidate engine builds plans straight from its ID tuples (no
 #: re-encoding); :meth:`QueueScorer.score` builds them from decoded SEs.
 PLAN_SINGLE, PLAN_PATH, PLAN_STAR, PLAN_CLOSED = 0, 1, 2, 3
+
+#: Relative safety shave applied to every family bound (≈1e-12).  Each
+#: bound mirrors the member formula term-for-term with some terms replaced
+#: by table floors, and rounded float addition is monotone per argument,
+#: so the bounds are admissible exactly; the shave is defence-in-depth
+#: against any future reordering of the member summation, and is orders of
+#: magnitude below any code-length gap a prune could ever turn on.
+_BOUND_MARGIN = 1.0 - 2.0 ** -40
 
 
 class QueueScorer:
@@ -100,6 +109,8 @@ class QueueScorer:
         self._join_bits: Dict[int, _BitsTable] = {}
         self._closed_bits: Dict[int, _BitsTable] = {}
         self._tail_bits: Dict[Tuple[int, int], _BitsTable] = {}
+        # Table floors memoized for the family-bound probes (kernel mode).
+        self._floor_memo: Dict[tuple, float] = {}
         self._watch = EpochWatcher(kb)
 
     # ------------------------------------------------------------------
@@ -183,6 +194,93 @@ class QueueScorer:
         self._sync()
         return self._score_plan_kernel
 
+    def family_scorer(self):
+        """An epoch-synced ``family -> admissible lower bound`` probe.
+
+        Kernel mode only.  A *family* names every plan sharing a shape and
+        its predicate skeleton, before any object is chosen::
+
+            (PLAN_SINGLE, p)            all (p, o) single atoms
+            (PLAN_PATH,   p0, p1)       all p0 ⋈ p1 paths, any tail object
+            (PLAN_STAR,   p0, pa, pb)   both star atoms' predicates fixed
+            (PLAN_CLOSED, anchor, n)    anchor + n closing predicates
+
+        The bound mirrors :meth:`_score_plan_kernel`'s additive formula
+        term for term, substituting each object-dependent term with its
+        table's floor (:func:`~repro.complexity.codes.rank_table_floor`) —
+        the shortest code any member could pay there — so no member of
+        the family can score below it.  Floors of tables that are not yet
+        resident are taken as 0.0 instead of forcing a build: bounds must
+        stay cheap relative to the scoring they prune, and 0.0 is always
+        admissible.  Per-predicate join/closed tables (few, and needed by
+        any surviving member anyway) *are* built on first probe, because
+        ``join.get(p1)`` separates families far better than any floor.
+        """
+        if not self.kernel_mode:
+            raise RuntimeError("family_scorer() requires kernel mode")
+        self._sync()
+        return self._family_bound
+
+    def _family_bound(self, family: tuple) -> float:
+        tag = family[0]
+        self._ensure_pred_bits(family[1])
+        pred_bits = self._pred_bits
+        if tag == PLAN_SINGLE:
+            p = family[1]
+            bound = pred_bits[p] + self._resident_floor("obj", self._object_bits, p)
+        elif tag == PLAN_PATH:
+            _, p0, p1 = family
+            join, join_default = self._join_table(p0)
+            bound = (
+                pred_bits[p0]
+                + join.get(p1, join_default)
+                + self._resident_floor("tail", self._tail_bits, (p0, p1))
+            )
+        elif tag == PLAN_STAR:
+            # Same summation order as the member formula (canonical plan
+            # order), so monotone rounded addition keeps the bound exact.
+            _, p0, pa, pb = family
+            join, join_default = self._join_table(p0)
+            bound = pred_bits[p0]
+            for p in (pa, pb):
+                bound += join.get(p, join_default)
+                bound += self._resident_floor("tail", self._tail_bits, (p0, p))
+        else:
+            _, anchor, extras = family
+            bound = pred_bits[anchor] + extras * self._closed_floor(anchor)
+        return bound * _BOUND_MARGIN
+
+    def _join_table(self, p0: int):
+        try:
+            return self._join_bits[p0]
+        except KeyError:
+            self._build_join_table(p0, self._join_bits)
+            return self._join_bits[p0]
+
+    def _closed_floor(self, anchor: int) -> float:
+        floor = self._floor_memo.get(("closed", anchor))
+        if floor is None:
+            if anchor not in self._closed_bits:
+                self._build_closed_table(anchor, self._closed_bits)
+            floor = rank_table_floor(self._closed_bits[anchor])
+            self._floor_memo[("closed", anchor)] = floor
+        return floor
+
+    def _resident_floor(self, kind: str, tables: Dict, key) -> float:
+        """Floor of an already-materialized table; 0.0 (admissible, free)
+        when it is not resident.  Memoized only once resident, so a table
+        built later by the scoring loop tightens subsequent probes."""
+        memo_key = (kind, key)
+        floor = self._floor_memo.get(memo_key)
+        if floor is not None:
+            return floor
+        compiled = tables.get(key)
+        if compiled is None:
+            return 0.0
+        floor = rank_table_floor(compiled)
+        self._floor_memo[memo_key] = floor
+        return floor
+
     def table_stats(self) -> Dict[str, int]:
         """How many conditional rankings are resident (serving telemetry).
 
@@ -213,6 +311,7 @@ class QueueScorer:
         self._join_bits.clear()
         self._closed_bits.clear()
         self._tail_bits.clear()
+        self._floor_memo.clear()
 
     # ------------------------------------------------------------------
     # phase 1: group by shape and anchor, encode to ID plans

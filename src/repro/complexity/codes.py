@@ -111,6 +111,20 @@ def log2_rank_table(ranks: dict) -> "Tuple[Dict[int, float], float]":
     )
 
 
+def rank_table_floor(compiled: "Tuple[Dict[int, float], float]") -> float:
+    """The shortest code a compiled rank table can ever emit, in bits.
+
+    For a :func:`log2_rank_table` output this is the best-possible (rank-1
+    or tied-group) contribution any key — in-table or out-of-table — can
+    pay, which makes it an admissible lower bound on that conditional
+    code.  Note the floor is *not* always 0.0: tie-aware ranking gives a
+    tie group its last position, so a table whose top scores tie starts
+    above rank 1.
+    """
+    bits, default = compiled
+    return min(min(bits.values()), default) if bits else default
+
+
 def _tie_aware_ranks(items, score) -> dict:
     """Descending-score ranks where a tie group shares its *last* position.
 

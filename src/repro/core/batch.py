@@ -86,10 +86,17 @@ class BatchRequestError(ValueError):
 
 @dataclass(frozen=True)
 class BatchRequest:
-    """One mining request: a target set plus a caller-chosen ID."""
+    """One mining request: a target set plus a caller-chosen ID.
+
+    ``top_k`` overrides the miner config's bounded-queue knob for this
+    one request (``None`` inherits it).  Mining results are identical
+    either way — the knob only bounds queue-construction work — so a
+    client may tune it per request without changing answers.
+    """
 
     id: str
     targets: Tuple[Term, ...]
+    top_k: Optional[int] = None
 
 
 @dataclass
@@ -264,6 +271,7 @@ def parse_request(line: str, index: int) -> BatchRequest:
 
 def request_from_payload(payload, index: int) -> BatchRequest:
     """Build a :class:`BatchRequest` from decoded JSON (list or object)."""
+    top_k = None
     if isinstance(payload, list):
         request_id, raw_targets = str(index), payload
     elif isinstance(payload, dict):
@@ -271,6 +279,13 @@ def request_from_payload(payload, index: int) -> BatchRequest:
             raise BatchRequestError(f"line {index}: missing 'targets' key")
         request_id = str(payload.get("id", index))
         raw_targets = payload["targets"]
+        top_k = payload.get("top_k")
+        if top_k is not None and (
+            isinstance(top_k, bool) or not isinstance(top_k, int) or top_k < 1
+        ):
+            raise BatchRequestError(
+                f"line {index}: 'top_k' must be a positive integer or null"
+            )
     else:
         raise BatchRequestError(
             f"line {index}: expected a JSON list or object, got {type(payload).__name__}"
@@ -281,7 +296,9 @@ def request_from_payload(payload, index: int) -> BatchRequest:
         raise BatchRequestError(f"line {index}: 'targets' must be a list of IRI strings")
     if not raw_targets:
         raise BatchRequestError(f"line {index}: empty target set")
-    return BatchRequest(id=request_id, targets=tuple(IRI(t) for t in raw_targets))
+    return BatchRequest(
+        id=request_id, targets=tuple(IRI(t) for t in raw_targets), top_k=top_k
+    )
 
 
 def parse_requests(lines: Iterable[str]) -> Iterator[BatchRequest]:
@@ -431,8 +448,22 @@ class BatchMiner:
                 error="unknown entities: " + ", ".join(str(u) for u in unknown),
                 error_code=ERR_UNKNOWN_ENTITY,
             )
+        if request.top_k is not None and not getattr(
+            self.miner, "supports_top_k", False
+        ):
+            # Registry miners without the bounded-queue contract (the
+            # baselines) must reject rather than silently ignore the knob.
+            with self._counter_lock:
+                self.errors += 1
+            return BatchOutcome(
+                request=request,
+                error=f"miner {self.miner_name!r} does not support top_k",
+            )
         started = time.perf_counter()
-        result = self.miner.mine(request.targets)
+        if request.top_k is not None:
+            result = self.miner.mine(request.targets, top_k=request.top_k)
+        else:
+            result = self.miner.mine(request.targets)
         outcome = BatchOutcome(
             request=request, result=result, seconds=time.perf_counter() - started
         )

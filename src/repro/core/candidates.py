@@ -58,7 +58,10 @@ they can never go stale.  No manual cache management is needed.
 
 from __future__ import annotations
 
+import math
+import threading
 import time
+from bisect import insort
 from concurrent.futures import ThreadPoolExecutor
 from itertools import combinations
 from operator import itemgetter
@@ -100,6 +103,10 @@ ScoredSE = Tuple[SubgraphExpression, float]
 #: Term kinds used by the ID-space prunes.
 _IRI, _BLANK, _LITERAL = 0, 1, 2
 
+#: Sentinel for "use the config's top_k" (``None`` is a real value:
+#: the exact full-queue mode).
+_UNSET = object()
+
 
 def _entry_key(entry: Tuple[SubgraphExpression, float, tuple]) -> Tuple[float, tuple]:
     """Alg. 1 line 2 order: (Ĉ bits, canonical SE key) — the key is
@@ -125,18 +132,64 @@ class CandidateQueue(Sequence):
     decoded SE is written back into the engine's cross-request memo
     record.  This is the "decode only the survivors that reach the
     response boundary" half of the mask-native pipeline.
+
+    **Bounded top-k mode** adds a second axis of laziness: the queue may
+    hold only the first-k *frontier* of the full sorted order, with the
+    remainder deferred behind :meth:`extend_frontier` — a one-shot
+    inflate that scores whatever the branch-and-bound build pruned, merges
+    it with the already-scored spill and appends the lot in sorted order.
+    Because the frontier is provably the exact prefix of the full sorted
+    queue, a consumer that only ever pulls the next entry when the prefix
+    is exhausted (REMI's search) sees the identical sequence either way.
     """
 
-    __slots__ = ("_entries", "_pairs", "_decode")
+    __slots__ = ("_entries", "_pairs", "_decode", "_tail", "_lock")
 
-    def __init__(self, entries: List[list], decode: Callable[[list], SubgraphExpression]):
+    def __init__(
+        self,
+        entries: List[list],
+        decode: Callable[[list], SubgraphExpression],
+        tail: Union[None, List[list], Callable[[], List[list]]] = None,
+    ):
         self._entries = entries
         #: Decoded ``(se, bits)`` pairs, filled per index on first touch.
         self._pairs: List[Optional[ScoredSE]] = [None] * len(entries)
         self._decode = decode
+        #: The deferred remainder: a sorted record list (reference paths)
+        #: or a closure that scores-and-sorts it on demand (kernel path).
+        #: ``None`` once inflated — or when the queue was built exact.
+        self._tail = tail
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    @property
+    def exhausted(self) -> bool:
+        """True when no deferred remainder is pending (exact queues are
+        born exhausted; bounded ones get here via :meth:`extend_frontier`)."""
+        return self._tail is None
+
+    def extend_frontier(self) -> int:
+        """Inflate the deferred remainder into the queue, once.
+
+        Returns the number of entries appended (0 when already
+        exhausted).  Thread-safe: P-REMI's workers race to the same
+        extension, exactly one pays it.  Entries are appended after the
+        frontier in full sorted order, so indices already handed out stay
+        valid and the combined sequence equals the exact full queue.
+        """
+        with self._lock:
+            tail = self._tail
+            if tail is None:
+                return 0
+            self._tail = None
+            added = tail() if callable(tail) else tail
+            # Pairs first: a concurrent reader that sees the new length
+            # must find a slot (even a None one) behind every entry.
+            self._pairs.extend([None] * len(added))
+            self._entries.extend(added)
+            return len(added)
 
     def __getitem__(self, index):
         if isinstance(index, slice):
@@ -170,7 +223,11 @@ class CandidateQueue(Sequence):
         return sum(1 for rec in self._entries if rec[2] is not None)
 
     def __repr__(self) -> str:
-        return f"CandidateQueue(len={len(self._entries)}, decoded={self.decoded_count})"
+        suffix = "" if self._tail is None else ", +deferred tail"
+        return (
+            f"CandidateQueue(len={len(self._entries)}, "
+            f"decoded={self.decoded_count}{suffix})"
+        )
 
 
 class _IdCandidates:
@@ -299,7 +356,10 @@ class CandidateEngine:
     # ------------------------------------------------------------------
 
     def candidates(
-        self, targets: Sequence[Term], stats: Optional[SearchStats] = None
+        self,
+        targets: Sequence[Term],
+        stats: Optional[SearchStats] = None,
+        top_k: Union[None, int, object] = _UNSET,
     ) -> Sequence[ScoredSE]:
         """The sorted priority queue of common subgraph expressions.
 
@@ -307,10 +367,22 @@ class CandidateEngine:
         / ``scored``) and timings on *stats*.  On the kernel path the
         result is a :class:`CandidateQueue` (lazy decode); otherwise a
         plain list — both index and iterate as ``(SE, Ĉ bits)`` pairs.
+
+        *top_k* bounds the build: only the first-k prefix of the sorted
+        order is scored and ordered eagerly (branch-and-bound over
+        candidate families on the kernel path; a sorted split on the
+        reference paths), with the remainder deferred behind
+        :meth:`CandidateQueue.extend_frontier`.  Omit it to use the
+        config's ``top_k``; pass ``None`` for the exact full queue.  In
+        bounded mode ``stats.candidates``/``stats.scored`` count the
+        frontier actually built, and the ``sort_seconds``/
+        ``complexity_seconds`` attribution blurs (scoring and ordering
+        interleave) — compare their *sum* across modes.
         """
         stats = stats if stats is not None else SearchStats()
         if not targets:
             raise ValueError("need at least one target entity")
+        k = self.config.top_k if top_k is _UNSET else top_k
         self._sync()
         t0 = time.perf_counter()
         scored: Sequence[ScoredSE]
@@ -318,17 +390,27 @@ class CandidateEngine:
             cand = self._intersected_ids(targets, stats)
             t1 = time.perf_counter()
             if self.kernel:
-                entries = self._score_kernel(cand)
-                stats.scored += len(entries)
-                t2 = time.perf_counter()
-                entries.sort(key=_kernel_entry_key)
-                scored = CandidateQueue(entries, self._decode_entry)
+                if k is not None and cand.total() > k:
+                    frontier, tail = self._score_kernel_topk(cand, k, stats)
+                    t2 = time.perf_counter()
+                    scored = CandidateQueue(frontier, self._decode_entry, tail=tail)
+                else:
+                    entries = self._score_kernel(cand)
+                    stats.scored += len(entries)
+                    t2 = time.perf_counter()
+                    entries.sort(key=_kernel_entry_key)
+                    scored = CandidateQueue(entries, self._decode_entry)
             else:
                 entries = self._materialize(cand)
                 stats.scored += len(entries)
                 t2 = time.perf_counter()
                 entries.sort(key=_entry_key)
-                scored = [(se, bits) for se, bits, _ in entries]
+                if k is not None and len(entries) > k:
+                    scored = self._split_eager(
+                        [[bits, se_key, se] for se, bits, se_key in entries], k, stats
+                    )
+                else:
+                    scored = [(se, bits) for se, bits, _ in entries]
         else:
             survivors = list(self._common_term_space(targets, stats))
             t1 = time.perf_counter()
@@ -336,12 +418,27 @@ class CandidateEngine:
             stats.scored += len(scored)
             t2 = time.perf_counter()
             scored.sort(key=lambda pair: (pair[1], pair[0].sort_key()))
+            if k is not None and len(scored) > k:
+                scored = self._split_eager(
+                    [[bits, se.sort_key(), se] for se, bits in scored], k, stats
+                )
         t3 = time.perf_counter()
         stats.enumerate_seconds += t1 - t0
         stats.complexity_seconds += t2 - t1
         stats.sort_seconds += t3 - t2
         stats.candidates = len(scored)
         return scored
+
+    def _split_eager(
+        self, records: List[list], k: int, stats: SearchStats
+    ) -> "CandidateQueue":
+        """Bounded top-k on the reference paths: the already-sorted,
+        fully-scored records split into frontier + deferred tail.  Exact
+        by construction (no bounds involved) — these paths exist as the
+        differential reference, so they pay the full build and only model
+        the *streaming* half of the contract."""
+        stats.heap_peak = max(stats.heap_peak, k)
+        return CandidateQueue(records[:k], self._decode_entry, tail=records[k:])
 
     def common(
         self, targets: Sequence[Term], stats: Optional[SearchStats] = None
@@ -1063,6 +1160,141 @@ class CandidateEngine:
                     memo[key] = rec
                 append(rec)
         return out
+
+    # -- bounded top-k: branch-and-bound over candidate families ----------
+
+    def _kernel_record(self, shape_index: int, key: tuple, score) -> list:
+        """One kernel queue record, any shape — the per-shape inline
+        blocks of :meth:`_score_kernel` behind a dispatch, for the bounded
+        build (which touches far fewer members, so the call frame is
+        cheap relative to the scoring it replaces)."""
+        if shape_index == 0:
+            atom_key = (self._bound_atoms.get(key) or self._bound_atom(*key))[1]
+            return [score((PLAN_SINGLE,) + key), (atom_key,), None, 0, key]
+        if shape_index == 1:
+            p0 = key[0]
+            tail = key[1], key[2]
+            hop_key = (self._root_atoms.get(p0) or self._root_atom(p0))[1]
+            tail_key = (self._star_atoms.get(tail) or self._star_atom(*tail))[1]
+            return [score((PLAN_PATH,) + key), (hop_key, tail_key), None, 1, key]
+        if shape_index == 2:
+            p0, a1, a2 = key
+            hop_key = (self._root_atoms.get(p0) or self._root_atom(p0))[1]
+            k1 = (self._star_atoms.get(a1) or self._star_atom(*a1))[1]
+            k2 = (self._star_atoms.get(a2) or self._star_atom(*a2))[1]
+            if k2 < k1:
+                k1, k2 = k2, k1
+                plan = (PLAN_STAR, p0) + a2 + a1
+            else:
+                plan = (PLAN_STAR, p0) + a1 + a2
+            return [score(plan), (hop_key, k1, k2), None, 2, key]
+        se_key = tuple(self._root_atom(p)[1] for p in key)
+        plan = (PLAN_CLOSED,) + tuple(sorted(key, key=self._pred_rank))
+        return [score(plan), se_key, None, shape_index, key]
+
+    def _group_families(self, cand: _IdCandidates) -> Dict[tuple, List[tuple]]:
+        """Survivors bucketed by candidate family — shape + predicate
+        skeleton, everything an admissible bound can be computed from
+        before any member is scored (:meth:`QueueScorer.family_scorer`).
+        Star members group under their ID-ordered predicate pair (the
+        bound's safety margin absorbs the canonical-order summation);
+        closed members under the estimator's anchor choice."""
+        pred_rank = self._pred_rank
+        families: Dict[tuple, List[tuple]] = {}
+        for key in cand.singles:
+            families.setdefault((PLAN_SINGLE, key[0]), []).append((0, key))
+        for key in cand.paths:
+            families.setdefault((PLAN_PATH, key[0], key[1]), []).append((1, key))
+        for key in cand.stars:
+            fam = (PLAN_STAR, key[0], key[1][0], key[2][0])
+            families.setdefault(fam, []).append((2, key))
+        for key in cand.closed2:
+            anchor = min(key, key=pred_rank)
+            families.setdefault((PLAN_CLOSED, anchor, 1), []).append((3, key))
+        for key in cand.closed3:
+            anchor = min(key, key=pred_rank)
+            families.setdefault((PLAN_CLOSED, anchor, 2), []).append((4, key))
+        return families
+
+    def _score_kernel_topk(
+        self, cand: _IdCandidates, k: int, stats: SearchStats
+    ):
+        """Best-first bounded build: the §3.5.2 prunes generalized into
+        branch-and-bound over candidate families.
+
+        Families are probed for an admissible lower bound (best-possible
+        rank ⇒ shortest possible code, per conditional table) and
+        processed in ascending-bound order against an incumbent frontier
+        of size *k*.  Once the frontier is full, a family whose bound
+        strictly exceeds the k-th best Ĉ cannot place any member — and
+        since bounds are non-decreasing from there on while the incumbent
+        only improves, *every* remaining family is pruned en masse,
+        unscored.  Equal-bound families still process: a tie on bits can
+        win on the SE sort key.
+
+        Returns ``(frontier, tail)``: the exact first-k records of the
+        full sorted order, and a closure that finishes the job on demand
+        (scores the pruned members, merges the scored-but-displaced
+        spill, sorts) for :meth:`CandidateQueue.extend_frontier`.
+        """
+        self._evict_if_needed()
+        memos = self._se_memos
+        families = self._group_families(cand)
+        bound_of = self.scorer.family_scorer()
+        stats.bound_probes += len(families)
+        ordered = sorted((bound_of(fam), fam) for fam in families)
+
+        score = self.scorer.plan_scorer()
+        record = self._kernel_record
+        frontier: List[list] = []
+        spill: List[list] = []
+        deferred: List[Tuple[int, tuple]] = []
+        kth_bits = math.inf
+        full = False
+        processed = 0
+        for index, (fam_bound, fam) in enumerate(ordered):
+            if full and fam_bound > kth_bits:
+                for _, fam_rest in ordered[index:]:
+                    deferred.extend(families[fam_rest])
+                stats.families_pruned += len(ordered) - index
+                break
+            for member in families[fam]:
+                shape_index, key = member
+                memo = memos[shape_index]
+                rec = memo.get(key)
+                if rec is None:
+                    rec = record(shape_index, key, score)
+                    memo[key] = rec
+                processed += 1
+                if full and rec[0] > kth_bits:
+                    spill.append(rec)
+                    continue
+                insort(frontier, rec, key=_kernel_entry_key)
+                if full:
+                    spill.append(frontier.pop())
+                else:
+                    full = len(frontier) == k
+                kth_bits = frontier[-1][0] if full else math.inf
+        stats.scored += processed
+        stats.heap_peak = max(stats.heap_peak, len(frontier))
+
+        def extend_tail() -> List[list]:
+            # The deferred members score here, at extension time — during
+            # the *search* phase, so the queue-build phase counters keep
+            # describing what the bounded build actually did.
+            score_cold = self.scorer.plan_scorer()
+            tail = spill
+            for shape_index, key in deferred:
+                memo = memos[shape_index]
+                rec = memo.get(key)
+                if rec is None:
+                    rec = self._kernel_record(shape_index, key, score_cold)
+                    memo[key] = rec
+                tail.append(rec)
+            tail.sort(key=_kernel_entry_key)
+            return tail
+
+        return frontier, extend_tail
 
     def _decode_entry(self, rec: list) -> SubgraphExpression:
         """Materialize a kernel queue record's SE (the response boundary).

@@ -81,6 +81,13 @@ class MinerConfig:
         Wall-clock budget per :meth:`~repro.core.remi.REMI.mine` call
         (``None`` = unlimited).  On expiry the best solution so far is
         returned with ``stats.timed_out = True``.
+    top_k:
+        Bounded best-first queue construction: build only the first-k
+        prefix of the sorted candidate queue (branch-and-bound over
+        candidate families on the kernel path), deferring the remainder
+        until the search actually exhausts the prefix.  Mining results
+        are identical either way; ``None`` (the default) keeps the exact
+        full-queue build — the bit-identical differential reference.
     """
 
     language: LanguageBias = LanguageBias.REMI
@@ -99,6 +106,7 @@ class MinerConfig:
     bound_pruning: bool = True
     timeout_seconds: Optional[float] = None
     num_threads: int = 4
+    top_k: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.max_atoms < 1:
@@ -109,6 +117,8 @@ class MinerConfig:
             raise ValueError("prominent_object_cutoff must be in [0, 1] or None")
         if self.num_threads < 1:
             raise ValueError(f"num_threads must be ≥ 1, got {self.num_threads}")
+        if self.top_k is not None and self.top_k < 1:
+            raise ValueError(f"top_k must be ≥ 1 or None, got {self.top_k}")
 
     @classmethod
     def standard(cls, **overrides) -> "MinerConfig":
@@ -142,6 +152,7 @@ class MinerConfig:
             "bound_pruning": self.bound_pruning,
             "timeout_seconds": self.timeout_seconds,
             "num_threads": self.num_threads,
+            "top_k": self.top_k,
         }
 
     @classmethod

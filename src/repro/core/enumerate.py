@@ -170,6 +170,60 @@ def common_subgraph_expressions(
     }
 
 
+def candidate_family(
+    kb: KnowledgeBase, se: SubgraphExpression, predicate_rank
+) -> Optional[tuple]:
+    """The branch-and-bound *family* of a candidate — Term-space twin of
+    the engine's ID-space grouping (``CandidateEngine._group_families``).
+
+    A family is the shape plus the predicate skeleton: everything the
+    bounded top-k build can compute an admissible Ĉ lower bound from
+    before scoring any member (:meth:`~repro.complexity.batch.QueueScorer.family_scorer`).
+    *predicate_rank* is the prominence ranking callable the miner uses
+    (it anchors closed families the same way the estimator orders their
+    code).  Returns ``None`` when any term is not interned by *kb* — the
+    same fall-back condition as the kernel scoring plans.
+    """
+    from repro.complexity.batch import (
+        PLAN_CLOSED,
+        PLAN_PATH,
+        PLAN_SINGLE,
+        PLAN_STAR,
+    )
+    from repro.expressions.subgraph import Shape
+
+    encode = getattr(kb, "term_id", None)
+    if encode is None:
+        return None
+    atoms = se.atoms
+    if se.shape is Shape.SINGLE_ATOM:
+        p = encode(atoms[0].predicate)
+        return None if p is None else (PLAN_SINGLE, p)
+    if se.shape is Shape.PATH:
+        hop, tail = atoms
+        p0, p1 = encode(hop.predicate), encode(tail.predicate)
+        if p0 is None or p1 is None:
+            return None
+        return (PLAN_PATH, p0, p1)
+    if se.shape is Shape.PATH_STAR:
+        hop, star1, star2 = atoms
+        p0 = encode(hop.predicate)
+        pairs = [
+            (encode(star1.predicate), encode(star1.object)),
+            (encode(star2.predicate), encode(star2.object)),
+        ]
+        if p0 is None or any(None in pair for pair in pairs):
+            return None
+        pairs.sort()  # the engine groups stars under ID-ordered atom pairs
+        return (PLAN_STAR, p0, pairs[0][0], pairs[1][0])
+    if se.shape in (Shape.CLOSED_2, Shape.CLOSED_3):
+        anchor = encode(min(se.predicates(), key=predicate_rank))
+        if anchor is None:
+            return None
+        return (PLAN_CLOSED, anchor, se.size - 1)
+    raise AssertionError(f"unhandled shape {se.shape}")
+
+
 # ----------------------------------------------------------------------
 # language census (E7: the §3.2 growth numbers)
 # ----------------------------------------------------------------------

@@ -36,6 +36,7 @@ import threading
 import time
 from typing import List, Optional, Sequence, Tuple
 
+from repro.core.candidates import _UNSET
 from repro.core.remi import REMI, _Search
 from repro.core.results import MiningResult, SearchStats
 from repro.expressions.expression import Expression
@@ -109,6 +110,7 @@ class PREMI(REMI):
         self,
         targets: Sequence[Term],
         collect_encountered: bool = False,
+        top_k=_UNSET,
     ) -> MiningResult:
         target_set = frozenset(targets)
         if not target_set:
@@ -120,11 +122,37 @@ class PREMI(REMI):
             if self.config.timeout_seconds is not None
             else None
         )
-        queue = self.candidates(targets, stats)
+        queue = self.candidates(targets, stats, top_k=top_k)
         search_start = time.perf_counter()
         shared = _SharedState()
-        next_root = iter(range(len(queue)))
+        next_root = [0]
         next_root_lock = threading.Lock()
+        extend_queue = getattr(queue, "extend_frontier", None)
+        bound_pruning = self.config.bound_pruning
+
+        def take_root() -> Optional[int]:
+            """Claim the next root index, inflating a bounded queue when
+            the frontier is spent.  Extension is skipped once the last
+            frontier root already fails the shared bound — the deferred
+            remainder sorts after it, so every deferred root would fail
+            too (the dispenser-level twin of Alg. 1's bound break)."""
+            with next_root_lock:
+                index = next_root[0]
+                if index >= len(queue):
+                    if extend_queue is None:
+                        return None
+                    if (
+                        bound_pruning
+                        and len(queue)
+                        and queue[len(queue) - 1][1] >= shared.bound()
+                    ):
+                        return None
+                    if not extend_queue():
+                        return None
+                    stats.queue_extensions += 1
+                next_root[0] = index + 1
+                return index
+
         thread_stats: List[SearchStats] = []
         encountered: List[Tuple[Expression, float]] = []
         encountered_lock = threading.Lock()
@@ -142,8 +170,7 @@ class PREMI(REMI):
                 collect=collect_encountered,
             )
             while True:
-                with next_root_lock:
-                    root_index = next(next_root, None)
+                root_index = take_root()
                 if root_index is None:
                     break
                 if shared.should_skip(root_index):

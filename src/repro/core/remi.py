@@ -32,7 +32,7 @@ from typing import FrozenSet, List, Optional, Sequence, Tuple, Union
 from repro.complexity.codes import ComplexityEstimator
 from repro.complexity.ranking import Prominence
 from repro.registry import ESTIMATORS, PROMINENCE
-from repro.core.candidates import CandidateEngine, ScoredSE
+from repro.core.candidates import _UNSET, CandidateEngine, ScoredSE
 from repro.core.config import MinerConfig, SearchStrategy
 from repro.core.results import MiningResult, SearchStats
 from repro.expressions.expression import Expression
@@ -123,29 +123,42 @@ class REMI:
         return self._prominent
 
     def candidates(
-        self, targets: Sequence[Term], stats: Optional[SearchStats] = None
+        self,
+        targets: Sequence[Term],
+        stats: Optional[SearchStats] = None,
+        top_k=_UNSET,
     ) -> Sequence[ScoredSE]:
         """The sorted priority queue of common subgraph expressions.
 
         A thin wrapper over :class:`~repro.core.candidates.CandidateEngine`,
-        which fills the per-phase counters and timings on *stats*.
+        which fills the per-phase counters and timings on *stats*.  *top_k*
+        overrides the config's bound for this call (``None`` = exact).
         """
-        return self.engine.candidates(targets, stats)
+        return self.engine.candidates(targets, stats, top_k=top_k)
 
     # ------------------------------------------------------------------
     # mining (Alg. 1 lines 3-9)
     # ------------------------------------------------------------------
 
+    #: Capability flag for the batch layer: per-request ``top_k``
+    #: overrides are honoured (custom registered miners may not).
+    supports_top_k = True
+
     def mine(
         self,
         targets: Sequence[Term],
         collect_encountered: bool = False,
+        top_k=_UNSET,
     ) -> MiningResult:
         """Return the Ĉ-minimal referring expression for *targets*.
 
         With ``collect_encountered=True`` every RE met during traversal is
         recorded in :attr:`MiningResult.encountered` (the §4.1.2 baseline
-        pool).
+        pool).  *top_k* bounds the queue build for this call (see
+        :meth:`CandidateEngine.candidates`); the search streams the
+        bounded queue and pulls the deferred remainder only when its
+        sorted prefix is exhausted without a bound prune, so the mining
+        result is identical to exact mode.
         """
         target_set = frozenset(targets)
         if not target_set:
@@ -157,7 +170,7 @@ class REMI:
             if self.config.timeout_seconds is not None
             else None
         )
-        queue = self.candidates(targets, stats)
+        queue = self.candidates(targets, stats, top_k=top_k)
         search_start = time.perf_counter()
         search = _Search(
             miner=self,
@@ -233,15 +246,37 @@ class _Search:
             self.best, self.best_c = expression, complexity
         return True
 
+    def _grow(self) -> bool:
+        """Pull a bounded queue's deferred remainder in (no-op on exact
+        queues); True when new entries appeared.
+
+        The search only calls this when a sorted prefix ran out *without*
+        a bound prune — the one situation where deferred entries (which
+        all sort after the frontier, hence cost at least as much) could
+        still matter.  That sorted-prefix early-exit discipline is exactly
+        what makes the lazily-grown queue semantically identical to the
+        full one.
+        """
+        extend = getattr(self.queue, "extend_frontier", None)
+        if extend is None:
+            return False
+        if extend():
+            self.stats.queue_extensions += 1
+            return True
+        return False
+
     # -- Alg. 1 main loop -----------------------------------------------
 
     def run(self) -> Tuple[Optional[Expression], float]:
         queue = self.queue
-        for root_index, (root, root_c) in enumerate(queue):
+        root_index = 0
+        while root_index < len(queue) or self._grow():
+            root, root_c = queue[root_index]
             if self._expired():
                 break
             if self.config.bound_pruning and root_c >= self.best_c:
-                # The queue is sorted: no later root can beat the best.
+                # The queue is sorted: no later root — frontier or
+                # deferred — can beat the best, so no extension either.
                 self.stats.roots_skipped += len(queue) - root_index
                 self.stats.bound_prunes += 1
                 break
@@ -255,9 +290,11 @@ class _Search:
                 )
             # Alg. 1 line 8: the first root's subtree covers, in the worst
             # case, the conjunction of ALL candidates — if even that is not
-            # an RE, no solution exists for T.
+            # an RE, no solution exists for T.  (The subtree walk grows the
+            # queue as needed, so "all" includes the deferred remainder.)
             if root_index == 0 and not found_any and self.best is None and not self.stats.timed_out:
                 return None, math.inf
+            root_index += 1
         return self.best, self.best_c
 
     # -- complete recursive DFS (default strategy) -----------------------
@@ -290,7 +327,8 @@ class _Search:
                 found_any = True
         if self._expired():
             return found_any
-        for i in range(start, len(rest)):
+        i = start
+        while i < len(rest) or self._grow():
             se, se_c = rest[i]
             child_c = prefix_c + se_c
             if self.config.bound_pruning and child_c >= self.best_c:
@@ -311,6 +349,7 @@ class _Search:
                     found_any = True
             if self._expired():
                 break
+            i += 1
         return found_any
 
     # -- literal Algorithm 2 --------------------------------------------
@@ -321,7 +360,8 @@ class _Search:
         stack: List[ScoredSE] = []
         found_any = False
         queue = self.queue
-        for j in range(root_index, len(queue)):
+        j = root_index
+        while j < len(queue) or self._grow():
             scored = queue[j]
             if self._expired():
                 break
@@ -338,4 +378,5 @@ class _Search:
                     self.stats.side_prunes += 1
                 if not stack:
                     return found_any  # line 9
+            j += 1
         return found_any

@@ -40,6 +40,14 @@ class SearchStats:
     roots_explored: int = 0
     roots_skipped: int = 0
     timed_out: bool = False
+    #: Bounded top-k counters (zero in exact full-queue mode): whole
+    #: candidate families discarded on their admissible lower bound alone,
+    #: family bounds probed, the widest the incumbent frontier ever got,
+    #: and how many times the search pulled a deferred queue extension.
+    families_pruned: int = 0
+    bound_probes: int = 0
+    heap_peak: int = 0
+    queue_extensions: int = 0
     enumerate_seconds: float = 0.0
     complexity_seconds: float = 0.0
     sort_seconds: float = 0.0
@@ -58,6 +66,26 @@ class SearchStats:
         if self.total_seconds <= 0:
             return 0.0
         return self.sort_seconds / self.total_seconds
+
+    @property
+    def queue_build_share(self) -> float:
+        """Fraction of total time spent building the queue (phase 1)."""
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.queue_build_seconds / self.total_seconds
+
+    @property
+    def sort_share_of_build(self) -> float:
+        """Sort time as a fraction of the queue-build phase alone.
+
+        Empty-queue and fully-pruned bounded runs legitimately record a
+        zero (or timer-resolution) build phase, so the ratio guards the
+        denominator instead of assuming phase 1 took measurable time.
+        """
+        build = self.queue_build_seconds
+        if build <= 0:
+            return 0.0
+        return self.sort_seconds / build
 
     def to_json(self) -> Dict:
         """Every counter and timing as a JSON-serializable dict.
@@ -111,12 +139,18 @@ class SearchStats:
         self.roots_skipped += other.roots_skipped
         self.timed_out = self.timed_out or other.timed_out
         self.peak_stack_depth = max(self.peak_stack_depth, other.peak_stack_depth)
+        # queue_extensions is search-side (a worker thread can trigger the
+        # deferred inflate), so it sums in both folds.
+        self.queue_extensions += other.queue_extensions
         if not queue_phases:
             return
         self.candidates += other.candidates
         self.enumerated += other.enumerated
         self.intersected_out += other.intersected_out
         self.scored += other.scored
+        self.families_pruned += other.families_pruned
+        self.bound_probes += other.bound_probes
+        self.heap_peak = max(self.heap_peak, other.heap_peak)
         self.enumerate_seconds += other.enumerate_seconds
         self.intersect_seconds += other.intersect_seconds
         self.complexity_seconds += other.complexity_seconds

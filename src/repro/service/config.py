@@ -48,8 +48,8 @@ class ServiceConfig:
         Include NL verbalizations in mine responses by default.
     miner_config:
         The full :class:`~repro.core.config.MinerConfig`; the common
-        overrides (language bias, timeout) have wire-level shorthands in
-        :meth:`from_json`.
+        overrides (language bias, timeout, bounded top-k) have wire-level
+        shorthands in :meth:`from_json`.
     """
 
     backend: str = "interned"
@@ -94,9 +94,9 @@ class ServiceConfig:
 
     @classmethod
     def from_json(cls, record: Dict) -> "ServiceConfig":
-        """Rebuild from :meth:`to_json` output, accepting two shorthands
-        (``language``, ``timeout_seconds``) that fold into the nested
-        miner config — the shapes the CLI flags produce."""
+        """Rebuild from :meth:`to_json` output, accepting shorthands
+        (``language``, ``timeout_seconds``, ``top_k``) that fold into the
+        nested miner config — the shapes the CLI flags produce."""
         decoded = dict(record)
         miner_config = decoded.pop("miner_config", None)
         config = (
@@ -109,6 +109,8 @@ class ServiceConfig:
             shorthand["language"] = LanguageBias(decoded.pop("language"))
         if "timeout_seconds" in decoded:
             shorthand["timeout_seconds"] = decoded.pop("timeout_seconds")
+        if "top_k" in decoded:
+            shorthand["top_k"] = decoded.pop("top_k")
         if shorthand:
             config = replace(config, **shorthand)
         names = {spec.name for spec in fields(cls)}

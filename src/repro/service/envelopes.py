@@ -62,11 +62,17 @@ class EnvelopeError(ValueError):
 
 @dataclass(frozen=True)
 class MineRequest:
-    """Mine the Ĉ-minimal referring expression for *targets*."""
+    """Mine the Ĉ-minimal referring expression for *targets*.
+
+    ``top_k`` overrides the service's bounded-queue knob for this one
+    request (``None`` inherits the service config) — results are
+    identical either way, only queue-build work changes.
+    """
 
     targets: Tuple[str, ...]
     id: str = "-"
     verbalize: bool = False
+    top_k: Optional[int] = None
     kind = "mine"
 
 
@@ -77,6 +83,7 @@ class DescribeRequest:
 
     targets: Tuple[str, ...]
     id: str = "-"
+    top_k: Optional[int] = None
     kind = "describe"
 
 
@@ -112,6 +119,15 @@ def _targets_from(payload: Dict, context: str) -> Tuple[str, ...]:
     if not raw:
         raise EnvelopeError(f"{context}: empty target set")
     return tuple(raw)
+
+
+def _top_k_from(payload: Dict, context: str) -> Optional[int]:
+    raw = payload.get("top_k")
+    if raw is None:
+        return None
+    if isinstance(raw, bool) or not isinstance(raw, int) or raw < 1:
+        raise EnvelopeError(f"{context}: 'top_k' must be a positive integer or null")
+    return raw
 
 
 def parse_request(payload, *, line: Optional[int] = None) -> Request:
@@ -160,10 +176,14 @@ def parse_request(payload, *, line: Optional[int] = None) -> Request:
             )
         return UpdateRequest(id=request_id, op=op, triple=tuple(triple))
     targets = _targets_from(payload, context)
+    top_k = _top_k_from(payload, context)
     if kind == "describe":
-        return DescribeRequest(id=request_id, targets=targets)
+        return DescribeRequest(id=request_id, targets=targets, top_k=top_k)
     return MineRequest(
-        id=request_id, targets=targets, verbalize=bool(payload.get("verbalize", False))
+        id=request_id,
+        targets=targets,
+        verbalize=bool(payload.get("verbalize", False)),
+        top_k=top_k,
     )
 
 

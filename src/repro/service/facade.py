@@ -423,7 +423,9 @@ class MiningService:
     @staticmethod
     def _batch_request(request: Union[MineRequest, DescribeRequest]) -> BatchRequest:
         return BatchRequest(
-            id=request.id, targets=tuple(IRI(t) for t in request.targets)
+            id=request.id,
+            targets=tuple(IRI(t) for t in request.targets),
+            top_k=request.top_k,
         )
 
     def _outcome_failure(self, request, outcome: BatchOutcome) -> Response:

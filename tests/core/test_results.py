@@ -27,6 +27,62 @@ class TestSearchStats:
         stats = SearchStats(sort_seconds=1.0, total_seconds=10.0)
         assert stats.sort_share == 0.1
 
+    def test_phase_ratios_guard_degenerate_denominators(self):
+        """Empty-queue and fully-pruned bounded runs legitimately record
+        zero (or even negative timer-resolution) phase durations — every
+        ratio must answer 0.0 instead of dividing by it."""
+        zero = SearchStats()
+        assert zero.sort_share == 0.0
+        assert zero.queue_build_share == 0.0
+        assert zero.sort_share_of_build == 0.0
+        # Sort time recorded but no total: still no division.
+        sort_only = SearchStats(sort_seconds=0.5)
+        assert sort_only.sort_share == 0.0
+        assert sort_only.sort_share_of_build == 1.0  # build == sort here
+        # A clock that went backwards (negative resolution artefact).
+        backwards = SearchStats(enumerate_seconds=-1e-9, total_seconds=-1e-9)
+        assert backwards.queue_build_share == 0.0
+        assert backwards.sort_share_of_build == 0.0
+
+    def test_phase_ratios_normal_case(self):
+        stats = SearchStats(
+            enumerate_seconds=1.0, complexity_seconds=2.0, sort_seconds=1.0,
+            total_seconds=8.0,
+        )
+        assert stats.queue_build_share == 0.5
+        assert stats.sort_share_of_build == 0.25
+
+    def test_accumulate_bounded_counters(self):
+        """families_pruned/bound_probes sum as queue-phase counters,
+        heap_peak maxes (widest frontier ever), and queue_extensions —
+        a search-side counter — sums in BOTH folds."""
+        total = SearchStats()
+        total.accumulate(
+            SearchStats(families_pruned=3, bound_probes=10, heap_peak=64,
+                        queue_extensions=1)
+        )
+        total.accumulate(
+            SearchStats(families_pruned=2, bound_probes=5, heap_peak=32,
+                        queue_extensions=2)
+        )
+        assert total.families_pruned == 5
+        assert total.bound_probes == 15
+        assert total.heap_peak == 64
+        assert total.queue_extensions == 3
+        total.accumulate(
+            SearchStats(
+                families_pruned=99, bound_probes=99, heap_peak=999,
+                queue_extensions=4,
+            ),
+            queue_phases=False,
+        )
+        # Queue-build counters stay with the parent; the streamed
+        # extension count still folds in from the worker.
+        assert total.families_pruned == 5
+        assert total.bound_probes == 15
+        assert total.heap_peak == 64
+        assert total.queue_extensions == 7
+
     def test_merge_accumulates(self):
         a = SearchStats(nodes_visited=3, re_tests=5, peak_stack_depth=2)
         b = SearchStats(nodes_visited=4, re_tests=1, timed_out=True, peak_stack_depth=5)
