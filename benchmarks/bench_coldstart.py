@@ -1,0 +1,233 @@
+"""Benchmark smoke: KB-image cold start vs N-Triples rehydration.
+
+The question behind the persistent-image tentpole: how fast is a serving
+process ready when the KB arrives as a ``remi build-image`` file instead
+of text it must re-parse and re-index, and what does each worker replica
+cost in resident memory when N of them share one mmap'd image?
+
+For each scale tier the bench streams a synthetic Wikidata-like KB to
+N-Triples (the generator's bounded-memory emit path), builds the image
+once, then measures in FRESH child processes — cold start means a new
+interpreter, not a warm parent —
+
+* **parse** — ``InternedKnowledgeBase`` fed by the streaming N-Triples
+  loader, plus one probe query (the wire-era bootstrap);
+* **image** — ``ImageKnowledgeBase`` mmap-opening the image file, plus
+  the same probe (O(pages touched), not O(file)).
+
+Each child reports seconds and peak RSS on stdout as JSON.  The headline
+ratios ``coldstart_speedup_small`` / ``coldstart_speedup_large`` divide
+parse seconds by image seconds per tier.
+
+The fleet half: a 2-replica :class:`~repro.service.WorkerPool` is
+started twice over the large tier — once forced onto the wire bootstrap,
+once from the image path — each replica answers one probe request, and
+the bench records the mean per-worker ``VmRSS``.  ``worker_rss_ratio``
+(image/wire) is the "RSS measurably below wire rehydration" number the
+regression gate watches.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_coldstart.py --out BENCH_coldstart.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+SMALL_SCALE = 1.0
+LARGE_SCALE = 8.0
+
+
+def _child_payload(kind: str, kb_path: str, probe: str) -> dict:
+    """Runs in the child: build the KB one way, answer one probe, report."""
+    import resource
+
+    from repro.kb.terms import IRI
+
+    started = time.perf_counter()
+    if kind == "image":
+        from repro.kb.image import ImageKnowledgeBase
+
+        kb = ImageKnowledgeBase(kb_path)
+    else:
+        from repro.kb.interned import InternedKnowledgeBase
+        from repro.kb.ntriples import iter_ntriples_file
+
+        kb = InternedKnowledgeBase(iter_ntriples_file(kb_path), name="coldstart")
+    # The readiness probe: a real index lookup, so an image build cannot
+    # "win" by deferring literally everything.
+    target = IRI(probe)
+    facts = len(kb)
+    touched = len(kb.predicates_of(target))
+    seconds = time.perf_counter() - started
+    return {
+        "kind": kind,
+        "seconds": seconds,
+        "facts": facts,
+        "probe_predicates": touched,
+        "rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    }
+
+
+def _run_child(kind: str, kb_path: Path, probe: str) -> dict:
+    """One cold start in a fresh interpreter; returns the child's JSON."""
+    out = subprocess.run(
+        [sys.executable, __file__, "--child", kind, "--kb", str(kb_path), "--probe", probe],
+        capture_output=True,
+        text=True,
+        check=True,
+        env={**os.environ, "PYTHONPATH": str(Path(__file__).resolve().parent.parent / "src")},
+    )
+    return json.loads(out.stdout)
+
+
+def _vm_rss_kb(pid: int) -> int:
+    with open(f"/proc/{pid}/status", encoding="ascii") as handle:
+        for line in handle:
+            if line.startswith("VmRSS:"):
+                return int(line.split()[1])
+    raise RuntimeError(f"no VmRSS for pid {pid}")
+
+
+def _worker_rss(kb, image_path, probe: str) -> dict:
+    """Mean per-replica VmRSS for a 2-worker pool, wire vs image boot.
+
+    The wire pass routes through an ID-identical in-RAM copy of the
+    image KB — a plain interned router never auto-selects the image
+    path, so its pool ships wire bytes exactly as the pre-image fleet
+    did."""
+    from repro.service import WorkerPool
+
+    results = {}
+    for label, pool in (
+        ("wire", WorkerPool(kb.copy(), count=2)),
+        ("image", WorkerPool(kb, count=2, image_path=str(image_path))),
+    ):
+        with pool:
+            assert pool.bootstrap_kind == label, pool.bootstrap_kind
+
+            async def probe_all():
+                for worker in range(pool.count):
+                    record = await pool.request(
+                        {"type": "describe", "id": f"rss-{worker}", "targets": [probe]},
+                        worker=worker,
+                    )
+                    assert record["ok"], record
+            asyncio.run(probe_all())
+            rss = [_vm_rss_kb(r.pid) for r in pool._replicas]
+        results[label] = round(sum(rss) / len(rss))
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_coldstart.json")
+    parser.add_argument("--child", choices=("parse", "image"), help=argparse.SUPPRESS)
+    parser.add_argument("--kb", help=argparse.SUPPRESS)
+    parser.add_argument("--probe", help=argparse.SUPPRESS)
+    parser.add_argument("--small-scale", type=float, default=SMALL_SCALE)
+    parser.add_argument("--large-scale", type=float, default=LARGE_SCALE)
+    args = parser.parse_args(argv)
+
+    if args.child:
+        print(json.dumps(_child_payload(args.child, args.kb, args.probe)))
+        return 0
+
+    import tempfile
+
+    from repro.datasets.generator import write_schema_ntriples
+    from repro.datasets.wikidata import wikidata_schema
+    from repro.kb.image import ImageKnowledgeBase, build_image
+
+    tiers = []
+    large_paths = None
+    with tempfile.TemporaryDirectory(prefix="remi-coldstart-") as tmp:
+        tmp_path = Path(tmp)
+        for label, scale in (("small", args.small_scale), ("large", args.large_scale)):
+            nt_path = tmp_path / f"{label}.nt"
+            img_path = tmp_path / f"{label}.img"
+            statements = write_schema_ntriples(wikidata_schema(scale), nt_path, seed=7)
+            build_started = time.perf_counter()
+            stats = build_image(nt_path, img_path, name=label)
+            build_seconds = time.perf_counter() - build_started
+            probe = "http://wikidata.example.org/entity/Human_0"
+            parse = _run_child("parse", nt_path, probe)
+            image = _run_child("image", img_path, probe)
+            assert parse["facts"] == image["facts"] == stats.facts
+            assert parse["probe_predicates"] == image["probe_predicates"]
+            speedup = parse["seconds"] / image["seconds"] if image["seconds"] else None
+            tier = {
+                "tier": label,
+                "scale": scale,
+                "statements": statements,
+                "facts": stats.facts,
+                "image_bytes": stats.bytes,
+                "build_seconds": round(build_seconds, 4),
+                "parse_seconds": round(parse["seconds"], 4),
+                "image_seconds": round(image["seconds"], 6),
+                "parse_rss_kb": parse["rss_kb"],
+                "image_rss_kb": image["rss_kb"],
+                "speedup": round(speedup, 2) if speedup else None,
+            }
+            tiers.append(tier)
+            print(
+                f"{label:5s} scale={scale:<4} facts={stats.facts:<7} "
+                f"parse={tier['parse_seconds']}s image={tier['image_seconds']}s "
+                f"speedup={tier['speedup']}x rss {parse['rss_kb']}->{image['rss_kb']} kB"
+            )
+            if label == "large":
+                large_paths = (nt_path, img_path, probe)
+
+        nt_path, img_path, probe = large_paths
+        kb = ImageKnowledgeBase(img_path)
+        try:
+            worker_rss = _worker_rss(kb, img_path, probe)
+        finally:
+            kb.close()
+        ratio = (
+            round(worker_rss["image"] / worker_rss["wire"], 3)
+            if worker_rss.get("wire")
+            else None
+        )
+        print(
+            f"worker RSS: wire={worker_rss['wire']} kB "
+            f"image={worker_rss['image']} kB ratio={ratio}"
+        )
+
+    payload = {
+        "benchmark": "image-coldstart",
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "tiers": tiers,
+        "coldstart_speedup_small": tiers[0]["speedup"],
+        "coldstart_speedup_large": tiers[1]["speedup"],
+        "worker_rss_wire_kb": worker_rss["wire"],
+        "worker_rss_image_kb": worker_rss["image"],
+        "worker_rss_ratio": ratio,
+        # The gate-friendly spelling (bigger is better, like every other
+        # guarded ratio): the fraction of per-replica RSS the image boot
+        # saves over wire rehydration.
+        "worker_rss_saving": round(1.0 - ratio, 3) if ratio is not None else None,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(
+        f"cold start: small {payload['coldstart_speedup_small']}x, "
+        f"large {payload['coldstart_speedup_large']}x, "
+        f"worker RSS ratio {ratio} -> {args.out}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

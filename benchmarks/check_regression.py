@@ -64,6 +64,14 @@ GUARDS = {
     "serve-concurrent-clients": {
         "speedup_16_over_1": 0.5,
     },
+    # Cold-start divides a sub-millisecond mmap open into a parse time,
+    # so the ratio swings hugely with disk cache state — the baseline is
+    # three orders of magnitude above the floor, and only the absolute
+    # ratchet below really binds.
+    "image-coldstart": {
+        "coldstart_speedup_large": 0.5,
+        "worker_rss_saving": 0.5,
+    },
 }
 
 #: benchmark name -> {ratio key: absolute floor}.  Unlike :data:`GUARDS`
@@ -94,6 +102,17 @@ FLOORS = {
     "serve-concurrent-clients": {
         "speedup_16_over_1": 2.0,
     },
+    # The persistent-image ratchets.  Cold start from the image must beat
+    # re-parsing the large tier ≥5× (the measured margin is ~3 orders of
+    # magnitude, so 5.0 only trips on a real O(file)-work regression in
+    # the open path; advisory on core-starved runners, where the parse
+    # side is scheduler noise).  The RSS saving is a memory accounting,
+    # not a timing — it binds everywhere: image-booted replicas must stay
+    # measurably (≥10 %) below wire-rehydrated ones.
+    "image-coldstart": {
+        "coldstart_speedup_large": 5.0,
+        "worker_rss_saving": 0.10,
+    },
 }
 
 #: Benchmarks whose guarded/floored keys measure concurrency scaling and
@@ -114,6 +133,11 @@ MIN_SCALING_WORKERS = 4
 #: scheduler noise.
 STARVED_ADVISORY_KEYS = {
     "candidate-pipeline-phase-split": {"overall_bounded_sort_score_speedup"},
+    # The cold-start ratio divides a full N-Triples parse by a mmap open;
+    # on an oversubscribed box the parse half is scheduler noise.  The
+    # RSS saving is deliberately NOT here — memory accounting is exact on
+    # any host, so that floor binds everywhere.
+    "image-coldstart": {"coldstart_speedup_small", "coldstart_speedup_large"},
 }
 
 

@@ -1,11 +1,12 @@
 """Command-line interface — a thin client of :class:`repro.service.MiningService`.
 
-Five subcommands::
+Six subcommands::
 
     remi generate --kind dbpedia --scale 1.0 --out kb.hdt     # build a KB
+    remi build-image kb.nt kb.img                             # persistent image
     remi mine kb.hdt <entity-iri> [<entity-iri> ...]          # mine an RE
     remi batch kb.hdt requests.jsonl                          # many targets
-    remi serve kb.hdt --port 8757                             # network server
+    remi serve kb.img --port 8757                             # network server
     remi stats kb.hdt                                         # KB statistics
 
 Every mining subcommand builds the same :class:`~repro.service.ServiceConfig`
@@ -25,9 +26,12 @@ NDJSON-over-TCP server (:mod:`repro.service.server`); ``--workers N``
 scales it out to N worker processes, each holding an epoch replica of
 the KB (:mod:`repro.service.workers`), with ``--workers 0`` keeping the
 single-process reference behaviour.  Input KBs may be
-RHDT binaries (``.hdt``) or N-Triples text (anything else); ``--backend``
-picks the storage backend (``interned`` dictionary-encodes terms to
-integer IDs — the faster choice for mining workloads).
+RHDT binaries (``.hdt``), persistent KB images (``remi build-image``
+output, sniffed by magic and mmap-opened zero-copy — the fast cold-start
+path, and with ``--workers N`` the page cache is shared across the whole
+fleet) or N-Triples text (anything else); ``--backend`` picks the
+storage backend (``interned`` dictionary-encodes terms to integer IDs —
+the faster choice for mining workloads).
 """
 
 from __future__ import annotations
@@ -86,6 +90,28 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     from repro.kb.hdt import save_hdt
     from repro.kb.ntriples import write_ntriples_file
 
+    if args.stream:
+        from repro.datasets import write_schema_ntriples
+        from repro.datasets.dbpedia import dbpedia_schema
+        from repro.datasets.wikidata import wikidata_schema
+
+        if args.out.endswith(".hdt"):
+            print(
+                "remi generate: --stream writes N-Triples only "
+                "(.hdt needs the whole KB in memory — drop --stream)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.kind == "dbpedia":
+            schema = dbpedia_schema(scale=args.scale)
+        elif args.kind == "wikidata":
+            schema = wikidata_schema(scale=args.scale)
+        else:
+            print(f"unknown KB kind {args.kind!r}", file=sys.stderr)
+            return 2
+        count = write_schema_ntriples(schema, args.out, seed=args.seed)
+        print(f"wrote {args.out}: {count} statements (N-Triples, streamed)")
+        return 0
     if args.kind == "dbpedia":
         generated = dbpedia_like(scale=args.scale, seed=args.seed)
     elif args.kind == "wikidata":
@@ -100,6 +126,27 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     else:
         count = write_ntriples_file(kb.triples(), args.out)
         print(f"wrote {args.out}: {count} statements (N-Triples)")
+    return 0
+
+
+def _cmd_build_image(args: argparse.Namespace) -> int:
+    from repro.kb.image import ImageError, build_image
+
+    kwargs = {}
+    if args.batch_size is not None:
+        kwargs["batch_size"] = args.batch_size
+    try:
+        stats = build_image(
+            args.source, args.out, name=args.name, masks=args.masks, **kwargs
+        )
+    except ImageError as exc:
+        print(f"remi build-image: {exc}", file=sys.stderr)
+        return 2
+    extra = f", {stats.mask_pages} mask pages" if args.masks else ""
+    print(
+        f"wrote {stats.path}: {stats.facts} facts, {stats.terms} terms, "
+        f"epoch {stats.epoch}, {stats.bytes} bytes{extra}"
+    )
     return 0
 
 
@@ -291,7 +338,40 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--scale", type=float, default=1.0)
     generate.add_argument("--seed", type=int, default=42)
     generate.add_argument("--out", required=True, help=".hdt or .nt output path")
+    generate.add_argument(
+        "--stream",
+        action="store_true",
+        help="stream facts straight to an N-Triples file without holding the "
+        "KB in memory (skips §4 inverse materialization; pairs with "
+        "`remi build-image`)",
+    )
     generate.set_defaults(func=_cmd_generate)
+
+    build_img = subparsers.add_parser(
+        "build-image",
+        help="ingest an N-Triples/RHDT file into a persistent mmap-able KB "
+        "image (bounded-memory external sort; serve it directly)",
+    )
+    build_img.add_argument("source", help="input KB file (.hdt or N-Triples)")
+    build_img.add_argument("out", help="output image path")
+    build_img.add_argument(
+        "--name", default=None, help="KB name stamped in the image (default: source stem)"
+    )
+    build_img.add_argument(
+        "--batch-size",
+        dest="batch_size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="triples interned per sort run (memory/speed knob)",
+    )
+    build_img.add_argument(
+        "--masks",
+        action="store_true",
+        help="precompute MaskStore pages into the image (faster first queries, "
+        "bigger file)",
+    )
+    build_img.set_defaults(func=_cmd_build_image)
 
     stats = subparsers.add_parser("stats", help="print KB statistics")
     stats.add_argument("kb", help="KB file (.hdt or N-Triples)")

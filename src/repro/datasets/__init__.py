@@ -18,7 +18,12 @@ its Eq. 1 compression on exactly these power-law assumptions).
 """
 
 from repro.datasets.dbpedia import dbpedia_like
-from repro.datasets.generator import GeneratedKB, generate
+from repro.datasets.generator import (
+    GeneratedKB,
+    generate,
+    iter_schema_facts,
+    write_schema_ntriples,
+)
 from repro.datasets.scenes import (
     einstein_scene,
     france_scene,
@@ -37,7 +42,9 @@ __all__ = [
     "einstein_scene",
     "france_scene",
     "generate",
+    "iter_schema_facts",
     "rennes_nantes_scene",
     "south_america_scene",
     "wikidata_like",
+    "write_schema_ntriples",
 ]

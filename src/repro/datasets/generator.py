@@ -14,14 +14,24 @@ Given a :class:`~repro.datasets.schema.KBSchema`, :func:`generate`:
    (§4), exactly as the paper preprocesses DBpedia and Wikidata.
 
 Everything is deterministic in the seed.
+
+The fact emission is a generator pipeline, so the same code serves two
+consumers: :func:`generate` drains it into an in-memory store, and
+:func:`iter_schema_facts` / :func:`write_schema_ntriples` stream it
+straight to disk — million-fact N-Triples dumps for ``remi build-image``
+without ever holding the KB in RAM.  Both paths draw from one
+:class:`random.Random` in one order, so a streamed dump and an in-memory
+build from the same seed describe the same KB.
 """
 
 from __future__ import annotations
 
 import bisect
+import itertools
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from pathlib import Path
+from typing import Dict, Iterator, List, Sequence
 
 from repro.datasets.schema import ClassSpec, KBSchema, PredicateSpec
 from repro.kb.inverse import materialize_inverses
@@ -67,46 +77,74 @@ class _ZipfSampler:
         return bisect.bisect_left(self._cumulative, point)
 
 
-def _mint_instances(
-    schema: KBSchema, spec: ClassSpec, namespace: Namespace, rng: random.Random
-) -> List[IRI]:
+def _mint_instances(spec: ClassSpec, namespace: Namespace) -> List[IRI]:
     prefix = spec.label_prefix or spec.name
     return [namespace.term(f"{prefix}_{i}") for i in range(spec.count)]
+
+
+def _directory(schema: KBSchema):
+    """Mint every class IRI and instance list (RNG-free, so both the
+    in-memory and the streaming path can build it up front)."""
+    entity_ns = Namespace(schema.entity_base)
+    class_iris = {spec.name: entity_ns.term(spec.name) for spec in schema.classes}
+    instances = {spec.name: _mint_instances(spec, entity_ns) for spec in schema.classes}
+    return class_iris, instances
+
+
+def _iter_base_facts(
+    schema: KBSchema,
+    class_iris: Dict[str, IRI],
+    instances: Dict[str, List[IRI]],
+) -> Iterator[Triple]:
+    """Types and labels for every minted instance (RNG-free)."""
+    for spec in schema.classes:
+        class_iri = class_iris[spec.name]
+        for i, instance in enumerate(instances[spec.name]):
+            yield Triple(instance, RDF_TYPE, class_iri)
+            label = f"{(spec.label_prefix or spec.name).replace('_', ' ')} {i}"
+            yield Triple(instance, RDFS_LABEL, Literal(label, lang="en"))
+        yield Triple(class_iri, RDFS_LABEL, Literal(spec.name, lang="en"))
+
+
+def _iter_predicate_facts(
+    schema: KBSchema,
+    instances: Dict[str, List[IRI]],
+    rng: random.Random,
+    predicate_iris: Dict[str, IRI],
+) -> Iterator[Triple]:
+    """Every predicate's facts, in schema order, one shared RNG stream.
+
+    Consumption is strictly sequential in both consumers, so the draw
+    sequence — and therefore the emitted facts — is identical whether
+    the triples land in a store or on disk.  Fills *predicate_iris* as
+    it goes (the directory the in-memory path exposes).
+    """
+    predicate_ns = Namespace(schema.predicate_base)
+    samplers: Dict[tuple, _ZipfSampler] = {}
+    blanks = itertools.count(1)
+    for spec in schema.classes:
+        subjects = instances[spec.name]
+        for predicate_spec in spec.predicates:
+            predicate = predicate_ns.term(predicate_spec.name)
+            predicate_iris[predicate_spec.name] = predicate
+            yield Triple(predicate, RDFS_LABEL, Literal(predicate_spec.name, lang="en"))
+            yield from _emit_predicate(
+                instances, subjects, predicate, predicate_spec, samplers, rng,
+                predicate_ns, blanks,
+            )
 
 
 def generate(schema: KBSchema, seed: int = 42) -> GeneratedKB:
     """Generate a KB from *schema*, deterministically in *seed*."""
     rng = random.Random(seed)
-    entity_ns = Namespace(schema.entity_base)
-    predicate_ns = Namespace(schema.predicate_base)
     kb = KnowledgeBase(name=schema.name)
     out = GeneratedKB(kb=kb, schema=schema)
+    out.class_iris, out.instances = _directory(schema)
 
-    # --- instances, types, labels -------------------------------------
-    for spec in schema.classes:
-        class_iri = entity_ns.term(spec.name)
-        out.class_iris[spec.name] = class_iri
-        instances = _mint_instances(schema, spec, entity_ns, rng)
-        out.instances[spec.name] = instances
-        for i, instance in enumerate(instances):
-            kb.add(Triple(instance, RDF_TYPE, class_iri))
-            label = f"{(spec.label_prefix or spec.name).replace('_', ' ')} {i}"
-            kb.add(Triple(instance, RDFS_LABEL, Literal(label, lang="en")))
-        kb.add(Triple(class_iri, RDFS_LABEL, Literal(spec.name, lang="en")))
-
-    # --- facts ---------------------------------------------------------
-    samplers: Dict[tuple, _ZipfSampler] = {}
-    blank_counter = 0
-    for spec in schema.classes:
-        subjects = out.instances[spec.name]
-        for predicate_spec in spec.predicates:
-            predicate = predicate_ns.term(predicate_spec.name)
-            out.predicate_iris[predicate_spec.name] = predicate
-            kb.add(Triple(predicate, RDFS_LABEL, Literal(predicate_spec.name, lang="en")))
-            blank_counter = _emit_predicate(
-                kb, out, subjects, predicate, predicate_spec, samplers, rng,
-                predicate_ns, blank_counter,
-            )
+    for triple in _iter_base_facts(schema, out.class_iris, out.instances):
+        kb.add(triple)
+    for triple in _iter_predicate_facts(schema, out.instances, rng, out.predicate_iris):
+        kb.add(triple)
 
     # --- inverse materialization (§4) ----------------------------------
     if schema.inverse_top_fraction > 0:
@@ -118,22 +156,52 @@ def generate(schema: KBSchema, seed: int = 42) -> GeneratedKB:
     return out
 
 
+def iter_schema_facts(schema: KBSchema, seed: int = 42) -> Iterator[Triple]:
+    """Stream the schema's facts without materializing a store.
+
+    Yields the exact fact sequence :func:`generate` feeds its KB —
+    same seed, same RNG draw order — so the streamed set equals the
+    in-memory KB's triples, with two bounded-memory caveats:
+
+    * duplicates may appear (a store's ``add`` dedups; a stream cannot
+      without holding everything seen — every downstream consumer, KB
+      constructors and the image builder alike, dedups on ingest);
+    * inverse materialization (§4) is skipped: it needs global object
+      frequencies, i.e. the whole KB.  A streamed dump matches
+      ``generate`` on a schema with ``inverse_top_fraction=0``.
+    """
+    rng = random.Random(seed)
+    class_iris, instances = _directory(schema)
+    yield from _iter_base_facts(schema, class_iris, instances)
+    yield from _iter_predicate_facts(schema, instances, rng, {})
+
+
+def write_schema_ntriples(schema: KBSchema, path: "str | Path", seed: int = 42) -> int:
+    """Stream a schema's facts straight to an N-Triples file.
+
+    Peak memory is O(schema directory), not O(facts) — the million-fact
+    feed for ``remi build-image``.  Returns the statement count.
+    """
+    from repro.kb.ntriples import write_ntriples_file
+
+    return write_ntriples_file(iter_schema_facts(schema, seed), path)
+
+
 def _emit_predicate(
-    kb: KnowledgeBase,
-    out: GeneratedKB,
+    instances: Dict[str, List[IRI]],
     subjects: Sequence[IRI],
     predicate: IRI,
     spec: PredicateSpec,
     samplers: Dict[tuple, _ZipfSampler],
     rng: random.Random,
     predicate_ns: Namespace,
-    blank_counter: int,
-) -> int:
+    blanks: "itertools.count",
+) -> Iterator[Triple]:
     targets = None
     if spec.target not in ("@literal", "@blank"):
-        targets = out.instances[spec.target]
+        targets = instances[spec.target]
         if not targets:
-            return blank_counter
+            return
         key = (spec.target, spec.zipf)
         if key not in samplers:
             samplers[key] = _ZipfSampler(len(targets), spec.zipf)
@@ -148,17 +216,16 @@ def _emit_predicate(
         for _ in range(count):
             if spec.target == "@literal":
                 value = Literal(str(rng.randint(1, 100_000)))
-                kb.add(Triple(subject, predicate, value))
+                yield Triple(subject, predicate, value)
             elif spec.target == "@blank":
-                blank_counter += 1
-                blank = BlankNode(f"b{blank_counter}")
-                kb.add(Triple(subject, predicate, blank))
+                blank = BlankNode(f"b{next(blanks)}")
+                yield Triple(subject, predicate, blank)
                 # Give paths something to hide behind (§3.5.2): the blank
                 # node points at a real entity of some class.
-                classes = [c for c in out.instances.values() if c]
+                classes = [c for c in instances.values() if c]
                 if classes:
                     pool = rng.choice(classes)
-                    kb.add(Triple(blank, detail_predicate, rng.choice(pool)))
+                    yield Triple(blank, detail_predicate, rng.choice(pool))
             else:
                 for _attempt in range(8):
                     obj = targets[sampler.sample(rng)]
@@ -167,6 +234,5 @@ def _emit_predicate(
                     if spec.functional and obj in seen:
                         continue
                     seen.add(obj)
-                    kb.add(Triple(subject, predicate, obj))
+                    yield Triple(subject, predicate, obj)
                     break
-    return blank_counter

@@ -22,7 +22,11 @@ This package implements everything REMI needs from its data layer:
   correct under live KB updates (:mod:`repro.kb.epoch`);
 * wire serialization of a dictionary-encoded store — interner, index
   triples, epoch and MaskStore pages — for shipping epoch replicas to
-  worker processes (:mod:`repro.kb.wire`).
+  worker processes (:mod:`repro.kb.wire`);
+* persistent KB images: an mmap-able on-disk format with sorted
+  id-triple arrays, a streaming ``remi build-image`` pipeline, and the
+  zero-copy :class:`~repro.kb.image.ImageKnowledgeBase` backend shared
+  read-only across the worker fleet (:mod:`repro.kb.image`).
 """
 
 from repro.kb.base import BaseKnowledgeBase
@@ -33,8 +37,17 @@ from repro.kb.interned import InternedKnowledgeBase
 from repro.kb.interner import TermInterner
 from repro.kb.inverse import inverse_predicate, is_inverse, materialize_inverses
 from repro.kb.namespaces import EX, RDF, RDFS, XSD, Namespace
+from repro.kb.image import (
+    ImageError,
+    ImageKnowledgeBase,
+    build_image,
+    is_image_file,
+    write_image,
+)
 from repro.kb.ntriples import (
     NTriplesParseError,
+    iter_ntriples,
+    iter_ntriples_file,
     parse_ntriples,
     parse_ntriples_file,
     parse_term,
@@ -53,6 +66,8 @@ __all__ = [
     "CacheCoherence",
     "EX",
     "EpochWatcher",
+    "ImageError",
+    "ImageKnowledgeBase",
     "InternedKnowledgeBase",
     "KnowledgeBase",
     "LRUCache",
@@ -67,8 +82,12 @@ __all__ = [
     "Triple",
     "WireError",
     "XSD",
+    "build_image",
     "inverse_predicate",
+    "is_image_file",
     "is_inverse",
+    "iter_ntriples",
+    "iter_ntriples_file",
     "kb_from_bytes",
     "kb_to_bytes",
     "load_hdt",
@@ -78,5 +97,6 @@ __all__ = [
     "parse_term",
     "save_hdt",
     "serialize_ntriples",
+    "write_image",
     "write_ntriples_file",
 ]

@@ -1,0 +1,47 @@
+"""Persistent KB images: build-once, mmap-many storage for the fleet.
+
+The subsystem has three layers:
+
+* :mod:`repro.kb.image.format` — the on-disk layout: magic/version
+  header, the serialized interner table, four sorted fixed-width
+  id-triple arrays behind binary search, optional MaskStore pages, and
+  the typed :class:`ImageError` every malformed shape raises;
+* :mod:`repro.kb.image.build` — the streaming ingestion pipeline behind
+  ``remi build-image`` (bounded-memory external sort) plus
+  :func:`write_image` for snapshotting a live store;
+* :mod:`repro.kb.image.backend` — :class:`ImageKnowledgeBase`, the
+  ``KB_BACKENDS``-registered zero-copy store layering an in-memory
+  epoch delta over the frozen image.
+"""
+
+from repro.kb.image.backend import ImageKnowledgeBase, ImageSnapshot, ImageTermTable
+from repro.kb.image.build import (
+    DEFAULT_BATCH_SIZE,
+    ImageBuilder,
+    ImageBuildStats,
+    build_image,
+    write_image,
+)
+from repro.kb.image.format import (
+    IMAGE_MAGIC,
+    IMAGE_VERSION,
+    ImageError,
+    KbImage,
+    is_image_file,
+)
+
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "IMAGE_MAGIC",
+    "IMAGE_VERSION",
+    "ImageBuildStats",
+    "ImageBuilder",
+    "ImageError",
+    "ImageKnowledgeBase",
+    "ImageSnapshot",
+    "ImageTermTable",
+    "KbImage",
+    "build_image",
+    "is_image_file",
+    "write_image",
+]

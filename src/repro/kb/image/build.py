@@ -1,0 +1,418 @@
+"""Building KB images: streaming ingestion with a bounded-memory sort.
+
+Two entry points share one section writer:
+
+* :func:`build_image` — the ``remi build-image`` pipeline.  Triples
+  stream in (N-Triples via :func:`~repro.kb.ntriples.iter_ntriples_file`,
+  or an HDT file), are interned batch-by-batch, and each batch's
+  id-triples are sorted in the four index permutations and spilled to
+  run files; the final pass k-way-merges the runs per order
+  (:func:`heapq.merge`), dedups, and streams the sorted arrays straight
+  into the image.  Peak memory is O(batch + interner), never O(triples):
+  the full ``Term`` list is never materialized.
+* :func:`write_image` — the in-RAM path: snapshot a live interned store
+  (dead IDs, the actual epoch, resident mask pages and all) into an
+  image.  The round-trip counterpart the property suite leans on.
+
+ID assignment is first-seen order over the input stream — exactly what
+``InternedKnowledgeBase(parse_ntriples_file(path))`` produces — so an
+image-built KB is ID-for-ID identical to the in-RAM build of the same
+input, which is what makes image-backed mining bit-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from array import array
+from dataclasses import dataclass
+from heapq import merge as _heap_merge
+from itertools import chain
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.kb.image.format import TRIPLE_SECTIONS, ImageError, ImageWriter
+from repro.kb.interner import TermInterner
+from repro.kb.triples import Triple
+
+__all__ = ["DEFAULT_BATCH_SIZE", "ImageBuildStats", "ImageBuilder", "build_image", "write_image"]
+
+#: id-triples buffered between spills (~3 MB of tuples per 2^17 triples).
+DEFAULT_BATCH_SIZE = 1 << 17
+
+#: u32 records per chunk when streaming arrays to/from disk.
+_CHUNK_RECORDS = 1 << 14
+
+_IdTriple = Tuple[int, int, int]
+
+#: section tag -> which (s, p, o) columns its records hold, in order.
+_PERMUTATIONS: Dict[bytes, Tuple[int, int, int]] = {
+    b"SPO ": (0, 1, 2),
+    b"PSO ": (1, 0, 2),
+    b"POS ": (1, 2, 0),
+    b"OPS ": (2, 1, 0),
+}
+
+
+@dataclass
+class ImageBuildStats:
+    """What a build wrote (the ``remi build-image`` report)."""
+
+    path: str
+    facts: int
+    terms: int
+    epoch: int
+    bytes: int
+    mask_pages: int = 0
+
+
+def _iter_run_file(path: Path) -> Iterator[_IdTriple]:
+    """Stream sorted id-triples back out of one spill file."""
+    with open(path, "rb") as handle:
+        while True:
+            buf = array("I")
+            try:
+                buf.fromfile(handle, 3 * _CHUNK_RECORDS)
+            except EOFError:
+                pass  # partial chunk read; buf holds what was available
+            if not buf:
+                break
+            it = iter(buf)
+            yield from zip(it, it, it)
+            if len(buf) < 3 * _CHUNK_RECORDS:
+                break
+
+
+def _packed_chunks(records: Iterable[_IdTriple]) -> Iterator[bytes]:
+    """Native-endian u32 byte chunks for a stream of id-triples."""
+    buf = array("I")
+    for record in records:
+        buf.extend(record)
+        if len(buf) >= 3 * _CHUNK_RECORDS:
+            yield buf.tobytes()
+            buf = array("I")
+    if buf:
+        yield buf.tobytes()
+
+
+class _MaskCollector:
+    """Accumulates ``(a, b) -> mask-of-c`` pages while a sorted order
+    streams past (POS runs give subject pages, SPO runs object pages)."""
+
+    def __init__(self) -> None:
+        self.pages: List[Tuple[int, int, str]] = []
+        self._key: Optional[Tuple[int, int]] = None
+        self._mask = 0
+
+    def feed(self, a: int, b: int, c: int) -> None:
+        key = (a, b)
+        if key != self._key:
+            self._flush()
+            self._key = key
+        self._mask |= 1 << c
+
+    def _flush(self) -> None:
+        if self._key is not None:
+            a, b = self._key
+            self.pages.append((a, b, format(self._mask, "x")))
+            self._mask = 0
+
+    def finish(self) -> List[Tuple[int, int, str]]:
+        self._flush()
+        self._key = None
+        return self.pages
+
+
+def _write_image_file(
+    out_path: "str | Path",
+    *,
+    name: str,
+    epoch: int,
+    blobs: List[bytes],
+    order_iters: Dict[bytes, Iterable[_IdTriple]],
+    collect_masks: bool = False,
+    masks_payload: Optional[dict] = None,
+) -> ImageBuildStats:
+    """Stream term + triple sections into *out_path* (the shared tail of
+    both build paths).  *blobs* is the full n3-bytes dictionary in ID
+    order (dead IDs included); each order iterator must yield its
+    records sorted and deduplicated."""
+    term_count = len(blobs)
+    if term_count > 0xFFFFFFFF:
+        raise ImageError(f"{term_count} terms exceed the u32 ID space of the image format")
+    tags: List[bytes] = [b"TBLB", b"TOFF", b"TSRT"]
+    tags.extend(tag for tag, _ in TRIPLE_SECTIONS)
+    want_masks = collect_masks or masks_payload is not None
+    if want_masks:
+        tags.append(b"MSKJ")
+    tags.append(b"META")
+
+    writer = ImageWriter(out_path, tags)
+    try:
+        writer.add_section(b"TBLB", iter(blobs))
+        offsets = array("Q", [0])
+        total = 0
+        for blob in blobs:
+            total += len(blob)
+            offsets.append(total)
+        writer.add_section(b"TOFF", (offsets.tobytes(),))
+        sorted_ids = array("I", sorted(range(term_count), key=blobs.__getitem__))
+        writer.add_section(b"TSRT", (sorted_ids.tobytes(),))
+
+        counts: Dict[str, int] = {}
+        distinct: Dict[str, int] = {}
+        subject_pages: List[Tuple[int, int, str]] = []
+        object_pages: List[Tuple[int, int, str]] = []
+        for tag, key in TRIPLE_SECTIONS:
+            collector: Optional[_MaskCollector] = None
+            if collect_masks and tag in (b"POS ", b"SPO "):
+                collector = _MaskCollector()
+            facts = 0
+            firsts = 0
+            last_a = -1
+
+            def _counted(records: Iterable[_IdTriple]) -> Iterator[_IdTriple]:
+                nonlocal facts, firsts, last_a
+                for a, b, c in records:
+                    if max(a, b, c) >= term_count:
+                        raise ImageError(
+                            f"id-triple ({a}, {b}, {c}) references a term "
+                            f"outside the {term_count}-term dictionary"
+                        )
+                    facts += 1
+                    if a != last_a:
+                        firsts += 1
+                        last_a = a
+                    if collector is not None:
+                        collector.feed(a, b, c)
+                    yield a, b, c
+
+            writer.add_section(tag, _packed_chunks(_counted(order_iters[tag])))
+            counts[key] = facts
+            distinct[key] = firsts
+            if collector is not None:
+                if tag == b"POS ":
+                    subject_pages = collector.finish()
+                else:
+                    object_pages = collector.finish()
+
+        fact_count = counts["spo"]
+        if any(count != fact_count for count in counts.values()):
+            raise ImageError(
+                f"index permutations disagree on the fact count: {counts} "
+                "(duplicate or missing records in a sorted run)"
+            )
+
+        mask_pages = 0
+        if want_masks:
+            payload = masks_payload
+            if payload is None:
+                payload = {"subjects": subject_pages, "objects": object_pages}
+            mask_pages = len(payload["subjects"]) + len(payload["objects"])
+            writer.add_section(
+                b"MSKJ", (json.dumps(payload, separators=(",", ":")).encode("utf-8"),)
+            )
+
+        meta = {
+            "format": "remi-kb-image",
+            "name": name,
+            "epoch": epoch,
+            "facts": fact_count,
+            "terms": term_count,
+            "distinct": distinct,
+        }
+        writer.add_section(b"META", (json.dumps(meta, sort_keys=True).encode("utf-8"),))
+        total_bytes = writer.finish()
+    except BaseException:
+        writer.abort()
+        raise
+    return ImageBuildStats(
+        path=str(out_path),
+        facts=fact_count,
+        terms=term_count,
+        epoch=epoch,
+        bytes=total_bytes,
+        mask_pages=mask_pages,
+    )
+
+
+class ImageBuilder:
+    """Streaming image construction: intern, buffer, spill sorted runs,
+    merge into the final sorted arrays on :meth:`finish`.
+
+    Memory stays O(batch + interner): the triple stream itself is never
+    held.  Duplicate input statements collapse at merge time (set
+    semantics, like ``KnowledgeBase.add`` would give).
+    """
+
+    def __init__(
+        self,
+        *,
+        name: str = "kb",
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        tmp_dir: Optional[str] = None,
+    ):
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.name = name
+        self.batch_size = batch_size
+        self._interner = TermInterner()
+        self._batch: List[_IdTriple] = []
+        self._runs: Dict[bytes, List[Path]] = {tag: [] for tag in _PERMUTATIONS}
+        self._tmp = tempfile.TemporaryDirectory(prefix="remi-image-", dir=tmp_dir)
+        self._spills = 0
+        self._ingested = 0
+
+    def add(self, triple: Triple) -> None:
+        intern = self._interner.intern
+        s, p, o = triple
+        self._batch.append((intern(s), intern(p), intern(o)))
+        self._ingested += 1
+        if len(self._batch) >= self.batch_size:
+            self._spill()
+
+    def add_many(self, triples: Iterable[Triple]) -> None:
+        for triple in triples:
+            self.add(triple)
+
+    def _spill(self) -> None:
+        batch = self._batch
+        if not batch:
+            return
+        base = Path(self._tmp.name)
+        for tag, (i, j, k) in _PERMUTATIONS.items():
+            records = sorted((t[i], t[j], t[k]) for t in batch)
+            path = base / f"{tag.strip().decode()}-{self._spills:06d}.run"
+            flat = array("I", chain.from_iterable(records))
+            with open(path, "wb") as handle:
+                flat.tofile(handle)
+            self._runs[tag].append(path)
+        self._spills += 1
+        self._batch = []
+
+    def _merged(self, tag: bytes) -> Iterator[_IdTriple]:
+        streams = [_iter_run_file(path) for path in self._runs[tag]]
+        previous: Optional[_IdTriple] = None
+        for record in _heap_merge(*streams):
+            if record != previous:
+                previous = record
+                yield record
+
+    def finish(
+        self,
+        out_path: "str | Path",
+        *,
+        epoch: Optional[int] = None,
+        masks: bool = False,
+    ) -> ImageBuildStats:
+        """Merge the runs and write the image.  The default epoch matches
+        what ``InternedKnowledgeBase(triples)`` lands on: one bulk-load
+        bump when any facts exist, zero otherwise."""
+        self._spill()
+        blobs = [term.n3().encode("utf-8") for term in self._interner]
+        if epoch is None:
+            epoch = 1 if self._ingested else 0
+        try:
+            stats = _write_image_file(
+                out_path,
+                name=self.name,
+                epoch=epoch,
+                blobs=blobs,
+                order_iters={tag: self._merged(tag) for tag in _PERMUTATIONS},
+                collect_masks=masks,
+            )
+        finally:
+            self._tmp.cleanup()
+        return stats
+
+
+def build_image(
+    source: "str | Path",
+    out_path: "str | Path",
+    *,
+    name: Optional[str] = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    masks: bool = False,
+    tmp_dir: Optional[str] = None,
+    progress: Optional[Callable[[int], None]] = None,
+) -> ImageBuildStats:
+    """The ``remi build-image`` pipeline: N-Triples or HDT in, image out.
+
+    N-Triples input streams line-by-line (peak memory O(batch)); HDT
+    input goes through :func:`~repro.kb.hdt.load_hdt`, whose decoder
+    materializes the store first — images exist so that cost is paid
+    once, here, instead of on every start.
+    """
+    source = Path(source)
+    builder = ImageBuilder(
+        name=name or source.stem, batch_size=batch_size, tmp_dir=tmp_dir
+    )
+    if source.suffix == ".hdt":
+        from repro.kb.hdt import load_hdt
+
+        triples: Iterable[Triple] = load_hdt(source).triples()
+    else:
+        from repro.kb.ntriples import iter_ntriples_file
+
+        triples = iter_ntriples_file(source)
+    try:
+        for count, triple in enumerate(triples, start=1):
+            builder.add(triple)
+            if progress is not None and count % (1 << 18) == 0:
+                progress(count)
+    except OSError as exc:
+        raise ImageError(f"cannot read {source}: {exc}") from exc
+    return builder.finish(out_path, masks=masks)
+
+
+def write_image(
+    kb,
+    out_path: "str | Path",
+    *,
+    include_masks: bool = True,
+    name: Optional[str] = None,
+) -> ImageBuildStats:
+    """Snapshot a live dictionary-encoded store into an image.
+
+    Preserves the full ID contract the wire format keeps: every interned
+    term serializes in ID order (dead IDs included, so replica ID spaces
+    match bit-for-bit), the image epoch is the store's current epoch, and
+    with *include_masks* the store's **resident** MaskStore pages ship as
+    precomputed pages (synced first, exactly like :mod:`repro.kb.wire`).
+    """
+    if not getattr(kb, "supports_id_queries", False):
+        raise ImageError(
+            f"write_image needs a dictionary-encoded backend, got {type(kb).__name__}"
+        )
+    id_triples: List[_IdTriple] = []
+    for si, by_pred in kb._spo.items():
+        for pi, objects in by_pred.items():
+            for oi in objects:
+                id_triples.append((si, pi, oi))
+    blobs = [term.n3().encode("utf-8") for term in kb._terms]
+    masks_payload = None
+    store = kb._masks
+    if include_masks and store is not None:
+        store.sync()
+        masks_payload = {
+            "subjects": [
+                (p, o, format(entry.to_mask(), "x"))
+                for (p, o), entry in store._subjects.items()
+            ],
+            "objects": [
+                (s, p, format(entry.to_mask(), "x"))
+                for (s, p), entry in store._objects.items()
+            ],
+        }
+    order_iters = {
+        tag: iter(sorted((t[i], t[j], t[k]) for t in id_triples))
+        for tag, (i, j, k) in _PERMUTATIONS.items()
+    }
+    return _write_image_file(
+        out_path,
+        name=name or kb.name,
+        epoch=kb.epoch,
+        blobs=blobs,
+        order_iters=order_iters,
+        masks_payload=masks_payload,
+    )

@@ -1,0 +1,486 @@
+"""The persistent KB image format: mmap-able sorted id-triple arrays.
+
+A KB **image** is the convert-once-serve-many shape of ROADMAP item 4: a
+single file holding everything an :class:`~repro.kb.interned.InternedKnowledgeBase`
+derives from its triples at build time — the interner table (dead IDs
+preserved, same ID-stability contract as :mod:`repro.kb.wire`), four
+fixed-width **sorted** id-triple arrays (one per index permutation), the
+image epoch, and optionally the precomputed :class:`~repro.kb.idset.MaskStore`
+pages — laid out so a reader can ``mmap`` the file and answer index
+lookups by binary search over ``memoryview`` casts, touching only the
+pages a query actually reads.  N worker processes opening the same image
+share one OS page cache read-only, so fleet RSS stops scaling with N.
+
+Layout (all integers little-endian on disk; triple/offset arrays are
+written in the **builder host's native order** and guarded by a
+byte-order mark, because readers access them through zero-copy
+``memoryview.cast`` which is always native)::
+
+    header   magic "REMIKBIM" | u32 version | 4-byte BOM | u32 sections
+    table    sections × (4-byte tag | u64 offset | u64 length)
+    ...      8-byte-aligned sections, in any order:
+
+    TBLB     term blob: concatenated UTF-8 ``term.n3()`` in ID order
+    TOFF     u64 × (terms + 1) blob offsets (prefix sums)
+    TSRT     u32 × terms term IDs sorted by n3 bytes (binary-search id_of)
+    "SPO "   u32 × 3 × facts, records (s,p,o) sorted lexicographically
+    "PSO "   u32 × 3 × facts, records (p,s,o) sorted
+    "POS "   u32 × 3 × facts, records (p,o,s) sorted
+    "OPS "   u32 × 3 × facts, records (o,p,s) sorted
+    MSKJ     optional JSON mask pages {"subjects": [[p,o,hex]...], ...}
+    META     JSON: name, epoch, facts, terms, distinct first-key counts
+
+Every malformed shape — truncation, bad magic, version or endianness
+skew, section bounds past EOF, inconsistent array lengths, out-of-range
+IDs — raises the typed :class:`ImageError`, never a raw struct/index
+error.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import struct
+import sys
+from array import array
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "IMAGE_MAGIC",
+    "IMAGE_VERSION",
+    "ImageError",
+    "ImageWriter",
+    "KbImage",
+    "is_image_file",
+]
+
+IMAGE_MAGIC = b"REMIKBIM"
+IMAGE_VERSION = 1
+
+#: Written as ``(0x01020304).to_bytes(4, sys.byteorder)`` at build time;
+#: a reader whose native order disagrees must not cast the arrays.
+_BOM_VALUE = 0x01020304
+
+_HEADER = struct.Struct("<8sII")  # magic, version, section count (BOM separate)
+_SECTION = struct.Struct("<4sQQ")  # tag, offset, length
+
+#: Sections every image must carry; MSKJ is optional.
+_REQUIRED = (b"META", b"TBLB", b"TOFF", b"TSRT", b"SPO ", b"PSO ", b"POS ", b"OPS ")
+
+#: The four triple-array tags in (attribute, meta-distinct-key) order.
+TRIPLE_SECTIONS = (
+    (b"SPO ", "spo"),
+    (b"PSO ", "pso"),
+    (b"POS ", "pos"),
+    (b"OPS ", "ops"),
+)
+
+# The format is u32 everywhere; array("I") is u32 on every platform we
+# support, and the guard makes the assumption loud instead of corrupting.
+if array("I").itemsize != 4:  # pragma: no cover - platform guard
+    raise RuntimeError("repro.kb.image requires a platform where array('I') is 32-bit")
+
+
+class ImageError(ValueError):
+    """A KB image file is malformed, truncated, or from another format
+    version — the typed error every load/build failure surfaces as."""
+
+
+def is_image_file(path: "str | Path") -> bool:
+    """True when *path* starts with the KB-image magic (cheap sniff used
+    by :func:`repro.service.facade.load_kb`; unreadable paths are False)."""
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(len(IMAGE_MAGIC)) == IMAGE_MAGIC
+    except OSError:
+        return False
+
+
+def _pad8(n: int) -> int:
+    return (-n) % 8
+
+
+class ImageWriter:
+    """Low-level section writer: reserves the header + table up front,
+    streams 8-byte-aligned sections, back-patches the table on finish."""
+
+    def __init__(self, path: "str | Path", tags: Sequence[bytes]):
+        for tag in tags:
+            if len(tag) != 4:
+                raise ValueError(f"section tags are 4 bytes, got {tag!r}")
+        self.path = str(path)
+        self._tags = list(tags)
+        self._table: Dict[bytes, Tuple[int, int]] = {}
+        self._file = open(self.path, "wb")
+        header_size = _HEADER.size + 4 + len(tags) * _SECTION.size
+        self._header_size = header_size
+        self._file.write(b"\x00" * (header_size + _pad8(header_size)))
+
+    def add_section(self, tag: bytes, chunks: Iterable[bytes]) -> int:
+        """Stream *chunks* as section *tag*; returns the section length."""
+        if tag in self._table:
+            raise ValueError(f"section {tag!r} written twice")
+        out = self._file
+        pos = out.tell()
+        out.write(b"\x00" * _pad8(pos))
+        offset = out.tell()
+        length = 0
+        for chunk in chunks:
+            out.write(chunk)
+            length += len(chunk)
+        self._table[tag] = (offset, length)
+        return length
+
+    def finish(self) -> int:
+        """Back-patch header + section table; returns total file bytes."""
+        missing = [tag for tag in self._tags if tag not in self._table]
+        if missing:
+            raise ValueError(f"sections declared but never written: {missing}")
+        out = self._file
+        total = out.tell()
+        out.seek(0)
+        out.write(_HEADER.pack(IMAGE_MAGIC, IMAGE_VERSION, len(self._tags)))
+        out.write(_BOM_VALUE.to_bytes(4, sys.byteorder))
+        for tag in self._tags:
+            offset, length = self._table[tag]
+            out.write(_SECTION.pack(tag, offset, length))
+        out.close()
+        return total
+
+    def abort(self) -> None:
+        """Close and remove the partial file (build failed midway)."""
+        try:
+            self._file.close()
+        finally:
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+
+
+class _TripleArray:
+    """One sorted fixed-width id-triple array behind binary search.
+
+    Records are ``(a, b, c)`` u32 triplets sorted lexicographically; the
+    grouping contract matches the live index it replaces:
+    ``row(a) == {b: {c, ...}, ...}``.  Row materialization touches only
+    the pages of one contiguous run; :meth:`keys` skips run-to-run with
+    a galloping search, so iterating distinct first keys never decodes
+    the full array.
+    """
+
+    __slots__ = ("_arr", "records", "distinct", "width", "tag")
+
+    def __init__(self, arr: memoryview, records: int, distinct: int, width: int, tag: str):
+        self._arr = arr
+        self.records = records
+        self.distinct = distinct
+        self.width = width  # the term-ID universe; any id >= width is corrupt
+        self.tag = tag
+
+    def _lower_bound(self, a: int) -> int:
+        """First record index whose first column is >= *a*."""
+        arr = self._arr
+        lo, hi = 0, self.records
+        while lo < hi:
+            mid = (lo + hi) >> 1
+            if arr[3 * mid] < a:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def _run_end(self, start: int, a: int) -> int:
+        """One past the last record of the run beginning at *start*
+        (gallop out, then binary search the boundary)."""
+        arr, n = self._arr, self.records
+        lo = start
+        step = 1
+        while True:
+            probe = lo + step
+            if probe >= n or arr[3 * probe] != a:
+                hi = min(lo + step, n)
+                break
+            lo = probe
+            step <<= 1
+        lo += 1
+        while lo < hi:
+            mid = (lo + hi) >> 1
+            if arr[3 * mid] == a:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def has(self, a: int) -> bool:
+        if not 0 <= a < self.width:
+            return False
+        lo = self._lower_bound(a)
+        return lo < self.records and self._arr[3 * lo] == a
+
+    def row(self, a: int) -> Optional[Dict[int, Set[int]]]:
+        """The ``{b: {c}}`` grouping of the run for *a*, or None."""
+        if not 0 <= a < self.width:
+            return None
+        arr, n, width = self._arr, self.records, self.width
+        i = self._lower_bound(a)
+        if i >= n or arr[3 * i] != a:
+            return None
+        row: Dict[int, Set[int]] = {}
+        while i < n and arr[3 * i] == a:
+            b = arr[3 * i + 1]
+            c = arr[3 * i + 2]
+            if b >= width or c >= width:
+                raise ImageError(
+                    f"{self.tag} record {i} references term ID "
+                    f"{max(b, c)} outside the {width}-term dictionary"
+                )
+            cell = row.get(b)
+            if cell is None:
+                row[b] = cell = set()
+            cell.add(c)
+            i += 1
+        return row
+
+    def keys(self) -> Iterator[int]:
+        """Distinct first-column keys, ascending (run-skipping scan)."""
+        arr, n = self._arr, self.records
+        i = 0
+        while i < n:
+            a = arr[3 * i]
+            yield a
+            i = self._run_end(i, a)
+
+
+class KbImage:
+    """An opened, validated KB image: the mmap, the parsed section table,
+    the term blob accessors and the four :class:`_TripleArray` views.
+
+    Opening costs O(header + spot checks), not O(file): the triple and
+    term payloads stay on disk until a lookup faults their pages in.
+    """
+
+    def __init__(self, path: "str | Path"):
+        self.path = str(path)
+        self._mmap: Optional[mmap.mmap] = None
+        self._views: List[memoryview] = []
+        try:
+            self._file = open(self.path, "rb")
+        except OSError as exc:
+            raise ImageError(f"cannot open KB image {self.path}: {exc}") from exc
+        try:
+            self._open()
+        except ImageError:
+            self.close()
+            raise
+        except Exception as exc:  # pragma: no cover - unexpected shapes
+            self.close()
+            raise ImageError(f"malformed KB image {self.path}: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # parsing + validation
+    # ------------------------------------------------------------------
+
+    def _fail(self, message: str) -> ImageError:
+        return ImageError(f"{self.path}: {message}")
+
+    def _open(self) -> None:
+        size = os.fstat(self._file.fileno()).st_size
+        header_size = _HEADER.size + 4
+        if size < header_size:
+            raise self._fail(f"truncated: {size} bytes is smaller than the header")
+        try:
+            self._mmap = mmap.mmap(self._file.fileno(), 0, access=mmap.ACCESS_READ)
+        except (OSError, ValueError) as exc:
+            raise self._fail(f"cannot mmap: {exc}") from exc
+        buf = memoryview(self._mmap)
+        self._views.append(buf)
+        magic, version, section_count = _HEADER.unpack_from(buf, 0)
+        if magic != IMAGE_MAGIC:
+            raise self._fail(f"bad magic {magic!r}; not a KB image")
+        if version != IMAGE_VERSION:
+            raise self._fail(
+                f"format version {version} not supported (reader speaks "
+                f"version {IMAGE_VERSION}); rebuild with `remi build-image`"
+            )
+        bom = int.from_bytes(bytes(buf[_HEADER.size:_HEADER.size + 4]), sys.byteorder)
+        if bom != _BOM_VALUE:
+            raise self._fail(
+                "byte-order mark mismatch: image was built on a host with "
+                "different endianness; rebuild on this architecture"
+            )
+        table_at = header_size
+        table_end = table_at + section_count * _SECTION.size
+        if table_end > size:
+            raise self._fail("truncated: section table extends past end of file")
+        sections: Dict[bytes, memoryview] = {}
+        for i in range(section_count):
+            tag, offset, length = _SECTION.unpack_from(buf, table_at + i * _SECTION.size)
+            if offset + length > size or offset < table_end:
+                raise self._fail(
+                    f"section {tag!r} [{offset}, {offset + length}) falls "
+                    f"outside the {size}-byte file"
+                )
+            section_view = buf[offset:offset + length]
+            self._views.append(section_view)  # every export must release before close
+            sections[tag] = section_view
+        for tag in _REQUIRED:
+            if tag not in sections:
+                raise self._fail(f"required section {tag!r} missing")
+        self._sections = sections
+
+        meta_bytes = bytes(sections[b"META"])
+        try:
+            meta = json.loads(meta_bytes.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise self._fail(f"corrupt META section: {exc}") from exc
+        if not isinstance(meta, dict) or meta.get("format") != "remi-kb-image":
+            raise self._fail("META section is not a KB-image descriptor")
+        try:
+            self.name = str(meta["name"])
+            self.epoch = int(meta["epoch"])
+            self.fact_count = int(meta["facts"])
+            self.term_count = int(meta["terms"])
+            distinct = {key: int(value) for key, value in meta["distinct"].items()}
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise self._fail(f"META section lacks required fields: {exc}") from exc
+        if self.fact_count < 0 or self.term_count < 0:
+            raise self._fail("negative counts in META section")
+        self.meta = meta
+
+        self._blob = sections[b"TBLB"]
+        toff = self._cast(sections[b"TOFF"], "Q", b"TOFF")
+        if len(toff) != self.term_count + 1:
+            raise self._fail(
+                f"TOFF holds {len(toff)} offsets, expected {self.term_count + 1}"
+            )
+        if self.term_count >= 0 and len(toff) > 0:
+            if toff[0] != 0 or toff[self.term_count] != len(self._blob):
+                raise self._fail("TOFF prefix sums disagree with the term blob length")
+        self._toff = toff
+        tsrt = self._cast(sections[b"TSRT"], "I", b"TSRT")
+        if len(tsrt) != self.term_count:
+            raise self._fail(f"TSRT holds {len(tsrt)} IDs, expected {self.term_count}")
+        self._tsrt = tsrt
+
+        arrays: Dict[str, _TripleArray] = {}
+        for tag, key in TRIPLE_SECTIONS:
+            if key not in distinct:
+                raise self._fail(f"META lacks the distinct-count for {key!r}")
+            view = self._cast(sections[tag], "I", tag)
+            if len(view) != 3 * self.fact_count:
+                raise self._fail(
+                    f"{tag!r} holds {len(view)} ints, expected {3 * self.fact_count}"
+                )
+            arr = _TripleArray(view, self.fact_count, distinct[key], self.term_count, key)
+            if self.fact_count:
+                # Spot-check the extremes now; rows validate their own
+                # run lazily when faulted.
+                for probe in (0, 3 * (self.fact_count - 1)):
+                    for column in range(3):
+                        if view[probe + column] >= self.term_count:
+                            raise self._fail(
+                                f"{tag!r} references term ID "
+                                f"{view[probe + column]} outside the "
+                                f"{self.term_count}-term dictionary"
+                            )
+            arrays[key] = arr
+        self.spo = arrays["spo"]
+        self.pso = arrays["pso"]
+        self.pos = arrays["pos"]
+        self.ops = arrays["ops"]
+        self._mask_pages: Optional[dict] = None
+        self._mask_raw = sections.get(b"MSKJ")
+
+    def _cast(self, view: memoryview, code: str, tag: bytes) -> memoryview:
+        itemsize = struct.calcsize(code)
+        if len(view) % itemsize:
+            raise self._fail(
+                f"section {tag!r} length {len(view)} is not a multiple of {itemsize}"
+            )
+        cast = view.cast(code)
+        self._views.append(cast)
+        return cast
+
+    # ------------------------------------------------------------------
+    # term table access
+    # ------------------------------------------------------------------
+
+    def term_bytes(self, term_id: int) -> bytes:
+        """The UTF-8 ``n3()`` bytes of *term_id* (no parse)."""
+        if not 0 <= term_id < self.term_count:
+            raise IndexError(f"term ID {term_id} outside the image dictionary")
+        start, end = self._toff[term_id], self._toff[term_id + 1]
+        if start > end or end > len(self._blob):
+            raise self._fail(f"corrupt TOFF entry for term ID {term_id}")
+        return bytes(self._blob[start:end])
+
+    def term_text(self, term_id: int) -> str:
+        try:
+            return self.term_bytes(term_id).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise self._fail(f"term ID {term_id} is not valid UTF-8: {exc}") from exc
+
+    def find_term_bytes(self, needle: bytes) -> Optional[int]:
+        """Binary search the sorted term index for exact ``n3()`` bytes."""
+        tsrt, toff, blob = self._tsrt, self._toff, self._blob
+        count = self.term_count
+        lo, hi = 0, count
+        while lo < hi:
+            mid = (lo + hi) >> 1
+            tid = tsrt[mid]
+            if tid >= count:
+                raise self._fail(f"TSRT entry {mid} references term ID {tid}")
+            start, end = toff[tid], toff[tid + 1]
+            if start > end or end > len(blob):
+                raise self._fail(f"corrupt TOFF entry for term ID {tid}")
+            current = bytes(blob[start:end])
+            if current < needle:
+                lo = mid + 1
+            elif current > needle:
+                hi = mid
+            else:
+                return tid
+        return None
+
+    # ------------------------------------------------------------------
+    # mask pages
+    # ------------------------------------------------------------------
+
+    def mask_pages(self) -> Optional[dict]:
+        """The precomputed MaskStore pages, parsed once, or ``None``."""
+        raw = self._mask_raw
+        if raw is None:
+            return None
+        pages = self._mask_pages
+        if pages is None:
+            try:
+                pages = json.loads(bytes(raw).decode("utf-8"))
+                subjects = [(int(p), int(o), str(mask)) for p, o, mask in pages["subjects"]]
+                objects = [(int(s), int(p), str(mask)) for s, p, mask in pages["objects"]]
+            except (UnicodeDecodeError, json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+                raise self._fail(f"corrupt MSKJ section: {exc}") from exc
+            pages = self._mask_pages = {"subjects": subjects, "objects": objects}
+        return pages
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release every exported view, then the mmap and file handle."""
+        for view in self._views:
+            view.release()
+        self._views.clear()
+        if self._mmap is not None:
+            self._mmap.close()
+            self._mmap = None
+        self._file.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"KbImage(path={self.path!r}, facts={self.fact_count}, "
+            f"terms={self.term_count}, epoch={self.epoch})"
+        )

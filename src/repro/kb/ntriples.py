@@ -221,10 +221,22 @@ def iter_ntriples(lines: Iterable[str]) -> Iterator[Triple]:
         yield Triple(subject, predicate, obj).validate()
 
 
-def parse_ntriples_file(path: "str | Path") -> list[Triple]:
-    """Parse an N-Triples file from disk."""
+def iter_ntriples_file(path: "str | Path") -> Iterator[Triple]:
+    """Stream triples from an N-Triples file, one line at a time.
+
+    The bounded-memory loader: peak memory is O(line), so million-fact
+    dumps feed the ``remi build-image`` pipeline (and the KB
+    constructors, which consume any iterable) without ever holding the
+    full statement list.  :func:`parse_ntriples_file` is now sugar over
+    this for callers that really want the list.
+    """
     with open(path, encoding="utf-8") as handle:
-        return list(iter_ntriples(handle))
+        yield from iter_ntriples(handle)
+
+
+def parse_ntriples_file(path: "str | Path") -> list[Triple]:
+    """Parse an N-Triples file from disk into a fully materialized list."""
+    return list(iter_ntriples_file(path))
 
 
 def serialize_ntriples(triples: Iterable[Triple]) -> str:

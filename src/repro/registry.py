@@ -174,6 +174,7 @@ class Registry:
 KB_BACKENDS = Registry("KB backend")
 KB_BACKENDS.register_lazy("hash", "repro.kb.store", "KnowledgeBase")
 KB_BACKENDS.register_lazy("interned", "repro.kb.interned", "InternedKnowledgeBase")
+KB_BACKENDS.register_lazy("image", "repro.kb.image", "ImageKnowledgeBase")
 
 #: Mining algorithms.  Factories share the REMI construction protocol:
 #: ``factory(kb, prominence=..., mode=..., config=...)`` returning an

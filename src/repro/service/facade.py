@@ -73,12 +73,38 @@ from repro.service.envelopes import (
 def load_kb(path: Union[str, Path], backend: str = "interned") -> BaseKnowledgeBase:
     """Load a KB file into the named registry backend.
 
-    RHDT binaries (``.hdt``) and N-Triples text (anything else) are
+    KB images (sniffed by magic, see :mod:`repro.kb.image`), RHDT
+    binaries (``.hdt``) and N-Triples text (anything else) are
     auto-detected, exactly as the CLI always did — this is that logic,
     promoted to the service layer so every entry point shares it.
+
+    An image file under the default ``interned`` backend (or ``image``)
+    opens zero-copy as an
+    :class:`~repro.kb.image.ImageKnowledgeBase` — the whole point of
+    building one; requesting any other backend materializes the triples
+    into it.  Conversely, asking for the ``image`` backend on a
+    non-image file raises :class:`~repro.kb.image.ImageError` pointing
+    at ``remi build-image`` (an image is built once, not parsed per
+    start).  N-Triples input streams line-by-line into the backend
+    constructor, so peak load memory is O(store), not O(file) + O(store).
     """
     path = str(path)
     backend_class = KB_BACKENDS.get(backend)
+    from repro.kb.image import ImageError, ImageKnowledgeBase, is_image_file
+
+    if is_image_file(path):
+        kb = ImageKnowledgeBase(path)
+        if issubclass(ImageKnowledgeBase, backend_class):
+            return kb
+        try:
+            return backend_class(kb.triples(), name=kb.name)
+        finally:
+            kb.close()
+    if backend_class is ImageKnowledgeBase:
+        raise ImageError(
+            f"{path} is not a KB image; build one with "
+            f"`remi build-image {path} <out>.remimg` and serve that"
+        )
     if path.endswith(".hdt"):
         from repro.kb.hdt import load_hdt
 
@@ -86,9 +112,9 @@ def load_kb(path: Union[str, Path], backend: str = "interned") -> BaseKnowledgeB
         if type(loaded) is backend_class:
             return loaded
         return backend_class(loaded.triples(), name=loaded.name)
-    from repro.kb.ntriples import parse_ntriples_file
+    from repro.kb.ntriples import iter_ntriples_file
 
-    return backend_class(parse_ntriples_file(path), name=Path(path).stem)
+    return backend_class(iter_ntriples_file(path), name=Path(path).stem)
 
 
 class _SnapshotSession:

@@ -62,28 +62,38 @@ class WorkerPoolError(RuntimeError):
     """The pool cannot serve: no live replicas, or not started."""
 
 
-def _worker_main(conn, wire_data: bytes, config_json: Dict, worker_id: int, warm: bool) -> None:
+def _worker_main(conn, bootstrap: Dict, config_json: Dict, worker_id: int, warm: bool) -> None:
     """A worker process: one KB replica behind one message loop.
 
-    Runs in the spawned child.  Rehydrates the wire image into a live
-    :class:`~repro.kb.interned.InternedKnowledgeBase`, fronts it with its
-    own :class:`~repro.service.facade.MiningService` in MVCC snapshot
-    mode (reads pin epoch sessions; replayed updates roll the session —
-    the same discipline as the in-process server), then answers framed
-    messages until told to stop or the pipe dies.
+    Runs in the spawned child.  Builds its replica from the *bootstrap*
+    descriptor — either ``{"kind": "wire", "data": bytes}`` rehydrated
+    into a live :class:`~repro.kb.interned.InternedKnowledgeBase`, or
+    ``{"kind": "image", "path": str}`` mmap-opened as an
+    :class:`~repro.kb.image.ImageKnowledgeBase` (the page cache is shared
+    across the fleet, so N replicas cost one copy of the cold data) —
+    fronts it with its own :class:`~repro.service.facade.MiningService`
+    in MVCC snapshot mode (reads pin epoch sessions; replayed updates
+    roll the session — the same discipline as the in-process server),
+    then answers framed messages until told to stop or the pipe dies.
     """
-    from repro.kb.wire import kb_from_bytes
     from repro.service.facade import MiningService
 
-    def build(data: bytes):
-        kb = kb_from_bytes(data)
+    def build(descriptor: Dict):
+        if descriptor["kind"] == "image":
+            from repro.kb.image import ImageKnowledgeBase
+
+            kb = ImageKnowledgeBase(descriptor["path"])
+        else:
+            from repro.kb.wire import kb_from_bytes
+
+            kb = kb_from_bytes(descriptor["data"])
         service = MiningService(kb, ServiceConfig.from_json(config_json))
         service.enable_snapshots()
         if warm:
             service.warm_up()
         return kb, service
 
-    kb, service = build(wire_data)
+    kb, service = build(bootstrap)
     requests = 0
     conn.send(
         {"kind": "ready", "worker": worker_id, "pid": os.getpid(), "epoch": kb.epoch}
@@ -118,8 +128,10 @@ def _worker_main(conn, wire_data: bytes, config_json: Dict, worker_id: int, warm
             )
         elif kind == "load":
             # Full resync: replace the replica wholesale (divergence
-            # recovery; the router serialized a quiescent KB).
-            kb, service = build(message["wire"])
+            # recovery; the router serialized a quiescent KB).  Always
+            # wire — a diverged image replica's file no longer matches
+            # the router's mutated epoch.
+            kb, service = build({"kind": "wire", "data": message["wire"]})
             conn.send({"kind": "loaded", "worker": worker_id, "epoch": kb.epoch})
         elif kind == "ping":
             conn.send(
@@ -190,6 +202,12 @@ class WorkerPool:
         Build each replica's mining substrate before it reports ready.
     start_timeout:
         Seconds to wait for each replica's ready handshake.
+    image_path:
+        Explicit KB image file to bootstrap replicas from instead of
+        shipping wire bytes.  When omitted, the pool bootstraps from
+        ``kb.image_path`` automatically whenever the router KB is an
+        unmutated image backend (``kb.epoch == kb.image_epoch`` — epochs
+        only ever grow, so equality proves the file is still exact).
     """
 
     def __init__(
@@ -199,6 +217,7 @@ class WorkerPool:
         count: int = 2,
         warm_up: bool = False,
         start_timeout: float = 120.0,
+        image_path: Optional[str] = None,
     ):
         if count < 1:
             raise ValueError(f"worker count must be ≥ 1, got {count}")
@@ -212,6 +231,9 @@ class WorkerPool:
         self.count = count
         self.warm_up = warm_up
         self.start_timeout = start_timeout
+        self.image_path = str(image_path) if image_path is not None else None
+        #: How replicas were seeded ("image" or "wire"); set by start().
+        self.bootstrap_kind: Optional[str] = None
         self._replicas: List[_Replica] = []
         self._executor: Optional[ThreadPoolExecutor] = None
         self._started = False
@@ -227,6 +249,28 @@ class WorkerPool:
     # lifecycle
     # ------------------------------------------------------------------
 
+    def _bootstrap(self) -> Dict:
+        """The descriptor every replica builds from (image beats wire).
+
+        An image bootstrap ships a path, not the KB: each spawned child
+        mmaps the same file and the OS shares the pages, so per-replica
+        RSS stays flat where wire rehydration pays the full store per
+        process.  Safe only while the file is exact — the router's epoch
+        must still equal the image's build epoch (mutations after start
+        are fanned out live, so start-time equality is all that matters).
+        """
+        if self.image_path is not None:
+            self.bootstrap_kind = "image"
+            return {"kind": "image", "path": self.image_path}
+        path = getattr(self.kb, "image_path", None)
+        if path is not None and self.kb.epoch == getattr(self.kb, "image_epoch", None):
+            self.bootstrap_kind = "image"
+            return {"kind": "image", "path": str(path)}
+        from repro.kb.wire import kb_to_bytes
+
+        self.bootstrap_kind = "wire"
+        return {"kind": "wire", "data": kb_to_bytes(self.kb)}
+
     def start(self) -> None:
         """Spawn the replicas and wait for every ready handshake.
 
@@ -236,16 +280,14 @@ class WorkerPool:
         """
         if self._started:
             return
-        from repro.kb.wire import kb_to_bytes
-
-        wire = kb_to_bytes(self.kb)
+        bootstrap = self._bootstrap()
         config_json = self.config.to_json()
         try:
             for index in range(self.count):
                 parent_conn, child_conn = _SPAWN.Pipe()
                 process = _SPAWN.Process(
                     target=_worker_main,
-                    args=(child_conn, wire, config_json, index, self.warm_up),
+                    args=(child_conn, bootstrap, config_json, index, self.warm_up),
                     name=f"remi-worker-{index}",
                     daemon=True,
                 )
@@ -463,6 +505,7 @@ class WorkerPool:
         return {
             "count": self.count,
             "alive": self.live_count,
+            "bootstrap": self.bootstrap_kind,
             "requests_dispatched": self.requests_dispatched,
             "updates_fanned": self.updates_fanned,
             "resyncs": self.resyncs,

@@ -1,0 +1,388 @@
+"""Persistent KB image pin: an mmap-opened image IS the store it froze.
+
+The fleet-bootstrap tentpole rides on three exact contracts, each swept
+across 50 seeded KBs with delete/re-add churn (dead interner IDs, epochs
+past the fact count):
+
+* **round trip** — :func:`repro.kb.image.write_image` →
+  :class:`~repro.kb.image.ImageKnowledgeBase` preserves triples, name,
+  epoch, the interner high-water mark (dead IDs included — the next
+  interned term lands on the same ID on both sides) and MaskStore pages
+  (semantic :class:`~repro.kb.idset.IdSet` equality);
+* **mining differential** — REMI on the image backend is bit-identical
+  (timing excluded) to REMI on a fresh in-RAM interned build of the same
+  triples, and stays identical under mutation/snapshot churn because
+  the delta overlay reuses the unchanged epoch/MVCC machinery;
+* **corruption is typed** — every malformed shape (bad magic, version
+  skew, foreign byte order, truncation, lying section table, id out of
+  range, garbage metadata) raises :class:`~repro.kb.image.ImageError`,
+  never a silent wrong answer.
+
+Run alone with ``-m image``.
+"""
+
+import dataclasses
+import random
+import struct
+
+import pytest
+
+from repro.core.config import MinerConfig
+from repro.core.remi import REMI
+from repro.kb.image import (
+    IMAGE_MAGIC,
+    IMAGE_VERSION,
+    ImageError,
+    ImageKnowledgeBase,
+    KbImage,
+    build_image,
+    is_image_file,
+    write_image,
+)
+from repro.kb.interned import InternedKnowledgeBase
+from repro.kb.namespaces import EX
+from repro.kb.ntriples import iter_ntriples_file, write_ntriples_file
+from repro.kb.terms import BlankNode, Literal
+from repro.kb.triples import Triple
+
+pytestmark = pytest.mark.image
+
+N_KBS = 50
+
+_HEADER = struct.Struct("<8sII")
+_SECTION = struct.Struct("<4sQQ")
+
+
+def _random_kb(rng: random.Random):
+    """A seeded interned KB with churn history: deletions leave dead
+    interner IDs behind, which the image format must preserve."""
+    entities = [EX[f"e{i}"] for i in range(rng.randint(4, 9))]
+    predicates = [EX[f"p{i}"] for i in range(rng.randint(2, 4))]
+    objects = entities + [Literal("red"), Literal("42"), BlankNode("b0")]
+    kb = InternedKnowledgeBase(name=f"img{rng.random():.6f}")
+    for _ in range(rng.randint(10, 32)):
+        kb.add(Triple(rng.choice(entities), rng.choice(predicates), rng.choice(objects)))
+    existing = sorted(kb.triples(), key=lambda t: t.n3())
+    for triple in rng.sample(existing, min(rng.randint(1, 4), len(existing))):
+        kb.discard(triple)
+    kb.add(Triple(EX.late, predicates[0], entities[0]))
+    return kb, entities, predicates, objects
+
+
+def _assert_replica_equals(replica, kb):
+    assert len(replica) == len(kb)
+    assert set(replica.triples()) == set(kb.triples())
+    assert replica.epoch == kb.epoch
+    assert replica.name == kb.name
+    assert replica.term_count() == kb.term_count()
+    probe = EX[f"probe{kb.epoch}"]
+    assert replica._interner.intern(probe) == kb._interner.intern(probe)
+
+
+def _mined(kb, targets):
+    """A mining result with wall-clock scrubbed — everything else pinned.
+
+    ``max_atoms=2`` keeps the complete search bounded on the handful of
+    churned seeds whose structure makes 3-atom DFS blow up; the bound is
+    identical on both sides, so the differential stays exact."""
+    result = REMI(kb, config=MinerConfig(max_atoms=2)).mine(set(targets))
+    counts = {
+        f.name: getattr(result.stats, f.name)
+        for f in dataclasses.fields(result.stats)
+        if not f.name.endswith("_seconds")
+    }
+    return (result.targets, repr(result.expression), result.complexity,
+            counts, result.encountered)
+
+
+# ----------------------------------------------------------------------
+# round trip + mining differential
+# ----------------------------------------------------------------------
+
+
+def test_round_trip_and_mining_differential_across_seeded_kbs(tmp_path):
+    for seed in range(N_KBS):
+        rng = random.Random(8400 + seed)
+        kb, entities, *_ = _random_kb(rng)
+        path = tmp_path / f"kb{seed}.img"
+        write_image(kb, path)
+        assert is_image_file(path)
+        replica = ImageKnowledgeBase(path)
+        _assert_replica_equals(replica, kb)
+        # Bit-identical mining: image backend vs a FRESH in-RAM interned
+        # build (not the churned original — row iteration order differs,
+        # results must not).
+        fresh = InternedKnowledgeBase(kb.triples(), name=kb.name)
+        targets = sorted(kb.entities(), key=lambda t: t.sort_key())[:2]
+        assert _mined(replica, targets) == _mined(fresh, targets), seed
+        replica.close()
+
+
+def test_image_preserves_dead_interner_ids(tmp_path):
+    kb = InternedKnowledgeBase(name="dead")
+    doomed = Triple(EX.doomed, EX.p, EX.also_doomed)
+    kb.add(doomed)
+    kb.discard(doomed)
+    kb.add(Triple(EX.survivor, EX.p, EX.other))
+    path = tmp_path / "dead.img"
+    write_image(kb, path)
+    replica = ImageKnowledgeBase(path)
+    assert replica.term_count() == kb.term_count()
+    assert replica._interner.intern(EX.doomed) == kb._interner.intern(EX.doomed)
+    assert replica._interner.intern(EX.fresh) == kb._interner.intern(EX.fresh)
+
+
+def test_image_ships_mask_pages(tmp_path):
+    rng = random.Random(91)
+    kb, *_ = _random_kb(rng)
+    store = kb.masks
+    for si, by_pred in kb._spo.items():
+        for pi, objects in by_pred.items():
+            for oi in objects:
+                store.subjects(pi, oi)
+                store.objects(si, pi)
+    assert store._subjects and store._objects
+    path = tmp_path / "masks.img"
+    write_image(kb, path)
+    replica = ImageKnowledgeBase(path)
+    rstore = replica._masks
+    assert rstore is not None, "mask pages should arrive pre-warmed"
+    assert set(rstore._subjects) == set(store._subjects)
+    assert set(rstore._objects) == set(store._objects)
+    for key, entry in store._subjects.items():
+        assert rstore._subjects[key] == entry  # IdSet.__eq__ is semantic
+    for key, entry in store._objects.items():
+        assert rstore._objects[key] == entry
+
+
+def test_image_without_masks_leaves_cache_cold(tmp_path):
+    rng = random.Random(92)
+    kb, *_ = _random_kb(rng)
+    kb.masks  # warm the live store; the image must still omit the pages
+    path = tmp_path / "cold.img"
+    write_image(kb, path, include_masks=False)
+    replica = ImageKnowledgeBase(path)
+    assert replica._masks is None
+    _assert_replica_equals(replica, kb)
+
+
+def test_image_log_floor_is_honest(tmp_path):
+    """An image replica knows nothing before its build epoch: current
+    reads answer ``[]``, anything older answers ``None`` (rebuild)."""
+    rng = random.Random(93)
+    kb, *_ = _random_kb(rng)
+    assert kb.epoch > 0
+    path = tmp_path / "floor.img"
+    write_image(kb, path)
+    replica = ImageKnowledgeBase(path)
+    assert replica.changes_since(kb.epoch) == []
+    assert replica.changes_since(kb.epoch - 1) is None
+    assert replica.changes_since(0) is None
+
+
+def test_builder_matches_in_memory_writer_byte_for_byte(tmp_path):
+    """The external-sort pipeline and the in-RAM writer are the same
+    format function: identical input, identical bytes — so everything
+    proven about one build path transfers to the other."""
+    rng = random.Random(94)
+    kb, *_ = _random_kb(rng)
+    source = tmp_path / "kb.nt"
+    write_ntriples_file(sorted(kb.triples(), key=lambda t: t.n3()), source)
+    streamed = tmp_path / "streamed.img"
+    in_ram = tmp_path / "in_ram.img"
+    # Tiny batch size forces multiple external-sort runs through merge.
+    stats = build_image(source, streamed, name="kb", batch_size=7)
+    rebuilt = InternedKnowledgeBase(iter_ntriples_file(source), name="kb")
+    write_image(rebuilt, in_ram, include_masks=False, name="kb")
+    assert streamed.read_bytes() == in_ram.read_bytes()
+    assert stats.facts == len(rebuilt)
+    assert stats.terms == rebuilt.term_count()
+    assert stats.epoch == rebuilt.epoch == 1
+
+
+# ----------------------------------------------------------------------
+# mutation overlay + snapshots
+# ----------------------------------------------------------------------
+
+
+def test_mutations_overlay_in_epoch_lock_step(tmp_path):
+    """The delta overlay: an image KB and an ID-identical in-RAM interned
+    copy apply the same mutation stream and stay equal — triples, epoch,
+    add/discard return values — through full-row deletes (index prunes),
+    tombstone re-adds and novel subjects."""
+    for seed in range(10):
+        rng = random.Random(9400 + seed)
+        kb, entities, predicates, objects = _random_kb(rng)
+        path = tmp_path / f"mut{seed}.img"
+        write_image(kb, path)
+        image_kb = ImageKnowledgeBase(path)
+        twin = image_kb.copy()
+        assert isinstance(twin, InternedKnowledgeBase)
+        # The copy restarts its epoch clock at construction; lock-step
+        # means both sides ADVANCE identically, so compare deltas.
+        image_base, twin_base = image_kb.epoch, twin.epoch
+        for step in range(24):
+            triple = Triple(
+                rng.choice(entities + [EX[f"novel{step}"]]),
+                rng.choice(predicates),
+                rng.choice(objects + [EX[f"fresh{step}"]]),
+            )
+            if rng.random() < 0.5:
+                assert image_kb.add(triple) == twin.add(triple)
+            else:
+                assert image_kb.discard(triple) == twin.discard(triple)
+            assert image_kb.epoch - image_base == twin.epoch - twin_base, (seed, step)
+        # Wipe one subject entirely: every row of the delete path prunes.
+        victim = next(iter(sorted(image_kb._spo)))
+        for triple in [t for t in image_kb.triples()][:]:
+            if image_kb.term_id(triple.subject) == victim:
+                assert image_kb.discard(triple) == twin.discard(triple)
+        assert set(image_kb.triples()) == set(twin.triples())
+        assert len(image_kb) == len(twin)
+        targets = sorted(image_kb.entities(), key=lambda t: t.sort_key())[:2]
+        if targets:
+            assert _mined(image_kb, targets) == _mined(
+                InternedKnowledgeBase(twin.triples(), name=twin.name), targets
+            )
+        image_kb.close()
+
+
+def test_snapshots_freeze_the_overlay(tmp_path):
+    rng = random.Random(95)
+    kb, entities, predicates, _ = _random_kb(rng)
+    path = tmp_path / "snap.img"
+    write_image(kb, path)
+    image_kb = ImageKnowledgeBase(path)
+    assert image_kb.supports_snapshots
+    before = set(image_kb.triples())
+    snap = image_kb.at_epoch()
+    assert image_kb.at_epoch() is snap  # head reuse at the same epoch
+    image_kb.add(Triple(EX.after, predicates[0], entities[0]))
+    assert set(snap.triples()) == before
+    assert set(image_kb.triples()) == before | {Triple(EX.after, predicates[0], entities[0])}
+    # The snapshot clamps at its high-water mark: terms interned later
+    # are invisible, and it refuses mutation outright.
+    assert snap.term_id(EX.after) is None
+    assert image_kb.term_id(EX.after) is not None
+    with pytest.raises(TypeError):
+        snap.add(Triple(EX.x, predicates[0], entities[0]))
+    with pytest.raises(TypeError):
+        snap.discard(next(iter(before)))
+    assert snap.at_epoch() is snap
+    # New head after the mutation; the old snapshot keeps answering.
+    newer = image_kb.at_epoch()
+    assert newer is not snap
+    assert set(newer.triples()) == set(image_kb.triples())
+    assert set(snap.triples()) == before
+
+
+# ----------------------------------------------------------------------
+# corruption: every malformed shape is a typed error
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture()
+def image_bytes(tmp_path):
+    rng = random.Random(96)
+    kb, *_ = _random_kb(rng)
+    path = tmp_path / "good.img"
+    write_image(kb, path)
+    return bytearray(path.read_bytes())
+
+
+def _expect_error(tmp_path, data, name):
+    path = tmp_path / f"{name}.img"
+    path.write_bytes(bytes(data))
+    with pytest.raises(ImageError):
+        KbImage(path)
+
+
+def _sections(data):
+    _magic, _version, count = _HEADER.unpack_from(data, 0)
+    table_at = _HEADER.size + 4  # header, then the byte-order stamp
+    out = {}
+    for index in range(count):
+        tag, offset, length = _SECTION.unpack_from(data, table_at + index * _SECTION.size)
+        out[tag] = (table_at + index * _SECTION.size, offset, length)
+    return out
+
+
+def test_corrupt_images_raise_typed_errors(tmp_path, image_bytes):
+    data = image_bytes
+    _expect_error(tmp_path, b"NOTMAGIC" + data[8:], "magic")
+    skew = bytearray(data)
+    struct.pack_into("<I", skew, 8, IMAGE_VERSION + 1)
+    _expect_error(tmp_path, skew, "version")
+    bom = bytearray(data)
+    bom[_HEADER.size:_HEADER.size + 4] = bytes(reversed(bom[_HEADER.size:_HEADER.size + 4]))
+    _expect_error(tmp_path, bom, "byte_order")
+    _expect_error(tmp_path, data[:10], "header_truncated")
+    _expect_error(tmp_path, data[: len(data) // 2], "body_truncated")
+    _expect_error(tmp_path, data[:-4], "tail_truncated")
+
+
+def test_lying_section_table_is_rejected(tmp_path, image_bytes):
+    sections = _sections(image_bytes)
+    for tag, (entry_at, _offset, _length) in sections.items():
+        lying = bytearray(image_bytes)
+        struct.pack_into("<Q", lying, entry_at + 12, len(image_bytes) + 64)
+        _expect_error(tmp_path, lying, f"len_{tag.decode().strip()}")
+
+
+def test_out_of_range_triple_ids_are_rejected(tmp_path, image_bytes):
+    sections = _sections(image_bytes)
+    for tag in (b"SPO ", b"OPS "):
+        _entry, offset, _length = sections[tag]
+        wild = bytearray(image_bytes)
+        struct.pack_into("<I", wild, offset, 0xFFFFFFFF)
+        _expect_error(tmp_path, wild, f"ids_{tag.decode().strip()}")
+
+
+def test_garbage_metadata_is_rejected(tmp_path, image_bytes):
+    _entry, offset, length = _sections(image_bytes)[b"META"]
+    garbage = bytearray(image_bytes)
+    garbage[offset:offset + length] = b"\xff" * length
+    _expect_error(tmp_path, garbage, "meta")
+
+
+def test_non_image_inputs_raise(tmp_path):
+    assert not is_image_file(tmp_path / "absent.img")
+    text = tmp_path / "kb.nt"
+    text.write_text(f"{EX.a.n3()} {EX.p.n3()} {EX.b.n3()} .\n")
+    assert not is_image_file(text)
+    with pytest.raises(ImageError):
+        ImageKnowledgeBase(text)
+    with pytest.raises(ImageError):
+        ImageKnowledgeBase(tmp_path / "absent.img")
+    with pytest.raises(ImageError):
+        ImageKnowledgeBase([Triple(EX.a, EX.p, EX.b)])  # not a path: the
+        # constructor names `remi build-image` instead of guessing
+
+
+# ----------------------------------------------------------------------
+# the service loader's routing rules
+# ----------------------------------------------------------------------
+
+
+def test_load_kb_routes_images_by_magic(tmp_path):
+    from repro.kb.store import KnowledgeBase
+    from repro.service import load_kb
+
+    rng = random.Random(97)
+    kb, *_ = _random_kb(rng)
+    image_path = tmp_path / "kb.img"
+    write_image(kb, image_path)
+    text_path = tmp_path / "kb.nt"
+    write_ntriples_file(sorted(kb.triples(), key=lambda t: t.n3()), text_path)
+
+    zero_copy = load_kb(image_path)  # default interned backend
+    assert type(zero_copy) is ImageKnowledgeBase
+    assert load_kb(image_path, backend="image").image_path == str(image_path)
+    materialized = load_kb(image_path, backend="hash")
+    assert type(materialized) is KnowledgeBase
+    assert set(materialized.triples()) == set(kb.triples())
+    streamed = load_kb(text_path)
+    assert type(streamed) is InternedKnowledgeBase
+    assert set(streamed.triples()) == set(kb.triples())
+    with pytest.raises(ImageError):
+        load_kb(text_path, backend="image")

@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 from repro.kb.namespaces import EX, XSD
 from repro.kb.ntriples import (
     NTriplesParseError,
+    iter_ntriples_file,
     parse_ntriples,
     parse_ntriples_file,
     serialize_ntriples,
@@ -112,6 +113,23 @@ class TestSerialization:
         original = [Triple(EX.a, EX.b, EX.c), Triple(EX.a, EX.b, Literal("hi"))]
         assert write_ntriples_file(original, path) == 2
         assert parse_ntriples_file(path) == original
+
+    def test_iter_file_streams_lazily_and_matches_parse(self, tmp_path):
+        """The streaming loader yields the same triples as the list
+        parser, one at a time — the first triple must arrive without the
+        file having been consumed whole (errors later in the file only
+        surface when reached)."""
+        path = tmp_path / "stream.nt"
+        original = [Triple(EX[f"s{i}"], EX.p, Literal(str(i))) for i in range(10)]
+        write_ntriples_file(original, path)
+        assert list(iter_ntriples_file(path)) == parse_ntriples_file(path) == original
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("broken line .\n")
+        stream = iter_ntriples_file(path)
+        for expected in original:  # all good triples stream out first...
+            assert next(stream) == expected
+        with pytest.raises(NTriplesParseError):  # ...then the bad line bites
+            next(stream)
 
 
 @given(st.lists(triple_strategy, max_size=30))

@@ -1,0 +1,103 @@
+"""Image-bootstrap pin for the worker fleet: replicas spawned from a KB
+image path answer exactly like wire-rehydrated ones, and the pool picks
+the bootstrap automatically — image while the router KB is the unmutated
+image, wire the moment the epochs diverge.
+
+Spawning real processes is slow, so the tests stay few and share one
+small scene image; the wide seeded sweeps live in ``tests/kb/test_image.py``.
+Run alone with ``-m image``.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.datasets import rennes_nantes_scene
+from repro.kb.image import ImageKnowledgeBase, write_image
+from repro.kb.interned import InternedKnowledgeBase
+from repro.kb.namespaces import EX
+from repro.kb.triples import Triple
+from repro.service import MiningService, WorkerPool
+
+pytestmark = pytest.mark.image
+
+
+def _scrub(value):
+    """Drop timing from an envelope: everything else is pinned exact."""
+    if isinstance(value, dict):
+        return {
+            k: _scrub(v)
+            for k, v in value.items()
+            if k != "seconds" and not k.endswith("_seconds")
+        }
+    if isinstance(value, list):
+        return [_scrub(v) for v in value]
+    return value
+
+
+@pytest.fixture()
+def scene_image(tmp_path):
+    kb = InternedKnowledgeBase(rennes_nantes_scene().triples(), name="scene")
+    path = tmp_path / "scene.img"
+    write_image(kb, path)
+    return path
+
+
+def test_pool_bootstraps_replicas_from_the_image(scene_image):
+    """An image-backed router KB seeds replicas with the file path, not
+    wire bytes; the replicas still answer bit-identically to the local
+    façade and follow update fan-out in epoch lock-step."""
+    kb = ImageKnowledgeBase(scene_image)
+    service = MiningService(kb)
+    service.enable_snapshots()
+    targets = [str(t) for t in sorted(kb.entities(), key=lambda t: t.sort_key())[:3]]
+
+    async def scenario():
+        with WorkerPool(kb, count=2) as pool:
+            assert pool.bootstrap_kind == "image"
+            assert pool.stats()["bootstrap"] == "image"
+            for worker in pool.stats()["per_worker"]:
+                assert worker["alive"] and worker["epoch"] == kb.epoch
+
+            for index, target in enumerate(targets):
+                payload = {"type": "mine", "id": f"m{index}", "targets": [target]}
+                from_pool = await pool.request(payload, line=index)
+                local = service.handle_json(payload, line=index)
+                assert _scrub(from_pool) == _scrub(local)
+
+            update = {
+                "type": "update", "id": "u", "op": "add",
+                "triple": [EX.fresh.n3(), EX.linked_to.n3(), targets[0]],
+            }
+            record = service.handle_json(update, line=99)
+            assert record["ok"] and record["result"]["applied"]
+            await pool.broadcast_update(update, line=99, expect_epoch=kb.epoch)
+            stats = pool.stats()
+            assert stats["resyncs"] == 0
+            assert [w["epoch"] for w in stats["per_worker"]] == [kb.epoch, kb.epoch]
+
+    asyncio.run(scenario())
+    # The router KB has now mutated past the image: a fresh pool must
+    # notice the epoch drift and fall back to shipping wire bytes.
+    assert kb.epoch != kb.image_epoch
+    stale = WorkerPool(kb, count=1)
+    assert stale._bootstrap()["kind"] == "wire"
+    assert stale.bootstrap_kind == "wire"
+
+
+def test_explicit_image_path_overrides_wire(scene_image):
+    """A plain interned router KB can still hand replicas a matching
+    image file explicitly — the low-RSS path for a KB that was LOADED
+    from the image into a different backend."""
+    kb = InternedKnowledgeBase(rennes_nantes_scene().triples(), name="scene")
+    assert getattr(kb, "image_path", None) is None
+    target = str(sorted(kb.entities(), key=lambda t: t.sort_key())[0])
+
+    async def scenario():
+        with WorkerPool(kb, count=1, image_path=scene_image) as pool:
+            assert pool.bootstrap_kind == "image"
+            record = await pool.request({"type": "mine", "id": "m", "targets": [target]})
+            assert record["ok"]
+            assert pool.stats()["per_worker"][0]["epoch"] == kb.epoch
+
+    asyncio.run(scenario())
