@@ -21,7 +21,10 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import os
+import signal
 import sys
+import time
 
 
 class Client:
@@ -86,6 +89,64 @@ async def update_worker(host: str, port: int, targets: list, rounds: int) -> int
     return applied
 
 
+def _mine_essence(record: dict) -> dict:
+    """The answer bits of a mine response: identical across replicas and
+    restarts (timing and per-request search counters are not)."""
+    result = record.get("result", {})
+    return {
+        key: result.get(key)
+        for key in ("found", "expression", "complexity_bits", "verbalized")
+    }
+
+
+async def chaos_kill(admin: "Client", target: str) -> int:
+    """Kill one replica by pid mid-run and prove the fleet self-heals:
+    the supervisor must respawn it (restarts >= 1, full live count) and
+    the identical mine must answer bit-identically afterwards."""
+    probe = {"type": "mine", "id": "chaos-pre", "targets": [target],
+             "verbalize": True}
+    before = await admin.ask(probe)
+    if not before["ok"]:
+        print(f"FAIL: chaos probe errored before the kill: {before['error']}",
+              file=sys.stderr)
+        return 1
+    stats = await admin.ask({"type": "stats", "id": "chaos-stats"})
+    pool = stats["result"].get("server", {}).get("workers")
+    if not pool or not pool.get("supervised"):
+        print("FAIL: --chaos-kill needs a supervised multi-worker server",
+              file=sys.stderr)
+        return 1
+    victim = next(w for w in pool["per_worker"] if w["alive"])
+    print(f"chaos: kill -9 worker {victim['worker']} (pid {victim['pid']})")
+    os.kill(victim["pid"], signal.SIGKILL)
+
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        stats = await admin.ask({"type": "stats", "id": "chaos-wait"})
+        pool = stats["result"]["server"]["workers"]
+        if pool["alive"] == pool["count"] and pool["restarts"] >= 1:
+            break
+        await asyncio.sleep(0.25)
+    else:
+        print(f"FAIL: fleet never healed after kill: {pool}", file=sys.stderr)
+        return 1
+    print(f"chaos: healed — alive={pool['alive']}/{pool['count']} "
+          f"restarts={pool['restarts']} "
+          f"epochs={[w['epoch'] for w in pool['per_worker']]}")
+
+    after = await admin.ask({**probe, "id": "chaos-post"})
+    if not after["ok"]:
+        print(f"FAIL: post-restart probe errored: {after['error']}",
+              file=sys.stderr)
+        return 1
+    if _mine_essence(before) != _mine_essence(after):
+        print(f"FAIL: post-restart answer drifted:\n  before={_mine_essence(before)}"
+              f"\n  after={_mine_essence(after)}", file=sys.stderr)
+        return 1
+    print("chaos: post-restart mine answer bit-identical")
+    return 0
+
+
 async def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--host", default="127.0.0.1")
@@ -100,6 +161,12 @@ async def main() -> int:
     )
     parser.add_argument(
         "--shutdown", action="store_true", help="drain the server when done"
+    )
+    parser.add_argument(
+        "--chaos-kill",
+        action="store_true",
+        help="kill one worker replica by pid mid-run (SIGKILL) and assert "
+        "the supervisor respawns it with the mine answer unchanged",
     )
     parser.add_argument(
         "--expect-workers",
@@ -121,6 +188,10 @@ async def main() -> int:
           f"{results[-1]} update ops applied")
 
     admin = await Client.connect(args.host, args.port)
+    if args.chaos_kill:
+        failed = await chaos_kill(admin, args.targets[0])
+        if failed:
+            return failed
     stats = await admin.ask({"type": "stats", "id": "final"})
     serving = stats["result"]["serving"]
     coherence = serving["coherence"]

@@ -68,11 +68,18 @@ def _service_config(args: argparse.Namespace) -> ServiceConfig:
         if miner not in (None, "premi"):
             raise SystemExit(f"--parallel conflicts with --miner {miner}")
         miner = "premi"
+    defaults = ServiceConfig()
     return ServiceConfig(
         backend=args.backend,
         miner=miner or "remi",
         prominence=args.prominence,
         workers=getattr(args, "workers", 1),
+        request_timeout=getattr(args, "request_timeout", defaults.request_timeout),
+        heartbeat_interval=getattr(
+            args, "heartbeat_interval", defaults.heartbeat_interval
+        ),
+        max_restarts=getattr(args, "max_restarts", defaults.max_restarts),
+        restart_backoff=getattr(args, "restart_backoff", defaults.restart_backoff),
         miner_config=MinerConfig(
             language=(
                 LanguageBias.STANDARD
@@ -448,6 +455,38 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes, each holding an epoch replica of the KB "
         "(0 = answer everything in-process; the differential reference)",
+    )
+    serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="per-request deadline on worker replicas: a wedged replica "
+        "yields a typed timeout error and is respawned (0 = no deadline)",
+    )
+    serve.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="fleet supervisor cadence: heartbeat pings, crash sweeps and "
+        "replica respawns (0 = no supervision, fail-soft only)",
+    )
+    serve.add_argument(
+        "--max-restarts",
+        type=int,
+        default=5,
+        metavar="N",
+        help="failed respawn attempts per replica slot before its circuit "
+        "breaker trips and the slot is abandoned as degraded",
+    )
+    serve.add_argument(
+        "--restart-backoff",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="base of the exponential backoff between respawn attempts "
+        "on the same replica slot",
     )
     serve.set_defaults(func=_cmd_serve, workers=1)
     return parser

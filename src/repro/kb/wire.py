@@ -174,16 +174,25 @@ def kb_to_bytes(
     kb: InternedKnowledgeBase,
     include_masks: bool = True,
     compress: bool = True,
+    faults=None,
 ) -> bytes:
-    """:func:`kb_to_payload` framed for a pipe: magic + flag + JSON body."""
+    """:func:`kb_to_payload` framed for a pipe: magic + flag + JSON body.
+
+    *faults* (a :class:`~repro.service.faults.FaultPlan`, duck-typed to
+    keep this module service-free) passes the finished frame through the
+    ``corrupt-wire`` injection point: when that occurrence is scheduled,
+    one byte is flipped and the receiver's rehydration raises a typed
+    :class:`WireError` — the chaos harness for the resync path.
+    """
     body = json.dumps(
         kb_to_payload(kb, include_masks=include_masks),
         ensure_ascii=False,
         separators=(",", ":"),
     ).encode("utf-8")
-    if compress:
-        return _MAGIC + b"z" + zlib.compress(body, 6)
-    return _MAGIC + b"r" + body
+    data = _MAGIC + b"z" + zlib.compress(body, 6) if compress else _MAGIC + b"r" + body
+    if faults is not None:
+        data = faults.corrupt_frame(data)
+    return data
 
 
 def kb_from_bytes(data: bytes) -> InternedKnowledgeBase:

@@ -17,6 +17,14 @@ Four layers, one front door:
   scale-out: N spawned processes each holding an epoch replica of the
   KB (rehydrated via :mod:`repro.kb.wire`); the server routes queries
   to replicas and fans updates to all of them in epoch lock-step.
+* :mod:`repro.service.supervisor` — :class:`FleetSupervisor`, which
+  keeps the pool at full strength: heartbeats + liveness sweeps detect
+  crashed/wedged replicas, bounded-backoff respawns bring them back at
+  the router's exact epoch (under the server's update barrier), and a
+  circuit breaker abandons slots that keep dying.
+* :mod:`repro.service.faults` — :class:`FaultPlan`, the deterministic
+  chaos harness: seeded (point, occurrence) schedules that make every
+  recovery path above replayable and testable.
 
 The plugin registries the service resolves its names through live in
 :mod:`repro.registry` (KB backends, miners, prominence providers,
@@ -44,13 +52,18 @@ from repro.service.envelopes import (
     parse_request,
 )
 from repro.service.facade import MiningService, load_kb
+from repro.service.faults import FaultPlan, FaultRule
 from repro.service.server import MiningServer, run_server
-from repro.service.workers import WorkerPool, WorkerPoolError
+from repro.service.supervisor import FleetSupervisor
+from repro.service.workers import WorkerPool, WorkerPoolError, WorkerTimeout
 
 __all__ = [
     "DescribeRequest",
     "ESTIMATORS",
     "EnvelopeError",
+    "FaultPlan",
+    "FaultRule",
+    "FleetSupervisor",
     "KB_BACKENDS",
     "MINERS",
     "MineRequest",
@@ -67,6 +80,7 @@ __all__ = [
     "UpdateRequest",
     "WorkerPool",
     "WorkerPoolError",
+    "WorkerTimeout",
     "load_kb",
     "parse_request",
     "run_server",

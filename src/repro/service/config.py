@@ -18,7 +18,7 @@ All fields have production-sensible defaults::
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields, replace
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.core.config import LanguageBias, MinerConfig
 from repro.registry import ESTIMATORS, KB_BACKENDS, MINERS, PROMINENCE, RegistryError
@@ -46,6 +46,22 @@ class ServiceConfig:
         worker pool.
     verbalize:
         Include NL verbalizations in mine responses by default.
+    request_timeout:
+        Per-request deadline (seconds) for multi-process replica rounds:
+        a replica that does not answer in time yields a typed ``timeout``
+        error envelope and is terminated for respawn.  ``None`` or ``0``
+        disables the deadline (a wedged replica then hangs its caller —
+        test-only territory).
+    heartbeat_interval:
+        Seconds between fleet-supervisor passes (heartbeat pings to idle
+        replicas, crash sweeps, respawns).  ``0`` disables supervision:
+        the fleet is fail-soft only, as before PR 10.
+    max_restarts:
+        Failed respawn attempts per replica slot before its circuit
+        breaker trips and the slot is abandoned as degraded.
+    restart_backoff:
+        Base of the per-slot exponential respawn backoff
+        (``restart_backoff * 2**attempts`` seconds, capped at 30).
     miner_config:
         The full :class:`~repro.core.config.MinerConfig`; the common
         overrides (language bias, timeout, bounded top-k) have wire-level
@@ -58,6 +74,10 @@ class ServiceConfig:
     estimator: str = "exact"
     workers: int = 1
     verbalize: bool = False
+    request_timeout: Optional[float] = 30.0
+    heartbeat_interval: float = 2.0
+    max_restarts: int = 5
+    restart_backoff: float = 0.5
     miner_config: MinerConfig = field(default_factory=MinerConfig)
 
     def __post_init__(self) -> None:
@@ -71,6 +91,20 @@ class ServiceConfig:
                 raise RegistryError(registry.kind, key, registry.names())
         if self.workers < 1:
             raise ValueError(f"workers must be ≥ 1, got {self.workers}")
+        if self.request_timeout is not None and self.request_timeout < 0:
+            raise ValueError(
+                f"request_timeout must be ≥ 0 or null, got {self.request_timeout}"
+            )
+        if self.heartbeat_interval < 0:
+            raise ValueError(
+                f"heartbeat_interval must be ≥ 0, got {self.heartbeat_interval}"
+            )
+        if self.max_restarts < 1:
+            raise ValueError(f"max_restarts must be ≥ 1, got {self.max_restarts}")
+        if self.restart_backoff < 0:
+            raise ValueError(
+                f"restart_backoff must be ≥ 0, got {self.restart_backoff}"
+            )
 
     def with_(self, **overrides) -> "ServiceConfig":
         """A copy with *overrides* applied (validation re-runs)."""
@@ -88,6 +122,10 @@ class ServiceConfig:
             "estimator": self.estimator,
             "workers": self.workers,
             "verbalize": self.verbalize,
+            "request_timeout": self.request_timeout,
+            "heartbeat_interval": self.heartbeat_interval,
+            "max_restarts": self.max_restarts,
+            "restart_backoff": self.restart_backoff,
             "miner_config": self.miner_config.to_json(),
         }
         return record

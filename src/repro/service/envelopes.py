@@ -51,6 +51,12 @@ from repro.core.batch import (
 #: breaking change to the envelope shape).
 PROTOCOL_VERSION = 1
 
+#: A replica exceeded the request deadline: the caller gets this typed
+#: error envelope instead of a hung connection.  Not in ``core.batch``'s
+#: vocabulary because timeouts only exist at the serving layer — the
+#: synchronous batch path has no deadline to miss.
+ERR_TIMEOUT = "timeout"
+
 
 class EnvelopeError(ValueError):
     """A payload that cannot be parsed into a typed request."""
@@ -128,6 +134,30 @@ def _top_k_from(payload: Dict, context: str) -> Optional[int]:
     if isinstance(raw, bool) or not isinstance(raw, int) or raw < 1:
         raise EnvelopeError(f"{context}: 'top_k' must be a positive integer or null")
     return raw
+
+
+def request_id_of(payload, line: Optional[int] = None) -> str:
+    """Best-effort request id for error envelopes built *without* a
+    parsed request — the payload may be arbitrarily malformed, or the
+    failure (timeout, dead pool) may have happened before parsing.
+    Mirrors :func:`parse_request`'s id defaulting."""
+    if isinstance(payload, dict):
+        return str(payload.get("id", line if line is not None else "-"))
+    return str(line) if line is not None else "-"
+
+
+def request_kind_of(payload) -> str:
+    """Best-effort request kind for the same error envelopes, mirroring
+    :func:`parse_request`'s legacy dispatch (bare list → mine, untyped
+    object with ``op`` → update)."""
+    if isinstance(payload, list):
+        return "mine"
+    if isinstance(payload, dict):
+        kind = payload.get("type")
+        if kind is None:
+            kind = "update" if "op" in payload else "mine"
+        return kind if kind in REQUEST_TYPES else "?"
+    return "?"
 
 
 def parse_request(payload, *, line: Optional[int] = None) -> Request:
@@ -269,6 +299,7 @@ __all__ = [
     "ERR_BAD_REQUEST",
     "ERR_BAD_UPDATE",
     "ERR_INTERNAL",
+    "ERR_TIMEOUT",
     "ERR_UNKNOWN_ENTITY",
     "DescribeRequest",
     "EnvelopeError",
@@ -280,4 +311,6 @@ __all__ = [
     "StatsRequest",
     "UpdateRequest",
     "parse_request",
+    "request_id_of",
+    "request_kind_of",
 ]

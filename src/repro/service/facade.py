@@ -67,6 +67,7 @@ from repro.service.envelopes import (
     StatsRequest,
     UpdateRequest,
     parse_request,
+    request_id_of,
 )
 
 
@@ -392,13 +393,8 @@ class MiningService:
         try:
             request = parse_request(payload, line=line)
         except EnvelopeError as exc:
-            request_id = (
-                str(payload.get("id", line if line is not None else "-"))
-                if isinstance(payload, dict)
-                else str(line if line is not None else "-")
-            )
             return Response.failure(
-                request_id, "?", str(exc), exc.code, line=line
+                request_id_of(payload, line), "?", str(exc), exc.code, line=line
             ).to_json()
         return self.handle(request).to_json()
 

@@ -1,0 +1,246 @@
+"""Deterministic fault injection: the chaos harness for the worker fleet.
+
+Every recovery path in the supervision layer (:mod:`repro.service.supervisor`)
+is untestable without a way to make the fleet fail *on purpose, the same
+way, every time*.  A :class:`FaultPlan` is that instrument: a seeded,
+replayable schedule of named **injection points** threaded through
+:class:`~repro.service.workers.WorkerPool`, the worker main loop, and
+:func:`repro.kb.wire.kb_to_bytes`.  A rule fires at an exact
+``(point, occurrence-index)`` coordinate — the Nth time execution passes
+that point — so a failure observed once is a failure reproducible
+forever, and a chaos test asserts recovery from a *specific* fault, not
+from whatever the scheduler happened to produce.
+
+Injection points
+----------------
+
+===================== ================================================
+``kill-before-ready``  the worker process exits hard before sending
+                       its ready handshake (spawn-time crash)
+``kill-mid-request``   the worker exits hard on receiving a request,
+                       before computing or replying (crash mid-flight)
+``hang-mid-request``   the worker sleeps ``delay`` seconds before
+                       answering (a wedged replica: alive but silent)
+``drop-response``      the worker swallows one request and never
+                       replies (a lost pipe message)
+``delay-response``     the worker answers after sleeping ``delay``
+                       seconds (a slow pipe message)
+``corrupt-wire``       one framed wire/resync image has a byte flipped
+                       (seed-deterministic position), so rehydration
+                       raises :class:`~repro.kb.wire.WireError`
+``die-mid-update``     the worker applies an update envelope, then
+                       exits hard before acking (death mid fan-out)
+===================== ================================================
+
+Occurrence counters live per plan *instance*: the parent pool counts
+parent-side points (``corrupt-wire``), and each worker process rebuilds
+its own plan from JSON at spawn (counters start at zero per process), so
+a rule scoped to ``worker=1, occurrence=2`` means "the third time worker
+1's loop passes that point".  The plan crosses the spawn boundary as
+plain JSON — no pickle, same rule as the wire format.
+
+>>> plan = FaultPlan([FaultRule(HANG_MID_REQUEST, occurrence=0, worker=0)])
+>>> pool = WorkerPool(kb, count=2, request_timeout=1.0, faults=plan)
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+KILL_BEFORE_READY = "kill-before-ready"
+KILL_MID_REQUEST = "kill-mid-request"
+HANG_MID_REQUEST = "hang-mid-request"
+DROP_RESPONSE = "drop-response"
+DELAY_RESPONSE = "delay-response"
+CORRUPT_WIRE = "corrupt-wire"
+DIE_MID_UPDATE = "die-mid-update"
+
+#: Every named injection point, in documentation order.
+FAULT_POINTS = (
+    KILL_BEFORE_READY,
+    KILL_MID_REQUEST,
+    HANG_MID_REQUEST,
+    DROP_RESPONSE,
+    DELAY_RESPONSE,
+    CORRUPT_WIRE,
+    DIE_MID_UPDATE,
+)
+
+#: Exit code a fault-killed worker dies with (distinguishable from a real
+#: crash's traceback exit 1 when triaging chaos logs).
+FAULT_EXIT_CODE = 43
+
+
+class FaultPlanError(ValueError):
+    """A rule or serialized plan that names no known injection point."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One scheduled fault: fire at *point*'s Nth *occurrence*.
+
+    ``worker`` scopes the rule to one replica index (``None`` matches
+    any); ``delay`` is the sleep for ``hang-mid-request`` /
+    ``delay-response`` (a hang defaults long enough that the request
+    deadline always expires first).
+    """
+
+    point: str
+    occurrence: int = 0
+    worker: Optional[int] = None
+    delay: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.point not in FAULT_POINTS:
+            raise FaultPlanError(
+                f"unknown injection point {self.point!r}; "
+                f"use one of {', '.join(FAULT_POINTS)}"
+            )
+        if self.occurrence < 0:
+            raise FaultPlanError(f"occurrence must be ≥ 0, got {self.occurrence}")
+        if self.delay < 0:
+            raise FaultPlanError(f"delay must be ≥ 0, got {self.delay}")
+
+    def to_json(self) -> Dict:
+        record: Dict = {"point": self.point, "occurrence": self.occurrence}
+        if self.worker is not None:
+            record["worker"] = self.worker
+        if self.delay != 3600.0:
+            record["delay"] = self.delay
+        return record
+
+    @classmethod
+    def from_json(cls, record: Dict) -> "FaultRule":
+        return cls(
+            point=record["point"],
+            occurrence=int(record.get("occurrence", 0)),
+            worker=record.get("worker"),
+            delay=float(record.get("delay", 3600.0)),
+        )
+
+
+class FaultPlan:
+    """A seeded, deterministic schedule of :class:`FaultRule`\\ s.
+
+    Thread-safe (the parent pool fires points from executor threads).
+    ``fired`` records every ``(point, occurrence, worker)`` that matched
+    a rule, so tests can assert the exact faults that actually happened.
+    """
+
+    def __init__(self, rules: Iterable[FaultRule] = (), seed: int = 0):
+        self.rules: Tuple[FaultRule, ...] = tuple(rules)
+        self.seed = seed
+        self._counts: Dict[str, int] = {}
+        self._lock = threading.Lock()
+        self.fired: List[Tuple[str, int, Optional[int]]] = []
+
+    @classmethod
+    def single(
+        cls,
+        point: str,
+        occurrence: int = 0,
+        worker: Optional[int] = None,
+        delay: float = 3600.0,
+        seed: int = 0,
+    ) -> "FaultPlan":
+        """The common one-rule plan, spelled in one call."""
+        return cls([FaultRule(point, occurrence, worker, delay)], seed=seed)
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        points: Sequence[str] = FAULT_POINTS,
+        max_occurrence: int = 3,
+        delay: float = 0.05,
+    ) -> "FaultPlan":
+        """A deterministic random schedule: one rule per *point*, each at
+        a seed-chosen occurrence in ``[0, max_occurrence)`` — the sweep
+        generator for the chaos differential gate (same seed, same
+        schedule, forever)."""
+        # A str seed hashes deterministically (sha512) — a tuple would go
+        # through hash(), which PYTHONHASHSEED randomizes per process.
+        rng = random.Random(f"remi-fault-plan:{seed}")
+        rules = [
+            FaultRule(
+                point,
+                occurrence=rng.randrange(max_occurrence),
+                delay=delay if point == DELAY_RESPONSE else 3600.0,
+            )
+            for point in points
+        ]
+        return cls(rules, seed=seed)
+
+    # ------------------------------------------------------------------
+
+    def fire(self, point: str, worker: Optional[int] = None) -> Optional[FaultRule]:
+        """Record one pass over *point* and return the matching rule, if
+        this exact occurrence is scheduled (else ``None``).
+
+        The occurrence counter advances whether or not a rule matched —
+        that is what makes schedules replayable.
+        """
+        if point not in FAULT_POINTS:
+            raise FaultPlanError(f"unknown injection point {point!r}")
+        with self._lock:
+            occurrence = self._counts.get(point, 0)
+            self._counts[point] = occurrence + 1
+            for rule in self.rules:
+                if rule.point != point or rule.occurrence != occurrence:
+                    continue
+                if rule.worker is not None and worker is not None and rule.worker != worker:
+                    continue
+                self.fired.append((point, occurrence, worker))
+                return rule
+        return None
+
+    def corrupt_frame(self, data: bytes) -> bytes:
+        """The ``kb_to_bytes(faults=...)`` hook: pass framed wire bytes
+        through the ``corrupt-wire`` point, flipping one seed-chosen byte
+        when this occurrence is scheduled (rehydration then raises a
+        typed :class:`~repro.kb.wire.WireError`, never builds a wrong
+        KB)."""
+        rule = self.fire(CORRUPT_WIRE)
+        if rule is None or not data:
+            return data
+        rng = random.Random(f"{self.seed}:{CORRUPT_WIRE}:{rule.occurrence}")
+        index = rng.randrange(len(data))
+        corrupted = bytearray(data)
+        corrupted[index] ^= 1 + rng.randrange(255)
+        return bytes(corrupted)
+
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> Dict:
+        return {"seed": self.seed, "rules": [rule.to_json() for rule in self.rules]}
+
+    @classmethod
+    def from_json(cls, record: Dict) -> "FaultPlan":
+        if not isinstance(record, dict) or "rules" not in record:
+            raise FaultPlanError(f"not a serialized FaultPlan: {record!r}")
+        return cls(
+            (FaultRule.from_json(rule) for rule in record["rules"]),
+            seed=int(record.get("seed", 0)),
+        )
+
+    def __repr__(self) -> str:
+        return f"FaultPlan(rules={len(self.rules)}, seed={self.seed}, fired={len(self.fired)})"
+
+
+__all__ = [
+    "CORRUPT_WIRE",
+    "DELAY_RESPONSE",
+    "DIE_MID_UPDATE",
+    "DROP_RESPONSE",
+    "FAULT_EXIT_CODE",
+    "FAULT_POINTS",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultRule",
+    "HANG_MID_REQUEST",
+    "KILL_BEFORE_READY",
+    "KILL_MID_REQUEST",
+]

@@ -70,9 +70,16 @@ from functools import partial
 from typing import Dict, Optional, Set
 
 from repro.core.batch import ERR_BAD_REQUEST
-from repro.service.envelopes import PROTOCOL_VERSION, Response
+from repro.service.envelopes import (
+    ERR_TIMEOUT,
+    PROTOCOL_VERSION,
+    Response,
+    request_id_of,
+    request_kind_of,
+)
 from repro.service.facade import MiningService
-from repro.service.workers import WorkerPool, WorkerPoolError
+from repro.service.supervisor import FleetSupervisor
+from repro.service.workers import WorkerPool, WorkerPoolError, WorkerTimeout
 
 _LOG = logging.getLogger(__name__)
 
@@ -161,6 +168,14 @@ class MiningServer:
         starts it (idempotent), but :meth:`drain` never stops it, so one
         pool can outlive several servers (the bench reuses one across
         tiers).
+    supervise:
+        In router mode, run a :class:`~repro.service.supervisor.
+        FleetSupervisor` over the pool for the server's lifetime
+        (heartbeats, crash detection, respawns under this server's
+        update barrier).  Knobs come from the service config
+        (``heartbeat_interval`` etc.); an interval of ``0`` disables the
+        loop even when this is True.  The supervisor — unlike the pool —
+        belongs to the server: :meth:`drain` stops it.
     """
 
     def __init__(
@@ -171,6 +186,7 @@ class MiningServer:
         pool_workers: int = 4,
         max_pending: int = 32,
         workers: Optional[WorkerPool] = None,
+        supervise: bool = True,
     ):
         if pool_workers < 1:
             raise ValueError(f"pool_workers must be ≥ 1, got {pool_workers}")
@@ -186,7 +202,12 @@ class MiningServer:
         #: already disconnected (the request still completed and its
         #: accounting balanced — see :meth:`_send`).
         self.responses_dropped = 0
+        #: Replica request deadlines that fired; each one answered its
+        #: client with a typed ``timeout`` error envelope.
+        self.request_timeouts = 0
         self._workers = workers
+        self._supervise = supervise
+        self._supervisor: Optional[FleetSupervisor] = None
         self._pool: Optional[ThreadPoolExecutor] = None
         self._server: Optional[asyncio.base_events.Server] = None
         self._barrier = _UpdateBarrier()
@@ -214,6 +235,16 @@ class MiningServer:
             await asyncio.get_running_loop().run_in_executor(
                 None, self._workers.start
             )
+            if self._supervise:
+                config = self.service.config
+                self._supervisor = FleetSupervisor(
+                    self._workers,
+                    exclusive=self._barrier.update,
+                    heartbeat_interval=config.heartbeat_interval,
+                    max_restarts=config.max_restarts,
+                    backoff_base=config.restart_backoff,
+                )
+                self._supervisor.start()
         self._pool = ThreadPoolExecutor(
             max_workers=self.pool_workers, thread_name_prefix="remi-serve"
         )
@@ -234,6 +265,11 @@ class MiningServer:
         """The process-replica pool when running in router mode."""
         return self._workers
 
+    @property
+    def supervisor(self) -> Optional[FleetSupervisor]:
+        """The fleet supervisor, when router mode runs supervised."""
+        return self._supervisor
+
     def telemetry(self) -> Dict:
         """Serving counters for the ``stats`` envelope and the CLI's
         shutdown summary: delivery accounting plus, in router mode, the
@@ -241,6 +277,7 @@ class MiningServer:
         info: Dict = {
             "responses_dropped": self.responses_dropped,
             "requests_in_flight": self.requests_in_flight,
+            "request_timeouts": self.request_timeouts,
             "snapshot_reads": self._snapshot_reads,
         }
         if self._workers is not None:
@@ -281,6 +318,11 @@ class MiningServer:
 
     async def _drain_inner(self) -> None:
         assert self._server is not None
+        if self._supervisor is not None:
+            # Stop supervising before the pool's owner can stop the pool
+            # — a respawn racing the teardown would spawn into a fleet
+            # that is being reaped.
+            await self._supervisor.stop()
         self._server.close()
         await self._server.wait_closed()
         # In-flight requests (on EVERY connection, not just the one that
@@ -460,6 +502,21 @@ class MiningServer:
         if self._workers is not None and self._routes_to_replica(payload):
             try:
                 return await self._workers.request(payload, line_no)
+            except WorkerTimeout as exc:
+                # The deadline is the latency contract: no local retry
+                # (it would double the client-visible worst case), a
+                # typed error envelope instead — never a hung client.
+                # The wedged replica is already terminated; the
+                # supervisor respawns it.
+                self.request_timeouts += 1
+                _LOG.warning("replica request deadline expired (%s)", exc)
+                return Response.failure(
+                    request_id_of(payload, line_no),
+                    request_kind_of(payload),
+                    str(exc),
+                    ERR_TIMEOUT,
+                    line=line_no,
+                ).to_json()
             except WorkerPoolError as exc:
                 _LOG.warning("worker pool unavailable (%s); serving locally", exc)
         record = await self._run(payload, line_no)

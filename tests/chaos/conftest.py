@@ -1,0 +1,25 @@
+"""Shared guard rails for the chaos suite.
+
+Chaos tests exist to prove the fleet never hangs — so the suite itself
+must not be able to hang CI.  Every test runs under a hard wall clock:
+if it is still running when the clock expires, ``faulthandler`` dumps
+every thread's stack to stderr and the process exits nonzero.  That is
+the stdlib spelling of ``pytest-timeout`` (which this environment does
+not ship): a regression shows up as a failed job with stack traces, not
+a frozen runner.
+"""
+
+import faulthandler
+
+import pytest
+
+#: Per-test wall clock, generous: a single test spawns a handful of
+#: processes and may sit out a few request deadlines + respawns.
+WALL_CLOCK_SECONDS = 180
+
+
+@pytest.fixture(autouse=True)
+def chaos_wall_clock():
+    faulthandler.dump_traceback_later(WALL_CLOCK_SECONDS, exit=True)
+    yield
+    faulthandler.cancel_dump_traceback_later()

@@ -1,0 +1,97 @@
+"""FaultPlan unit pins: exact (point, occurrence) scheduling, worker
+scoping, JSON transport across the spawn boundary, and deterministic
+frame corruption that always yields a *typed* wire error."""
+
+import pytest
+
+from repro.datasets import rennes_nantes_scene
+from repro.kb.interned import InternedKnowledgeBase
+from repro.kb.wire import WireError, kb_from_bytes, kb_to_bytes
+from repro.service.faults import (
+    CORRUPT_WIRE,
+    FAULT_POINTS,
+    FaultPlan,
+    FaultPlanError,
+    FaultRule,
+    HANG_MID_REQUEST,
+    KILL_MID_REQUEST,
+)
+
+pytestmark = pytest.mark.chaos
+
+
+def test_rules_validate_their_coordinates():
+    with pytest.raises(FaultPlanError):
+        FaultRule("explode-randomly")
+    with pytest.raises(FaultPlanError):
+        FaultRule(KILL_MID_REQUEST, occurrence=-1)
+    with pytest.raises(FaultPlanError):
+        FaultRule(HANG_MID_REQUEST, delay=-0.5)
+    with pytest.raises(FaultPlanError):
+        FaultPlan().fire("not-a-point")
+
+
+def test_fire_matches_exact_occurrence_and_worker():
+    plan = FaultPlan(
+        [
+            FaultRule(KILL_MID_REQUEST, occurrence=1),
+            FaultRule(HANG_MID_REQUEST, occurrence=0, worker=3),
+        ]
+    )
+    # Occurrence 0 of kill-mid-request is not scheduled; occurrence 1 is.
+    assert plan.fire(KILL_MID_REQUEST, worker=0) is None
+    rule = plan.fire(KILL_MID_REQUEST, worker=0)
+    assert rule is not None and rule.occurrence == 1
+    assert plan.fire(KILL_MID_REQUEST, worker=0) is None  # counter moved on
+    # Worker scoping: only replica 3 draws the hang.
+    assert plan.fire(HANG_MID_REQUEST, worker=2) is None
+    plan2 = FaultPlan([FaultRule(HANG_MID_REQUEST, occurrence=0, worker=3)])
+    assert plan2.fire(HANG_MID_REQUEST, worker=3) is not None
+    # The fired log records what actually happened, for assertions.
+    assert plan.fired == [(KILL_MID_REQUEST, 1, 0)]
+
+
+def test_plan_round_trips_through_json():
+    plan = FaultPlan(
+        [FaultRule(point, occurrence=i % 3, worker=i % 2, delay=0.25)
+         for i, point in enumerate(FAULT_POINTS)],
+        seed=99,
+    )
+    rebuilt = FaultPlan.from_json(plan.to_json())
+    assert rebuilt.rules == plan.rules
+    assert rebuilt.seed == plan.seed
+    # Counters are per instance: the rebuilt plan starts fresh.
+    plan.fire(KILL_MID_REQUEST)
+    assert rebuilt._counts == {}
+    with pytest.raises(FaultPlanError):
+        FaultPlan.from_json({"seed": 1})
+
+
+def test_seeded_schedules_are_stable():
+    a = FaultPlan.seeded(7)
+    b = FaultPlan.seeded(7)
+    assert a.rules == b.rules
+    assert {rule.point for rule in a.rules} == set(FAULT_POINTS)
+    assert all(0 <= rule.occurrence < 3 for rule in a.rules)
+    # A different seed must be able to produce a different schedule.
+    assert any(FaultPlan.seeded(s).rules != a.rules for s in range(1, 20))
+
+
+def test_corrupt_frame_is_deterministic_and_yields_typed_error():
+    kb = InternedKnowledgeBase(rennes_nantes_scene().triples(), name="scene")
+    clean = kb_to_bytes(kb)
+    plan_a = FaultPlan.single(CORRUPT_WIRE, occurrence=0, seed=5)
+    plan_b = FaultPlan.single(CORRUPT_WIRE, occurrence=0, seed=5)
+    corrupted_a = kb_to_bytes(kb, faults=plan_a)
+    corrupted_b = kb_to_bytes(kb, faults=plan_b)
+    assert corrupted_a == corrupted_b  # same seed → same flipped byte
+    assert corrupted_a != clean
+    assert sum(x != y for x, y in zip(corrupted_a, clean)) == 1
+    with pytest.raises(WireError):
+        kb_from_bytes(corrupted_a)
+    # Unscheduled occurrences pass the frame through untouched.
+    assert kb_to_bytes(kb, faults=plan_a) == clean
+    # And a clean frame still rehydrates to the same KB.
+    assert sorted(t.n3() for t in kb_from_bytes(clean).triples()) == sorted(
+        t.n3() for t in kb.triples()
+    )

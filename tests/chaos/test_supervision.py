@@ -1,0 +1,354 @@
+"""Supervision scenarios: every detection signal and every recovery path
+of the fleet, driven by deterministic fault injection.
+
+These spawn real worker processes.  Recovery is driven by explicit
+``FleetSupervisor.poll()`` calls (no timers) so each test pins an exact
+interleaving; the server-level test exercises the background loop too.
+"""
+
+import asyncio
+import json
+import time
+
+import pytest
+
+from repro.datasets import rennes_nantes_scene
+from repro.kb.interned import InternedKnowledgeBase
+from repro.kb.namespaces import EX
+from repro.service import (
+    FaultPlan,
+    FleetSupervisor,
+    MiningServer,
+    MiningService,
+    ServiceConfig,
+    WorkerPool,
+    WorkerPoolError,
+    WorkerTimeout,
+)
+from repro.service.envelopes import ERR_TIMEOUT
+from repro.service.faults import (
+    DELAY_RESPONSE,
+    DIE_MID_UPDATE,
+    DROP_RESPONSE,
+    FAULT_EXIT_CODE,
+    FaultRule,
+    HANG_MID_REQUEST,
+    KILL_BEFORE_READY,
+)
+
+pytestmark = pytest.mark.chaos
+
+
+def _scrub(value):
+    """Drop timing from an envelope: everything else is pinned exact."""
+    if isinstance(value, dict):
+        return {
+            k: _scrub(v)
+            for k, v in value.items()
+            if k != "seconds" and not k.endswith("_seconds")
+        }
+    if isinstance(value, list):
+        return [_scrub(v) for v in value]
+    return value
+
+
+def _scene_kb():
+    return InternedKnowledgeBase(rennes_nantes_scene().triples(), name="scene")
+
+
+def _target(kb):
+    return str(sorted(kb.entities(), key=lambda t: t.sort_key())[0])
+
+
+async def _recover(supervisor, pool):
+    """Drive poll() until the fleet is whole again (bounded, no timers)."""
+    for _ in range(50):
+        await supervisor.poll()
+        if pool.live_count == pool.count:
+            return
+    raise AssertionError(f"fleet never recovered: {pool.stats()}")
+
+
+def test_wedged_worker_times_out_then_respawns_and_answers():
+    """The satellite-4 pin: a chaos-wedged replica yields a typed
+    WorkerTimeout (never a hang), and the identical request succeeds on
+    the respawned replica — bit-identical to the local façade."""
+    kb = _scene_kb()
+    service = MiningService(kb)
+    service.enable_snapshots()
+    payload = {"type": "mine", "id": "m", "targets": [_target(kb)]}
+    plan = FaultPlan.single(HANG_MID_REQUEST, occurrence=0, worker=0)
+
+    async def scenario():
+        with WorkerPool(kb, count=2, request_timeout=1.0, faults=plan) as pool:
+            supervisor = FleetSupervisor(pool, heartbeat_interval=0.0,
+                                         backoff_base=0.0)
+            started = time.monotonic()
+            with pytest.raises(WorkerTimeout) as excinfo:
+                await pool.request(payload, line=1, worker=0)
+            elapsed = time.monotonic() - started
+            assert elapsed < 30  # a deadline, not a hang
+            assert excinfo.value.worker == 0
+            stats = pool.stats()
+            assert stats["timeouts"] == 1
+            assert stats["alive"] == 1
+            assert not stats["per_worker"][0]["alive"]
+            # The wedged process was terminated, not leaked.
+            assert not pool._replicas[0].process.is_alive()
+
+            pool.faults = None  # the respawned worker must come up clean
+            respawned = await supervisor.poll()
+            assert respawned == [0]
+            assert pool.live_count == 2
+            assert pool.timeouts == 1  # no new deadline expiries
+            record = await pool.request(payload, line=2, worker=0)
+            assert _scrub(record) == _scrub(service.handle_json(payload, line=2))
+            assert pool.stats()["restarts"] == 1
+            assert pool.stats()["per_worker"][0]["epoch"] == kb.epoch
+
+    asyncio.run(scenario())
+
+
+def test_silent_crash_is_detected_by_liveness_sweep():
+    """A replica that dies between requests never trips a pipe error —
+    the supervisor's is_alive() sweep finds the corpse and respawns."""
+    kb = _scene_kb()
+    payload = {"type": "mine", "id": "m", "targets": [_target(kb)]}
+
+    async def scenario():
+        with WorkerPool(kb, count=2) as pool:
+            supervisor = FleetSupervisor(pool, heartbeat_interval=0.0,
+                                         backoff_base=0.0)
+            pool._replicas[1].process.kill()
+            pool._replicas[1].process.join(10)
+            assert pool.live_count == 2  # nobody noticed yet
+            await _recover(supervisor, pool)
+            assert supervisor.crashes_detected == 1
+            assert pool.stats()["restarts"] == 1
+            record = await pool.request(payload, line=1, worker=1)
+            assert record["ok"]
+            assert pool.stats()["per_worker"][1]["epoch"] == kb.epoch
+
+    asyncio.run(scenario())
+
+
+def test_idle_wedge_is_caught_by_heartbeat():
+    """A wedged-but-alive replica passes is_alive() forever; the
+    heartbeat ping (under the request deadline) is what exposes it."""
+    kb = _scene_kb()
+    # drop-response on worker 0's first pong: the process stays alive
+    # and silent — exactly the failure mode only a heartbeat can see.
+    plan = FaultPlan.single(DROP_RESPONSE, occurrence=0, worker=0)
+
+    async def scenario():
+        with WorkerPool(kb, count=2, request_timeout=1.0, faults=plan) as pool:
+            # Worker 0 already carries its plan in-process; clear the
+            # pool's copy so the replacement spawns clean.
+            pool.faults = None
+            supervisor = FleetSupervisor(pool, heartbeat_interval=0.001,
+                                         backoff_base=0.0)
+            await _recover(supervisor, pool)
+            assert supervisor.heartbeats >= 1
+            assert pool.timeouts == 1  # the swallowed pong, nothing else
+            assert pool.stats()["restarts"] == 1
+
+    asyncio.run(scenario())
+
+
+def test_die_mid_update_fanout_respawns_at_post_update_epoch():
+    """A replica that applies an update then dies before acking comes
+    back at the router's post-update epoch: read-your-writes holds
+    across the restart."""
+    kb = _scene_kb()
+    service = MiningService(kb)
+    service.enable_snapshots()
+    plan = FaultPlan.single(DIE_MID_UPDATE, occurrence=0, worker=1)
+
+    async def scenario():
+        with WorkerPool(kb, count=2, request_timeout=5.0, faults=plan) as pool:
+            supervisor = FleetSupervisor(pool, heartbeat_interval=0.0,
+                                         backoff_base=0.0)
+            update = {
+                "type": "update", "id": "u", "op": "add",
+                "triple": [EX.fresh.n3(), EX.linked_to.n3(), _target(kb)],
+            }
+            record = service.handle_json(update, line=1)
+            assert record["ok"] and record["result"]["applied"]
+            await pool.broadcast_update(update, line=1, expect_epoch=kb.epoch)
+            assert pool.live_count == 1  # worker 1 died mid fan-out
+            pool.faults = None
+            await _recover(supervisor, pool)
+            probe = {"type": "describe", "id": "p", "targets": [str(EX.fresh)]}
+            for worker in range(pool.count):
+                from_pool = await pool.request(probe, line=2, worker=worker)
+                assert _scrub(from_pool) == _scrub(
+                    service.handle_json(probe, line=2)
+                )
+            stats = pool.stats()
+            assert stats["restarts"] == 1
+            assert [w["epoch"] for w in stats["per_worker"]] == [kb.epoch, kb.epoch]
+
+    asyncio.run(scenario())
+
+
+def test_admit_resyncs_a_replica_respawned_from_a_stale_bootstrap():
+    """Updates that land while a replacement boots must not be lost:
+    admit() compares epochs under quiescence and re-ships wire."""
+    kb = _scene_kb()
+    service = MiningService(kb)
+
+    async def scenario():
+        with WorkerPool(kb, count=2) as pool:
+            stale = pool.prepare_bootstrap()
+            pool._replicas[0].process.kill()
+            pool._replicas[0].process.join(10)
+            pool._mark_dead(pool._replicas[0])
+            # The router moves on while the replacement would be booting.
+            update = {
+                "type": "update", "id": "u", "op": "add",
+                "triple": [EX.late.n3(), EX.p.n3(), EX.q.n3()],
+            }
+            assert service.handle_json(update, line=1)["ok"]
+            await pool.broadcast_update(update, line=1, expect_epoch=kb.epoch)
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(None, pool.respawn, 0, stale)
+            assert pool._replicas[0].epoch != kb.epoch  # booted stale
+            await loop.run_in_executor(None, pool.admit, 0)
+            stats = pool.stats()
+            assert stats["resyncs"] == 1
+            assert stats["per_worker"][0]["alive"]
+            assert stats["per_worker"][0]["epoch"] == kb.epoch
+            probe = {"type": "describe", "id": "p", "targets": [str(EX.late)]}
+            assert (await pool.request(probe, line=2, worker=0))["ok"]
+
+    asyncio.run(scenario())
+
+
+def test_crash_looping_slot_trips_the_circuit_breaker():
+    """A slot whose replacement dies at boot every time must not spin
+    forever: after max_restarts failed attempts it is abandoned as
+    degraded and the rest of the fleet keeps serving."""
+    kb = _scene_kb()
+    payload = {"type": "mine", "id": "m", "targets": [_target(kb)]}
+
+    async def scenario():
+        with WorkerPool(kb, count=2) as pool:
+            supervisor = FleetSupervisor(pool, heartbeat_interval=0.0,
+                                         max_restarts=2, backoff_base=0.0)
+            pool._replicas[0].process.kill()
+            pool._replicas[0].process.join(10)
+            # Every respawned worker-0 process dies before its handshake.
+            pool.faults = FaultPlan([FaultRule(KILL_BEFORE_READY, worker=0)])
+            for _ in range(4):  # more polls than allowed attempts
+                await supervisor.poll()
+            assert supervisor.degraded == {0}
+            assert supervisor.respawns_failed == 2
+            assert supervisor.stats()["attempts"] == {"0": 2}
+            stats = pool.stats()
+            assert stats["alive"] == 1
+            assert stats["degraded"] == [0]
+            assert stats["restarts"] == 0
+            record = await pool.request(payload, line=1)  # fleet still serves
+            assert record["ok"]
+
+    asyncio.run(scenario())
+
+
+def test_start_fails_fast_when_a_worker_dies_during_spawn():
+    """The satellite-1 pin: a worker that dies before its handshake
+    fails startup with its exit code immediately — not after the full
+    startup deadline — and no children are leaked."""
+    kb = _scene_kb()
+    plan = FaultPlan([FaultRule(KILL_BEFORE_READY, worker=0)])
+    pool = WorkerPool(kb, count=2, start_timeout=120.0, faults=plan)
+    started = time.monotonic()
+    with pytest.raises(WorkerPoolError) as excinfo:
+        pool.start()
+    elapsed = time.monotonic() - started
+    assert elapsed < 60  # far under the 120 s deadline
+    assert str(FAULT_EXIT_CODE) in str(excinfo.value)
+    for replica in pool._replicas:
+        assert not replica.process.is_alive()
+
+
+def test_server_surfaces_timeout_envelope_and_background_loop_recovers():
+    """End to end over TCP: a wedged replica's request answers with a
+    typed `timeout` error envelope (the client never hangs), the
+    supervisor's own background task respawns it, and the identical
+    request then succeeds bit-identically to the local façade."""
+    kb = _scene_kb()
+    config = ServiceConfig(
+        request_timeout=1.0,
+        heartbeat_interval=0.05,
+        restart_backoff=0.0,
+    )
+    service = MiningService(kb, config)
+    plan = FaultPlan.single(HANG_MID_REQUEST, occurrence=0, worker=0)
+    payload = {"type": "mine", "id": "m1", "targets": [_target(kb)]}
+
+    async def ask(reader, writer, message):
+        writer.write(json.dumps(message).encode() + b"\n")
+        await writer.drain()
+        line = await asyncio.wait_for(reader.readline(), timeout=60)
+        return json.loads(line)
+
+    async def scenario():
+        pool = WorkerPool(kb, config=config, count=1, faults=plan)
+        try:
+            server = MiningServer(service, port=0, workers=pool)
+            await server.start()
+            assert server.supervisor is not None
+            pool.faults = None  # only the first spawn carries the wedge
+            reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+
+            record = await ask(reader, writer, payload)
+            assert record["ok"] is False
+            assert record["kind"] == "mine"
+            assert record["id"] == "m1"
+            assert record["error"]["code"] == ERR_TIMEOUT
+            assert server.telemetry()["request_timeouts"] == 1
+
+            deadline = time.monotonic() + 60
+            while pool.live_count < 1 and time.monotonic() < deadline:
+                await asyncio.sleep(0.05)
+            assert pool.live_count == 1
+
+            retried = await ask(reader, writer, payload)
+            assert retried["ok"]
+            assert _scrub(retried) == _scrub(service.handle_json(payload, line=1))
+
+            stats = await ask(reader, writer, {"type": "stats", "id": "s"})
+            info = stats["result"]["server"]
+            assert info["request_timeouts"] == 1
+            assert info["workers"]["restarts"] >= 1
+            assert info["workers"]["supervised"]
+            assert info["workers"]["supervisor"]["crashes_detected"] == 0
+
+            writer.close()
+            await server.drain()
+            assert server.supervisor._task is None  # loop stopped with server
+        finally:
+            pool.stop()
+
+    asyncio.run(scenario())
+
+
+def test_delayed_response_still_answers_exactly():
+    """delay-response below the deadline is absorbed: the reply is late
+    but identical — no retry, no respawn, no error."""
+    kb = _scene_kb()
+    service = MiningService(kb)
+    service.enable_snapshots()
+    payload = {"type": "mine", "id": "m", "targets": [_target(kb)]}
+    plan = FaultPlan.single(DELAY_RESPONSE, occurrence=0, worker=0, delay=0.05)
+
+    async def scenario():
+        with WorkerPool(kb, count=1, request_timeout=30.0, faults=plan) as pool:
+            record = await pool.request(payload, line=1, worker=0)
+            assert _scrub(record) == _scrub(service.handle_json(payload, line=1))
+            stats = pool.stats()
+            assert stats["timeouts"] == 0
+            assert stats["retries"] == 0
+            assert stats["alive"] == 1
+
+    asyncio.run(scenario())

@@ -142,8 +142,60 @@ def test_dead_replica_is_skipped_and_pool_degrades():
             stats = pool.stats()
             assert stats["alive"] == 1
             assert sum(1 for w in stats["per_worker"] if not w["alive"]) == 1
+            # The lost first attempt is counted, not silent: at most one
+            # retry fired (dispatch prefers the idle live replica, so
+            # only the request that drew the corpse pays one).
+            assert stats["retries"] == 1
 
     asyncio.run(scenario())
+
+
+def test_all_dead_error_names_the_failed_workers():
+    """When every attempt fails, the raised error carries the worker
+    indices so operators can correlate with supervisor restarts."""
+    kb = _scene_kb()
+    target = str(sorted(kb.entities(), key=lambda t: t.sort_key())[0])
+
+    async def scenario():
+        with WorkerPool(kb, count=2) as pool:
+            for replica in pool._replicas:
+                replica.process.kill()
+                replica.process.join(10)
+            payload = {"type": "mine", "id": "m", "targets": [target]}
+            with pytest.raises(WorkerPoolError) as excinfo:
+                await pool.request(payload, line=0)
+            message = str(excinfo.value)
+            assert "worker" in message
+            assert "0" in message or "1" in message
+            assert pool.stats()["alive"] == 0
+
+    asyncio.run(scenario())
+
+
+def _stubborn_child(started):
+    import signal
+    import time as _time
+
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    started.set()
+    while True:
+        _time.sleep(0.1)
+
+
+def test_reap_escalates_to_kill_for_sigterm_ignoring_children():
+    """stop()'s escalation: a child that ignores SIGTERM must still be
+    gone after _reap — terminate, then kill, never a leaked process."""
+    import multiprocessing
+    import time as _time
+
+    ctx = multiprocessing.get_context("spawn")
+    started = ctx.Event()
+    process = ctx.Process(target=_stubborn_child, args=(started,), daemon=True)
+    process.start()
+    assert started.wait(30)  # SIGTERM ignore is installed before this sets
+    WorkerPool._reap(process)
+    assert not process.is_alive()
+    assert process.exitcode is not None
 
 
 def test_server_routes_to_replicas_and_enriches_stats():

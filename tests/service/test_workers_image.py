@@ -81,7 +81,7 @@ def test_pool_bootstraps_replicas_from_the_image(scene_image):
     # notice the epoch drift and fall back to shipping wire bytes.
     assert kb.epoch != kb.image_epoch
     stale = WorkerPool(kb, count=1)
-    assert stale._bootstrap()["kind"] == "wire"
+    assert stale.prepare_bootstrap()["kind"] == "wire"
     assert stale.bootstrap_kind == "wire"
 
 
